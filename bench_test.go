@@ -1,0 +1,302 @@
+// Benchmarks regenerating the paper's tables and figures, one target per
+// artifact, plus the ablations DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The harness scales are deliberately small so the full suite completes in
+// minutes; use cmd/fdbench for bigger runs.
+package dhyfd_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/armstrong"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/cover"
+	"repro/internal/dataset"
+	"repro/internal/fdep"
+	"repro/internal/hyfd"
+	"repro/internal/normalize"
+	"repro/internal/profile"
+	"repro/internal/ranking"
+	"repro/internal/relation"
+	"repro/internal/sampling"
+	"repro/internal/tane"
+)
+
+func benchParams() bench.Params {
+	return bench.Params{Scale: 0.05, TimeLimit: 30 * time.Second, Quick: true}
+}
+
+// --- one target per table/figure -------------------------------------------
+
+func BenchmarkTable2Runtimes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Table2(io.Discard, benchParams(), relation.NullEqNull)
+	}
+}
+
+func BenchmarkTable2NullSemantics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Table2Null(io.Discard, benchParams())
+	}
+}
+
+func BenchmarkTable3Canonical(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Table3(io.Discard, benchParams())
+	}
+}
+
+func BenchmarkTable4Redundancy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Table4(io.Discard, benchParams())
+	}
+}
+
+func BenchmarkFig6RatioSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig6(io.Discard, benchParams())
+	}
+}
+
+func BenchmarkFig7Memory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig7(io.Discard, benchParams())
+	}
+}
+
+func BenchmarkFig8BestPerformer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig8(io.Discard, benchParams())
+	}
+}
+
+func BenchmarkFig9Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig9(io.Discard, benchParams())
+	}
+}
+
+func BenchmarkFig10Histogram(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig10(io.Discard, benchParams())
+	}
+}
+
+func BenchmarkFig11NCVoterFragments(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig11(io.Discard, benchParams())
+	}
+}
+
+func BenchmarkCityColumnView(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.CityView(io.Discard, benchParams())
+	}
+}
+
+// --- per-algorithm discovery on representative shapes -----------------------
+
+func discoveryBench(b *testing.B, name string, rows, cols int) {
+	bm, err := dataset.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := bm.Generate(rows, cols)
+	for _, algo := range []string{"TANE", "FDEP2", "HyFD", "DHyFD"} {
+		b.Run(algo, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := bench.Run(algo, r, time.Minute)
+				if res.TimedOut {
+					b.Fatalf("%s timed out", algo)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDiscoverNCVoter(b *testing.B)  { discoveryBench(b, "ncvoter", 1000, 19) }
+func BenchmarkDiscoverWeather(b *testing.B)  { discoveryBench(b, "weather", 2000, 18) }
+func BenchmarkDiscoverDiabetic(b *testing.B) { discoveryBench(b, "diabetic", 800, 20) }
+
+// --- ablations ---------------------------------------------------------------
+
+// BenchmarkAblationInduction compares classic per-attribute induction on
+// classic FD-trees (FDEP) against synergized induction on extended FD-trees
+// (FDEP2), the paper's Section IV-C/D improvement.
+func BenchmarkAblationInduction(b *testing.B) {
+	bm, _ := dataset.ByName("bridges")
+	r := bm.Generate(108, 13)
+	b.Run("classic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fdep.Discover(r, fdep.Classic)
+		}
+	})
+	b.Run("synergized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fdep.Discover(r, fdep.Sorted)
+		}
+	})
+}
+
+// BenchmarkAblationNonFDOrder compares the descending sort of non-FDs
+// (FDEP2) against the non-redundant non-FD cover (FDEP1), Section IV-H.
+func BenchmarkAblationNonFDOrder(b *testing.B) {
+	bm, _ := dataset.ByName("echo")
+	r := bm.Generate(132, 13)
+	b.Run("sorted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fdep.Discover(r, fdep.Sorted)
+		}
+	})
+	b.Run("nonredundant", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fdep.Discover(r, fdep.NonRedundant)
+		}
+	})
+}
+
+// BenchmarkAblationDDM isolates the dynamic data manager: ratio 3 enables
+// partition refreshes, an effectively infinite ratio disables them.
+func BenchmarkAblationDDM(b *testing.B) {
+	bm, _ := dataset.ByName("weather")
+	r := bm.Generate(4000, 18)
+	b.Run("ddm-on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.DiscoverWithConfig(r, core.Config{Ratio: 3})
+		}
+	})
+	b.Run("ddm-off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.DiscoverWithConfig(r, core.Config{Ratio: 1e18})
+		}
+	})
+}
+
+// BenchmarkAblationOneShotSampling contrasts DHyFD's single sampling pass
+// with HyFD's progressive re-sampling on the same input.
+func BenchmarkAblationOneShotSampling(b *testing.B) {
+	bm, _ := dataset.ByName("uniprot")
+	r := bm.Generate(3000, 20)
+	b.Run("dhyfd-one-shot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.Discover(r)
+		}
+	})
+	b.Run("hyfd-progressive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hyfd.Discover(r)
+		}
+	})
+}
+
+// --- supporting computations --------------------------------------------------
+
+func BenchmarkCanonicalCoverLarge(b *testing.B) {
+	bm, _ := dataset.ByName("hepatitis")
+	r := bm.Generate(155, 18)
+	lr := core.Discover(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cover.Canonical(r.NumCols(), lr)
+	}
+}
+
+func BenchmarkRankCanonicalCover(b *testing.B) {
+	bm, _ := dataset.ByName("ncvoter")
+	r := bm.GenerateDefault()
+	can := cover.Canonical(r.NumCols(), core.Discover(r))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ranking.Rank(r, can)
+	}
+}
+
+func BenchmarkNegativeCover1000Rows(b *testing.B) {
+	bm, _ := dataset.ByName("ncvoter")
+	r := bm.Generate(1000, 19)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sampling.NegativeCover(r)
+	}
+}
+
+func BenchmarkTANELattice(b *testing.B) {
+	bm, _ := dataset.ByName("fd-reduced")
+	r := bm.Generate(2000, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tane.DiscoverCtx(context.Background(), r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProfileReport(b *testing.B) {
+	bm, _ := dataset.ByName("ncvoter")
+	r := bm.GenerateDefault()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		profile.Profile(r, profile.Options{})
+	}
+}
+
+func BenchmarkCandidateKeys(b *testing.B) {
+	bm, _ := dataset.ByName("bridges")
+	r := bm.GenerateDefault()
+	can := cover.Canonical(r.NumCols(), core.Discover(r))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		normalize.CandidateKeys(r.NumCols(), can, 128)
+	}
+}
+
+func BenchmarkArmstrongRoundTrip(b *testing.B) {
+	bm, _ := dataset.ByName("iris")
+	r := bm.GenerateDefault()
+	can := cover.Canonical(r.NumCols(), core.Discover(r))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arm, err := armstrong.Relation(r.NumCols(), can, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		core.Discover(arm)
+	}
+}
+
+// BenchmarkParallelValidation measures the Workers extension.
+func BenchmarkParallelValidation(b *testing.B) {
+	bm, _ := dataset.ByName("diabetic")
+	r := bm.Generate(1500, 24)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.DiscoverWithConfig(r, core.Config{Workers: workers})
+			}
+		})
+	}
+}
+
+// BenchmarkExtensionBaselines measures the related-work algorithms outside
+// the paper's evaluation on a shape each is suited to.
+func BenchmarkExtensionBaselines(b *testing.B) {
+	bm, _ := dataset.ByName("bridges")
+	r := bm.GenerateDefault()
+	for _, algo := range []string{"FastFDs", "DFD"} {
+		b.Run(algo, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := bench.Run(algo, r, time.Minute)
+				if res.TimedOut {
+					b.Fatal("timed out")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,43 @@
+package dhyfd
+
+import (
+	"io"
+
+	"repro/internal/check"
+	"repro/internal/dep"
+)
+
+// Violation is a pair of rows that agree on an FD's LHS but differ on the
+// attribute Attr of its RHS.
+type Violation = check.Violation
+
+// Violations returns up to limit violating row pairs of f on r (0 = all).
+// An empty result means the FD holds — once a ranked FD is adopted as a
+// constraint, this is the enforcement check for new data.
+func Violations(r *Relation, f FD, limit int) []Violation {
+	return check.FD(r, f, limit)
+}
+
+// HoldsOn reports whether f holds on r.
+func HoldsOn(r *Relation, f FD) bool {
+	return check.Holds(r, f)
+}
+
+// CheckCover validates every FD of a cover against r, returning one
+// witness violation per violated FD, keyed by the FD's index.
+func CheckCover(r *Relation, fds []FD) map[int]Violation {
+	return check.All(r, fds)
+}
+
+// WriteCover serializes FDs one per line ("a, b -> c") using column names;
+// ReadCover parses the same format back. Together they let discovery
+// results flow between runs and tools.
+func WriteCover(w io.Writer, fds []FD, names []string) error {
+	return dep.WriteCover(w, fds, names)
+}
+
+// ReadCover parses the WriteCover format, resolving attribute names
+// against names. Lines starting with '#' and blank lines are skipped.
+func ReadCover(r io.Reader, names []string) ([]FD, error) {
+	return dep.ReadCover(r, names)
+}

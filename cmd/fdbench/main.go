@@ -1,0 +1,94 @@
+// Command fdbench regenerates the paper's tables and figures on the
+// synthetic benchmark shapes.
+//
+// Usage:
+//
+//	fdbench -exp table2            # Table II  (runtimes + memory)
+//	fdbench -exp table2null        # Section V-B null ≠ null runtimes
+//	fdbench -exp table3            # Table III (canonical covers)
+//	fdbench -exp table4            # Table IV  (data redundancy)
+//	fdbench -exp fig6              # ratio tuning
+//	fdbench -exp fig7              # memory vs rows/columns
+//	fdbench -exp fig8              # best-performer grid
+//	fdbench -exp fig9              # row/column scalability
+//	fdbench -exp fig10             # redundancy histograms
+//	fdbench -exp fig11             # ncvoter fragments with/without nulls
+//	fdbench -exp city              # Section VI-B city view
+//	fdbench -exp all               # everything
+//
+// -scale multiplies every data set's default rows (1.0 ≈ laptop-friendly;
+// raise toward the paper's sizes as your patience allows). -quick restricts
+// tables to a representative subset. -json additionally emits the
+// structured results as JSON on stdout after the table.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/relation"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table2, table2null, table3, table4, fig6..fig11, city, all)")
+	scale := flag.Float64("scale", 1.0, "row-count multiplier on the scaled defaults")
+	limit := flag.Duration("limit", 60*time.Second, "per-run time limit (prints TL like the paper)")
+	quick := flag.Bool("quick", false, "representative subset of data sets only")
+	asJSON := flag.Bool("json", false, "emit structured results as JSON instead of tables")
+	flag.Parse()
+
+	p := bench.Params{Scale: *scale, TimeLimit: *limit, Quick: *quick}
+	w := io.Writer(os.Stdout)
+	if *asJSON {
+		w = io.Discard // suppress tables; only JSON goes to stdout
+	}
+
+	runs := map[string]func() any{
+		"table2":     func() any { return bench.Table2(w, p, relation.NullEqNull) },
+		"table2null": func() any { return bench.Table2Null(w, p) },
+		"table3":     func() any { return bench.Table3(w, p) },
+		"table4":     func() any { return bench.Table4(w, p) },
+		"fig6":       func() any { return bench.Fig6(w, p) },
+		"fig7":       func() any { return bench.Fig7(w, p) },
+		"fig8":       func() any { return bench.Fig8(w, p) },
+		"fig9":       func() any { return bench.Fig9(w, p) },
+		"fig10":      func() any { return bench.Fig10(w, p) },
+		"fig11":      func() any { return bench.Fig11(w, p) },
+		"city":       func() any { return bench.CityView(w, p) },
+	}
+	order := []string{"table2", "table2null", "table3", "table4",
+		"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "city"}
+
+	emit := func(name string, result any) {
+		if !*asJSON {
+			return
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{"experiment": name, "results": result}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if *exp == "all" {
+		for _, name := range order {
+			if !*asJSON {
+				fmt.Printf("\n=== %s ===\n", name)
+			}
+			emit(name, runs[name]())
+		}
+		return
+	}
+	run, ok := runs[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %v, all\n", *exp, order)
+		os.Exit(2)
+	}
+	emit(*exp, run())
+}

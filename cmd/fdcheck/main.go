@@ -1,0 +1,76 @@
+// Command fdcheck verifies a cover file against a CSV and reports the
+// violated FDs with witness rows — enforcement for constraints adopted
+// from a previous discovery run.
+//
+// Usage:
+//
+//	fddiscover -canonical old.csv > cover.txt
+//	fdcheck -cover cover.txt new.csv
+//
+// Exit status 1 when any FD is violated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	dhyfd "repro"
+)
+
+func main() {
+	coverPath := flag.String("cover", "", "cover file (fddiscover output)")
+	nullSem := flag.String("null", "eq", "null semantics: eq or neq")
+	maxWitnesses := flag.Int("witnesses", 3, "violating row pairs to print per FD")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fdcheck -cover cover.txt file.csv\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 || *coverPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := dhyfd.Options{KeepDicts: true}
+	if *nullSem == "neq" {
+		opts.Semantics = dhyfd.NullNeqNull
+	}
+	rel, err := dhyfd.ReadCSVFile(flag.Arg(0), opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	cf, err := os.Open(*coverPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fds, err := dhyfd.ReadCover(cf, rel.Names)
+	cf.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	violatedCount := 0
+	for _, f := range fds {
+		vs := dhyfd.Violations(rel, f, *maxWitnesses)
+		if len(vs) == 0 {
+			continue
+		}
+		violatedCount++
+		fmt.Printf("VIOLATED  %s\n", f.Format(rel.Names))
+		for _, v := range vs {
+			fmt.Printf("  rows %d and %d agree on the LHS but differ on %s (%q vs %q)\n",
+				v.Row1, v.Row2, rel.Names[v.Attr],
+				rel.Value(v.Attr, v.Row1), rel.Value(v.Attr, v.Row2))
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%d of %d FDs violated on %s (%d rows)\n",
+		violatedCount, len(fds), flag.Arg(0), rel.NumRows())
+	if violatedCount > 0 {
+		os.Exit(1)
+	}
+}

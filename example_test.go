@@ -1,0 +1,86 @@
+package dhyfd_test
+
+import (
+	"fmt"
+	"strings"
+
+	dhyfd "repro"
+)
+
+// The examples operate on a toy voter table: zip determines city, state is
+// constant, id is a key.
+const exampleCSV = `id,city,zip,state
+1,berlin,10115,de
+2,berlin,10115,de
+3,hamburg,20095,de
+4,hamburg,20095,de
+5,munich,80331,de
+`
+
+func ExampleDiscover() {
+	rel, err := dhyfd.ReadCSV(strings.NewReader(exampleCSV), dhyfd.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fds := dhyfd.Discover(rel)
+	fmt.Print(dhyfd.FormatFDs(fds, rel.Names))
+	// Output:
+	// ∅ -> state
+	// id -> city
+	// id -> zip
+	// city -> zip
+	// zip -> city
+}
+
+func ExampleCanonicalCover() {
+	rel, _ := dhyfd.ReadCSV(strings.NewReader(exampleCSV), dhyfd.Options{})
+	fds := dhyfd.Discover(rel)
+	can := dhyfd.CanonicalCover(rel.NumCols(), fds)
+	n, attrs := dhyfd.CoverSize(can)
+	fmt.Printf("%d FDs, %d attribute occurrences\n", n, attrs)
+	fmt.Print(dhyfd.FormatFDs(can, rel.Names))
+	// Output:
+	// 4 FDs, 7 attribute occurrences
+	// ∅ -> state
+	// id -> zip
+	// city -> zip
+	// zip -> city
+}
+
+func ExampleRank() {
+	rel, _ := dhyfd.ReadCSV(strings.NewReader(exampleCSV), dhyfd.Options{})
+	can := dhyfd.CanonicalCover(rel.NumCols(), dhyfd.Discover(rel))
+	for _, r := range dhyfd.Rank(rel, can) {
+		fmt.Printf("%d  %s\n", r.Counts.WithNulls, r.FD.Format(rel.Names))
+	}
+	// Output:
+	// 5  ∅ -> state
+	// 4  city -> zip
+	// 4  zip -> city
+	// 0  id -> zip
+}
+
+func ExampleCandidateKeys() {
+	rel, _ := dhyfd.ReadCSV(strings.NewReader(exampleCSV), dhyfd.Options{})
+	can := dhyfd.CanonicalCover(rel.NumCols(), dhyfd.Discover(rel))
+	for _, k := range dhyfd.CandidateKeys(rel.NumCols(), can, 0) {
+		fmt.Printf("KEY (%s)\n", k.Names(rel.Names))
+	}
+	// Output:
+	// KEY (id)
+}
+
+func ExampleArmstrongRelation() {
+	rel, _ := dhyfd.ReadCSV(strings.NewReader(exampleCSV), dhyfd.Options{})
+	can := dhyfd.CanonicalCover(rel.NumCols(), dhyfd.Discover(rel))
+	// Build example data exhibiting exactly the same FDs, then close the
+	// loop: discovering on the Armstrong relation gives the cover back.
+	arm, err := dhyfd.ArmstrongRelation(rel.NumCols(), can, 0)
+	if err != nil {
+		panic(err)
+	}
+	again := dhyfd.Discover(arm)
+	fmt.Println("equivalent:", dhyfd.EquivalentCovers(rel.NumCols(), can, again))
+	// Output:
+	// equivalent: true
+}

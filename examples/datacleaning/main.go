@@ -1,0 +1,97 @@
+// Data cleaning: use FD ranking to guide a data steward, the workflow the
+// paper's Section VI motivates.
+//
+// Three signals fall out of the ranking of a canonical cover:
+//
+//  1. FDs with zero redundancy whose LHS is a single column are likely
+//     keys — and an almost-key FD with a tiny redundancy count (like the
+//     paper's σ4, voter_id → state with 2 occurrences) points straight at
+//     duplicate or dirty rows.
+//  2. FDs whose redundancy is carried entirely by null markers (σ3) are
+//     probably accidental and should not be enforced.
+//  3. High-redundancy FDs are the real structure of the data set; their
+//     violations after future inserts are the errors worth alerting on.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	dhyfd "repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	// A 1000-row voter roll with planted dirt: duplicate voter ids,
+	// a city column functionally close to zip, and a suffix column that is
+	// almost entirely missing.
+	b, err := dataset.ByName("ncvoter")
+	if err != nil {
+		panic(err)
+	}
+	rel := b.GenerateDefault()
+	fmt.Printf("voter roll: %d rows x %d columns\n", rel.NumRows(), rel.NumCols())
+	ir, ic, miss := rel.IncompleteStats()
+	fmt.Printf("incomplete rows: %d, incomplete columns: %d, missing values: %d\n\n", ir, ic, miss)
+
+	can := dhyfd.CanonicalCover(rel.NumCols(), dhyfd.Discover(rel))
+	ranked := dhyfd.Rank(rel, can)
+	fmt.Printf("canonical cover: %d FDs\n\n", len(can))
+
+	// Signal 1: near-keys. A single-column LHS with tiny but non-zero
+	// redundancy means a handful of rows share a value that should be
+	// unique — classic duplicate records.
+	fmt.Println("── near-keys (duplicate-record suspects) ──")
+	found := 0
+	for i := len(ranked) - 1; i >= 0 && found < 5; i-- {
+		r := ranked[i]
+		if r.FD.LHS.Count() == 1 && r.Counts.WithNulls > 0 && r.Counts.WithNulls <= rel.NumRows()/50 {
+			fmt.Printf("  %-50s %3d suspicious occurrences\n",
+				r.FD.Format(rel.Names), r.Counts.WithNulls)
+			found++
+		}
+	}
+	if found == 0 {
+		fmt.Println("  none")
+	}
+
+	// Signal 2: null-carried FDs — patterns that evaporate once missing
+	// values stop counting as evidence.
+	fmt.Println("\n── likely accidental (redundancy carried by nulls) ──")
+	type suspect struct {
+		fd    string
+		with  int
+		clean int
+	}
+	var suspects []suspect
+	for _, r := range ranked {
+		if r.Counts.WithNulls >= 10 && r.Counts.NoNulls*5 <= r.Counts.WithNulls {
+			suspects = append(suspects, suspect{
+				fd: r.FD.Format(rel.Names), with: r.Counts.WithNulls, clean: r.Counts.NoNulls})
+		}
+	}
+	sort.Slice(suspects, func(i, j int) bool { return suspects[i].with > suspects[j].with })
+	for i, s := range suspects {
+		if i == 8 {
+			fmt.Printf("  … %d more\n", len(suspects)-i)
+			break
+		}
+		fmt.Printf("  %-60s %5d with nulls, %4d without\n", s.fd, s.with, s.clean)
+	}
+	if len(suspects) == 0 {
+		fmt.Println("  none")
+	}
+
+	// Signal 3: the load-bearing structure — enforce these as constraints.
+	fmt.Println("\n── strongest constraints (enforce on ingest) ──")
+	for i, r := range ranked {
+		if i == 8 {
+			break
+		}
+		if r.Counts.NoNulls == 0 {
+			continue
+		}
+		fmt.Printf("  %-60s %5d null-free redundant occurrences\n",
+			r.FD.Format(rel.Names), r.Counts.NoNulls)
+	}
+}

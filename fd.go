@@ -1,0 +1,193 @@
+// Package dhyfd discovers, minimizes and ranks the functional dependencies
+// of relational data.
+//
+// The package implements the system of "Discovery and Ranking of Functional
+// Dependencies" (Wei and Link, ICDE 2019): the DHyFD hybrid discovery
+// algorithm with its dynamic data manager, the TANE / FDEP / HyFD baselines
+// it is evaluated against (plus FastFDs and DFD from its related work),
+// canonical-cover computation, and the ranking of FDs by the number of
+// redundant data values they cause.
+//
+// Quick start:
+//
+//	rel, err := dhyfd.ReadCSVFile("voters.csv", dhyfd.Options{})
+//	fds := dhyfd.Discover(rel)                          // left-reduced cover
+//	can := dhyfd.CanonicalCover(rel.NumCols(), fds)     // much smaller cover
+//	for _, r := range dhyfd.Rank(rel, can) {            // most relevant first
+//		fmt.Printf("%6d  %s\n", r.Counts.WithNulls, r.FD.Format(rel.Names))
+//	}
+//
+// Discovery returns a left-reduced cover: every minimal FD X → A with a
+// singleton right-hand side. CanonicalCover shrinks that to a non-redundant
+// cover with unique left-hand sides, and Rank orders FDs by relevance.
+package dhyfd
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dep"
+	"repro/internal/dfd"
+	"repro/internal/fastfds"
+	"repro/internal/fdep"
+	"repro/internal/hyfd"
+	"repro/internal/relation"
+	"repro/internal/tane"
+)
+
+// FD is a functional dependency over column indexes of a Relation. The
+// zero-based attribute sets render with Format and the relation's Names.
+type FD = dep.FD
+
+// Relation is dictionary-encoded relational data; see ReadCSV, FromRows
+// and FromCodes.
+type Relation = relation.Relation
+
+// NullSemantics selects how missing values compare during discovery.
+type NullSemantics = relation.NullSemantics
+
+const (
+	// NullEqNull treats all missing values as one value (the default and
+	// the paper's main experimental setting).
+	NullEqNull = relation.NullEqNull
+	// NullNeqNull treats every missing value as unique; nulls never agree.
+	NullNeqNull = relation.NullNeqNull
+)
+
+// Options configures data ingestion.
+type Options = relation.Options
+
+// ReadCSV parses CSV data with a header row into a Relation.
+func ReadCSV(r io.Reader, opts Options) (*Relation, error) {
+	return relation.ReadCSV(r, opts)
+}
+
+// ReadCSVFile parses the CSV file at path into a Relation.
+func ReadCSVFile(path string, opts Options) (*Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dhyfd: %w", err)
+	}
+	defer f.Close()
+	return relation.ReadCSV(f, opts)
+}
+
+// FromRows encodes raw string rows into a Relation.
+func FromRows(names []string, rows [][]string, opts Options) (*Relation, error) {
+	return relation.FromRows(names, rows, opts)
+}
+
+// FromCodes builds a Relation from pre-encoded column-major codes.
+func FromCodes(names []string, cols [][]int32, nulls [][]bool, sem NullSemantics) *Relation {
+	return relation.FromCodes(names, cols, nulls, sem)
+}
+
+// Algorithm selects a discovery algorithm. DHyFD is the paper's
+// contribution and the default; the others are the evaluated baselines.
+type Algorithm int
+
+const (
+	// DHyFD is the dynamic hybrid algorithm (default).
+	DHyFD Algorithm = iota
+	// HyFD is the sampling-focused hybrid of Papenbrock and Naumann.
+	HyFD
+	// TANE is the column-based lattice algorithm.
+	TANE
+	// FDEP is the row-based algorithm with classic induction.
+	FDEP
+	// FDEP1 is FDEP over a non-redundant cover of non-FDs with synergized
+	// induction.
+	FDEP1
+	// FDEP2 is FDEP with descending-sorted non-FDs and synergized
+	// induction — the variant the paper's evaluation calls FDEP.
+	FDEP2
+	// FastFDs is the depth-first difference-set algorithm of Wyss,
+	// Giannella and Robertson — a related-work extension beyond the
+	// paper's evaluated baselines.
+	FastFDs
+	// DFD is the random-walk lattice algorithm of Abedjan, Schulze and
+	// Naumann — likewise a related-work extension.
+	DFD
+)
+
+var algorithmNames = map[Algorithm]string{
+	DHyFD: "dhyfd", HyFD: "hyfd", TANE: "tane",
+	FDEP: "fdep", FDEP1: "fdep1", FDEP2: "fdep2",
+	FastFDs: "fastfds", DFD: "dfd",
+}
+
+func (a Algorithm) String() string {
+	if s, ok := algorithmNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// ParseAlgorithm resolves a name like "dhyfd" or "tane".
+func ParseAlgorithm(name string) (Algorithm, error) {
+	for a, s := range algorithmNames {
+		if s == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("dhyfd: unknown algorithm %q", name)
+}
+
+// Algorithms lists all available algorithms in a stable order.
+func Algorithms() []Algorithm {
+	return []Algorithm{DHyFD, HyFD, TANE, FDEP, FDEP1, FDEP2, FastFDs, DFD}
+}
+
+// DiscoverOptions tunes discovery.
+type DiscoverOptions struct {
+	// Algorithm defaults to DHyFD.
+	Algorithm Algorithm
+	// Ratio is DHyFD's efficiency–inefficiency threshold (default 3.0).
+	Ratio float64
+	// Workers parallelizes DHyFD's per-level validation (default serial).
+	Workers int
+	// HyFDConfig tunes the HyFD baseline's phase switching.
+	HyFDConfig hyfd.Config
+}
+
+// Discover computes the left-reduced cover of the FDs holding on r using
+// DHyFD with default tuning.
+func Discover(r *Relation) []FD {
+	return core.Discover(r)
+}
+
+// DiscoverWith computes the left-reduced cover with an explicit algorithm
+// and tuning.
+func DiscoverWith(r *Relation, opts DiscoverOptions) []FD {
+	switch opts.Algorithm {
+	case HyFD:
+		fds, _ := hyfd.DiscoverWithConfig(r, opts.HyFDConfig)
+		return fds
+	case TANE:
+		return tane.Discover(r)
+	case FDEP:
+		return fdep.Discover(r, fdep.Classic)
+	case FDEP1:
+		return fdep.Discover(r, fdep.NonRedundant)
+	case FDEP2:
+		return fdep.Discover(r, fdep.Sorted)
+	case FastFDs:
+		return fastfds.Discover(r)
+	case DFD:
+		return dfd.Discover(r)
+	default:
+		fds, _ := core.DiscoverWithConfig(r, core.Config{Ratio: opts.Ratio, Workers: opts.Workers})
+		return fds
+	}
+}
+
+// DHyFDStats re-exports the DHyFD run statistics.
+type DHyFDStats = core.Stats
+
+// DiscoverDHyFDStats runs DHyFD and returns its run statistics, useful for
+// understanding where time and memory went.
+func DiscoverDHyFDStats(r *Relation, ratio float64) ([]FD, DHyFDStats) {
+	return core.DiscoverWithConfig(r, core.Config{Ratio: ratio})
+}

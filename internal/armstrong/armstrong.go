@@ -1,0 +1,149 @@
+// Package armstrong generates Armstrong relations: for a given FD set Σ,
+// a relation that satisfies exactly the FDs Σ implies — every implied FD
+// holds, every non-implied FD is violated by some tuple pair.
+//
+// Armstrong relations are the classic way to *show* a cover as example
+// data (the paper's related work, Lopes/Petit/Lakhal EDBT 2000, discovers
+// FDs and Armstrong relations together). They also close a powerful
+// verification loop for this repository: discovering the FDs of a
+// generated Armstrong relation must give back a cover equivalent to Σ.
+//
+// Construction: the agree set of any two tuples of an Armstrong relation
+// must be closed under Σ, and for every attribute A and every maximal
+// closed set W with A ∉ W (the "max set" of A) some tuple pair must agree
+// exactly on W. One base tuple plus one tuple per distinct max set,
+// agreeing with the base exactly on that set, achieves both: pairwise
+// intersections of closed sets stay closed, and every non-implied X → A
+// is witnessed by the max set of A that contains X.
+package armstrong
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/cover"
+	"repro/internal/dep"
+	"repro/internal/relation"
+)
+
+// MaxSets returns the maximal attribute sets W with a ∉ closure(W), in
+// deterministic order. The collection can be exponential; budget bounds
+// the search frontier (0 means a generous default). An error is returned
+// when the budget is exhausted.
+func MaxSets(numAttrs int, fds []dep.FD, a int, budget int) ([]bitset.Set, error) {
+	if budget <= 0 {
+		budget = 100_000
+	}
+	e := cover.NewEngine(numAttrs, fds)
+
+	start := bitset.Full(numAttrs)
+	start.Remove(a)
+
+	var maxSets []bitset.Set
+	seen := map[string]bool{}
+	frontier := []bitset.Set{start}
+	steps := 0
+	for len(frontier) > 0 {
+		w := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		k := w.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if steps++; steps > budget {
+			return nil, fmt.Errorf("armstrong: max-set search for attribute %d exceeded budget %d", a, budget)
+		}
+		if !e.Closure(w, -1).Contains(a) {
+			// w avoids a; keep it if no kept superset dominates it.
+			dominated := false
+			for _, m := range maxSets {
+				if w.IsSubsetOf(m) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				maxSets = append(maxSets, w)
+			}
+			continue
+		}
+		// Closure reaches a: descend into maximal proper subsets.
+		for b := w.Next(0); b >= 0; b = w.Next(b + 1) {
+			sub := w.Clone()
+			sub.Remove(b)
+			if !seen[sub.Key()] {
+				frontier = append(frontier, sub)
+			}
+		}
+	}
+	// Remove non-maximal leftovers (DFS order can keep a subset found
+	// before its superset).
+	maxSets = pruneDominated(maxSets)
+	sort.Slice(maxSets, func(i, j int) bool { return bitset.CompareLex(maxSets[i], maxSets[j]) < 0 })
+	return maxSets, nil
+}
+
+func pruneDominated(sets []bitset.Set) []bitset.Set {
+	var out []bitset.Set
+	for i, w := range sets {
+		dominated := false
+		for j, m := range sets {
+			if i == j {
+				continue
+			}
+			if w.IsSubsetOf(m) && (!m.IsSubsetOf(w) || j < i) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Relation builds an Armstrong relation for the FD set over numAttrs
+// attributes. The result has one base row plus one row per distinct max
+// set; budget bounds the per-attribute max-set search (0 = default).
+func Relation(numAttrs int, fds []dep.FD, budget int) (*relation.Relation, error) {
+	if numAttrs == 0 {
+		return relation.FromCodes(nil, nil, nil, relation.NullEqNull), nil
+	}
+	distinct := map[string]bitset.Set{}
+	for a := 0; a < numAttrs; a++ {
+		sets, err := MaxSets(numAttrs, fds, a, budget)
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range sets {
+			distinct[w.Key()] = w
+		}
+	}
+	keys := make([]string, 0, len(distinct))
+	for k := range distinct {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	nrows := 1 + len(keys)
+	cols := make([][]int32, numAttrs)
+	for c := range cols {
+		cols[c] = make([]int32, nrows)
+	}
+	// Row 0 is all zeros. Row i+1 agrees with row 0 exactly on its max
+	// set; elsewhere it holds a value unique to the row.
+	for i, k := range keys {
+		w := distinct[k]
+		for c := 0; c < numAttrs; c++ {
+			if w.Contains(c) {
+				cols[c][i+1] = 0
+			} else {
+				cols[c][i+1] = int32(i + 1)
+			}
+		}
+	}
+	return relation.FromCodes(nil, cols, nil, relation.NullEqNull), nil
+}

@@ -1,0 +1,181 @@
+// Package bench is the experiment harness: one runner per table and figure
+// of the paper's evaluation (Sections V and VI). Each runner prints the
+// same rows or series the paper reports and returns the structured results
+// for programmatic use.
+//
+// The data sets are the synthetic shapes of internal/dataset, scaled by
+// Params.Scale (1.0 = the harness defaults documented per benchmark; the
+// paper's full sizes are reachable by raising the scale). Absolute numbers
+// therefore differ from the paper; the comparisons — which algorithm wins
+// where, how covers shrink, how redundancy distributes — are the
+// reproduction target. See EXPERIMENTS.md for the side-by-side reading.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dep"
+	"repro/internal/dfd"
+	"repro/internal/fastfds"
+	"repro/internal/fdep"
+	"repro/internal/hyfd"
+	"repro/internal/relation"
+	"repro/internal/tane"
+)
+
+// Params configure a harness run.
+type Params struct {
+	// Scale multiplies every data set's default row count. 1.0 by default.
+	Scale float64
+	// TimeLimit bounds each single algorithm run; exceeding it reports TL
+	// like the paper's tables. Runs are cancelled cooperatively via
+	// context, so a timed-out run frees its memory. Default 30s.
+	TimeLimit time.Duration
+	// Quick restricts table experiments to a representative subset of data
+	// sets, for smoke tests.
+	Quick bool
+}
+
+func (p *Params) fillDefaults() {
+	if p.Scale <= 0 {
+		p.Scale = 1.0
+	}
+	if p.TimeLimit <= 0 {
+		p.TimeLimit = 30 * time.Second
+	}
+}
+
+func (p Params) rows(defaultRows int) int {
+	n := int(float64(defaultRows) * p.Scale)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// AlgorithmNames lists the algorithms Table II compares, in column order.
+// Run additionally accepts "FastFDs" and "DFD", the related-work
+// extensions outside the paper's evaluation.
+var AlgorithmNames = []string{"TANE", "FDEP", "FDEP1", "FDEP2", "HyFD", "DHyFD"}
+
+// RunResult is one algorithm execution.
+type RunResult struct {
+	Algorithm string
+	Dataset   string
+	Rows      int
+	Cols      int
+	FDs       int
+	Elapsed   time.Duration
+	AllocMB   float64
+	TimedOut  bool
+}
+
+// Time renders the elapsed time like the paper's tables ("TL" on timeout).
+func (r RunResult) Time() string {
+	if r.TimedOut {
+		return "TL"
+	}
+	return fmt.Sprintf("%.3f", r.Elapsed.Seconds())
+}
+
+// runFunc executes one algorithm and returns its FD count, or an error
+// when cancelled.
+type runFunc func(ctx context.Context, r *relation.Relation) (int, error)
+
+func algorithmFunc(name string) runFunc {
+	switch name {
+	case "TANE":
+		return func(ctx context.Context, r *relation.Relation) (int, error) {
+			fds, err := tane.DiscoverCtx(ctx, r)
+			return len(fds), err
+		}
+	case "FDEP":
+		return fdepFunc(fdep.Classic)
+	case "FDEP1":
+		return fdepFunc(fdep.NonRedundant)
+	case "FDEP2":
+		return fdepFunc(fdep.Sorted)
+	case "HyFD":
+		return func(ctx context.Context, r *relation.Relation) (int, error) {
+			fds, _, err := hyfd.DiscoverCtx(ctx, r, hyfd.DefaultConfig())
+			return len(fds), err
+		}
+	case "DHyFD":
+		return func(ctx context.Context, r *relation.Relation) (int, error) {
+			fds, _, err := core.DiscoverCtx(ctx, r, core.DefaultConfig())
+			return len(fds), err
+		}
+	case "FastFDs":
+		return func(ctx context.Context, r *relation.Relation) (int, error) {
+			fds, err := fastfds.DiscoverCtx(ctx, r)
+			return len(fds), err
+		}
+	case "DFD":
+		return func(ctx context.Context, r *relation.Relation) (int, error) {
+			fds, err := dfd.DiscoverCtx(ctx, r)
+			return len(fds), err
+		}
+	}
+	panic("bench: unknown algorithm " + name)
+}
+
+func fdepFunc(v fdep.Variant) runFunc {
+	return func(ctx context.Context, r *relation.Relation) (int, error) {
+		fds, err := fdep.DiscoverCtx(ctx, r, v)
+		return len(fds), err
+	}
+}
+
+// Run executes one named algorithm on r under the time limit, measuring
+// elapsed time and bytes allocated. Runs that exceed the limit are
+// cancelled cooperatively — the paper's TL entries — and their work is
+// reclaimed before Run returns.
+func Run(name string, r *relation.Relation, limit time.Duration) RunResult {
+	res := RunResult{
+		Algorithm: name,
+		Rows:      r.NumRows(),
+		Cols:      r.NumCols(),
+	}
+	f := algorithmFunc(name)
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	ctx, cancel := context.WithTimeout(context.Background(), limit)
+	defer cancel()
+
+	start := time.Now()
+	fds, err := f(ctx, r)
+	elapsed := time.Since(start)
+
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	if err != nil {
+		res.TimedOut = true
+		res.Elapsed = limit
+		return res
+	}
+	res.FDs = fds
+	res.Elapsed = elapsed
+	res.AllocMB = float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20)
+	return res
+}
+
+// CoverOf runs DHyFD and returns the left-reduced cover — the input of the
+// cover and ranking experiments.
+func CoverOf(r *relation.Relation) []dep.FD {
+	return core.Discover(r)
+}
+
+// newTable returns a tabwriter for aligned console tables.
+func newTable(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}

@@ -1,0 +1,210 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/relation"
+)
+
+// tiny returns harness parameters that keep every experiment in test time.
+func tiny() Params {
+	return Params{Scale: 0.02, TimeLimit: 20 * time.Second, Quick: true}
+}
+
+func TestRunSingle(t *testing.T) {
+	b, _ := dataset.ByName("iris")
+	r := b.Generate(100, 5)
+	for _, a := range AlgorithmNames {
+		res := Run(a, r, 20*time.Second)
+		if res.TimedOut {
+			t.Errorf("%s timed out on iris", a)
+		}
+		if res.FDs == 0 {
+			t.Errorf("%s found no FDs", a)
+		}
+		if res.Elapsed <= 0 {
+			t.Errorf("%s elapsed = %v", a, res.Elapsed)
+		}
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	b, _ := dataset.ByName("flight")
+	r := b.Generate(400, 30)
+	res := Run("TANE", r, time.Millisecond)
+	if !res.TimedOut {
+		t.Skip("TANE finished within 1ms; environment too fast to test timeouts")
+	}
+	if res.Time() != "TL" {
+		t.Errorf("Time() = %q", res.Time())
+	}
+}
+
+func TestTable2AllAgree(t *testing.T) {
+	var buf bytes.Buffer
+	rows := Table2(&buf, tiny(), relation.NullEqNull)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range rows {
+		// Every algorithm that finished must report the same FD count.
+		for _, a := range AlgorithmNames {
+			res := row.Times[a]
+			if !res.TimedOut && res.FDs != row.FDs {
+				t.Errorf("%s on %s: %d FDs, others %d", a, row.Dataset, res.FDs, row.FDs)
+			}
+		}
+	}
+	if !strings.Contains(buf.String(), "Table II") {
+		t.Error("missing header")
+	}
+}
+
+func TestTable2Null(t *testing.T) {
+	var buf bytes.Buffer
+	rows := Table2Null(&buf, tiny())
+	if len(rows) == 0 {
+		t.Fatal("no incomplete data sets ran")
+	}
+	for _, row := range rows {
+		for _, a := range AlgorithmNames {
+			res := row.Times[a]
+			if !res.TimedOut && res.FDs != row.FDs {
+				t.Errorf("%s on %s (null≠null): %d FDs, others %d", a, row.Dataset, res.FDs, row.FDs)
+			}
+		}
+	}
+}
+
+func TestTable3CanonicalNeverLarger(t *testing.T) {
+	var buf bytes.Buffer
+	rows := Table3(&buf, tiny())
+	for _, row := range rows {
+		if row.CanCount > row.LrCount {
+			t.Errorf("%s: |Can| %d > |L-r| %d", row.Dataset, row.CanCount, row.LrCount)
+		}
+		if row.CanAttrs > row.LrAttrs {
+			t.Errorf("%s: ||Can|| %d > ||L-r|| %d", row.Dataset, row.CanAttrs, row.LrAttrs)
+		}
+		if row.PctSize > 100.0001 {
+			t.Errorf("%s: %%S = %f", row.Dataset, row.PctSize)
+		}
+	}
+}
+
+func TestTable4Bounds(t *testing.T) {
+	var buf bytes.Buffer
+	rows := Table4(&buf, tiny())
+	for _, row := range rows {
+		tot := row.Totals
+		if tot.Red > tot.RedWithNulls || tot.RedWithNulls > tot.Values {
+			t.Errorf("%s: implausible totals %+v", row.Dataset, tot)
+		}
+	}
+}
+
+func TestFig6SameFDsAllRatios(t *testing.T) {
+	var buf bytes.Buffer
+	pts := Fig6(&buf, tiny())
+	if len(pts) != 2*len(Fig6Ratios) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	perDataset := map[string]int{}
+	for _, pt := range pts {
+		if prev, ok := perDataset[pt.Dataset]; ok && prev != pt.FDs {
+			t.Errorf("%s: FD count varies with ratio (%d vs %d)", pt.Dataset, prev, pt.FDs)
+		}
+		perDataset[pt.Dataset] = pt.FDs
+	}
+}
+
+func TestFig7Monotonicity(t *testing.T) {
+	var buf bytes.Buffer
+	pts := Fig7(&buf, tiny())
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	for _, pt := range pts {
+		if pt.HyFDAllocMB < 0 || pt.DHyFDAllocMB < 0 {
+			t.Errorf("negative alloc: %+v", pt)
+		}
+	}
+}
+
+func TestFig8WinnersExist(t *testing.T) {
+	var buf bytes.Buffer
+	cells := Fig8(&buf, tiny())
+	for _, c := range cells {
+		if c.Winner == "" {
+			t.Errorf("fragment %s %dx%d: no algorithm finished", c.Dataset, c.Rows, c.Cols)
+		}
+	}
+}
+
+func TestFig9SeriesComplete(t *testing.T) {
+	var buf bytes.Buffer
+	pts := Fig9(&buf, tiny())
+	if len(pts) < 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, pt := range pts {
+		if res := pt.Times["DHyFD"]; res.TimedOut {
+			t.Errorf("DHyFD timed out on %s %dx%d", pt.Dataset, pt.Rows, pt.Cols)
+		}
+	}
+}
+
+func TestFig10BucketsCoverAllFDs(t *testing.T) {
+	var buf bytes.Buffer
+	results := Fig10(&buf, tiny())
+	for _, res := range results {
+		total := 0
+		for _, b := range res.Buckets {
+			total += b.FDs
+		}
+		if total != res.CoverFDs {
+			t.Errorf("%s: buckets cover %d of %d FDs", res.Dataset, total, res.CoverFDs)
+		}
+	}
+}
+
+func TestFig11NullShift(t *testing.T) {
+	var buf bytes.Buffer
+	results := Fig11(&buf, tiny())
+	for _, res := range results {
+		withTotal, withoutTotal := 0, 0
+		for i := range res.WithNulls {
+			withTotal += res.WithNulls[i].FDs
+			withoutTotal += res.WithoutNulls[i].FDs
+		}
+		if withTotal != res.CoverFDs || withoutTotal != res.CoverFDs {
+			t.Errorf("buckets do not cover the cover: %d/%d of %d", withTotal, withoutTotal, res.CoverFDs)
+		}
+		// Excluding nulls can only shrink counts, so the zero bucket can
+		// only grow.
+		if res.WithoutNulls[0].FDs < res.WithNulls[0].FDs {
+			t.Errorf("zero bucket shrank when excluding nulls: %d -> %d",
+				res.WithNulls[0].FDs, res.WithoutNulls[0].FDs)
+		}
+	}
+}
+
+func TestCityView(t *testing.T) {
+	var buf bytes.Buffer
+	views := CityView(&buf, tiny())
+	if len(views) == 0 {
+		t.Fatal("no minimal LHSs for city")
+	}
+	for _, v := range views {
+		if v.RedNoNN > v.Red {
+			t.Errorf("red-0 %d > red %d for %v", v.RedNoNN, v.Red, v.LHS)
+		}
+	}
+	if !strings.Contains(buf.String(), "city") {
+		t.Error("missing header")
+	}
+}

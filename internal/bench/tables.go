@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cover"
+	"repro/internal/dataset"
+	"repro/internal/dep"
+	"repro/internal/ranking"
+	"repro/internal/relation"
+)
+
+// quickSubset is the representative slice of benchmarks used when
+// Params.Quick is set: one small, one many-FD, one wide, one many-row.
+var quickSubset = map[string]bool{
+	"iris": true, "bridges": true, "ncvoter": true, "hepatitis": true, "weather": true,
+}
+
+func (p Params) benchmarks() []dataset.Benchmark {
+	all := dataset.All()
+	if !p.Quick {
+		return all
+	}
+	var out []dataset.Benchmark
+	for _, b := range all {
+		if quickSubset[b.Name] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Table2Row is one row of Table II: per-algorithm runtimes plus the memory
+// usage of the two hybrids.
+type Table2Row struct {
+	Dataset    string
+	Rows, Cols int
+	FDs        int
+	Times      map[string]RunResult
+}
+
+// Table2 reproduces Table II: running time per algorithm under the given
+// null semantics, and memory use of HyFD and DHyFD.
+func Table2(w io.Writer, p Params, sem relation.NullSemantics) []Table2Row {
+	p.fillDefaults()
+	fmt.Fprintf(w, "Table II — running time (s) under %v semantics, memory (MB allocated)\n", sem)
+	fmt.Fprintf(w, "%-12s %8s %4s %8s | %9s %9s %9s %9s %9s %9s | %8s %9s\n",
+		"dataset", "#R", "#C", "#FD", "TANE", "FDEP", "FDEP1", "FDEP2", "HyFD", "DHyFD", "HyFD MB", "DHyFD MB")
+
+	var out []Table2Row
+	for _, b := range p.benchmarks() {
+		rows := p.rows(b.DefaultRows)
+		r := b.GenerateSemantics(rows, b.DefaultCols, sem)
+		row := Table2Row{Dataset: b.Name, Rows: r.NumRows(), Cols: r.NumCols(), Times: map[string]RunResult{}}
+		for _, a := range AlgorithmNames {
+			res := Run(a, r, p.TimeLimit)
+			res.Dataset = b.Name
+			row.Times[a] = res
+			if !res.TimedOut && res.FDs > row.FDs {
+				row.FDs = res.FDs
+			}
+		}
+		fmt.Fprintf(w, "%-12s %8d %4d %8d | %9s %9s %9s %9s %9s %9s | %8.0f %9.0f\n",
+			row.Dataset, row.Rows, row.Cols, row.FDs,
+			row.Times["TANE"].Time(), row.Times["FDEP"].Time(),
+			row.Times["FDEP1"].Time(), row.Times["FDEP2"].Time(),
+			row.Times["HyFD"].Time(), row.Times["DHyFD"].Time(),
+			row.Times["HyFD"].AllocMB, row.Times["DHyFD"].AllocMB)
+		out = append(out, row)
+	}
+	return out
+}
+
+// Table2Null reproduces the null ≠ null experiment of Section V-B on the
+// incomplete data sets.
+func Table2Null(w io.Writer, p Params) []Table2Row {
+	p.fillDefaults()
+	fmt.Fprintln(w, "Section V-B — incomplete data sets under null ≠ null:")
+	var rows []Table2Row
+	saved := p.Quick
+	p.Quick = false
+	all := dataset.All()
+	var incomplete []dataset.Benchmark
+	for _, b := range all {
+		if b.Incomplete && (!saved || quickSubset[b.Name]) {
+			incomplete = append(incomplete, b)
+		}
+	}
+	fmt.Fprintf(w, "%-12s %8s %4s %8s | %9s %9s %9s %9s %9s %9s\n",
+		"dataset", "#R", "#C", "#FD", "TANE", "FDEP", "FDEP1", "FDEP2", "HyFD", "DHyFD")
+	for _, b := range incomplete {
+		r := b.GenerateSemantics(p.rows(b.DefaultRows), b.DefaultCols, relation.NullNeqNull)
+		row := Table2Row{Dataset: b.Name, Rows: r.NumRows(), Cols: r.NumCols(), Times: map[string]RunResult{}}
+		for _, a := range AlgorithmNames {
+			res := Run(a, r, p.TimeLimit)
+			row.Times[a] = res
+			if !res.TimedOut && res.FDs > row.FDs {
+				row.FDs = res.FDs
+			}
+		}
+		fmt.Fprintf(w, "%-12s %8d %4d %8d | %9s %9s %9s %9s %9s %9s\n",
+			row.Dataset, row.Rows, row.Cols, row.FDs,
+			row.Times["TANE"].Time(), row.Times["FDEP"].Time(),
+			row.Times["FDEP1"].Time(), row.Times["FDEP2"].Time(),
+			row.Times["HyFD"].Time(), row.Times["DHyFD"].Time())
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Table3Row is one row of Table III: left-reduced vs canonical cover sizes.
+type Table3Row struct {
+	Dataset              string
+	LrCount, LrAttrs     int
+	CanCount, CanAttrs   int
+	PctSize, PctCard     float64
+	CanonicalizeDuration time.Duration
+}
+
+// Table3 reproduces Table III: the size of canonical covers relative to
+// left-reduced covers, and the conversion time.
+func Table3(w io.Writer, p Params) []Table3Row {
+	p.fillDefaults()
+	fmt.Fprintln(w, "Table III — left-reduced vs canonical covers")
+	fmt.Fprintf(w, "%-12s %9s %10s %9s %10s %5s %5s %9s\n",
+		"dataset", "|L-r|", "||L-r||", "|Can|", "||Can||", "%S", "%C", "time (s)")
+
+	var out []Table3Row
+	for _, b := range p.benchmarks() {
+		r := b.Generate(p.rows(b.DefaultRows), b.DefaultCols)
+		lr := CoverOf(r)
+		start := time.Now()
+		can := cover.Canonical(r.NumCols(), lr)
+		elapsed := time.Since(start)
+
+		row := Table3Row{
+			Dataset:              b.Name,
+			LrCount:              dep.Count(lr),
+			LrAttrs:              dep.AttrOccurrences(lr),
+			CanCount:             dep.Count(can),
+			CanAttrs:             dep.AttrOccurrences(can),
+			CanonicalizeDuration: elapsed,
+		}
+		if row.LrCount > 0 {
+			row.PctSize = 100 * float64(row.CanCount) / float64(row.LrCount)
+		}
+		if row.LrAttrs > 0 {
+			row.PctCard = 100 * float64(row.CanAttrs) / float64(row.LrAttrs)
+		}
+		fmt.Fprintf(w, "%-12s %9d %10d %9d %10d %5.0f %5.0f %9.3f\n",
+			row.Dataset, row.LrCount, row.LrAttrs, row.CanCount, row.CanAttrs,
+			row.PctSize, row.PctCard, elapsed.Seconds())
+		out = append(out, row)
+	}
+	return out
+}
+
+// Table4Row is one row of Table IV: dataset-level data redundancy.
+type Table4Row struct {
+	Dataset    string
+	Incomplete bool
+	Totals     ranking.DatasetTotals
+}
+
+// Table4 reproduces Table IV: the number and percentage of redundant data
+// value occurrences per data set, with and without nulls.
+func Table4(w io.Writer, p Params) []Table4Row {
+	p.fillDefaults()
+	fmt.Fprintln(w, "Table IV — data redundancy in numbers and percentages")
+	fmt.Fprintf(w, "%-12s %10s %10s %7s %10s %7s\n",
+		"dataset", "#values", "#red", "%red", "#red+0", "%red+0")
+
+	var out []Table4Row
+	for _, b := range p.benchmarks() {
+		r := b.Generate(p.rows(b.DefaultRows), b.DefaultCols)
+		can := cover.Canonical(r.NumCols(), CoverOf(r))
+		tot := ranking.Totals(r, can)
+		row := Table4Row{Dataset: b.Name, Incomplete: b.Incomplete, Totals: tot}
+		if b.Incomplete {
+			fmt.Fprintf(w, "%-12s %10d %10d %7.2f %10d %7.2f\n",
+				b.Name, tot.Values, tot.Red, tot.PercentRed(), tot.RedWithNulls, tot.PercentRedWithNulls())
+		} else {
+			fmt.Fprintf(w, "%-12s %10d %10d %7.2f %10s %7s\n", b.Name, tot.Values, tot.Red, tot.PercentRed(), "", "")
+		}
+		out = append(out, row)
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+// Package brute enumerates minimal FDs by exhaustive search. It is the
+// ground-truth oracle the discovery algorithms are tested against; it is
+// exponential in the number of columns and intended for relations with at
+// most a dozen or so attributes.
+package brute
+
+import (
+	"math/bits"
+
+	"repro/internal/bitset"
+	"repro/internal/dep"
+	"repro/internal/relation"
+)
+
+// MinimalFDs returns the left-reduced cover (all minimal FDs X → A with
+// singleton RHSs) of r, sorted deterministically. Panics if r has more than
+// 24 columns — use a discovery algorithm for anything that wide.
+func MinimalFDs(r *relation.Relation) []dep.FD {
+	n := r.NumCols()
+	if n > 24 {
+		panic("brute: too many columns")
+	}
+	var out []dep.FD
+	for a := 0; a < n; a++ {
+		var minimal []uint32 // masks of minimal valid LHSs found so far
+		for mask := uint32(0); mask < 1<<uint(n); mask++ {
+			if mask&(1<<uint(a)) != 0 {
+				continue
+			}
+			// Ascending mask order enumerates subsets before supersets, so a
+			// superset of a found minimal LHS can be skipped outright.
+			dominated := false
+			for _, m := range minimal {
+				if m&mask == m {
+					dominated = true
+					break
+				}
+			}
+			if dominated {
+				continue
+			}
+			if Holds(r, mask, a) {
+				minimal = append(minimal, mask)
+				lhs := bitset.New(n)
+				for b := 0; b < n; b++ {
+					if mask&(1<<uint(b)) != 0 {
+						lhs.Add(b)
+					}
+				}
+				rhs := bitset.New(n)
+				rhs.Add(a)
+				out = append(out, dep.FD{LHS: lhs, RHS: rhs})
+			}
+		}
+	}
+	dep.Sort(out)
+	return out
+}
+
+// Holds checks whether the FD (columns of mask) → a holds on r by grouping
+// rows on the LHS projection.
+func Holds(r *relation.Relation, mask uint32, a int) bool {
+	n := r.NumCols()
+	attrs := make([]int, 0, bits.OnesCount32(mask))
+	for b := 0; b < n; b++ {
+		if mask&(1<<uint(b)) != 0 {
+			attrs = append(attrs, b)
+		}
+	}
+	seen := make(map[string]int32, r.NumRows())
+	key := make([]byte, len(attrs)*4)
+	for row := 0; row < r.NumRows(); row++ {
+		for i, c := range attrs {
+			v := r.Cols[c][row]
+			key[i*4] = byte(v)
+			key[i*4+1] = byte(v >> 8)
+			key[i*4+2] = byte(v >> 16)
+			key[i*4+3] = byte(v >> 24)
+		}
+		k := string(key)
+		if prev, ok := seen[k]; ok {
+			if prev != r.Cols[a][row] {
+				return false
+			}
+		} else {
+			seen[k] = r.Cols[a][row]
+		}
+	}
+	return true
+}
+
+// HoldsSet checks whether X → A holds for bitset arguments.
+func HoldsSet(r *relation.Relation, x bitset.Set, a int) bool {
+	var mask uint32
+	for b := x.Next(0); b >= 0; b = x.Next(b + 1) {
+		mask |= 1 << uint(b)
+	}
+	return Holds(r, mask, a)
+}

@@ -1,0 +1,71 @@
+// Package check verifies FDs against data and reports the violating tuple
+// pairs — the enforcement side of discovery: once a steward decides an FD
+// from the ranking is a real constraint, violations point at the rows to
+// repair (like the duplicate voter id behind the paper's σ4).
+package check
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/dep"
+	"repro/internal/partition"
+	"repro/internal/relation"
+)
+
+// Violation is a pair of rows agreeing on an FD's LHS but differing on the
+// given RHS attribute.
+type Violation struct {
+	Row1, Row2 int
+	Attr       int
+}
+
+// FD returns up to limit violations of f on r (0 = all). An empty result
+// means the FD holds.
+func FD(r *relation.Relation, f dep.FD, limit int) []Violation {
+	var out []Violation
+	p := partition.ForAttrs(f.LHS, r.Cols, r.Cards)
+	for _, cluster := range p.Clusters {
+		// Within a cluster all rows agree on the LHS; group by each RHS
+		// attribute and report one witness per differing row.
+		for a := f.RHS.Next(0); a >= 0; a = f.RHS.Next(a + 1) {
+			first := cluster[0]
+			for _, row := range cluster[1:] {
+				if r.Cols[a][row] != r.Cols[a][first] {
+					out = append(out, Violation{Row1: int(first), Row2: int(row), Attr: a})
+					if limit > 0 && len(out) >= limit {
+						return out
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Holds reports whether f holds on r.
+func Holds(r *relation.Relation, f dep.FD) bool {
+	return len(FD(r, f, 1)) == 0
+}
+
+// All validates every FD of a cover and returns the violated ones with one
+// witness each. Useful after new data arrives: re-check yesterday's cover.
+func All(r *relation.Relation, fds []dep.FD) map[int]Violation {
+	out := map[int]Violation{}
+	for i, f := range fds {
+		if v := FD(r, f, 1); len(v) > 0 {
+			out[i] = v[0]
+		}
+	}
+	return out
+}
+
+// Keys verifies that an attribute set is unique on r, returning a
+// duplicate row pair if not.
+func Keys(r *relation.Relation, key bitset.Set) (int, int, bool) {
+	p := partition.ForAttrs(key, r.Cols, r.Cards)
+	for _, cluster := range p.Clusters {
+		if len(cluster) >= 2 {
+			return int(cluster[0]), int(cluster[1]), false
+		}
+	}
+	return 0, 0, true
+}

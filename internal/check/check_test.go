@@ -1,0 +1,121 @@
+package check
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/brute"
+	"repro/internal/dataset"
+	"repro/internal/dep"
+	"repro/internal/relation"
+)
+
+func fd(n int, lhs []int, rhs ...int) dep.FD {
+	return dep.FD{LHS: bitset.FromAttrs(n, lhs...), RHS: bitset.FromAttrs(n, rhs...)}
+}
+
+func TestFDViolations(t *testing.T) {
+	// voter_id → state in the Table I snippet: voter 131 appears twice with
+	// equal state, so that FD holds; voter_id → street_address is violated
+	// by exactly that duplicate pair.
+	r := dataset.NCVoterSnippet(relation.NullEqNull)
+	n := r.NumCols()
+
+	if !Holds(r, fd(n, []int{0}, 7)) {
+		t.Error("voter_id → state should hold on the snippet")
+	}
+	violations := FD(r, fd(n, []int{0}, 5), 0)
+	if len(violations) != 1 {
+		t.Fatalf("violations = %v, want exactly the duplicate voter", violations)
+	}
+	v := violations[0]
+	if v.Row1 != 0 || v.Row2 != 1 || v.Attr != 5 {
+		t.Errorf("violation = %+v, want rows 0/1 attr 5", v)
+	}
+}
+
+func TestFDLimit(t *testing.T) {
+	// A constant LHS groups all rows; many violations, limit caps them.
+	r := relation.FromCodes(nil, [][]int32{
+		{0, 0, 0, 0},
+		{0, 1, 2, 3},
+	}, nil, relation.NullEqNull)
+	all := FD(r, fd(2, []int{0}, 1), 0)
+	if len(all) != 3 {
+		t.Errorf("violations = %d, want 3", len(all))
+	}
+	capped := FD(r, fd(2, []int{0}, 1), 2)
+	if len(capped) != 2 {
+		t.Errorf("capped = %d", len(capped))
+	}
+}
+
+func TestAll(t *testing.T) {
+	r := relation.FromCodes(nil, [][]int32{
+		{0, 0, 1},
+		{5, 5, 6},
+		{0, 1, 0},
+	}, nil, relation.NullEqNull)
+	fds := []dep.FD{
+		fd(3, []int{0}, 1), // holds
+		fd(3, []int{0}, 2), // violated
+	}
+	violated := All(r, fds)
+	if len(violated) != 1 {
+		t.Fatalf("violated = %v", violated)
+	}
+	if _, ok := violated[1]; !ok {
+		t.Error("index 1 should be violated")
+	}
+}
+
+func TestKeys(t *testing.T) {
+	r := relation.FromCodes(nil, [][]int32{
+		{0, 1, 2, 0},
+		{0, 1, 2, 3},
+	}, nil, relation.NullEqNull)
+	if _, _, ok := Keys(r, bitset.FromAttrs(2, 0)); ok {
+		t.Error("col0 has a duplicate")
+	}
+	if r1, r2, ok := Keys(r, bitset.FromAttrs(2, 1)); !ok {
+		t.Errorf("col1 is unique; got pair %d/%d", r1, r2)
+	}
+	if _, _, ok := Keys(r, bitset.FromAttrs(2, 0, 1)); !ok {
+		t.Error("col0+col1 is unique")
+	}
+}
+
+// TestViolationsAgainstBrute: Holds must agree with the brute-force
+// validity check on random relations and FDs.
+func TestViolationsAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 60; trial++ {
+		r := dataset.Random(rng, 4+rng.Intn(30), 2+rng.Intn(4), 1+rng.Intn(4))
+		n := r.NumCols()
+		lhs := bitset.New(n)
+		for a := 0; a < n; a++ {
+			if rng.Intn(2) == 0 {
+				lhs.Add(a)
+			}
+		}
+		a := rng.Intn(n)
+		lhs.Remove(a)
+		f := fd(n, lhs.Attrs(), a)
+		want := brute.HoldsSet(r, lhs, a)
+		if got := Holds(r, f); got != want {
+			t.Fatalf("trial %d: Holds=%v brute=%v for %v", trial, got, want, f)
+		}
+		// Every reported violation must be genuine.
+		for _, v := range FD(r, f, 0) {
+			for b := lhs.Next(0); b >= 0; b = lhs.Next(b + 1) {
+				if r.Cols[b][v.Row1] != r.Cols[b][v.Row2] {
+					t.Fatalf("trial %d: violation rows disagree on LHS attr %d", trial, b)
+				}
+			}
+			if r.Cols[v.Attr][v.Row1] == r.Cols[v.Attr][v.Row2] {
+				t.Fatalf("trial %d: violation rows agree on RHS", trial)
+			}
+		}
+	}
+}

@@ -1,0 +1,380 @@
+// Package core implements DHyFD, the dynamic hybrid FD discovery algorithm
+// that is the paper's primary contribution (Section IV).
+//
+// DHyFD follows the column-based approach over an extended FD-tree but
+// uses a dynamic data manager (DDM) as a row-based technique whenever many
+// FDs are likely to be valid. The DDM maintains an array of stripped
+// partitions rooted at the current controlled level of the tree; node ids
+// index that array, so validating the FDs of deeper levels refines an
+// already-computed partition instead of starting from single-attribute
+// partitions every time (HyFD's behaviour).
+//
+// The decision to spend memory on refreshed partitions is taken per
+// validation level by the efficiency–inefficiency ratio: efficiency is the
+// fraction of the level's FDs that turned out valid; inefficiency is the
+// fraction of reusable nodes (validated nodes with live children) over the
+// FDs still waiting at higher levels. A high ratio means validated
+// partitions will be shared by many descendants, so refinement pays off
+// (Section IV-G; the experiments of Figure 6 fix the threshold at 3).
+//
+// Sampling happens exactly once, before the main loop (sorted-neighborhood
+// pair selection over the single-attribute partitions), and every FD
+// validation doubles as further sampling: witness pairs of invalid FDs
+// are genuine non-FDs fed back into synergized induction.
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitset"
+	"repro/internal/dep"
+	"repro/internal/fdtree"
+	"repro/internal/partition"
+	"repro/internal/relation"
+	"repro/internal/sampling"
+	"repro/internal/validate"
+)
+
+// Config tunes DHyFD.
+type Config struct {
+	// Ratio is the efficiency–inefficiency threshold above which the DDM
+	// refreshes its partitions (Algorithm 6, line 26). The paper tunes it
+	// to 3.0 (Figure 6). Set it very large to disable refreshes entirely,
+	// which degenerates DHyFD into a validate-from-singletons hybrid.
+	Ratio float64
+	// Workers sets the number of goroutines validating a level's
+	// candidates concurrently — an extension beyond the paper's
+	// single-threaded implementation. Validation of distinct FD-nodes is
+	// independent (the DDM is read-only during a level), so levels
+	// parallelize cleanly; induction remains sequential. Values below 2
+	// keep the paper's serial behaviour.
+	Workers int
+}
+
+// DefaultConfig returns the paper's tuned configuration.
+func DefaultConfig() Config { return Config{Ratio: 3.0} }
+
+func (c *Config) fillDefaults() {
+	if c.Ratio == 0 {
+		c.Ratio = 3.0
+	}
+}
+
+// Stats reports what a run did.
+type Stats struct {
+	InitialNonFDs    int // distinct agree sets from the one-shot sampling
+	Comparisons      int // tuple pairs compared by the one-shot sampling
+	NonFDs           int // total distinct agree sets (sampling + validation)
+	Validations      int // (node, RHS attr) validations
+	Invalidated      int // validations that failed
+	Levels           int // validation levels processed
+	Refinements      int // DDM refreshes (controlled-level advances)
+	PeakDynPartRows  int // max Σ‖π‖ held by the DDM at once (memory proxy)
+	PeakDynPartCount int // max number of dynamic partitions held at once
+	FDs              int // FDs in the output cover
+}
+
+// ddm is the dynamic data manager: pre-computed single-attribute stripped
+// partitions plus one array of dynamic partitions per controlled-level
+// epoch. Node ids below NumCols index singles; ids >= NumCols index the
+// dynamic array, valid only while the node's epoch matches (stale ids are
+// the paper's "inconsistent" ids and fall back to singles).
+type ddm struct {
+	r       *relation.Relation
+	singles []*partition.Partition
+	epoch   int
+	slots   []dynPartition
+	rf      *partition.Refiner
+}
+
+type dynPartition struct {
+	part  *partition.Partition
+	attrs bitset.Set
+}
+
+func newDDM(r *relation.Relation) *ddm {
+	n := r.NumCols()
+	maxCard := 1
+	for _, c := range r.Cards {
+		if c > maxCard {
+			maxCard = c
+		}
+	}
+	m := &ddm{
+		r:       r,
+		singles: make([]*partition.Partition, n),
+		epoch:   1,
+		rf:      partition.NewRefiner(maxCard),
+	}
+	for c := 0; c < n; c++ {
+		m.singles[c] = partition.Single(r.Cols[c], r.Cards[c])
+	}
+	return m
+}
+
+// partitionFor returns a stripped partition π_X′ with X′ ⊆ lhs for the
+// node, preferring the node's dynamic partition when its id is consistent.
+// Nodes with default or stale ids get the cheapest single-attribute
+// partition of their path (Algorithm 6, lines 15–16) and their id is reset
+// accordingly.
+func (m *ddm) partitionFor(node *fdtree.Node, lhs bitset.Set) (*partition.Partition, bitset.Set) {
+	n := len(m.singles)
+	if node.ID >= n && node.Epoch == m.epoch {
+		slot := m.slots[node.ID-n]
+		if slot.attrs.IsSubsetOf(lhs) {
+			return slot.part, slot.attrs
+		}
+	}
+	best, bestSize := -1, -1
+	for a := lhs.Next(0); a >= 0; a = lhs.Next(a + 1) {
+		if size := m.singles[a].Size(); best < 0 || size < bestSize {
+			best, bestSize = a, size
+		}
+	}
+	node.ID, node.Epoch = best, 0
+	attrs := bitset.New(n)
+	attrs.Add(best)
+	return m.singles[best], attrs
+}
+
+// update implements Algorithm 3: a new dynamic array is built from the
+// reusable nodes at the new controlled level. Each node's partition starts
+// from its consistent dynamic partition (or its own singleton) and is
+// refined by the missing path attributes; the node receives the new slot id
+// and propagates it to its descendants.
+func (m *ddm) update(reusables []*fdtree.Node) {
+	n := len(m.singles)
+	oldEpoch := m.epoch
+	oldSlots := m.slots
+	m.epoch++
+	newSlots := make([]dynPartition, 0, len(reusables))
+	for _, node := range reusables {
+		lhs := node.Path(n)
+		var p *partition.Partition
+		var attrs bitset.Set
+		if node.ID >= n && node.Epoch == oldEpoch {
+			slot := oldSlots[node.ID-n]
+			if slot.attrs.IsSubsetOf(lhs) {
+				p, attrs = slot.part, slot.attrs
+			}
+		}
+		if p == nil {
+			a := node.Attr
+			p, attrs = m.singles[a], bitset.FromAttrs(n, a)
+		}
+		for b := lhs.Next(0); b >= 0; b = lhs.Next(b + 1) {
+			if attrs.Contains(b) {
+				continue
+			}
+			p = m.rf.Refine(p, m.r.Cols[b], m.r.Cards[b])
+		}
+		node.ID = n + len(newSlots)
+		node.Epoch = m.epoch
+		newSlots = append(newSlots, dynPartition{part: p, attrs: lhs})
+		fdtree.PropagateID(node)
+	}
+	m.slots = newSlots
+}
+
+// rows returns Σ‖π‖ over the dynamic array, the memory proxy of Figure 7.
+func (m *ddm) rows() int {
+	total := 0
+	for _, s := range m.slots {
+		total += s.part.Size()
+	}
+	return total
+}
+
+// Discover returns the left-reduced cover of the FDs holding on r.
+func Discover(r *relation.Relation) []dep.FD {
+	fds, _ := DiscoverWithConfig(r, DefaultConfig())
+	return fds
+}
+
+// DiscoverWithConfig runs DHyFD with explicit tuning and returns run
+// statistics alongside the cover.
+func DiscoverWithConfig(r *relation.Relation, cfg Config) ([]dep.FD, Stats) {
+	fds, stats, _ := DiscoverCtx(context.Background(), r, cfg)
+	return fds, stats
+}
+
+// DiscoverCtx is DiscoverWithConfig with cooperative cancellation, checked
+// between validations.
+func DiscoverCtx(ctx context.Context, r *relation.Relation, cfg Config) ([]dep.FD, Stats, error) {
+	cfg.fillDefaults()
+	var stats Stats
+	n := r.NumCols()
+	if n == 0 {
+		return nil, stats, nil
+	}
+
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
+	m := newDDM(r)
+	v := validate.New(r)
+	tree := fdtree.NewWithFullRHS(n)
+	tree.ControlledLevel = 1
+	full := bitset.Full(n)
+
+	// One-shot sampling plus root validation (Algorithm 6, lines 5–6).
+	nonFDs := sampling.NewNonFDSet(n)
+	for c := 0; c < n; c++ {
+		_, comps := sampling.ClusterNeighborSample(r, m.singles[c], 1, nonFDs)
+		stats.Comparisons += comps
+	}
+	v.EmptyLHS(full, nonFDs)
+	stats.InitialNonFDs = nonFDs.Len()
+	inductAll(tree, full, nonFDs.Sets())
+	processed := nonFDs.Len()
+
+	// The surviving root RHS attributes are the validated FDs ∅ → A.
+	numFDs := tree.Root().RHSCount()
+
+	for vl := 1; vl <= tree.MaxLevel(); vl++ {
+		candidates := tree.NodesAtLevel(vl)
+		stats.Levels++
+
+		total := 0
+		for _, node := range candidates {
+			total += node.RHSCount()
+		}
+		if err := validateLevel(ctx, cfg.Workers, r, m, candidates, v, nonFDs); err != nil {
+			return nil, stats, err
+		}
+		inductAll(tree, full, nonFDs.Sets()[processed:])
+		processed = nonFDs.Len()
+
+		numNewFDs := 0
+		for _, node := range candidates {
+			numNewFDs += node.RHSCount()
+		}
+		numFDs += numNewFDs
+
+		var reusables []*fdtree.Node
+		for _, node := range candidates {
+			if node.HasLiveChildren() {
+				reusables = append(reusables, node)
+			}
+		}
+
+		// Efficiency–inefficiency decision (Algorithm 6, lines 21–27).
+		higher := tree.CountFDs() - numFDs
+		if vl > 1 && total > 0 && len(reusables) > 0 && higher > 0 {
+			if EfficiencyInefficiencyRatio(numNewFDs, total, len(reusables), higher) > cfg.Ratio {
+				tree.ControlledLevel = vl
+				m.update(reusables)
+				stats.Refinements++
+				if rows := m.rows(); rows > stats.PeakDynPartRows {
+					stats.PeakDynPartRows = rows
+				}
+				if len(m.slots) > stats.PeakDynPartCount {
+					stats.PeakDynPartCount = len(m.slots)
+				}
+			}
+		}
+	}
+
+	stats.Validations = v.Validations
+	stats.Invalidated = v.Invalidated
+	stats.NonFDs = nonFDs.Len()
+
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
+	fds := dep.SplitRHS(tree.FDs())
+	dep.Sort(fds)
+	stats.FDs = len(fds)
+	return fds, stats, nil
+}
+
+// EfficiencyInefficiencyRatio computes the paper's Section IV-G measure:
+// efficiency — valid FDs over all FDs at the validation level — divided by
+// inefficiency — reusable nodes over the FDs residing in higher levels.
+// Example 5 of the paper: 1 valid of 1 FD with 2 reusable nodes over 5
+// pending FDs gives (1/1)/(2/5) = 2.5; 1 of 2 with 2 reusables over 3
+// pending gives (1/2)/(2/3) = 0.75.
+func EfficiencyInefficiencyRatio(validFDs, totalFDs, reusableNodes, higherFDs int) float64 {
+	efficiency := float64(validFDs) / float64(totalFDs)
+	inefficiency := float64(reusableNodes) / float64(higherFDs)
+	return efficiency / inefficiency
+}
+
+// validateLevel validates the FD-nodes among candidates against their DDM
+// partitions, collecting witness non-FDs. With workers > 1 the candidates
+// are validated concurrently: each worker owns a validator and a local
+// non-FD buffer, and nodes are handed out by an atomic cursor. The DDM is
+// read-only during a level except for per-node id resets, which are safe
+// because every node is processed by exactly one worker.
+func validateLevel(ctx context.Context, workers int, r *relation.Relation, m *ddm, candidates []*fdtree.Node, v *validate.Validator, nonFDs *sampling.NonFDSet) error {
+	n := r.NumCols()
+	if workers < 2 || len(candidates) < 4*workers {
+		for i, node := range candidates {
+			if i%64 == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if !node.IsFDNode() {
+				continue
+			}
+			lhs := node.Path(n)
+			p, attrs := m.partitionFor(node, lhs)
+			v.FD(lhs, node.RHS, p, attrs, nonFDs)
+		}
+		return nil
+	}
+
+	locals := make([]*sampling.NonFDSet, workers)
+	validators := make([]*validate.Validator, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		locals[w] = sampling.NewNonFDSet(n)
+		validators[w] = validate.New(r)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(candidates) {
+					return
+				}
+				if i%64 == 0 && ctx.Err() != nil {
+					return
+				}
+				node := candidates[i]
+				if !node.IsFDNode() {
+					continue
+				}
+				lhs := node.Path(n)
+				p, attrs := m.partitionFor(node, lhs)
+				validators[w].FD(lhs, node.RHS, p, attrs, locals[w])
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for w := 0; w < workers; w++ {
+		v.Validations += validators[w].Validations
+		v.Invalidated += validators[w].Invalidated
+		for _, x := range locals[w].Sets() {
+			nonFDs.Add(x)
+		}
+	}
+	return nil
+}
+
+// inductAll sorts agree sets descending by LHS size and inducts each
+// (Algorithm 6, lines 7–8 and 19–20).
+func inductAll(tree *fdtree.Tree, full bitset.Set, sets []bitset.Set) {
+	sorted := append([]bitset.Set(nil), sets...)
+	sampling.SortSetsDescending(sorted)
+	for _, x := range sorted {
+		tree.Induct(x, full.Difference(x))
+	}
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/brute"
+	"repro/internal/dataset"
+	"repro/internal/dep"
+	"repro/internal/relation"
+)
+
+func TestDiscoverTiny(t *testing.T) {
+	r := relation.FromCodes(nil, [][]int32{
+		{0, 0, 1, 1},
+		{5, 5, 6, 6},
+		{0, 1, 0, 1},
+	}, nil, relation.NullEqNull)
+	got := Discover(r)
+	want := brute.MinimalFDs(r)
+	if !dep.Equal(got, want) {
+		a, b := dep.Diff(got, want, r.Names)
+		t.Fatalf("only dhyfd %v, only brute %v", a, b)
+	}
+}
+
+func TestDiscoverDegenerate(t *testing.T) {
+	if got := Discover(relation.FromCodes(nil, nil, nil, relation.NullEqNull)); len(got) != 0 {
+		t.Errorf("no columns: %v", got)
+	}
+	one := relation.FromCodes(nil, [][]int32{{0}, {3}}, nil, relation.NullEqNull)
+	got := Discover(one)
+	if len(got) != 2 {
+		t.Errorf("single row: %v", got)
+	}
+	for _, f := range got {
+		if f.LHS.Count() != 0 {
+			t.Errorf("single row FD should have empty LHS: %v", f)
+		}
+	}
+}
+
+func TestAgainstBruteRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 50; trial++ {
+		rows := 4 + rng.Intn(40)
+		cols := 2 + rng.Intn(6)
+		card := 1 + rng.Intn(4)
+		r := dataset.Random(rng, rows, cols, card)
+		got := Discover(r)
+		want := brute.MinimalFDs(r)
+		if !dep.Equal(got, want) {
+			a, b := dep.Diff(got, want, r.Names)
+			t.Fatalf("trial %d (%dx%d card %d): only dhyfd %v, only brute %v",
+				trial, rows, cols, card, a, b)
+		}
+	}
+}
+
+func TestAgainstBruteMixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 20; trial++ {
+		r := dataset.RandomMixed(rng, 20+rng.Intn(100), 3+rng.Intn(5))
+		got := Discover(r)
+		want := brute.MinimalFDs(r)
+		if !dep.Equal(got, want) {
+			a, b := dep.Diff(got, want, r.Names)
+			t.Fatalf("trial %d: only dhyfd %v, only brute %v", trial, a, b)
+		}
+	}
+}
+
+// TestRatioDoesNotChangeResults: the efficiency–inefficiency ratio is a
+// performance knob; any value must produce the same cover.
+func TestRatioDoesNotChangeResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 8; trial++ {
+		r := dataset.RandomMixed(rng, 40+rng.Intn(100), 4+rng.Intn(4))
+		want := brute.MinimalFDs(r)
+		for _, ratio := range []float64{0.01, 0.5, 3.0, 1e12} {
+			got, _ := DiscoverWithConfig(r, Config{Ratio: ratio})
+			if !dep.Equal(got, want) {
+				a, b := dep.Diff(got, want, r.Names)
+				t.Fatalf("trial %d ratio %g: only dhyfd %v, only brute %v", trial, ratio, a, b)
+			}
+		}
+	}
+}
+
+// TestDDMRefinementTriggers: on data with many valid FDs at shallow levels
+// the ratio fires and partitions are refreshed; the aggressive ratio must
+// refresh at least as often as the disabled one.
+func TestDDMRefinementTriggers(t *testing.T) {
+	// Valid FDs at level 2 ({0,1}→6) raise efficiency early while the
+	// low-cardinality categoricals keep many deeper FDs pending, so the
+	// aggressive ratio must fire.
+	r := dataset.Generate(dataset.Spec{
+		Name: "deep", Rows: 200, Seed: 9,
+		Columns: []dataset.Column{
+			{Kind: dataset.Categorical, Card: 3},
+			{Kind: dataset.Categorical, Card: 3},
+			{Kind: dataset.Categorical, Card: 3},
+			{Kind: dataset.Categorical, Card: 3},
+			{Kind: dataset.Categorical, Card: 3},
+			{Kind: dataset.Categorical, Card: 3},
+			{Kind: dataset.Derived, Deps: []int{0, 1}, Card: 100},
+		},
+	})
+	_, aggressive := DiscoverWithConfig(r, Config{Ratio: 0.001})
+	_, disabled := DiscoverWithConfig(r, Config{Ratio: 1e12})
+	if disabled.Refinements != 0 {
+		t.Errorf("disabled ratio still refined %d times", disabled.Refinements)
+	}
+	if aggressive.Refinements == 0 {
+		t.Errorf("aggressive ratio never refined; stats: %+v", aggressive)
+	}
+	if aggressive.PeakDynPartCount == 0 || aggressive.PeakDynPartRows == 0 {
+		t.Errorf("peak memory proxies empty: %+v", aggressive)
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	r := dataset.Generate(dataset.Spec{
+		Name: "stats", Rows: 300, Seed: 5,
+		Columns: []dataset.Column{
+			{Kind: dataset.Categorical, Card: 6},
+			{Kind: dataset.Categorical, Card: 6},
+			{Kind: dataset.Categorical, Card: 6},
+			{Kind: dataset.Derived, Deps: []int{0, 1}, Card: 40},
+		},
+	})
+	fds, stats := DiscoverWithConfig(r, DefaultConfig())
+	if stats.FDs != len(fds) || stats.FDs == 0 {
+		t.Errorf("stats.FDs = %d, len = %d", stats.FDs, len(fds))
+	}
+	if stats.InitialNonFDs == 0 || stats.Comparisons == 0 {
+		t.Errorf("sampling stats empty: %+v", stats)
+	}
+	if stats.Validations == 0 || stats.Levels == 0 {
+		t.Errorf("validation stats empty: %+v", stats)
+	}
+	if stats.NonFDs < stats.InitialNonFDs {
+		t.Errorf("total non-FDs below initial: %+v", stats)
+	}
+}
+
+// TestAllNullRelation: a relation of only nulls under null=null is a
+// constant relation — every ∅ → A holds.
+func TestAllNullRelation(t *testing.T) {
+	rows := make([][]string, 10)
+	for i := range rows {
+		rows[i] = []string{"", ""}
+	}
+	r, err := relation.FromRows([]string{"a", "b"}, rows, relation.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Discover(r)
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+	for _, f := range got {
+		if f.LHS.Count() != 0 {
+			t.Errorf("want empty LHS: %v", f)
+		}
+	}
+}
+
+// TestNullSemanticsChangeFDs: under null≠null a column of nulls acts like
+// a key, flipping which FDs hold.
+func TestNullSemanticsChangeFDs(t *testing.T) {
+	raw := [][]string{
+		{"", "x"},
+		{"", "y"},
+		{"", "x"},
+	}
+	eq, err := relation.FromRows([]string{"a", "b"}, raw, relation.Options{Semantics: relation.NullEqNull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	neq, err := relation.FromRows([]string{"a", "b"}, raw, relation.Options{Semantics: relation.NullNeqNull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotEq := Discover(eq)   // a is constant: ∅→a holds; a→b fails (x vs y)
+	gotNeq := Discover(neq) // a is a key: a→b holds minimally
+	if !dep.Equal(gotEq, brute.MinimalFDs(eq)) {
+		t.Error("null=null cover wrong")
+	}
+	if !dep.Equal(gotNeq, brute.MinimalFDs(neq)) {
+		t.Error("null≠null cover wrong")
+	}
+	if dep.Equal(gotEq, gotNeq) {
+		t.Error("semantics should change the cover on this data")
+	}
+}
+
+// TestParallelValidationMatchesSerial: the Workers knob must not change
+// the cover — witness collection order differs, but the sorted induction
+// and set-semantics dedup make results deterministic.
+func TestParallelValidationMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 6; trial++ {
+		r := dataset.RandomMixed(rng, 150+rng.Intn(150), 5+rng.Intn(4))
+		serial, _ := DiscoverWithConfig(r, Config{Ratio: 3})
+		for _, workers := range []int{2, 4, 8} {
+			par, _ := DiscoverWithConfig(r, Config{Ratio: 3, Workers: workers})
+			if !dep.Equal(serial, par) {
+				a, b := dep.Diff(serial, par, r.Names)
+				t.Fatalf("trial %d workers %d: serial vs parallel: %v / %v", trial, workers, a, b)
+			}
+		}
+	}
+}
+
+// TestParallelStatsConsistent: counters must aggregate across workers.
+func TestParallelStatsConsistent(t *testing.T) {
+	b, _ := dataset.ByName("ncvoter")
+	r := b.Generate(500, 12)
+	_, serial := DiscoverWithConfig(r, Config{Ratio: 3})
+	_, par := DiscoverWithConfig(r, Config{Ratio: 3, Workers: 4})
+	if par.FDs != serial.FDs {
+		t.Errorf("FD counts differ: %d vs %d", par.FDs, serial.FDs)
+	}
+	if par.Validations == 0 || par.Invalidated == 0 {
+		t.Errorf("parallel counters empty: %+v", par)
+	}
+}
+
+// TestExample5Ratio pins the efficiency–inefficiency arithmetic to the
+// paper's Example 5 numbers.
+func TestExample5Ratio(t *testing.T) {
+	if got := EfficiencyInefficiencyRatio(1, 1, 2, 5); got != 2.5 {
+		t.Errorf("left tree of Example 5: ratio = %v, want 2.5", got)
+	}
+	if got := EfficiencyInefficiencyRatio(1, 2, 2, 3); got != 0.75 {
+		t.Errorf("right tree of Example 5: ratio = %v, want 0.75", got)
+	}
+}

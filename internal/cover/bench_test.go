@@ -1,0 +1,60 @@
+package cover
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/dep"
+)
+
+func benchFDs(k, n int, seed int64) []dep.FD {
+	rng := rand.New(rand.NewSource(seed))
+	fds := make([]dep.FD, k)
+	for i := range fds {
+		lhs := bitset.New(n)
+		for len(lhs.Attrs()) < 3 {
+			lhs.Add(rng.Intn(n))
+		}
+		rhs := bitset.New(n)
+		rhs.Add(rng.Intn(n))
+		rhs.DifferenceWith(lhs)
+		if rhs.IsEmpty() {
+			rhs.Add((lhs.Max() + 1) % n)
+			rhs.DifferenceWith(lhs)
+		}
+		fds[i] = dep.FD{LHS: lhs, RHS: rhs}
+	}
+	return fds
+}
+
+func BenchmarkClosure10kFDs(b *testing.B) {
+	fds := benchFDs(10_000, 30, 1)
+	e := NewEngine(30, fds)
+	x := bitset.FromAttrs(30, 0, 5, 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Closure(x, -1)
+	}
+}
+
+func BenchmarkImplies10kFDs(b *testing.B) {
+	fds := benchFDs(10_000, 30, 1)
+	e := NewEngine(30, fds)
+	x := bitset.FromAttrs(30, 0, 5, 12)
+	y := bitset.FromAttrs(30, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Implies(x, y, -1)
+	}
+}
+
+func BenchmarkCanonical5kFDs(b *testing.B) {
+	fds := benchFDs(5_000, 20, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Canonical(20, fds)
+	}
+}

@@ -1,0 +1,290 @@
+package cover
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/dep"
+)
+
+func fd(n int, lhs []int, rhs ...int) dep.FD {
+	return dep.FD{LHS: bitset.FromAttrs(n, lhs...), RHS: bitset.FromAttrs(n, rhs...)}
+}
+
+// Textbook example (Maier): R = {A,B,C,D,E,F} with
+// A→B, A→C, CD→E, CD→F, B→E.
+func textbookFDs() []dep.FD {
+	const n = 6
+	return []dep.FD{
+		fd(n, []int{0}, 1),
+		fd(n, []int{0}, 2),
+		fd(n, []int{2, 3}, 4),
+		fd(n, []int{2, 3}, 5),
+		fd(n, []int{1}, 4),
+	}
+}
+
+func TestClosureTextbook(t *testing.T) {
+	fds := textbookFDs()
+	// A+ = {A,B,C,E}: A→B→E, A→C but no D so CD rules do not fire.
+	got := Closure(6, fds, bitset.FromAttrs(6, 0))
+	if !got.Equal(bitset.FromAttrs(6, 0, 1, 2, 4)) {
+		t.Errorf("A+ = %v", got)
+	}
+	// AD+ = everything.
+	got = Closure(6, fds, bitset.FromAttrs(6, 0, 3))
+	if !got.Equal(bitset.Full(6)) {
+		t.Errorf("AD+ = %v", got)
+	}
+	// D+ = {D}.
+	got = Closure(6, fds, bitset.FromAttrs(6, 3))
+	if !got.Equal(bitset.FromAttrs(6, 3)) {
+		t.Errorf("D+ = %v", got)
+	}
+}
+
+func TestClosureEmptyLHS(t *testing.T) {
+	// ∅→A, A→B: closure of ∅ is {A,B}.
+	fds := []dep.FD{fd(3, nil, 0), fd(3, []int{0}, 1)}
+	got := Closure(3, fds, bitset.New(3))
+	if !got.Equal(bitset.FromAttrs(3, 0, 1)) {
+		t.Errorf("∅+ = %v", got)
+	}
+	// With the empty-LHS FD skipped, closure of ∅ is empty.
+	e := NewEngine(3, fds)
+	got = e.Closure(bitset.New(3), 0)
+	if !got.IsEmpty() {
+		t.Errorf("∅+ skipping FD 0 = %v", got)
+	}
+}
+
+func TestImplies(t *testing.T) {
+	fds := textbookFDs()
+	cases := []struct {
+		x, y []int
+		want bool
+	}{
+		{[]int{0}, []int{4}, true},    // A → E via B
+		{[]int{0, 3}, []int{5}, true}, // AD → F via C,D
+		{[]int{3}, []int{4}, false},   // D → E no
+		{[]int{1, 4}, []int{1}, true}, // trivial
+		{nil, []int{0}, false},        // ∅ → A no
+	}
+	for _, c := range cases {
+		got := Implies(6, fds, bitset.FromAttrs(6, c.x...), bitset.FromAttrs(6, c.y...))
+		if got != c.want {
+			t.Errorf("Implies(%v→%v) = %v, want %v", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestEngineKillRevive(t *testing.T) {
+	fds := []dep.FD{fd(3, []int{0}, 1), fd(3, []int{1}, 2)}
+	e := NewEngine(3, fds)
+	if !e.Implies(bitset.FromAttrs(3, 0), bitset.FromAttrs(3, 2), -1) {
+		t.Fatal("A→C should hold")
+	}
+	e.Kill(1)
+	if e.Implies(bitset.FromAttrs(3, 0), bitset.FromAttrs(3, 2), -1) {
+		t.Error("A→C should fail with B→C dead")
+	}
+	e.Revive(1)
+	if !e.Implies(bitset.FromAttrs(3, 0), bitset.FromAttrs(3, 2), -1) {
+		t.Error("A→C should hold again after Revive")
+	}
+}
+
+func TestLeftReduce(t *testing.T) {
+	// AB→C with A→C present reduces to A→C (duplicate dropped).
+	fds := []dep.FD{fd(3, []int{0, 1}, 2), fd(3, []int{0}, 2)}
+	got := LeftReduce(3, fds)
+	if len(got) != 1 || !got[0].LHS.Equal(bitset.FromAttrs(3, 0)) {
+		t.Errorf("LeftReduce = %v", got)
+	}
+	if !IsLeftReduced(3, got) {
+		t.Error("result not left-reduced")
+	}
+	if IsLeftReduced(3, fds) {
+		t.Error("input should not be left-reduced")
+	}
+}
+
+func TestLeftReduceSplitsRHS(t *testing.T) {
+	// AB→{C,D} with A→C: C reduces to A, D stays at AB.
+	fds := []dep.FD{fd(4, []int{0, 1}, 2, 3), fd(4, []int{0}, 2)}
+	got := LeftReduce(4, fds)
+	want := map[string]bool{
+		fd(4, []int{0}, 2).String():    true,
+		fd(4, []int{0, 1}, 3).String(): true,
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+	for _, f := range got {
+		if !want[f.String()] {
+			t.Errorf("unexpected %v", f)
+		}
+	}
+}
+
+func TestRemoveRedundant(t *testing.T) {
+	// A→B, B→C, A→C: A→C is redundant (transitivity).
+	fds := []dep.FD{fd(3, []int{0}, 1), fd(3, []int{1}, 2), fd(3, []int{0}, 2)}
+	got := RemoveRedundant(3, fds)
+	if len(got) != 2 {
+		t.Fatalf("RemoveRedundant kept %d FDs: %v", len(got), got)
+	}
+	if !IsNonRedundant(3, got) {
+		t.Error("result still redundant")
+	}
+	if !Equivalent(3, fds, got) {
+		t.Error("result not equivalent to input")
+	}
+}
+
+func TestRemoveRedundantMutualImplication(t *testing.T) {
+	// A→B and AC→B: the second is redundant; removing both would change
+	// the closure, so exactly one survives... here only AC→B is implied by
+	// A→B, not vice versa.
+	fds := []dep.FD{fd(3, []int{0, 2}, 1), fd(3, []int{0}, 1)}
+	got := RemoveRedundant(3, fds)
+	if len(got) != 1 || !got[0].LHS.Equal(bitset.FromAttrs(3, 0)) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestCanonicalPaperExample(t *testing.T) {
+	// Left-reduced covers contain transitively implied FDs; the canonical
+	// cover drops them and merges equal LHSs.
+	// A→B, B→C, A→C (redundant), A→D: canonical = {A→{B,D}, B→C}.
+	fds := []dep.FD{
+		fd(4, []int{0}, 1),
+		fd(4, []int{1}, 2),
+		fd(4, []int{0}, 2),
+		fd(4, []int{0}, 3),
+	}
+	got := Canonical(4, fds)
+	if len(got) != 2 {
+		t.Fatalf("canonical = %v", got)
+	}
+	if !UniqueLHS(got) {
+		t.Error("canonical cover must have unique LHSs")
+	}
+	if !Equivalent(4, fds, got) {
+		t.Error("canonical not equivalent")
+	}
+	if dep.AttrOccurrences(got) >= dep.AttrOccurrences(fds) {
+		t.Errorf("no size reduction: %d vs %d", dep.AttrOccurrences(got), dep.AttrOccurrences(fds))
+	}
+}
+
+func TestCanonicalOnEmptyAndSingle(t *testing.T) {
+	if got := Canonical(3, nil); len(got) != 0 {
+		t.Errorf("canonical of empty = %v", got)
+	}
+	fds := []dep.FD{fd(3, nil, 0)}
+	got := Canonical(3, fds)
+	if len(got) != 1 || got[0].LHS.Count() != 0 {
+		t.Errorf("canonical of {∅→A} = %v", got)
+	}
+}
+
+// naiveClosure is an O(k²) reference implementation.
+func naiveClosure(fds []dep.FD, x bitset.Set) bitset.Set {
+	closure := x.Clone()
+	for changed := true; changed; {
+		changed = false
+		for _, f := range fds {
+			if f.LHS.IsSubsetOf(closure) && !f.RHS.IsSubsetOf(closure) {
+				closure.UnionWith(f.RHS)
+				changed = true
+			}
+		}
+	}
+	return closure
+}
+
+func randomFDs(rng *rand.Rand, n, k int) []dep.FD {
+	fds := make([]dep.FD, k)
+	for i := range fds {
+		lhs := bitset.New(n)
+		rhs := bitset.New(n)
+		for a := 0; a < n; a++ {
+			if rng.Intn(4) == 0 {
+				lhs.Add(a)
+			}
+			if rng.Intn(4) == 0 {
+				rhs.Add(a)
+			}
+		}
+		if rhs.IsEmpty() {
+			rhs.Add(rng.Intn(n))
+		}
+		fds[i] = dep.FD{LHS: lhs, RHS: rhs}
+	}
+	return fds
+}
+
+func TestQuickClosureMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 8
+	for trial := 0; trial < 200; trial++ {
+		fds := randomFDs(rng, n, 1+rng.Intn(12))
+		e := NewEngine(n, fds)
+		for q := 0; q < 5; q++ {
+			x := bitset.New(n)
+			for a := 0; a < n; a++ {
+				if rng.Intn(3) == 0 {
+					x.Add(a)
+				}
+			}
+			fast := e.Closure(x, -1)
+			slow := naiveClosure(fds, x)
+			if !fast.Equal(slow) {
+				t.Fatalf("trial %d: closure(%v) fast=%v slow=%v fds=%v", trial, x, fast, slow, fds)
+			}
+		}
+	}
+}
+
+func TestQuickCanonicalInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 7
+	for trial := 0; trial < 60; trial++ {
+		fds := randomFDs(rng, n, 1+rng.Intn(10))
+		can := Canonical(n, fds)
+		if !Equivalent(n, fds, can) {
+			t.Fatalf("trial %d: canonical not equivalent", trial)
+		}
+		if !UniqueLHS(can) {
+			t.Fatalf("trial %d: duplicate LHS", trial)
+		}
+		if !IsLeftReduced(n, can) {
+			t.Fatalf("trial %d: not left-reduced: %v", trial, can)
+		}
+		split := dep.SplitRHS(can)
+		if !IsNonRedundant(n, split) {
+			t.Fatalf("trial %d: redundant", trial)
+		}
+		// Canonical never larger than the left-reduced cover.
+		lr := LeftReduce(n, fds)
+		if len(can) > len(lr) {
+			t.Fatalf("trial %d: |can|=%d > |lr|=%d", trial, len(can), len(lr))
+		}
+	}
+}
+
+func TestEngineReuseManyQueries(t *testing.T) {
+	// Version-stamp reuse across hundreds of queries must not corrupt state.
+	fds := textbookFDs()
+	e := NewEngine(6, fds)
+	want := e.Closure(bitset.FromAttrs(6, 0), -1)
+	for i := 0; i < 500; i++ {
+		_ = e.Closure(bitset.FromAttrs(6, i%6), -1)
+		got := e.Closure(bitset.FromAttrs(6, 0), -1)
+		if !got.Equal(want) {
+			t.Fatalf("iteration %d: closure drifted to %v", i, got)
+		}
+	}
+}

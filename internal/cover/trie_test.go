@@ -1,0 +1,103 @@
+package cover
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/dep"
+)
+
+// TestTrieReachesMatchesEngine checks the trie-based implication against
+// the counter-based engine over random FD sets and queries.
+func TestTrieReachesMatchesEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const n = 9
+	for trial := 0; trial < 150; trial++ {
+		fds := dep.SplitRHS(randomFDs(rng, n, 1+rng.Intn(14)))
+		engine := NewEngine(n, fds)
+		trie := newTrieImplier(n, fds)
+		for q := 0; q < 8; q++ {
+			x := bitset.New(n)
+			for a := 0; a < n; a++ {
+				if rng.Intn(3) == 0 {
+					x.Add(a)
+				}
+			}
+			target := rng.Intn(n)
+			y := bitset.New(n)
+			y.Add(target)
+			want := engine.Implies(x, y, -1)
+			got := trie.reaches(x, target)
+			if got != want {
+				t.Fatalf("trial %d: reaches(%v, %d) = %v, engine = %v\nfds: %v",
+					trial, x, target, got, want, fds)
+			}
+		}
+	}
+}
+
+// TestTrieRemoveRestore checks that removal takes an FD out of implication
+// and restore brings it back.
+func TestTrieRemoveRestore(t *testing.T) {
+	const n = 4
+	fds := []dep.FD{fd(n, []int{0}, 1), fd(n, []int{1}, 2)}
+	trie := newTrieImplier(n, fds)
+	x := bitset.FromAttrs(n, 0)
+	if !trie.reaches(x, 2) {
+		t.Fatal("A→C should hold via transitivity")
+	}
+	trie.remove(bitset.FromAttrs(n, 1), 2)
+	if trie.reaches(x, 2) {
+		t.Error("A→C should fail with B→C removed")
+	}
+	trie.restore(bitset.FromAttrs(n, 1), 2)
+	if !trie.reaches(x, 2) {
+		t.Error("A→C should hold again after restore")
+	}
+}
+
+// TestTrieEmptyLHS covers the root-node aliasing: empty-LHS FDs must
+// participate in closures and survive remove/restore cycles.
+func TestTrieEmptyLHS(t *testing.T) {
+	const n = 3
+	fds := []dep.FD{fd(n, nil, 0), fd(n, []int{0}, 1)}
+	trie := newTrieImplier(n, fds)
+	if !trie.reaches(bitset.New(n), 1) {
+		t.Fatal("∅→B should hold via ∅→A, A→B")
+	}
+	trie.remove(bitset.New(n), 0)
+	if trie.reaches(bitset.New(n), 1) {
+		t.Error("∅→B should fail with ∅→A removed")
+	}
+	trie.restore(bitset.New(n), 0)
+	if !trie.reaches(bitset.New(n), 1) {
+		t.Error("∅→B should hold after restore")
+	}
+}
+
+// TestRemoveRedundantDuplicates: exact duplicate FDs must collapse to one.
+func TestRemoveRedundantDuplicates(t *testing.T) {
+	fds := []dep.FD{fd(3, []int{0}, 1), fd(3, []int{0}, 1)}
+	got := RemoveRedundant(3, fds)
+	if len(got) != 1 {
+		t.Fatalf("duplicates survived: %v", got)
+	}
+}
+
+// TestQuickRemoveRedundantEquivalence: the result must always be equivalent
+// and non-redundant, whatever the input.
+func TestQuickRemoveRedundantEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	const n = 8
+	for trial := 0; trial < 80; trial++ {
+		fds := randomFDs(rng, n, 1+rng.Intn(12))
+		got := RemoveRedundant(n, fds)
+		if !Equivalent(n, fds, got) {
+			t.Fatalf("trial %d: not equivalent", trial)
+		}
+		if !IsNonRedundant(n, got) {
+			t.Fatalf("trial %d: still redundant: %v", trial, got)
+		}
+	}
+}

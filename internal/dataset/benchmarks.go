@@ -1,0 +1,514 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// Benchmark describes one of the paper's 21 evaluation data sets and a
+// generator reproducing its shape. PaperRows/PaperCols/PaperFDs are the
+// published statistics (Table II); DefaultRows/DefaultCols are the scaled
+// sizes the harness uses so every experiment fits a laptop run — pass the
+// paper sizes explicitly to reproduce at full scale.
+type Benchmark struct {
+	Name      string
+	PaperRows int
+	PaperCols int
+	PaperFDs  int // FDs in the left-reduced cover, per Table II
+
+	DefaultRows int
+	DefaultCols int
+
+	// Incomplete reports whether the original data set contains nulls
+	// (the second half of Table IV).
+	Incomplete bool
+
+	spec func(rows, cols int) Spec
+}
+
+// Generate materializes the benchmark at the given size. cols is capped at
+// PaperCols; rows may exceed PaperRows (the generators extrapolate).
+func (b Benchmark) Generate(rows, cols int) *relation.Relation {
+	if cols > b.PaperCols {
+		cols = b.PaperCols
+	}
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	spec := b.spec(rows, cols)
+	spec.Name = b.Name
+	spec.Rows = rows
+	if len(spec.Columns) > cols {
+		spec.Columns = spec.Columns[:cols]
+	}
+	return Generate(spec)
+}
+
+// GenerateDefault materializes the benchmark at its scaled default size.
+func (b Benchmark) GenerateDefault() *relation.Relation {
+	return b.Generate(b.DefaultRows, b.DefaultCols)
+}
+
+// WithSemantics returns a copy of the benchmark whose generator encodes
+// under the given null semantics.
+func (b Benchmark) GenerateSemantics(rows, cols int, sem relation.NullSemantics) *relation.Relation {
+	if cols > b.PaperCols {
+		cols = b.PaperCols
+	}
+	spec := b.spec(rows, cols)
+	spec.Name = b.Name
+	spec.Rows = rows
+	spec.Semantics = sem
+	if len(spec.Columns) > cols {
+		spec.Columns = spec.Columns[:cols]
+	}
+	return Generate(spec)
+}
+
+// helpers ------------------------------------------------------------------
+
+func cat(card int) Column { return Column{Kind: Categorical, Card: card} }
+func catNull(card int, nr float64) Column {
+	return Column{Kind: Categorical, Card: card, NullRate: nr}
+}
+func zipf(card int) Column { return Column{Kind: Zipf, Card: card} }
+func key() Column          { return Column{Kind: Key} }
+func dirtyKey(dup float64) Column {
+	return Column{Kind: Key, DupRate: dup}
+}
+func constant() Column { return Column{Kind: Constant} }
+func derived(card int, deps ...int) Column {
+	return Column{Kind: Derived, Deps: deps, Card: card}
+}
+func derivedNoise(card int, noise float64, deps ...int) Column {
+	return Column{Kind: Derived, Deps: deps, Card: card, Noise: noise}
+}
+
+// cycleCards builds n independent categorical columns cycling the cards.
+func cycleCards(n int, cards ...int) []Column {
+	out := make([]Column, n)
+	for i := range out {
+		out[i] = cat(cards[i%len(cards)])
+	}
+	return out
+}
+
+// crossClass builds the "decision data set" pattern of balance, chess and
+// nursery: the enumerated cross product of the input attributes plus one
+// class column that is a function of all of them — exactly one deep FD and,
+// like the real data sets, zero data redundancy (no duplicate input rows).
+func crossClass(classCard int, inputCards ...int) []Column {
+	cols := make([]Column, 0, len(inputCards)+1)
+	deps := make([]int, len(inputCards))
+	for i, c := range inputCards {
+		cols = append(cols, Column{Kind: MixedRadix, Card: c})
+		deps[i] = i
+	}
+	return append(cols, derived(classCard, deps...))
+}
+
+// registry ------------------------------------------------------------------
+
+var all = []Benchmark{
+	{
+		Name: "iris", PaperRows: 150, PaperCols: 5, PaperFDs: 4,
+		DefaultRows: 150, DefaultCols: 5,
+		spec: func(rows, cols int) Spec {
+			return Spec{Seed: 101, Columns: []Column{
+				cat(35), cat(23), cat(43), cat(22), derived(3, 2, 3),
+			}}
+		},
+	},
+	{
+		Name: "balance", PaperRows: 625, PaperCols: 5, PaperFDs: 1,
+		DefaultRows: 625, DefaultCols: 5,
+		spec: func(rows, cols int) Spec {
+			return Spec{Seed: 102, Columns: crossClass(3, 5, 5, 5, 5)}
+		},
+	},
+	{
+		Name: "chess", PaperRows: 28056, PaperCols: 7, PaperFDs: 1,
+		DefaultRows: 28056, DefaultCols: 7,
+		spec: func(rows, cols int) Spec {
+			return Spec{Seed: 103, Columns: crossClass(18, 4, 8, 8, 4, 8, 8)}
+		},
+	},
+	{
+		Name: "abalone", PaperRows: 4177, PaperCols: 9, PaperFDs: 137,
+		DefaultRows: 4177, DefaultCols: 9,
+		spec: func(rows, cols int) Spec {
+			return Spec{Seed: 104, Columns: []Column{
+				cat(3), cat(134), cat(111), cat(51),
+				derivedNoise(900, 0.15, 1, 2), cat(854), cat(534), cat(515), cat(28),
+			}}
+		},
+	},
+	{
+		Name: "nursery", PaperRows: 12960, PaperCols: 9, PaperFDs: 1,
+		DefaultRows: 12960, DefaultCols: 9,
+		spec: func(rows, cols int) Spec {
+			return Spec{Seed: 105, Columns: crossClass(5, 3, 5, 4, 4, 3, 2, 3, 3)}
+		},
+	},
+	{
+		Name: "breast", PaperRows: 699, PaperCols: 11, PaperFDs: 46,
+		DefaultRows: 699, DefaultCols: 11,
+		Incomplete: true,
+		spec: func(rows, cols int) Spec {
+			return Spec{Seed: 106, Columns: []Column{
+				dirtyKey(0.08),
+				zipf(10), zipf(10), zipf(10), zipf(10), zipf(10),
+				Column{Kind: Zipf, Card: 10, NullRate: 0.02}, zipf(10), zipf(10), zipf(9),
+				derivedNoise(2, 0.05, 1, 2, 3),
+			}}
+		},
+	},
+	{
+		Name: "bridges", PaperRows: 108, PaperCols: 13, PaperFDs: 142,
+		DefaultRows: 108, DefaultCols: 13,
+		Incomplete: true,
+		spec: func(rows, cols int) Spec {
+			return Spec{Seed: 107, Columns: []Column{
+				key(), zipf(7), zipf(52), zipf(4), catNull(4, 0.02), cat(2),
+				catNull(2, 0.15), zipf(3), catNull(2, 0.2), zipf(3),
+				catNull(2, 0.25), zipf(4), catNull(3, 0.05),
+			}}
+		},
+	},
+	{
+		Name: "echo", PaperRows: 132, PaperCols: 13, PaperFDs: 527,
+		DefaultRows: 132, DefaultCols: 13,
+		Incomplete: true,
+		spec: func(rows, cols int) Spec {
+			return Spec{Seed: 108, Columns: []Column{
+				cat(2), cat(3), catNull(70, 0.05), cat(30), catNull(20, 0.1),
+				cat(25), cat(2), catNull(10, 0.08), cat(2), cat(3),
+				catNull(2, 0.15), cat(2), cat(3),
+			}}
+		},
+	},
+	{
+		Name: "adult", PaperRows: 48842, PaperCols: 14, PaperFDs: 78,
+		DefaultRows: 8000, DefaultCols: 14,
+		spec: func(rows, cols int) Spec {
+			return Spec{Seed: 109, Columns: []Column{
+				zipf(74), zipf(9), zipf(rows / 2), zipf(16), zipf(16), zipf(7), zipf(15),
+				zipf(6), zipf(5), cat(2), zipf(123), zipf(99), zipf(96), zipf(42),
+			}}
+		},
+	},
+	{
+		Name: "letter", PaperRows: 20000, PaperCols: 17, PaperFDs: 61,
+		DefaultRows: 20000, DefaultCols: 17,
+		spec: func(rows, cols int) Spec {
+			cs := make([]Column, 16)
+			for i := range cs {
+				cs[i] = Column{Kind: Zipf, Card: 16, Skew: 1.55}
+			}
+			return Spec{Seed: 110, Columns: append(cs, Column{Kind: Zipf, Card: 26, Skew: 1.6})}
+		},
+	},
+	{
+		Name: "ncvoter", PaperRows: 1000, PaperCols: 19, PaperFDs: 758,
+		DefaultRows: 1000, DefaultCols: 19,
+		Incomplete: true,
+		spec: func(rows, cols int) Spec {
+			cs := []Column{
+				dirtyKey(0.002), // σ4: near-key
+				zipf(260),
+				zipf(300),
+				catNull(5, 0.93), // σ3: mostly null
+				cat(2),
+				cat(80),
+				derivedNoise(90, 0.03, 5), // σ2: city ~ f(zip)
+				constant(),                // σ1
+				dirtyKey(0.02),
+				cat(78),
+				catNull(40, 0.15),
+				dirtyKey(0.01),
+				cat(400),
+				constant(),
+				derivedNoise(60, 0.05, 5), // county ~ f(zip)
+				catNull(12, 0.4),
+				catNull(30, 0.35),
+				cat(9),
+				derivedNoise(25, 0.04, 6), // district ~ f(city)
+			}
+			names := []string{
+				"voter_id", "first_name", "last_name", "name_suffix", "gender",
+				"zip_code", "city", "state", "street_address", "age", "party",
+				"full_phone_num", "register_date", "download_month", "county",
+				"ethnicity", "birth_place", "precinct", "district",
+			}
+			for i := range cs {
+				cs[i].Name = names[i]
+			}
+			return Spec{Seed: 111, Columns: cs}
+		},
+	},
+	{
+		Name: "hepatitis", PaperRows: 155, PaperCols: 20, PaperFDs: 8250,
+		DefaultRows: 155, DefaultCols: 20,
+		Incomplete: true,
+		spec: func(rows, cols int) Spec {
+			cs := []Column{cat(2), zipf(50)}
+			for i := 2; i < 14; i++ {
+				cs = append(cs, Column{Kind: Zipf, Card: 2, Skew: 2.6, NullRate: 0.06})
+			}
+			cs = append(cs, catNull(30, 0.04), catNull(40, 0.18),
+				catNull(30, 0.1), catNull(50, 0.45), catNull(20, 0.4), cat(2))
+			return Spec{Seed: 112, Columns: cs}
+		},
+	},
+	{
+		Name: "horse", PaperRows: 368, PaperCols: 29, PaperFDs: 128727,
+		DefaultRows: 368, DefaultCols: 20,
+		Incomplete: true,
+		spec: func(rows, cols int) Spec {
+			cs := []Column{cat(2), cat(2), dirtyKey(0.05)}
+			cards := []int{40, 50, 30, 5, 4, 6, 5, 2, 5, 4, 4, 5, 3, 5, 5, 4, 50, 40, 3, 3, 60, 4, 2, 2, 3, 2}
+			for i := 0; i < 26; i++ {
+				cs = append(cs, Column{Kind: Zipf, Card: cards[i%len(cards)], NullRate: 0.18})
+			}
+			return Spec{Seed: 113, Columns: cs}
+		},
+	},
+	{
+		Name: "plista", PaperRows: 1000, PaperCols: 63, PaperFDs: 178152,
+		DefaultRows: 600, DefaultCols: 26,
+		Incomplete: true,
+		spec: func(rows, cols int) Spec {
+			// The real plista log mixes constants, skewed flags, wide ids
+			// and fields replicated from the session (column 1); its large
+			// cover comes from shallow FDs among correlated columns.
+			cs := make([]Column, 0, 63)
+			cs = append(cs, constant(), zipf(rows/3))
+			for i := 2; i < 63; i++ {
+				switch i % 7 {
+				case 0:
+					cs = append(cs, constant())
+				case 1:
+					cs = append(cs, Column{Kind: Derived, Deps: []int{1},
+						Card: 2, Noise: 0.05, NullRate: 0.3})
+				case 2:
+					cs = append(cs, Column{Kind: Derived, Deps: []int{1},
+						Card: 30, Noise: 0.03})
+				case 3:
+					cs = append(cs, catNull(5, 0.3))
+				case 4:
+					cs = append(cs, zipf(rows/4))
+				case 5:
+					cs = append(cs, Column{Kind: Derived, Deps: []int{i - 1},
+						Card: 40, Noise: 0.02})
+				default:
+					cs = append(cs, Column{Kind: Derived, Deps: []int{1},
+						Card: 3, Noise: 0.08})
+				}
+			}
+			return Spec{Seed: 114, Columns: cs}
+		},
+	},
+	{
+		Name: "flight", PaperRows: 1000, PaperCols: 109, PaperFDs: 982631,
+		DefaultRows: 500, DefaultCols: 22,
+		Incomplete: true,
+		spec: func(rows, cols int) Spec {
+			// Real flight concatenates several data sources reporting the
+			// same attributes, so most columns are noisy replicas of a few
+			// sources — shallow, massively redundant FDs with many nulls
+			// (it is the most null-ridden set of Table IV).
+			cs := make([]Column, 0, 109)
+			for i := 0; i < 109; i++ {
+				switch i % 9 {
+				case 0:
+					cs = append(cs, zipf(60)) // a fresh source column
+				case 1, 2:
+					cs = append(cs, Column{Kind: Derived, Deps: []int{i - i%9},
+						Card: 60, Noise: 0.03, NullRate: 0.5})
+				case 3:
+					cs = append(cs, Column{Kind: Zipf, Card: 12, NullRate: 0.5})
+				case 4:
+					cs = append(cs, zipf(rows/4))
+				case 5:
+					cs = append(cs, Column{Kind: Derived, Deps: []int{i - 1},
+						Card: 30, Noise: 0.05})
+				case 6:
+					cs = append(cs, constant())
+				default:
+					cs = append(cs, Column{Kind: Zipf, Card: 4, Skew: 2.0, NullRate: 0.5})
+				}
+			}
+			return Spec{Seed: 115, Columns: cs}
+		},
+	},
+	{
+		Name: "fd-reduced", PaperRows: 250000, PaperCols: 30, PaperFDs: 89571,
+		DefaultRows: 15000, DefaultCols: 30,
+		spec: func(rows, cols int) Spec {
+			// The synthetic FDGen set: every FD has a 3-attribute LHS —
+			// TANE's best case. Base columns plus functions of base triples.
+			cs := make([]Column, 0, 30)
+			for i := 0; i < 12; i++ {
+				cs = append(cs, cat(24))
+			}
+			triples := [][]int{
+				{0, 1, 2}, {1, 2, 3}, {2, 3, 4}, {3, 4, 5}, {4, 5, 6},
+				{5, 6, 7}, {6, 7, 8}, {7, 8, 9}, {8, 9, 10}, {9, 10, 11},
+				{0, 4, 8}, {1, 5, 9}, {2, 6, 10}, {3, 7, 11}, {0, 5, 10},
+				{1, 6, 11}, {2, 7, 0}, {3, 8, 1},
+			}
+			for _, tr := range triples {
+				cs = append(cs, derived(rows, tr...))
+			}
+			return Spec{Seed: 116, Columns: cs}
+		},
+	},
+	{
+		Name: "weather", PaperRows: 262920, PaperCols: 18, PaperFDs: 918,
+		DefaultRows: 20000, DefaultCols: 18,
+		spec: func(rows, cols int) Spec {
+			// Real measurement columns are strongly correlated (they all
+			// reflect the same weather), which is what keeps accidental
+			// multi-column keys — and hence spurious FDs — rare even in row
+			// fragments. Column 6 is the latent "conditions" factor the
+			// measurements follow with per-column noise.
+			return Spec{Seed: 117, Columns: []Column{
+				cat(60),                    // station
+				cat(rows / 4),              // observation timestamp, near-key
+				derived(60, 0),             // latitude  = f(station)
+				derived(60, 0),             // longitude = f(station)
+				derived(40, 0),             // elevation = f(station)
+				derived(12, 0),             // state     = f(station)
+				cat(400),                   // latent conditions factor
+				derivedNoise(300, 0.10, 6), // temperature
+				derivedNoise(300, 0.15, 6), // dewpoint
+				derivedNoise(110, 0.12, 6), // humidity
+				derivedNoise(300, 0.10, 6), // pressure
+				derivedNoise(36, 0.20, 6),  // wind
+				derivedNoise(10, 0.25, 6),  // sky cover
+				derivedNoise(12, 0.02, 1),  // month = f(timestamp)
+				derivedNoise(31, 0.02, 1),  // day
+				derivedNoise(24, 0.02, 1),  // hour
+				dirtyKey(0.01),             // observation id
+				zipf(100),                  // remarks
+			}}
+		},
+	},
+	{
+		Name: "diabetic", PaperRows: 101766, PaperCols: 30, PaperFDs: 40195,
+		DefaultRows: 4000, DefaultCols: 30,
+		Incomplete: true,
+		spec: func(rows, cols int) Spec {
+			// Medication and diagnosis columns follow the patient (column
+			// 1, a near-key): re-admitted patients keep their regime. That
+			// anchors column correlation to a high-cardinality column, so
+			// pairs agreeing on several flags are mostly same-patient pairs
+			// — the structure that keeps the real data's cover shallow.
+			cs := []Column{
+				dirtyKey(0.001),          // encounter id
+				cat(rows * 7 / 10),       // patient id
+				catNull(6, 0.02), cat(2), // race, gender
+				derivedNoise(10, 0.05, 1), derivedNoise(9, 0.1, 1), zipf(8),
+				zipf(17), zipf(14),
+				Column{Kind: Derived, Deps: []int{1}, Card: 700, Noise: 0.1, NullRate: 0.4},  // diag_1
+				Column{Kind: Derived, Deps: []int{1}, Card: 700, Noise: 0.2, NullRate: 0.4},  // diag_2
+				Column{Kind: Derived, Deps: []int{1}, Card: 750, Noise: 0.2, NullRate: 0.45}, // diag_3
+			}
+			for i := len(cs); i < 30; i++ {
+				cs = append(cs, Column{Kind: Derived, Deps: []int{1},
+					Card: 2 + i%4, Noise: 0.03})
+			}
+			return Spec{Seed: 118, Columns: cs}
+		},
+	},
+	{
+		Name: "pdbx", PaperRows: 17305799, PaperCols: 13, PaperFDs: 68,
+		DefaultRows: 60000, DefaultCols: 13,
+		spec: func(rows, cols int) Spec {
+			return Spec{Seed: 119, Columns: []Column{
+				constant(),              // group_PDB is ~constant
+				key(),                   // atom serial
+				cat(90), derived(25, 2), // atom name, element = f(name)
+				cat(30), derived(4, 4), // residue, chemical class
+				cat(24),                         // chain
+				cat(9000), cat(9000), cat(9000), // coordinates
+				cat(80), cat(60), // occupancy, b-factor
+				derived(10, 6), // entity = f(chain)
+			}}
+		},
+	},
+	{
+		Name: "lineitem", PaperRows: 6001215, PaperCols: 16, PaperFDs: 3984,
+		DefaultRows: 30000, DefaultCols: 16,
+		spec: func(rows, cols int) Spec {
+			return Spec{Seed: 120, Columns: []Column{
+				cat(rows / 4),       // orderkey
+				cat(rows / 30),      // partkey
+				cat(rows / 300),     // suppkey
+				cat(7),              // linenumber
+				cat(50),             // quantity
+				derived(4000, 1, 4), // extendedprice = f(part, qty)
+				cat(11), cat(9),     // discount, tax
+				cat(3), cat(2), // returnflag, linestatus
+				cat(2526),                   // shipdate
+				derivedNoise(2466, 0.6, 10), // commitdate ~ shipdate
+				cat(2554),                   // receiptdate
+				cat(4), cat(7),              // shipinstruct, shipmode
+				cat(rows / 2), // comment
+			}}
+		},
+	},
+	{
+		Name: "uniprot", PaperRows: 512000, PaperCols: 30, PaperFDs: 3703,
+		DefaultRows: 12000, DefaultCols: 30,
+		Incomplete: true,
+		spec: func(rows, cols int) Spec {
+			// Annotation columns follow the entry name (column 1, a
+			// near-key): the same protein reappears with the same
+			// annotations, anchoring correlation to a wide column.
+			cs := []Column{key(), cat(rows / 2), derived(300, 1)}
+			for i := 3; i < 30; i++ {
+				card := []int{2, 2000, 30, 5, 400, 2, 60}[i%7]
+				nr := 0.0
+				if i%2 == 0 {
+					nr = 0.25
+				}
+				cs = append(cs, Column{Kind: Derived, Deps: []int{1},
+					Card: card, Noise: 0.02, NullRate: nr})
+			}
+			return Spec{Seed: 121, Columns: cs}
+		},
+	},
+}
+
+// All returns the benchmark registry in the paper's Table II order.
+func All() []Benchmark {
+	out := make([]Benchmark, len(all))
+	copy(out, all)
+	return out
+}
+
+// Names returns the benchmark names, sorted.
+func Names() []string {
+	out := make([]string, len(all))
+	for i, b := range all {
+		out[i] = b.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName looks a benchmark up by name.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range all {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("dataset: unknown benchmark %q (known: %v)", name, Names())
+}

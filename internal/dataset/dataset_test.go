@@ -1,0 +1,181 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/brute"
+	"repro/internal/relation"
+)
+
+func TestGenerateShapes(t *testing.T) {
+	spec := Spec{
+		Name: "shape", Rows: 100, Seed: 1,
+		Columns: []Column{
+			{Kind: Constant},
+			{Kind: Key},
+			{Kind: Categorical, Card: 5},
+			{Kind: Zipf, Card: 50},
+			{Kind: Derived, Deps: []int{2, 3}, Card: 30},
+			{Kind: Categorical, Card: 4, NullRate: 0.3},
+		},
+	}
+	r := Generate(spec)
+	if r.NumRows() != 100 || r.NumCols() != 6 {
+		t.Fatalf("dims %dx%d", r.NumRows(), r.NumCols())
+	}
+	if r.Cards[0] != 1 {
+		t.Errorf("constant card = %d", r.Cards[0])
+	}
+	if r.Cards[1] != 100 {
+		t.Errorf("key card = %d", r.Cards[1])
+	}
+	if r.Cards[2] > 5 {
+		t.Errorf("categorical card = %d", r.Cards[2])
+	}
+	if r.Nulls[5] == nil || r.NullCount() == 0 {
+		t.Error("null injection missing")
+	}
+	// Planted FD {2,3} -> 4 must hold.
+	if !brute.HoldsSet(r, bitset.FromAttrs(r.NumCols(), 2, 3), 4) {
+		t.Error("planted FD does not hold")
+	}
+}
+
+func TestDerivedNoiseBreaksFD(t *testing.T) {
+	spec := Spec{
+		Name: "noise", Rows: 500, Seed: 2,
+		Columns: []Column{
+			{Kind: Categorical, Card: 4},
+			{Kind: Categorical, Card: 4},
+			{Kind: Derived, Deps: []int{0, 1}, Card: 1000, Noise: 0.2},
+		},
+	}
+	r := Generate(spec)
+	if brute.Holds(r, 0b011, 2) {
+		t.Error("noisy derived column should break the planted FD")
+	}
+}
+
+func TestKeyDupRate(t *testing.T) {
+	spec := Spec{Name: "k", Rows: 1000, Seed: 3,
+		Columns: []Column{{Kind: Key, DupRate: 0.1}}}
+	r := Generate(spec)
+	if r.Cards[0] >= 1000 || r.Cards[0] < 800 {
+		t.Errorf("dup key card = %d, want ~900", r.Cards[0])
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Spec{Name: "det", Rows: 50, Seed: 7,
+		Columns: []Column{{Kind: Categorical, Card: 5}, {Kind: Zipf, Card: 20}}}
+	a, b := Generate(spec), Generate(spec)
+	for c := range a.Cols {
+		for i := range a.Cols[c] {
+			if a.Cols[c][i] != b.Cols[c][i] {
+				t.Fatal("generation not deterministic")
+			}
+		}
+	}
+}
+
+func TestRandomRelationDims(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := Random(rng, 20, 3, 4)
+	if r.NumRows() != 20 || r.NumCols() != 3 {
+		t.Fatalf("dims %dx%d", r.NumRows(), r.NumCols())
+	}
+	for c := range r.Cols {
+		if r.Cards[c] > 4 {
+			t.Errorf("card %d > 4", r.Cards[c])
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	bs := All()
+	if len(bs) != 21 {
+		t.Fatalf("registry has %d benchmarks, want 21", len(bs))
+	}
+	seen := map[string]bool{}
+	for _, b := range bs {
+		if seen[b.Name] {
+			t.Errorf("duplicate benchmark %q", b.Name)
+		}
+		seen[b.Name] = true
+		if b.PaperRows <= 0 || b.PaperCols <= 0 || b.PaperFDs <= 0 {
+			t.Errorf("%s: missing paper statistics", b.Name)
+		}
+		if b.DefaultRows <= 0 || b.DefaultCols <= 0 {
+			t.Errorf("%s: missing defaults", b.Name)
+		}
+		if b.DefaultCols > b.PaperCols {
+			t.Errorf("%s: default cols exceed paper cols", b.Name)
+		}
+	}
+	if _, err := ByName("ncvoter"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName should fail for unknown names")
+	}
+}
+
+func TestBenchmarksGenerateSmall(t *testing.T) {
+	// Every benchmark must generate at tiny scale without panicking and
+	// with the right dimensions.
+	for _, b := range All() {
+		cols := b.DefaultCols
+		if cols > 10 {
+			cols = 10
+		}
+		r := b.Generate(50, cols)
+		if r.NumRows() != 50 || r.NumCols() != cols {
+			t.Errorf("%s: dims %dx%d want 50x%d", b.Name, r.NumRows(), r.NumCols(), cols)
+		}
+		if b.Incomplete {
+			full := b.Generate(200, b.DefaultCols)
+			if !full.HasNulls() {
+				t.Errorf("%s: flagged incomplete but generated no nulls", b.Name)
+			}
+		}
+	}
+}
+
+func TestColumnTruncationKeepsDerivedDepsValid(t *testing.T) {
+	// Generating fragments (Figures 7-9) truncates columns; derived deps
+	// always point at earlier columns, so truncation must never panic.
+	for _, b := range All() {
+		for cols := 1; cols <= b.PaperCols && cols <= 40; cols += 7 {
+			r := b.Generate(30, cols)
+			if r.NumCols() != cols {
+				t.Errorf("%s cols=%d: got %d", b.Name, cols, r.NumCols())
+			}
+		}
+	}
+}
+
+func TestNCVoterSnippet(t *testing.T) {
+	r := NCVoterSnippet(relation.NullEqNull)
+	if r.NumRows() != 14 || r.NumCols() != 9 {
+		t.Fatalf("snippet dims %dx%d", r.NumRows(), r.NumCols())
+	}
+	// state column is constant 'nc'.
+	if r.Cards[7] != 1 {
+		t.Errorf("state card = %d", r.Cards[7])
+	}
+	// name_suffix is all nulls.
+	ir, ic, miss := r.IncompleteStats()
+	if miss != 14 || ic != 1 || ir != 14 {
+		t.Errorf("incomplete stats = %d,%d,%d", ir, ic, miss)
+	}
+	if r.Value(2, 0) != "cox" {
+		t.Errorf("Value(last_name, 0) = %q", r.Value(2, 0))
+	}
+	// Under null≠null the suffix column becomes a key-like column.
+	rn := NCVoterSnippet(relation.NullNeqNull)
+	if rn.Cards[3] != 14 {
+		t.Errorf("null≠null suffix card = %d, want 14", rn.Cards[3])
+	}
+}

@@ -1,0 +1,41 @@
+package dataset
+
+import "repro/internal/relation"
+
+// NCVoterColumns are the column names of the Table I snippet.
+var NCVoterColumns = []string{
+	"voter_id", "first_name", "last_name", "name_suffix", "gender",
+	"street_address", "city", "state", "zip_code",
+}
+
+// ncvoterSnippetRows is the 14-row snippet of the ncvoter benchmark shown
+// in Table I of the paper. The name_suffix column is entirely missing.
+var ncvoterSnippetRows = [][]string{
+	{"131", "joseph", "cox", "", "m", "1108 highland ave", "new bern", "nc", "28562"},
+	{"131", "joseph", "cox", "", "m", "9 casey rd", "new bern", "nc", "28562"},
+	{"657", "essie", "warren", "", "f", "105 south st", "lasker", "nc", "27845"},
+	{"725", "lila", "morris", "", "f", "500 w jefferson st", "jackson", "nc", "27845"},
+	{"244", "sallie", "futrell", "", "f", "9802 us hwy 258", "murfreesboro", "nc", "27855"},
+	{"247", "herbert", "futrell", "", "m", "9802 us hwy 258", "murfreesboro", "nc", "27855"},
+	{"440", "barbara", "johnson", "", "f", "6155 kimesville rd", "liberty", "nc", "27298"},
+	{"464", "albert", "johnson", "", "m", "6155 kimesville rd", "liberty", "nc", "27298"},
+	{"265", "w", "johnson", "", "m", "11957 us hwy 158", "conway", "nc", "27820"},
+	{"272", "clyde", "johnson", "", "m", "8944 us hwy 158", "conway", "nc", "27820"},
+	{"26", "louise", "johnson", "", "f", "113 gentry st #20", "wilkesboro", "nc", "28659"},
+	{"42", "walter", "johnson", "", "m", "169 otis brown dr", "wilkesboro", "nc", "28659"},
+	{"604", "christine", "davenport", "", "f", "1710 matthews rd", "robersonville", "nc", "27871"},
+	{"751", "christine", "hurst", "", "f", "106 w purvis st", "robersonville", "nc", "27871"},
+}
+
+// NCVoterSnippet returns the Table I snippet encoded under the given null
+// semantics, with dictionaries retained for readable output.
+func NCVoterSnippet(sem relation.NullSemantics) *relation.Relation {
+	r, err := relation.FromRows(NCVoterColumns, ncvoterSnippetRows, relation.Options{
+		Semantics: sem,
+		KeepDicts: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

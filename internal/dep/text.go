@@ -1,0 +1,97 @@
+package dep
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/bitset"
+)
+
+// WriteCover writes FDs one per line in the human/parse-friendly form
+// "a, b -> c, d" using the given column names ("∅ -> x" for empty LHSs).
+// The format round-trips through ReadCover.
+func WriteCover(w io.Writer, fds []FD, names []string) error {
+	for _, f := range fds {
+		if _, err := fmt.Fprintln(w, f.Format(names)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadCover parses the WriteCover format. Column names are resolved
+// case-sensitively against names; blank lines and lines starting with '#'
+// are skipped.
+func ReadCover(r io.Reader, names []string) ([]FD, error) {
+	index := make(map[string]int, len(names))
+	for i, n := range names {
+		index[n] = i
+	}
+	width := len(names)
+
+	var out []FD
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f, err := ParseFD(line, index, width)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out = append(out, f)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ParseFD parses a single "a, b -> c" line given a name→index mapping.
+func ParseFD(line string, index map[string]int, width int) (FD, error) {
+	parts := strings.SplitN(line, "->", 2)
+	if len(parts) != 2 {
+		return FD{}, fmt.Errorf("dep: missing \"->\" in %q", line)
+	}
+	lhs, err := parseSide(parts[0], index, width, true)
+	if err != nil {
+		return FD{}, err
+	}
+	rhs, err := parseSide(parts[1], index, width, false)
+	if err != nil {
+		return FD{}, err
+	}
+	if rhs.IsEmpty() {
+		return FD{}, fmt.Errorf("dep: empty RHS in %q", line)
+	}
+	return FD{LHS: lhs, RHS: rhs}, nil
+}
+
+func parseSide(s string, index map[string]int, width int, allowEmpty bool) (bitset.Set, error) {
+	set := bitset.New(width)
+	s = strings.TrimSpace(s)
+	if s == "" || s == "∅" || s == "{}" {
+		if allowEmpty {
+			return set, nil
+		}
+		return set, fmt.Errorf("dep: empty attribute list")
+	}
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		i, ok := index[tok]
+		if !ok {
+			return set, fmt.Errorf("dep: unknown column %q", tok)
+		}
+		set.Add(i)
+	}
+	return set, nil
+}

@@ -1,0 +1,70 @@
+package dep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+func TestCoverRoundTrip(t *testing.T) {
+	names := []string{"id", "city", "zip", "state"}
+	fds := []FD{
+		{LHS: bitset.New(4), RHS: bitset.FromAttrs(4, 3)},
+		{LHS: bitset.FromAttrs(4, 2), RHS: bitset.FromAttrs(4, 1)},
+		{LHS: bitset.FromAttrs(4, 0), RHS: bitset.FromAttrs(4, 1, 2)},
+	}
+	var buf bytes.Buffer
+	if err := WriteCover(&buf, fds, names); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCover(&buf, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(fds, got) {
+		t.Fatalf("round trip:\nin:  %v\nout: %v", fds, got)
+	}
+}
+
+func TestReadCoverCommentsAndBlanks(t *testing.T) {
+	names := []string{"a", "b"}
+	in := "# cover of toy data\n\na -> b\n"
+	got, err := ReadCover(strings.NewReader(in), names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !got[0].LHS.Equal(bitset.FromAttrs(2, 0)) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestReadCoverErrors(t *testing.T) {
+	names := []string{"a", "b"}
+	cases := []string{
+		"a, b",      // no arrow
+		"a -> nope", // unknown column
+		"a -> ",     // empty RHS
+		"a -> ∅",    // empty RHS via symbol
+	}
+	for _, in := range cases {
+		if _, err := ReadCover(strings.NewReader(in), names); err == nil {
+			t.Errorf("input %q should fail", in)
+		}
+	}
+}
+
+func TestParseEmptyLHSVariants(t *testing.T) {
+	index := map[string]int{"a": 0, "b": 1}
+	for _, in := range []string{"∅ -> a", "{} -> a", " -> a"} {
+		f, err := ParseFD(in, index, 2)
+		if err != nil {
+			t.Errorf("%q: %v", in, err)
+			continue
+		}
+		if f.LHS.Count() != 0 || !f.RHS.Contains(0) {
+			t.Errorf("%q parsed as %v", in, f)
+		}
+	}
+}

@@ -1,0 +1,323 @@
+// Package dfd implements DFD (Abedjan, Schulze and Naumann, CIKM 2014),
+// the random-walk lattice algorithm the paper's related work cites among
+// the column-based approaches.
+//
+// For each RHS attribute A, DFD walks the lattice of candidate LHSs over
+// R−{A}: from a dependency it descends toward minimality, from a
+// non-dependency it ascends toward maximality, pruning with the two
+// classification rules (supersets of dependencies are dependencies,
+// subsets of non-dependencies are non-dependencies). When a walk strands,
+// new seeds are computed as minimal hitting sets of the complements of the
+// maximal non-dependencies found so far — the unexplored gap between the
+// known borders. Validity of X → A is decided by the partition error test
+// e(X) = e(XA).
+//
+// The package is an extension beyond the paper's evaluated baselines; the
+// integration suite cross-checks it against all of them.
+package dfd
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/dep"
+	"repro/internal/partition"
+	"repro/internal/relation"
+)
+
+// Discover returns the left-reduced cover (singleton RHSs) of the FDs
+// holding on r.
+func Discover(r *relation.Relation) []dep.FD {
+	fds, _ := DiscoverCtx(context.Background(), r)
+	return fds
+}
+
+// DiscoverCtx is Discover with cooperative cancellation.
+func DiscoverCtx(ctx context.Context, r *relation.Relation) ([]dep.FD, error) {
+	n := r.NumCols()
+	var out []dep.FD
+	d := &dfd{
+		r:    r,
+		n:    n,
+		errs: map[string]int{},
+		rng:  rand.New(rand.NewSource(0x0dfd)),
+	}
+	for a := 0; a < n; a++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		minDeps, err := d.minimalLHSs(ctx, a)
+		if err != nil {
+			return nil, err
+		}
+		rhs := bitset.New(n)
+		rhs.Add(a)
+		for _, x := range minDeps {
+			out = append(out, dep.FD{LHS: x, RHS: rhs.Clone()})
+		}
+	}
+	dep.Sort(out)
+	return out, nil
+}
+
+type dfd struct {
+	r    *relation.Relation
+	n    int
+	errs map[string]int // partition error cache, keyed by attribute set
+	rng  *rand.Rand
+}
+
+// errorOf returns e(X) = ‖π_X‖ − |π_X|, cached.
+func (d *dfd) errorOf(x bitset.Set) int {
+	k := x.Key()
+	if e, ok := d.errs[k]; ok {
+		return e
+	}
+	p := partition.ForAttrs(x, d.r.Cols, d.r.Cards)
+	e := p.Error()
+	d.errs[k] = e
+	return e
+}
+
+// holdsRaw decides X → a by the TANE error test.
+func (d *dfd) holdsRaw(x bitset.Set, a int) bool {
+	xa := x.Clone()
+	xa.Add(a)
+	return d.errorOf(x) == d.errorOf(xa)
+}
+
+// walkState tracks the classification borders for one RHS attribute.
+type walkState struct {
+	a          int
+	minDeps    []bitset.Set
+	maxNonDeps []bitset.Set
+	verdict    map[string]bool // computed validity, by LHS key
+}
+
+// classified reports whether x is already decided by the borders.
+func (w *walkState) classified(x bitset.Set) (isDep, known bool) {
+	for _, m := range w.minDeps {
+		if m.IsSubsetOf(x) {
+			return true, true
+		}
+	}
+	for _, nd := range w.maxNonDeps {
+		if x.IsSubsetOf(nd) {
+			return false, true
+		}
+	}
+	return false, false
+}
+
+// holds decides X → a, consulting borders and the verdict cache first.
+func (d *dfd) holds(w *walkState, x bitset.Set) bool {
+	if isDep, known := w.classified(x); known {
+		return isDep
+	}
+	k := x.Key()
+	if v, ok := w.verdict[k]; ok {
+		return v
+	}
+	v := d.holdsRaw(x, w.a)
+	w.verdict[k] = v
+	return v
+}
+
+// minimalLHSs finds all minimal X with X → a.
+func (d *dfd) minimalLHSs(ctx context.Context, a int) ([]bitset.Set, error) {
+	w := &walkState{a: a, verdict: map[string]bool{}}
+
+	full := bitset.Full(d.n)
+	full.Remove(a)
+
+	// ∅ → a (constant column) short-circuits everything.
+	if d.holds(w, bitset.New(d.n)) {
+		return []bitset.Set{bitset.New(d.n)}, nil
+	}
+	// If even R−{a} does not determine a, there are no FDs with RHS a.
+	if !d.holds(w, full) {
+		return nil, nil
+	}
+
+	seeds := make([]bitset.Set, 0, d.n)
+	for b := 0; b < d.n; b++ {
+		if b != a {
+			seeds = append(seeds, bitset.FromAttrs(d.n, b))
+		}
+	}
+	for len(seeds) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Random walk from a random seed. Seeds classified since they were
+		// computed are skipped: a walk from inside the known borders would
+		// strand on an already-recorded border node and make no progress.
+		i := d.rng.Intn(len(seeds))
+		node := seeds[i]
+		seeds = append(seeds[:i], seeds[i+1:]...)
+		if _, known := w.classified(node); !known {
+			d.walk(ctx, w, node, full)
+		}
+
+		if len(seeds) == 0 {
+			var err error
+			seeds, err = d.nextSeeds(ctx, w, full)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	sort.Slice(w.minDeps, func(i, j int) bool { return bitset.CompareLex(w.minDeps[i], w.minDeps[j]) < 0 })
+	return w.minDeps, nil
+}
+
+// walk performs one random walk from node until it strands on a recorded
+// minimal dependency or maximal non-dependency.
+func (d *dfd) walk(ctx context.Context, w *walkState, node bitset.Set, full bitset.Set) {
+	for steps := 0; steps < 4*d.n*d.n+64; steps++ {
+		if ctx.Err() != nil {
+			return
+		}
+		if d.holds(w, node) {
+			// Dependency: find an unpruned child that still holds.
+			next, minimal := d.descend(w, node)
+			if minimal {
+				d.recordMinDep(w, node)
+				return
+			}
+			node = next
+		} else {
+			next, maximal := d.ascend(w, node, full)
+			if maximal {
+				d.recordMaxNonDep(w, node)
+				return
+			}
+			node = next
+		}
+	}
+}
+
+// descend looks for a child (one attribute removed) that is still a
+// dependency; when none is, node is a minimal dependency.
+func (d *dfd) descend(w *walkState, node bitset.Set) (bitset.Set, bool) {
+	attrs := node.Attrs()
+	d.rng.Shuffle(len(attrs), func(i, j int) { attrs[i], attrs[j] = attrs[j], attrs[i] })
+	for _, b := range attrs {
+		child := node.Clone()
+		child.Remove(b)
+		if d.holds(w, child) {
+			return child, false
+		}
+	}
+	return nil, true
+}
+
+// ascend looks for a parent (one attribute added) that is still a
+// non-dependency; when none is, node is a maximal non-dependency.
+func (d *dfd) ascend(w *walkState, node bitset.Set, full bitset.Set) (bitset.Set, bool) {
+	candidates := full.Difference(node).Attrs()
+	d.rng.Shuffle(len(candidates), func(i, j int) { candidates[i], candidates[j] = candidates[j], candidates[i] })
+	for _, b := range candidates {
+		parent := node.Clone()
+		parent.Add(b)
+		if !d.holds(w, parent) {
+			return parent, false
+		}
+	}
+	return nil, true
+}
+
+func (d *dfd) recordMinDep(w *walkState, node bitset.Set) {
+	for _, m := range w.minDeps {
+		if m.Equal(node) {
+			return
+		}
+	}
+	w.minDeps = append(w.minDeps, node.Clone())
+}
+
+func (d *dfd) recordMaxNonDep(w *walkState, node bitset.Set) {
+	for _, m := range w.maxNonDeps {
+		if m.Equal(node) {
+			return
+		}
+	}
+	w.maxNonDeps = append(w.maxNonDeps, node.Clone())
+}
+
+// nextSeeds finds nodes not yet classified by the borders: minimal hitting
+// sets of the complements of the maximal non-dependencies that do not
+// contain a known minimal dependency. An empty result proves the lattice
+// fully classified (every node is below some max non-dep or above some
+// min dep), terminating the search for this attribute.
+func (d *dfd) nextSeeds(ctx context.Context, w *walkState, full bitset.Set) ([]bitset.Set, error) {
+	// Complements of max non-deps within full.
+	var comps []bitset.Set
+	for _, nd := range w.maxNonDeps {
+		comps = append(comps, full.Difference(nd))
+	}
+	var seeds []bitset.Set
+	e := &hitEnum{ctx: ctx, n: d.n}
+	e.enumerate(comps, bitset.New(d.n), full.Attrs(), 0)
+	if e.err != nil {
+		return nil, e.err
+	}
+	for _, h := range e.hits {
+		// A hitting set above or equal to a known minimal dependency is
+		// already classified; everything else is genuinely unexplored.
+		if dep, known := w.classified(h); !known || !dep {
+			seeds = append(seeds, h)
+		}
+	}
+	return seeds, nil
+}
+
+// hitEnum enumerates minimal hitting sets of comps over the given attrs.
+type hitEnum struct {
+	ctx   context.Context
+	n     int
+	hits  []bitset.Set
+	steps int
+	err   error
+}
+
+func (e *hitEnum) enumerate(remaining []bitset.Set, x bitset.Set, attrs []int, from int) {
+	if e.err != nil {
+		return
+	}
+	if e.steps++; e.steps%1024 == 0 {
+		if err := e.ctx.Err(); err != nil {
+			e.err = err
+			return
+		}
+	}
+	if len(remaining) == 0 {
+		for _, h := range e.hits {
+			if h.IsSubsetOf(x) {
+				return
+			}
+		}
+		e.hits = append(e.hits, x.Clone())
+		return
+	}
+	// Branch on the attributes of the first uncovered complement set: any
+	// hitting set must include one of them (standard HS enumeration, which
+	// visits every minimal hitting set).
+	first := remaining[0]
+	for b := first.Next(0); b >= 0; b = first.Next(b + 1) {
+		if x.Contains(b) {
+			continue
+		}
+		rest := remaining[:0:0]
+		for _, c := range remaining {
+			if !c.Contains(b) {
+				rest = append(rest, c)
+			}
+		}
+		x.Add(b)
+		e.enumerate(rest, x, attrs, from)
+		x.Remove(b)
+	}
+}

@@ -1,0 +1,91 @@
+package fdtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+func benchNonFDs(n, k int, seed int64) []bitset.Set {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]bitset.Set, k)
+	for i := range out {
+		s := bitset.New(n)
+		for a := 0; a < n; a++ {
+			if rng.Intn(3) != 0 {
+				s.Add(a)
+			}
+		}
+		if s.Count() == n {
+			s.Remove(rng.Intn(n))
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// BenchmarkSynergizedInduction measures the paper's induction on extended
+// trees; BenchmarkClassicInduction the per-attribute induction on classic
+// trees it replaces. Together they are the micro version of the FDEP vs
+// FDEP2 comparison.
+func BenchmarkSynergizedInduction(b *testing.B) {
+	const n = 14
+	nonFDs := benchNonFDs(n, 150, 1)
+	full := bitset.Full(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := NewWithFullRHS(n)
+		for _, x := range nonFDs {
+			tr.Induct(x, full.Difference(x))
+		}
+	}
+}
+
+func BenchmarkClassicInduction(b *testing.B) {
+	const n = 14
+	nonFDs := benchNonFDs(n, 150, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := NewClassicWithFullRHS(n)
+		for _, x := range nonFDs {
+			for a := 0; a < n; a++ {
+				if !x.Contains(a) {
+					tr.SpecializeClassic(x, a)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkCoveredRHS(b *testing.B) {
+	const n = 14
+	tr := NewWithFullRHS(n)
+	full := bitset.Full(n)
+	for _, x := range benchNonFDs(n, 100, 2) {
+		tr.Induct(x, full.Difference(x))
+	}
+	lhs := bitset.FromAttrs(n, 0, 3, 5, 7, 9)
+	cand := bitset.FromAttrs(n, 1, 2, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.CoveredRHS(lhs, cand)
+	}
+}
+
+func BenchmarkNodesAtLevel(b *testing.B) {
+	const n = 14
+	tr := NewWithFullRHS(n)
+	full := bitset.Full(n)
+	for _, x := range benchNonFDs(n, 200, 3) {
+		tr.Induct(x, full.Difference(x))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.NodesAtLevel(4)
+	}
+}

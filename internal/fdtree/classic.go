@@ -1,0 +1,182 @@
+package fdtree
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/dep"
+)
+
+// ClassicTree is the FD-tree of Flach and Savnik as used by FDEP: every
+// node carries RHS labels not only for the FDs it represents itself but
+// also for the FDs of all its descendants. The labels prune generalization
+// searches but require maintenance on every insertion, the overhead the
+// paper's extended FD-tree eliminates.
+//
+// Labels are maintained additively only: deletions leave stale label bits
+// behind, which over-approximate the subtree contents. Stale labels cause
+// extra traversal but never wrong answers, because FD membership is decided
+// by the exact per-node fds sets.
+type ClassicTree struct {
+	root     *classicNode
+	numAttrs int
+	words    int
+	count    int
+}
+
+type classicNode struct {
+	attr     int
+	fds      bitset.Set // FDs terminating exactly here
+	labels   bitset.Set // union of fds over the subtree (over-approximate)
+	children []*classicNode
+}
+
+func (n *classicNode) child(attr int) *classicNode {
+	for _, c := range n.children {
+		if c.attr == attr {
+			return c
+		}
+		if c.attr > attr {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (n *classicNode) insertChild(c *classicNode) {
+	i := 0
+	for i < len(n.children) && n.children[i].attr < c.attr {
+		i++
+	}
+	n.children = append(n.children, nil)
+	copy(n.children[i+1:], n.children[i:])
+	n.children[i] = c
+}
+
+// NewClassic returns an empty classic FD-tree.
+func NewClassic(numAttrs int) *ClassicTree {
+	w := bitset.WordsFor(numAttrs)
+	return &ClassicTree{
+		root:     &classicNode{attr: -1, fds: make(bitset.Set, w), labels: make(bitset.Set, w)},
+		numAttrs: numAttrs,
+		words:    w,
+	}
+}
+
+// NewClassicWithFullRHS returns a classic tree holding ∅ → R.
+func NewClassicWithFullRHS(numAttrs int) *ClassicTree {
+	t := NewClassic(numAttrs)
+	full := bitset.Full(numAttrs)
+	t.root.fds.UnionWith(full)
+	t.root.labels.UnionWith(full)
+	t.count = numAttrs
+	return t
+}
+
+// CountFDs returns the number of FDs in the tree.
+func (t *ClassicTree) CountFDs() int { return t.count }
+
+// Add inserts lhs → a, labelling every node along the path.
+func (t *ClassicTree) Add(lhs bitset.Set, a int) {
+	cur := t.root
+	cur.labels.Add(a)
+	for attr := lhs.Next(0); attr >= 0; attr = lhs.Next(attr + 1) {
+		next := cur.child(attr)
+		if next == nil {
+			next = &classicNode{attr: attr, fds: make(bitset.Set, t.words), labels: make(bitset.Set, t.words)}
+			cur.insertChild(next)
+		}
+		next.labels.Add(a)
+		cur = next
+	}
+	if !cur.fds.Contains(a) {
+		cur.fds.Add(a)
+		t.count++
+	}
+}
+
+// ContainsGeneralization reports whether some FD Z → a with Z ⊆ lhs exists.
+func (t *ClassicTree) ContainsGeneralization(lhs bitset.Set, a int) bool {
+	return t.containsGenRec(t.root, lhs.Attrs(), 0, a)
+}
+
+func (t *ClassicTree) containsGenRec(cur *classicNode, lhsAttrs []int, i int, a int) bool {
+	if !cur.labels.Contains(a) {
+		return false // label pruning: nothing below mentions a
+	}
+	if cur.fds.Contains(a) {
+		return true
+	}
+	for j := i; j < len(lhsAttrs); j++ {
+		if c := cur.child(lhsAttrs[j]); c != nil {
+			if t.containsGenRec(c, lhsAttrs, j+1, a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RemoveGeneralizations deletes every FD Z → a with Z ⊆ lhs and returns
+// the LHSs removed. Labels are left stale.
+func (t *ClassicTree) RemoveGeneralizations(lhs bitset.Set, a int) []bitset.Set {
+	var removed []bitset.Set
+	path := bitset.New(t.numAttrs)
+	t.removeGenRec(t.root, lhs.Attrs(), 0, a, path, &removed)
+	return removed
+}
+
+func (t *ClassicTree) removeGenRec(cur *classicNode, lhsAttrs []int, i int, a int, path bitset.Set, removed *[]bitset.Set) {
+	if !cur.labels.Contains(a) {
+		return
+	}
+	if cur.fds.Contains(a) {
+		cur.fds.Remove(a)
+		t.count--
+		*removed = append(*removed, path.Clone())
+	}
+	for j := i; j < len(lhsAttrs); j++ {
+		if c := cur.child(lhsAttrs[j]); c != nil {
+			path.Add(c.attr)
+			t.removeGenRec(c, lhsAttrs, j+1, a, path, removed)
+			path.Remove(c.attr)
+		}
+	}
+}
+
+// SpecializeClassic applies the classic per-attribute induction step of
+// FDEP: for the non-FD x ↛ a, every generalization Z → a is removed and
+// replaced by the minimal valid candidates Z ∪ {b} → a for b ∉ x ∪ {a}.
+func (t *ClassicTree) SpecializeClassic(x bitset.Set, a int) {
+	removed := t.RemoveGeneralizations(x, a)
+	for _, z := range removed {
+		lhs := z.Clone()
+		for b := 0; b < t.numAttrs; b++ {
+			if x.Contains(b) || b == a || z.Contains(b) {
+				continue
+			}
+			lhs.Add(b)
+			if !t.ContainsGeneralization(lhs, a) {
+				t.Add(lhs, a)
+			}
+			lhs.Remove(b)
+		}
+	}
+}
+
+// FDs extracts every FD in the tree with set-valued RHSs per LHS.
+func (t *ClassicTree) FDs() []dep.FD {
+	var out []dep.FD
+	path := bitset.New(t.numAttrs)
+	var walk func(n *classicNode)
+	walk = func(n *classicNode) {
+		if !n.fds.IsEmpty() {
+			out = append(out, dep.FD{LHS: path.Clone(), RHS: n.fds.Clone()})
+		}
+		for _, c := range n.children {
+			path.Add(c.attr)
+			walk(c)
+			path.Remove(c.attr)
+		}
+	}
+	walk(t.root)
+	return out
+}

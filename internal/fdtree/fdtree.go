@@ -1,0 +1,549 @@
+// Package fdtree implements the FD-tree data structures FD discovery is
+// built on: the classic FD-tree of Flach and Savnik, and the paper's
+// extended FD-tree with FD-nodes, node ids and synergized induction.
+//
+// An FD-tree represents a set of FDs: the LHS of an FD is a root-to-node
+// path of ascending attributes, and the terminal node carries the RHS
+// attributes. The extended tree stores RHS attributes only at FD-nodes
+// (the paper's Section IV-C), avoiding the classic tree's excessive
+// labelling of every ancestor.
+//
+// The trees maintain the minimality invariant discovery needs: no FD in the
+// tree has a generalization (same RHS attribute, subset LHS) elsewhere in
+// the tree. Synergized induction (Algorithm 2) preserves the invariant by
+// filtering candidate RHSs against existing generalizations and deleting
+// specializations of newly inserted FDs.
+package fdtree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bitset"
+	"repro/internal/dep"
+)
+
+// Node is a node of an extended FD-tree. Exported fields are read by the
+// discovery algorithms; mutation goes through Tree methods.
+type Node struct {
+	// Attr is the attribute this node represents, -1 for the root.
+	Attr int
+	// ID indexes a stripped partition: values in [0, numAttrs) denote the
+	// pre-computed single-attribute partition of that attribute; values
+	// >= numAttrs denote slot ID-numAttrs of the dynamic data manager.
+	ID int
+	// Epoch is the DDM generation ID refers to. The DDM replaces its
+	// partition array whenever the controlled level advances (Algorithm 3);
+	// ids minted for an older array are stale — the situation Example 4 of
+	// the paper calls an inconsistent id — and are ignored at lookup time.
+	Epoch int
+	// RHS holds the FD's right-hand side when the node is an FD-node;
+	// empty or nil otherwise.
+	RHS bitset.Set
+
+	parent   *Node
+	children []*Node // sorted ascending by Attr
+	subtree  int     // number of (FD-node, RHS-attribute) pairs at or below
+}
+
+// Parent returns the node's parent, nil for the root.
+func (n *Node) Parent() *Node { return n.parent }
+
+// Children returns the node's children in ascending attribute order. The
+// slice is owned by the node; callers must not modify it.
+func (n *Node) Children() []*Node { return n.children }
+
+// Child returns the child representing attr, or nil.
+func (n *Node) Child(attr int) *Node { return n.child(attr) }
+
+// IsFDNode reports whether the node carries at least one RHS attribute.
+func (n *Node) IsFDNode() bool { return n.RHS != nil && !n.RHS.IsEmpty() }
+
+// RHSCount returns the number of RHS attributes at this node.
+func (n *Node) RHSCount() int {
+	if n.RHS == nil {
+		return 0
+	}
+	return n.RHS.Count()
+}
+
+// SubtreeFDs returns the number of FDs at or below this node.
+func (n *Node) SubtreeFDs() int { return n.subtree }
+
+// HasLiveChildren reports whether any child subtree still contains FDs.
+// A validated node with live children is "reusable" in the paper's sense:
+// its stripped partition can seed the partitions of deeper levels.
+func (n *Node) HasLiveChildren() bool {
+	for _, c := range n.children {
+		if c.subtree > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Path returns the attribute set of the root-to-node path.
+func (n *Node) Path(numAttrs int) bitset.Set {
+	s := bitset.New(numAttrs)
+	for cur := n; cur != nil && cur.Attr >= 0; cur = cur.parent {
+		s.Add(cur.Attr)
+	}
+	return s
+}
+
+// Depth returns the node's depth; the root has depth 0.
+func (n *Node) Depth() int {
+	d := 0
+	for cur := n; cur.parent != nil; cur = cur.parent {
+		d++
+	}
+	return d
+}
+
+func (n *Node) child(attr int) *Node {
+	// Fan-out is usually tiny; a linear scan beats sort.Search's function
+	// call overhead on the hot induction paths.
+	if len(n.children) <= 8 {
+		for _, c := range n.children {
+			if c.Attr == attr {
+				return c
+			}
+			if c.Attr > attr {
+				return nil
+			}
+		}
+		return nil
+	}
+	i := sort.Search(len(n.children), func(i int) bool { return n.children[i].Attr >= attr })
+	if i < len(n.children) && n.children[i].Attr == attr {
+		return n.children[i]
+	}
+	return nil
+}
+
+func (n *Node) insertChild(c *Node) {
+	i := sort.Search(len(n.children), func(i int) bool { return n.children[i].Attr >= c.Attr })
+	n.children = append(n.children, nil)
+	copy(n.children[i+1:], n.children[i:])
+	n.children[i] = c
+}
+
+func (n *Node) maxChildAttr() int {
+	if len(n.children) == 0 {
+		return -1
+	}
+	return n.children[len(n.children)-1].Attr
+}
+
+// Tree is an extended FD-tree over a schema of numAttrs attributes.
+type Tree struct {
+	root     *Node
+	numAttrs int
+	words    int
+	full     bitset.Set
+
+	// ControlledLevel is the paper's cl: new nodes at depth > cl inherit
+	// their parent's id, new nodes at depth <= cl get the default id of
+	// their own attribute. FDEP-style uses of the tree leave it at 0.
+	ControlledLevel int
+
+	// maxFDDepth is a monotone upper bound on the depth of any FD-node
+	// ever inserted. Specialization removal for a new FD at depth d can be
+	// skipped entirely when d >= maxFDDepth: no strictly deeper FD exists.
+	maxFDDepth int
+}
+
+// New returns an extended FD-tree containing no FDs.
+func New(numAttrs int) *Tree {
+	return &Tree{
+		root:     &Node{Attr: -1, ID: -1},
+		numAttrs: numAttrs,
+		words:    bitset.WordsFor(numAttrs),
+		full:     bitset.Full(numAttrs),
+	}
+}
+
+// NewWithFullRHS returns a tree initialized with the single FD ∅ → R, the
+// starting point of induction-based discovery.
+func NewWithFullRHS(numAttrs int) *Tree {
+	t := New(numAttrs)
+	t.root.RHS = bitset.Full(numAttrs)
+	t.bump(t.root, numAttrs)
+	return t
+}
+
+// NumAttrs returns the schema width.
+func (t *Tree) NumAttrs() int { return t.numAttrs }
+
+// Root returns the root node.
+func (t *Tree) Root() *Node { return t.root }
+
+// CountFDs returns the total number of FDs in the tree, counting one per
+// (FD-node, RHS attribute) pair.
+func (t *Tree) CountFDs() int { return t.root.subtree }
+
+func (t *Tree) newRHS() bitset.Set { return make(bitset.Set, t.words) }
+
+// bump adjusts the subtree counters from n up to the root by delta.
+func (t *Tree) bump(n *Node, delta int) {
+	if delta == 0 {
+		return
+	}
+	for cur := n; cur != nil; cur = cur.parent {
+		cur.subtree += delta
+	}
+}
+
+// AddFD inserts lhs → rhs without any minimality filtering, creating the
+// path as needed (Algorithm 1). Most callers want AddMinimalFD instead.
+func (t *Tree) AddFD(lhs, rhs bitset.Set) *Node {
+	node := t.addPath(lhs)
+	if node.RHS == nil {
+		node.RHS = t.newRHS()
+	}
+	before := node.RHS.Count()
+	node.RHS.UnionWith(rhs)
+	t.bump(node, node.RHS.Count()-before)
+	t.noteFDDepth(lhs.Count())
+	return node
+}
+
+// noteFDDepth records that an FD-node exists at the given depth.
+func (t *Tree) noteFDDepth(d int) {
+	if d > t.maxFDDepth {
+		t.maxFDDepth = d
+	}
+}
+
+// addPath walks the path for lhs, creating missing nodes with the id rule
+// of Algorithm 1, and returns the terminal node.
+func (t *Tree) addPath(lhs bitset.Set) *Node {
+	cur := t.root
+	depth := 0
+	for a := lhs.Next(0); a >= 0; a = lhs.Next(a + 1) {
+		depth++
+		next := cur.child(a)
+		if next == nil {
+			next = &Node{Attr: a, parent: cur}
+			if depth > t.ControlledLevel && cur.ID >= t.numAttrs {
+				// Inherit a dynamic id: the parent's partition attributes are
+				// a subset of the parent path and hence of the child path.
+				next.ID, next.Epoch = cur.ID, cur.Epoch
+			} else {
+				next.ID = a // default id: the node's own attribute
+			}
+			cur.insertChild(next)
+		}
+		cur = next
+	}
+	return cur
+}
+
+// RemoveRHS clears one RHS attribute at the given node, maintaining the
+// subtree counters. No-op when the node is nil or lacks the attribute.
+func (t *Tree) RemoveRHS(n *Node, a int) {
+	if n == nil || n.RHS == nil || !n.RHS.Contains(a) {
+		return
+	}
+	n.RHS.Remove(a)
+	t.bump(n, -1)
+}
+
+// AddRHS sets one RHS attribute at the given node, maintaining the subtree
+// counters. No-op when the node is nil or already has the attribute.
+func (t *Tree) AddRHS(n *Node, a int) {
+	if n == nil {
+		return
+	}
+	if n.RHS == nil {
+		n.RHS = t.newRHS()
+	}
+	if n.RHS.Contains(a) {
+		return
+	}
+	n.RHS.Add(a)
+	t.bump(n, 1)
+	t.noteFDDepth(n.Depth())
+}
+
+// AddMinimalFD inserts lhs → rhs while maintaining minimality: RHS
+// attributes already covered by a generalization in the tree are dropped,
+// and specializations of the inserted FDs are removed. It returns the
+// number of FDs actually inserted.
+func (t *Tree) AddMinimalFD(lhs, rhs bitset.Set) int {
+	cand := rhs.Difference(lhs) // non-trivial only
+	if cand.IsEmpty() {
+		return 0
+	}
+	covered := t.CoveredRHS(lhs, cand)
+	cand.DifferenceWith(covered)
+	if cand.IsEmpty() {
+		return 0
+	}
+	if lhs.Count() < t.maxFDDepth {
+		// A specialization needs a strictly longer path; skip the walk
+		// when the tree provably has no FD-node that deep.
+		t.RemoveSpecializations(lhs, cand)
+	}
+	node := t.addPath(lhs)
+	if node.RHS == nil {
+		node.RHS = t.newRHS()
+	}
+	before := node.RHS.Count()
+	node.RHS.UnionWith(cand)
+	added := node.RHS.Count() - before
+	t.bump(node, added)
+	t.noteFDDepth(lhs.Count())
+	return added
+}
+
+// CoveredRHS returns the subset of cand covered by some FD Z → B in the
+// tree with Z ⊆ lhs (Z = lhs included).
+func (t *Tree) CoveredRHS(lhs, cand bitset.Set) bitset.Set {
+	acc := t.newRHS()
+	t.coveredRec(t.root, lhs.Attrs(), 0, cand, acc)
+	return acc
+}
+
+func (t *Tree) coveredRec(cur *Node, lhsAttrs []int, i int, cand, acc bitset.Set) bool {
+	if cur.RHS != nil {
+		acc.UnionIntersection(cur.RHS, cand)
+		if cand.IsSubsetOf(acc) {
+			return true // everything covered; stop early
+		}
+	}
+	for j := i; j < len(lhsAttrs); j++ {
+		a := lhsAttrs[j]
+		if a > cur.maxChildAttr() {
+			return false
+		}
+		if c := cur.child(a); c != nil && c.subtree > 0 {
+			if t.coveredRec(c, lhsAttrs, j+1, cand, acc) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ContainsGeneralization reports whether the tree holds an FD Z → a with
+// Z ⊆ lhs.
+func (t *Tree) ContainsGeneralization(lhs bitset.Set, a int) bool {
+	cand := t.newRHS()
+	cand.Add(a)
+	return t.CoveredRHS(lhs, cand).Contains(a)
+}
+
+// RemoveSpecializations deletes every FD W → B with lhs ⊆ W and B ∈ rhs
+// from the tree (the FD at W = lhs itself included; callers insert the new
+// FD afterwards, so clearing an equal node first is harmless).
+func (t *Tree) RemoveSpecializations(lhs, rhs bitset.Set) {
+	t.removeSpecRec(t.root, lhs.Attrs(), 0, rhs)
+}
+
+func (t *Tree) removeSpecRec(cur *Node, remaining []int, i int, rhs bitset.Set) {
+	if i >= len(remaining) {
+		// Every lhs attribute matched: clear rhs bits in this whole subtree.
+		t.clearSubtree(cur, rhs)
+		return
+	}
+	m := remaining[i]
+	for _, c := range cur.children {
+		if c.Attr > m {
+			break // m can no longer occur below later children
+		}
+		if c.subtree == 0 {
+			continue
+		}
+		if c.Attr == m {
+			t.removeSpecRec(c, remaining, i+1, rhs)
+		} else {
+			t.removeSpecRec(c, remaining, i, rhs)
+		}
+	}
+}
+
+func (t *Tree) clearSubtree(cur *Node, rhs bitset.Set) {
+	if cur.subtree == 0 {
+		return
+	}
+	if cur.RHS != nil && cur.RHS.Intersects(rhs) {
+		before := cur.RHS.Count()
+		cur.RHS.DifferenceWith(rhs)
+		t.bump(cur, cur.RHS.Count()-before)
+	}
+	for _, c := range cur.children {
+		t.clearSubtree(c, rhs)
+	}
+}
+
+// Induct applies the non-FD x ↛ y with synergized induction (Algorithm 2):
+// every FD X' → Y' in the tree with X' ⊆ x and Y' ∩ y ≠ ∅ loses the
+// intersecting RHS attributes, and all non-trivial minimal specializations
+// are inserted. It returns the number of FDs removed.
+func (t *Tree) Induct(x, y bitset.Set) int {
+	removedTotal := 0
+	t.inductRec(t.root, x.Attrs(), 0, x, y, bitset.New(t.numAttrs), &removedTotal)
+	return removedTotal
+}
+
+func (t *Tree) inductRec(cur *Node, xAttrs []int, i int, x, y, path bitset.Set, removedTotal *int) {
+	if cur.RHS != nil && cur.RHS.Intersects(y) {
+		removed := cur.RHS.Intersect(y)
+		n := removed.Count()
+		cur.RHS.DifferenceWith(y)
+		t.bump(cur, -n)
+		*removedTotal += n
+		t.specialize(path, x, removed)
+	}
+	for j := i; j < len(xAttrs); j++ {
+		a := xAttrs[j]
+		if a > cur.maxChildAttr() {
+			return
+		}
+		if c := cur.child(a); c != nil {
+			path.Add(a)
+			t.inductRec(c, xAttrs, j+1, x, y, path, removedTotal)
+			path.Remove(a)
+		}
+	}
+}
+
+// specialize inserts the minimal non-trivial candidates that replace the
+// invalidated FD path → removed, per the two augmentation rules of
+// Algorithm 2.
+func (t *Tree) specialize(path, x, removed bitset.Set) {
+	// Rule 1: extend the LHS with an attribute outside x ∪ removed.
+	outside := t.full.Difference(x)
+	outside.DifferenceWith(removed)
+	lhs := path.Clone()
+	for a := outside.Next(0); a >= 0; a = outside.Next(a + 1) {
+		if path.Contains(a) {
+			continue
+		}
+		lhs.Add(a)
+		t.AddMinimalFD(lhs, removed)
+		lhs.Remove(a)
+	}
+	// Rule 2: move one removed attribute onto the LHS.
+	if removed.Count() > 1 {
+		for a := removed.Next(0); a >= 0; a = removed.Next(a + 1) {
+			lhs.Add(a)
+			rest := removed.Clone()
+			rest.Remove(a)
+			t.AddMinimalFD(lhs, rest)
+			lhs.Remove(a)
+		}
+	}
+}
+
+// NodesAtLevel returns the nodes at the given depth whose subtrees still
+// contain FDs, in depth-first order. Depth 0 is the root.
+func (t *Tree) NodesAtLevel(level int) []*Node {
+	var out []*Node
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		if n.subtree == 0 {
+			return
+		}
+		if depth == level {
+			out = append(out, n)
+			return
+		}
+		for _, c := range n.children {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.root, 0)
+	return out
+}
+
+// MaxLevel returns the deepest level that still contains an FD-node.
+func (t *Tree) MaxLevel() int {
+	maxDepth := 0
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		if n.subtree == 0 {
+			return
+		}
+		if n.IsFDNode() && depth > maxDepth {
+			maxDepth = depth
+		}
+		for _, c := range n.children {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.root, 0)
+	return maxDepth
+}
+
+// FDs extracts every FD in the tree as singleton-free (set-RHS) FDs.
+func (t *Tree) FDs() []dep.FD {
+	var out []dep.FD
+	path := bitset.New(t.numAttrs)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.subtree == 0 {
+			return
+		}
+		if n.IsFDNode() {
+			out = append(out, dep.FD{LHS: path.Clone(), RHS: n.RHS.Clone()})
+		}
+		for _, c := range n.children {
+			path.Add(c.Attr)
+			walk(c)
+			path.Remove(c.Attr)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// PropagateID copies n's id and epoch to every descendant, restoring id
+// consistency after the dynamic data manager refreshed n's partition
+// (Algorithm 3, step 15).
+func PropagateID(n *Node) {
+	for _, c := range n.children {
+		c.ID, c.Epoch = n.ID, n.Epoch
+		PropagateID(c)
+	}
+}
+
+// NodeCount returns the number of live nodes (root excluded).
+func (t *Tree) NodeCount() int {
+	n := 0
+	var walk func(node *Node)
+	walk = func(node *Node) {
+		for _, c := range node.children {
+			if c.subtree > 0 || c.IsFDNode() {
+				n++
+				walk(c)
+			}
+		}
+	}
+	walk(t.root)
+	return n
+}
+
+// String renders the tree for debugging.
+func (t *Tree) String() string {
+	var b strings.Builder
+	var walk func(n *Node, indent string)
+	walk = func(n *Node, indent string) {
+		label := "ROOT"
+		if n.Attr >= 0 {
+			label = fmt.Sprintf("%d(id=%d)", n.Attr, n.ID)
+		}
+		rhs := ""
+		if n.IsFDNode() {
+			rhs = " -> " + n.RHS.String()
+		}
+		fmt.Fprintf(&b, "%s%s%s [sub=%d]\n", indent, label, rhs, n.subtree)
+		for _, c := range n.children {
+			walk(c, indent+"  ")
+		}
+	}
+	walk(t.root, "")
+	return b.String()
+}

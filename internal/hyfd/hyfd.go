@@ -1,0 +1,281 @@
+// Package hyfd implements the hybrid FD discovery algorithm of Papenbrock
+// and Naumann (SIGMOD 2016), the strongest baseline of the paper.
+//
+// HyFD alternates two phases. The sampling phase compares likely-similar
+// tuple pairs — sorted-neighborhood runs over the clusters of the
+// single-attribute partitions, with a per-column efficiency queue that
+// always grows the most productive run — and inducts the resulting non-FDs
+// into an FD-tree. The validation phase checks the tree level by level
+// against the data; when a level invalidates more than a configured
+// fraction of its candidates, control returns to the (cheaper) sampler to
+// prune deeper levels before they are reached.
+//
+// Following the paper (Section V-B), this implementation uses synergized
+// induction on extended FD-trees, which already improves on the published
+// HyFD numbers. Validation always refines the single-attribute partitions
+// from scratch; reusing refinements across levels is exactly what DHyFD's
+// dynamic data manager adds (package core).
+package hyfd
+
+import (
+	"context"
+
+	"repro/internal/bitset"
+	"repro/internal/dep"
+	"repro/internal/fdtree"
+	"repro/internal/partition"
+	"repro/internal/relation"
+	"repro/internal/sampling"
+	"repro/internal/validate"
+)
+
+// Config tunes the phase-switching heuristics.
+type Config struct {
+	// InvalidSwitchRatio: after a validation level, switch to sampling when
+	// invalidated/validated exceeds this fraction. Default 0.01.
+	InvalidSwitchRatio float64
+	// SamplingEfficiency: a sampling phase keeps growing runs while the best
+	// run yields at least this many new non-FDs per comparison. Default 0.01.
+	SamplingEfficiency float64
+}
+
+// DefaultConfig returns the configuration used in the experiments.
+func DefaultConfig() Config {
+	return Config{InvalidSwitchRatio: 0.01, SamplingEfficiency: 0.01}
+}
+
+func (c *Config) fillDefaults() {
+	if c.InvalidSwitchRatio <= 0 {
+		c.InvalidSwitchRatio = 0.01
+	}
+	if c.SamplingEfficiency <= 0 {
+		c.SamplingEfficiency = 0.01
+	}
+}
+
+// Stats reports what the run did; the scalability experiments chart them.
+type Stats struct {
+	SamplingRounds int // sorted-neighborhood runs executed
+	Comparisons    int // tuple pairs compared while sampling
+	NonFDs         int // distinct agree sets collected
+	Validations    int // (node, RHS attr) validations
+	Invalidated    int // validations that failed
+	Levels         int // validation levels processed
+	FDs            int // FDs in the output cover
+}
+
+// run is one sorted-neighborhood sampling run state for a column.
+type run struct {
+	col        int
+	distance   int     // next window distance to execute
+	efficiency float64 // of the last executed window
+	exhausted  bool
+}
+
+type sampler struct {
+	r    *relation.Relation
+	plis []*partition.Partition
+	runs []run
+	cfg  Config
+}
+
+func newSampler(r *relation.Relation, plis []*partition.Partition, cfg Config) *sampler {
+	s := &sampler{r: r, plis: plis, cfg: cfg}
+	for c := range plis {
+		maxCluster := 0
+		for _, cl := range plis[c].Clusters {
+			if len(cl) > maxCluster {
+				maxCluster = len(cl)
+			}
+		}
+		s.runs = append(s.runs, run{
+			col:        c,
+			distance:   1,
+			efficiency: 1, // optimistic until first measured
+			exhausted:  maxCluster < 2,
+		})
+	}
+	return s
+}
+
+// step executes the most promising run. It reports new non-FDs,
+// comparisons, and whether any run was executed at all.
+func (s *sampler) step(dst *sampling.NonFDSet) (newNonFDs, comparisons int, ran bool) {
+	best := -1
+	for i := range s.runs {
+		if s.runs[i].exhausted {
+			continue
+		}
+		if best < 0 || s.runs[i].efficiency > s.runs[best].efficiency {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, 0, false
+	}
+	ru := &s.runs[best]
+	newN, comps := sampling.ClusterNeighborSample(s.r, s.plis[ru.col], ru.distance, dst)
+	ru.distance++
+	if comps == 0 {
+		ru.exhausted = true
+		ru.efficiency = 0
+	} else {
+		ru.efficiency = float64(newN) / float64(comps)
+	}
+	return newN, comps, true
+}
+
+// phase runs sampling until the best run drops below the efficiency
+// threshold (always executing at least one run).
+func (s *sampler) phase(dst *sampling.NonFDSet, stats *Stats) {
+	first := true
+	for {
+		bestEff := 0.0
+		for i := range s.runs {
+			if !s.runs[i].exhausted && s.runs[i].efficiency > bestEff {
+				bestEff = s.runs[i].efficiency
+			}
+		}
+		if !first && bestEff < s.cfg.SamplingEfficiency {
+			return
+		}
+		newN, comps, ran := s.step(dst)
+		if !ran {
+			return
+		}
+		_ = newN
+		stats.SamplingRounds++
+		stats.Comparisons += comps
+		first = false
+	}
+}
+
+func (s *sampler) alive() bool {
+	for i := range s.runs {
+		if !s.runs[i].exhausted {
+			return true
+		}
+	}
+	return false
+}
+
+// Discover returns the left-reduced cover of the FDs holding on r.
+func Discover(r *relation.Relation) []dep.FD {
+	fds, _ := DiscoverWithConfig(r, DefaultConfig())
+	return fds
+}
+
+// DiscoverWithConfig runs HyFD with explicit tuning and returns run
+// statistics alongside the cover.
+func DiscoverWithConfig(r *relation.Relation, cfg Config) ([]dep.FD, Stats) {
+	fds, stats, _ := DiscoverCtx(context.Background(), r, cfg)
+	return fds, stats
+}
+
+// DiscoverCtx is DiscoverWithConfig with cooperative cancellation, checked
+// between validations and sampling runs.
+func DiscoverCtx(ctx context.Context, r *relation.Relation, cfg Config) ([]dep.FD, Stats, error) {
+	cfg.fillDefaults()
+	var stats Stats
+	n := r.NumCols()
+	if n == 0 {
+		return nil, stats, nil
+	}
+
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
+	plis := make([]*partition.Partition, n)
+	for c := 0; c < n; c++ {
+		plis[c] = partition.Single(r.Cols[c], r.Cards[c])
+	}
+	v := validate.New(r)
+	nonFDs := sampling.NewNonFDSet(n)
+	tree := fdtree.NewWithFullRHS(n)
+	full := bitset.Full(n)
+	smp := newSampler(r, plis, cfg)
+
+	// Root validation finds the constant columns and seeds non-FDs.
+	v.EmptyLHS(full, nonFDs)
+
+	// Initial sampling: one distance-1 run per column.
+	for c := 0; c < n; c++ {
+		newN, comps := sampling.ClusterNeighborSample(r, plis[c], 1, nonFDs)
+		_ = newN
+		smp.runs[c].distance = 2
+		stats.SamplingRounds++
+		stats.Comparisons += comps
+	}
+	inductAll(tree, full, nonFDs.Sets())
+	processed := nonFDs.Len()
+
+	for vl := 1; vl <= tree.MaxLevel(); vl++ {
+		candidates := tree.NodesAtLevel(vl)
+		stats.Levels++
+		snap := v.Snapshot()
+		for i, node := range candidates {
+			if i%64 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, stats, err
+				}
+			}
+			if !node.IsFDNode() {
+				continue
+			}
+			lhs := node.Path(n)
+			a := cheapestAttr(lhs, plis)
+			start := bitset.New(n)
+			start.Add(a)
+			v.FD(lhs, node.RHS, plis[a], start, nonFDs)
+		}
+		validations, invalidated := v.Since(snap)
+
+		newSets := nonFDs.Sets()[processed:]
+		inductAll(tree, full, newSets)
+		processed = nonFDs.Len()
+
+		// Switch to sampling when the level went badly and the sampler can
+		// still contribute; its non-FDs prune the deeper levels.
+		if validations > 0 &&
+			float64(invalidated) > cfg.InvalidSwitchRatio*float64(validations) &&
+			smp.alive() {
+			smp.phase(nonFDs, &stats)
+			inductAll(tree, full, nonFDs.Sets()[processed:])
+			processed = nonFDs.Len()
+		}
+	}
+
+	stats.Validations = v.Validations
+	stats.Invalidated = v.Invalidated
+	stats.NonFDs = nonFDs.Len()
+
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
+	fds := dep.SplitRHS(tree.FDs())
+	dep.Sort(fds)
+	stats.FDs = len(fds)
+	return fds, stats, nil
+}
+
+// inductAll sorts the given agree sets descending and inducts each.
+func inductAll(tree *fdtree.Tree, full bitset.Set, sets []bitset.Set) {
+	sorted := append([]bitset.Set(nil), sets...)
+	sampling.SortSetsDescending(sorted)
+	for _, x := range sorted {
+		tree.Induct(x, full.Difference(x))
+	}
+}
+
+// cheapestAttr picks the LHS attribute with the smallest partition size
+// ‖π_A‖ (Algorithm 6, line 16).
+func cheapestAttr(lhs bitset.Set, plis []*partition.Partition) int {
+	best, bestSize := -1, -1
+	for a := lhs.Next(0); a >= 0; a = lhs.Next(a + 1) {
+		size := plis[a].Size()
+		if best < 0 || size < bestSize {
+			best, bestSize = a, size
+		}
+	}
+	return best
+}

@@ -1,0 +1,296 @@
+// Package normalize turns discovered FD covers into schema designs — the
+// application the paper's redundancy measure is motivated by (Section I:
+// FDs are the major source of data redundancy, which brought forward the
+// Boyce-Codd and Third Normal Form proposals).
+//
+// The package provides candidate-key enumeration (Lucchesi–Osborn), the
+// classic 3NF synthesis from a canonical cover, and BCNF decomposition,
+// together with the lossless-join and dependency-preservation checks that
+// validate a design.
+package normalize
+
+import (
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/cover"
+	"repro/internal/dep"
+)
+
+// CandidateKeys enumerates every minimal key of a schema with numAttrs
+// attributes under the given FDs, using the Lucchesi–Osborn algorithm:
+// starting from one reduced key, each (key, FD) pair spawns the candidate
+// X ∪ (K − Y), which is reduced and kept if no known key is contained in
+// it. The number of minimal keys can be exponential; maxKeys bounds the
+// enumeration (0 means unbounded).
+func CandidateKeys(numAttrs int, fds []dep.FD, maxKeys int) []bitset.Set {
+	e := cover.NewEngine(numAttrs, fds)
+	full := bitset.Full(numAttrs)
+
+	reduce := func(x bitset.Set) bitset.Set {
+		k := x.Clone()
+		for a := k.Next(0); a >= 0; a = k.Next(a + 1) {
+			k.Remove(a)
+			if !full.IsSubsetOf(e.Closure(k, -1)) {
+				k.Add(a)
+			}
+		}
+		return k
+	}
+
+	keys := []bitset.Set{reduce(full)}
+	for i := 0; i < len(keys); i++ {
+		if maxKeys > 0 && len(keys) >= maxKeys {
+			break
+		}
+		k := keys[i]
+		for _, f := range fds {
+			// Candidate S = X ∪ (K − Y).
+			s := k.Difference(f.RHS)
+			s.UnionWith(f.LHS)
+			dominated := false
+			for _, known := range keys {
+				if known.IsSubsetOf(s) {
+					dominated = true
+					break
+				}
+			}
+			if dominated {
+				continue
+			}
+			keys = append(keys, reduce(s))
+			if maxKeys > 0 && len(keys) >= maxKeys {
+				break
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if ci, cj := keys[i].Count(), keys[j].Count(); ci != cj {
+			return ci < cj
+		}
+		return bitset.CompareLex(keys[i], keys[j]) < 0
+	})
+	return keys
+}
+
+// IsSuperkey reports whether x determines every attribute under fds.
+func IsSuperkey(numAttrs int, fds []dep.FD, x bitset.Set) bool {
+	return bitset.Full(numAttrs).IsSubsetOf(cover.Closure(numAttrs, fds, x))
+}
+
+// Relation is one relation schema of a decomposition.
+type Relation struct {
+	// Attrs is the attribute set of the schema.
+	Attrs bitset.Set
+	// Key is a key of the schema (the LHS that generated it, for synthesis
+	// results; a containing key for BCNF fragments).
+	Key bitset.Set
+}
+
+// Synthesize3NF runs the classic 3NF synthesis: one schema per
+// canonical-cover FD (LHS ∪ RHS, merging schemas contained in others),
+// plus a key schema when no synthesized schema contains a candidate key.
+// The result is lossless and dependency-preserving.
+func Synthesize3NF(numAttrs int, fds []dep.FD) []Relation {
+	can := cover.Canonical(numAttrs, fds)
+	var out []Relation
+	for _, f := range can {
+		attrs := f.LHS.Union(f.RHS)
+		out = append(out, Relation{Attrs: attrs, Key: f.LHS.Clone()})
+	}
+	// Drop schemas contained in another.
+	out = dropContained(out)
+
+	// Ensure some schema contains a key of R.
+	keys := CandidateKeys(numAttrs, can, 64)
+	hasKey := false
+outer:
+	for _, rel := range out {
+		for _, k := range keys {
+			if k.IsSubsetOf(rel.Attrs) {
+				hasKey = true
+				break outer
+			}
+		}
+	}
+	if !hasKey {
+		k := bitset.Full(numAttrs)
+		if len(keys) > 0 {
+			k = keys[0]
+		}
+		out = append(out, Relation{Attrs: k.Clone(), Key: k.Clone()})
+	}
+	return out
+}
+
+func dropContained(rels []Relation) []Relation {
+	var out []Relation
+	for i, r := range rels {
+		contained := false
+		for j, s := range rels {
+			if i == j {
+				continue
+			}
+			if r.Attrs.IsSubsetOf(s.Attrs) && (!s.Attrs.IsSubsetOf(r.Attrs) || j < i) {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// DecomposeBCNF splits the schema until no projected FD violates BCNF.
+// Each step picks the violating FD causing the largest RHS and splits
+// R into (X ∪ Y) and (R − Y). The result is lossless; dependency
+// preservation is not guaranteed (it cannot be, in general).
+// maxDepth bounds the recursion as a safety net.
+func DecomposeBCNF(numAttrs int, fds []dep.FD, maxDepth int) []Relation {
+	if maxDepth <= 0 {
+		maxDepth = 4 * numAttrs
+	}
+	var out []Relation
+	var split func(attrs bitset.Set, depth int)
+	split = func(attrs bitset.Set, depth int) {
+		viol, ok := findBCNFViolation(numAttrs, fds, attrs)
+		if !ok || depth >= maxDepth {
+			out = append(out, Relation{Attrs: attrs, Key: keyWithin(numAttrs, fds, attrs)})
+			return
+		}
+		// R1 = X ∪ Y, R2 = attrs − Y.
+		r1 := viol.LHS.Union(viol.RHS)
+		r2 := attrs.Difference(viol.RHS)
+		r2.UnionWith(viol.LHS)
+		split(r1, depth+1)
+		split(r2, depth+1)
+	}
+	split(bitset.Full(numAttrs), 0)
+	return dropContained(out)
+}
+
+// findBCNFViolation looks for an FD X → Y projected onto attrs where X is
+// not a superkey of attrs; Y is maximized to closure(X) ∩ attrs − X.
+func findBCNFViolation(numAttrs int, fds []dep.FD, attrs bitset.Set) (dep.FD, bool) {
+	e := cover.NewEngine(numAttrs, fds)
+	var best dep.FD
+	bestSize := 0
+	for _, f := range fds {
+		if !f.LHS.IsSubsetOf(attrs) {
+			continue
+		}
+		closure := e.Closure(f.LHS, -1)
+		rhs := closure.Intersect(attrs)
+		rhs.DifferenceWith(f.LHS)
+		if rhs.IsEmpty() {
+			continue
+		}
+		if attrs.IsSubsetOf(closure) {
+			continue // X is a superkey of this fragment: no violation
+		}
+		if size := rhs.Count(); size > bestSize {
+			bestSize = size
+			best = dep.FD{LHS: f.LHS.Clone(), RHS: rhs}
+		}
+	}
+	return best, bestSize > 0
+}
+
+// keyWithin returns a minimal subset of attrs determining all of attrs.
+func keyWithin(numAttrs int, fds []dep.FD, attrs bitset.Set) bitset.Set {
+	e := cover.NewEngine(numAttrs, fds)
+	k := attrs.Clone()
+	for a := k.Next(0); a >= 0; a = k.Next(a + 1) {
+		k.Remove(a)
+		if !attrs.IsSubsetOf(e.Closure(k, -1)) {
+			k.Add(a)
+		}
+	}
+	return k
+}
+
+// Lossless reports whether a two-way split (r1, r2) of the full schema is
+// a lossless join under fds: r1 ∩ r2 must determine r1 or r2.
+func Lossless(numAttrs int, fds []dep.FD, r1, r2 bitset.Set) bool {
+	shared := r1.Intersect(r2)
+	closure := cover.Closure(numAttrs, fds, shared)
+	return r1.IsSubsetOf(closure) || r2.IsSubsetOf(closure)
+}
+
+// LosslessAll checks an n-way decomposition with the chase-free sufficient
+// test: fold the fragments pairwise, requiring each join step lossless.
+// It accepts exactly the decompositions produced by DecomposeBCNF and
+// Synthesize3NF (binary split trees and synthesis with a key schema).
+func LosslessAll(numAttrs int, fds []dep.FD, rels []Relation) bool {
+	if len(rels) == 0 {
+		return false
+	}
+	// Greedy folding: start from any fragment, repeatedly join a fragment
+	// whose intersection determines one side.
+	acc := rels[0].Attrs.Clone()
+	remaining := make([]Relation, len(rels)-1)
+	copy(remaining, rels[1:])
+	for len(remaining) > 0 {
+		progress := false
+		for i, r := range remaining {
+			if Lossless(numAttrs, fds, acc, r.Attrs) {
+				acc.UnionWith(r.Attrs)
+				remaining = append(remaining[:i], remaining[i+1:]...)
+				progress = true
+				break
+			}
+		}
+		if !progress {
+			return false
+		}
+	}
+	return acc.Equal(bitset.Full(numAttrs))
+}
+
+// Preserved reports whether every FD of fds is implied by the union of the
+// projections of fds onto the decomposition's fragments (dependency
+// preservation). Projection uses the closure-based definition.
+func Preserved(numAttrs int, fds []dep.FD, rels []Relation) bool {
+	var projected []dep.FD
+	for _, rel := range rels {
+		projected = append(projected, ProjectFDs(numAttrs, fds, rel.Attrs)...)
+	}
+	e := cover.NewEngine(numAttrs, projected)
+	for _, f := range fds {
+		if !e.Implies(f.LHS, f.RHS, -1) {
+			return false
+		}
+	}
+	return true
+}
+
+// ProjectFDs computes a cover of the FDs that hold on the projection of
+// the schema onto attrs: for every subset X of attrs appearing as an LHS
+// basis, X → closure(X) ∩ attrs. To stay polynomial it uses the LHSs of
+// fds (restricted to attrs) plus their closures rather than all subsets,
+// which yields a cover for the projections produced by normalization
+// (whose fragments contain the relevant LHSs).
+func ProjectFDs(numAttrs int, fds []dep.FD, attrs bitset.Set) []dep.FD {
+	e := cover.NewEngine(numAttrs, fds)
+	var out []dep.FD
+	seen := map[string]bool{}
+	for _, f := range fds {
+		if !f.LHS.IsSubsetOf(attrs) {
+			continue
+		}
+		k := f.LHS.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		rhs := e.Closure(f.LHS, -1)
+		rhs.IntersectWith(attrs)
+		rhs.DifferenceWith(f.LHS)
+		if !rhs.IsEmpty() {
+			out = append(out, dep.FD{LHS: f.LHS.Clone(), RHS: rhs})
+		}
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomColumn(n, card int, seed int64) []int32 {
+	rng := rand.New(rand.NewSource(seed))
+	col := make([]int32, n)
+	for i := range col {
+		col[i] = int32(rng.Intn(card))
+	}
+	return col
+}
+
+func BenchmarkSingle100k(b *testing.B) {
+	col := randomColumn(100_000, 1000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Single(col, 1000)
+	}
+}
+
+func BenchmarkRefine100k(b *testing.B) {
+	a := randomColumn(100_000, 50, 1)
+	c := randomColumn(100_000, 50, 2)
+	p := Single(a, 50)
+	rf := NewRefiner(50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rf.Refine(p, c, 50)
+	}
+}
+
+func BenchmarkIntersect100k(b *testing.B) {
+	a := randomColumn(100_000, 50, 1)
+	c := randomColumn(100_000, 50, 2)
+	pa, pc := Single(a, 50), Single(c, 50)
+	probe := NewProbeTable(pc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Intersect(pa, probe)
+	}
+}
+
+func BenchmarkRefineVsIntersect(b *testing.B) {
+	// The micro-comparison behind the DDM: dynamic refinement vs the PLI
+	// product TANE uses.
+	a := randomColumn(50_000, 200, 1)
+	c := randomColumn(50_000, 200, 2)
+	pa, pc := Single(a, 200), Single(c, 200)
+	b.Run("refine", func(b *testing.B) {
+		rf := NewRefiner(200)
+		for i := 0; i < b.N; i++ {
+			rf.Refine(pa, c, 200)
+		}
+	})
+	b.Run("intersect", func(b *testing.B) {
+		probe := NewProbeTable(pc)
+		for i := 0; i < b.N; i++ {
+			Intersect(pa, probe)
+		}
+	})
+}

@@ -1,0 +1,282 @@
+// Package partition implements stripped partitions, the workhorse data
+// structure of column-based FD discovery.
+//
+// The stripped partition π_X of a relation r groups the rows of r into
+// X-equivalence classes and drops the singleton classes. Two measures
+// matter: |π| (number of clusters) and ‖π‖ (total rows inside clusters).
+// An FD X → A holds iff refining π_X by A splits no cluster, which is
+// equivalent to the TANE error test e(X) = e(XA) with e(X) = ‖π_X‖ − |π_X|.
+//
+// The package provides the three partition computations the paper's
+// algorithms need:
+//
+//   - Single: build π_A for one attribute from dictionary codes,
+//   - Refine / RefineCluster: dynamic refinement π_X ⇒ π_XA one cluster at
+//     a time (Algorithm 5), used by the DDM and by FD validation,
+//   - Intersect: classic PLI intersection π_X ∩ π_Y ⇒ π_XY via probe
+//     tables, used by TANE's level-wise prefix-block joins.
+package partition
+
+import (
+	"sort"
+
+	"repro/internal/bitset"
+)
+
+// Partition is a stripped partition: clusters of row indexes, each of size
+// at least two. The zero value is the empty partition.
+type Partition struct {
+	// Clusters holds row-index clusters, each with len >= 2.
+	Clusters [][]int32
+	// NRows is the number of rows of the underlying relation.
+	NRows int
+}
+
+// Card returns |π|, the number of clusters.
+func (p *Partition) Card() int { return len(p.Clusters) }
+
+// Size returns ‖π‖, the total number of rows inside clusters.
+func (p *Partition) Size() int {
+	n := 0
+	for _, c := range p.Clusters {
+		n += len(c)
+	}
+	return n
+}
+
+// Error returns e(π) = ‖π‖ − |π|, the minimum number of rows to remove so
+// that the partitioning attributes form a key.
+func (p *Partition) Error() int { return p.Size() - p.Card() }
+
+// IsUnique reports whether the partition has no cluster, i.e. the
+// partitioning attribute set is a key (all classes are singletons).
+func (p *Partition) IsUnique() bool { return len(p.Clusters) == 0 }
+
+// Clone returns a deep copy.
+func (p *Partition) Clone() *Partition {
+	c := &Partition{NRows: p.NRows, Clusters: make([][]int32, len(p.Clusters))}
+	for i, cl := range p.Clusters {
+		c.Clusters[i] = append([]int32(nil), cl...)
+	}
+	return c
+}
+
+// Single builds the stripped partition of one dictionary-encoded column.
+// card must be at least 1 + max(col); rows with unique codes are stripped.
+func Single(col []int32, card int) *Partition {
+	if card < 1 {
+		card = 1
+	}
+	counts := make([]int32, card)
+	for _, v := range col {
+		counts[v]++
+	}
+	// Lay all non-singleton clusters out in one backing array.
+	offsets := make([]int32, card)
+	total := int32(0)
+	nclusters := 0
+	for v, n := range counts {
+		if n >= 2 {
+			offsets[v] = total
+			total += n
+			nclusters++
+		} else {
+			offsets[v] = -1
+		}
+	}
+	backing := make([]int32, total)
+	fill := make([]int32, card)
+	for row, v := range col {
+		if off := offsets[v]; off >= 0 {
+			backing[off+fill[v]] = int32(row)
+			fill[v]++
+		}
+	}
+	p := &Partition{NRows: len(col), Clusters: make([][]int32, 0, nclusters)}
+	for v := 0; v < card; v++ {
+		if off := offsets[v]; off >= 0 {
+			p.Clusters = append(p.Clusters, backing[off:off+counts[v]])
+		}
+	}
+	return p
+}
+
+// FromRelationColumn builds π_A for column a of the given encoded column
+// and cardinality. It is a convenience wrapper around Single.
+func FromRelationColumn(col []int32, card int) *Partition { return Single(col, card) }
+
+// Refiner refines partitions one cluster at a time (Algorithm 5 of the
+// paper). It keeps the sets-array and touched-id list between calls so that
+// refining many clusters allocates nothing after warm-up.
+type Refiner struct {
+	buckets [][]int32 // indexed by dictionary code
+	touched []int32   // codes used by the current cluster
+}
+
+// NewRefiner returns a refiner able to handle columns with cardinality up
+// to maxCard.
+func NewRefiner(maxCard int) *Refiner {
+	return &Refiner{buckets: make([][]int32, maxCard)}
+}
+
+func (rf *Refiner) grow(card int) {
+	if card > len(rf.buckets) {
+		nb := make([][]int32, card)
+		copy(nb, rf.buckets)
+		rf.buckets = nb
+	}
+}
+
+// RefineCluster splits one cluster by the codes of column col, appending the
+// resulting sub-clusters of size >= 2 to dst and returning it.
+func (rf *Refiner) RefineCluster(cluster []int32, col []int32, card int, dst [][]int32) [][]int32 {
+	rf.grow(card)
+	for _, row := range cluster {
+		v := col[row]
+		if len(rf.buckets[v]) == 0 {
+			rf.touched = append(rf.touched, v)
+		}
+		rf.buckets[v] = append(rf.buckets[v], row)
+	}
+	for _, v := range rf.touched {
+		if len(rf.buckets[v]) >= 2 {
+			dst = append(dst, append([]int32(nil), rf.buckets[v]...))
+		}
+		rf.buckets[v] = rf.buckets[v][:0]
+	}
+	rf.touched = rf.touched[:0]
+	return dst
+}
+
+// Refine computes π_XA from π_X by splitting every cluster on column col.
+func (rf *Refiner) Refine(p *Partition, col []int32, card int) *Partition {
+	out := &Partition{NRows: p.NRows}
+	for _, cluster := range p.Clusters {
+		out.Clusters = rf.RefineCluster(cluster, col, card, out.Clusters)
+	}
+	return out
+}
+
+// Refine is a convenience one-shot wrapper that allocates its own Refiner.
+func Refine(p *Partition, col []int32, card int) *Partition {
+	return NewRefiner(card).Refine(p, col, card)
+}
+
+// ProbeTable is an inverted index of a partition: row → cluster id, with -1
+// for stripped (singleton) rows. TANE's intersection and HyFD's validation
+// both probe it.
+type ProbeTable []int32
+
+// NewProbeTable builds the inverted index of p.
+func NewProbeTable(p *Partition) ProbeTable {
+	t := make(ProbeTable, p.NRows)
+	for i := range t {
+		t[i] = -1
+	}
+	for id, cluster := range p.Clusters {
+		for _, row := range cluster {
+			t[row] = int32(id)
+		}
+	}
+	return t
+}
+
+// Intersect computes π_XY from π_X and a probe table of π_Y, the standard
+// PLI product used by TANE: rows of each X-cluster are grouped by their
+// Y-cluster id; rows singleton in Y (probe -1) are dropped immediately.
+func Intersect(p *Partition, probe ProbeTable) *Partition {
+	out := &Partition{NRows: p.NRows}
+	groups := make(map[int32][]int32)
+	for _, cluster := range p.Clusters {
+		for _, row := range cluster {
+			id := probe[row]
+			if id < 0 {
+				continue
+			}
+			groups[id] = append(groups[id], row)
+		}
+		for id, g := range groups {
+			if len(g) >= 2 {
+				out.Clusters = append(out.Clusters, g)
+			}
+			delete(groups, id)
+		}
+	}
+	return out
+}
+
+// ForAttrs computes π_X for an attribute set by refining the smallest
+// single-attribute partition with the remaining attributes. cols and cards
+// describe the full relation. Returns the full-relation partition (one
+// cluster of all rows) when X is empty.
+func ForAttrs(x bitset.Set, cols [][]int32, cards []int) *Partition {
+	nrows := 0
+	if len(cols) > 0 {
+		nrows = len(cols[0])
+	}
+	attrs := x.Attrs()
+	if len(attrs) == 0 {
+		if nrows < 2 {
+			return &Partition{NRows: nrows}
+		}
+		all := make([]int32, nrows)
+		for i := range all {
+			all[i] = int32(i)
+		}
+		return &Partition{NRows: nrows, Clusters: [][]int32{all}}
+	}
+	// Start from the attribute with the smallest partition size.
+	sort.Slice(attrs, func(i, j int) bool { return cards[attrs[i]] > cards[attrs[j]] })
+	p := Single(cols[attrs[0]], cards[attrs[0]])
+	rf := NewRefiner(maxCard(cards))
+	for _, a := range attrs[1:] {
+		if len(p.Clusters) == 0 {
+			break
+		}
+		p = rf.Refine(p, cols[a], cards[a])
+	}
+	return p
+}
+
+func maxCard(cards []int) int {
+	m := 1
+	for _, c := range cards {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// SortClusters orders clusters by ascending first row, and rows within each
+// cluster ascending. Useful for deterministic comparisons in tests.
+func (p *Partition) SortClusters() {
+	for _, c := range p.Clusters {
+		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	}
+	sort.Slice(p.Clusters, func(i, j int) bool {
+		return p.Clusters[i][0] < p.Clusters[j][0]
+	})
+}
+
+// Equal reports whether two partitions contain the same clusters,
+// disregarding order. Both partitions are sorted as a side effect.
+func (p *Partition) Equal(o *Partition) bool {
+	if p.NRows != o.NRows || len(p.Clusters) != len(o.Clusters) {
+		return false
+	}
+	p.SortClusters()
+	o.SortClusters()
+	for i := range p.Clusters {
+		a, b := p.Clusters[i], o.Clusters[i]
+		if len(a) != len(b) {
+			return false
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

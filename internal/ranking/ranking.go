@@ -1,0 +1,296 @@
+// Package ranking ranks discovered FDs by the data redundancy they cause
+// (Section VI of the paper).
+//
+// A data value occurrence t(A) is redundant for an FD X → A when some
+// other tuple t' agrees with t on X: the FD then pins t(A) to t'(A), so
+// any change of t(A) alone violates the FD. The number of redundant
+// occurrences an FD causes is ‖π_X‖ per RHS attribute — every tuple in a
+// non-singleton cluster of the stripped partition. The paper proposes this
+// count as a natural relevance measure: it is exactly the number of
+// instances of the pattern "X-value determines A-value" present in the
+// data, and the quantity schema normalization (BCNF/3NF) exists to remove.
+//
+// Missing values get three treatments, matching Tables IV and the
+// qualitative analysis of Section VI-B:
+//
+//   - WithNulls   (#red+0): count every redundant occurrence.
+//   - NoNullRHS   (#red):   skip occurrences whose value is a null marker.
+//   - NoNulls     (#red-0): additionally require the witnessing pair to be
+//     null-free on the LHS — clusters are re-formed over tuples whose LHS
+//     values are all present, so a pattern "supported" only by nulls
+//     counts nothing.
+package ranking
+
+import (
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/dep"
+	"repro/internal/partition"
+	"repro/internal/relation"
+)
+
+// Counts holds the three redundancy counts of one FD.
+type Counts struct {
+	// WithNulls is #red+0: all redundant occurrences.
+	WithNulls int
+	// NoNullRHS is #red: redundant occurrences whose own value is not null.
+	NoNullRHS int
+	// NoNulls is #red-0: occurrences counted only when the occurrence and
+	// the LHS values of its cluster are all non-null.
+	NoNulls int
+}
+
+// Ranked pairs an FD with its redundancy counts.
+type Ranked struct {
+	FD     dep.FD
+	Counts Counts
+}
+
+// Ranker computes redundancy counts over one relation, caching partitions
+// by LHS so that ranking a canonical cover visits each LHS once.
+type Ranker struct {
+	r     *relation.Relation
+	cache map[string]*partition.Partition
+}
+
+// New returns a ranker for r.
+func New(r *relation.Relation) *Ranker {
+	return &Ranker{r: r, cache: make(map[string]*partition.Partition)}
+}
+
+// partitionFor returns π_X, cached.
+func (rk *Ranker) partitionFor(lhs bitset.Set) *partition.Partition {
+	k := lhs.Key()
+	if p, ok := rk.cache[k]; ok {
+		return p
+	}
+	p := partition.ForAttrs(lhs, rk.r.Cols, rk.r.Cards)
+	rk.cache[k] = p
+	return p
+}
+
+// FD computes the redundancy counts of one FD (set-valued RHS: counts sum
+// over the RHS attributes).
+func (rk *Ranker) FD(f dep.FD) Counts {
+	var c Counts
+	p := rk.partitionFor(f.LHS)
+	lhsAttrs := f.LHS.Attrs()
+
+	for a := f.RHS.Next(0); a >= 0; a = f.RHS.Next(a + 1) {
+		mask := rk.r.Nulls[a]
+		for _, cluster := range p.Clusters {
+			c.WithNulls += len(cluster)
+			if mask == nil {
+				c.NoNullRHS += len(cluster)
+			} else {
+				for _, row := range cluster {
+					if !mask[row] {
+						c.NoNullRHS++
+					}
+				}
+			}
+		}
+	}
+
+	// NoNulls: reform clusters over tuples with fully non-null LHSs.
+	anyLHSNulls := false
+	for _, b := range lhsAttrs {
+		if rk.r.Nulls[b] != nil {
+			anyLHSNulls = true
+			break
+		}
+	}
+	if !anyLHSNulls {
+		// Clusters unchanged; only RHS nulls are excluded.
+		c.NoNulls = c.NoNullRHS
+		return c
+	}
+	for a := f.RHS.Next(0); a >= 0; a = f.RHS.Next(a + 1) {
+		mask := rk.r.Nulls[a]
+		for _, cluster := range p.Clusters {
+			survivors := 0
+			nonNullA := 0
+			for _, row := range cluster {
+				if rowHasNullLHS(rk.r, lhsAttrs, row) {
+					continue
+				}
+				survivors++
+				if mask == nil || !mask[row] {
+					nonNullA++
+				}
+			}
+			if survivors >= 2 {
+				c.NoNulls += nonNullA
+			}
+		}
+	}
+	return c
+}
+
+func rowHasNullLHS(r *relation.Relation, lhsAttrs []int, row int32) bool {
+	for _, b := range lhsAttrs {
+		if m := r.Nulls[b]; m != nil && m[row] {
+			return true
+		}
+	}
+	return false
+}
+
+// Rank computes counts for every FD and returns them sorted by descending
+// WithNulls count (ties: by the FD ordering of dep.Sort).
+func Rank(r *relation.Relation, fds []dep.FD) []Ranked {
+	rk := New(r)
+	out := make([]Ranked, len(fds))
+	for i, f := range fds {
+		out[i] = Ranked{FD: f, Counts: rk.FD(f)}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Counts.WithNulls != out[j].Counts.WithNulls {
+			return out[i].Counts.WithNulls > out[j].Counts.WithNulls
+		}
+		ci, cj := out[i].FD.LHS.Count(), out[j].FD.LHS.Count()
+		if ci != cj {
+			return ci < cj
+		}
+		return bitset.CompareLex(out[i].FD.LHS, out[j].FD.LHS) < 0
+	})
+	return out
+}
+
+// DatasetTotals holds the Table IV row for one data set.
+type DatasetTotals struct {
+	// Values is #values, the number of data occurrences (rows × columns).
+	Values int
+	// Red is #red: occurrences redundant for some FD of the cover, own
+	// value non-null.
+	Red int
+	// RedWithNulls is #red+0: same, null occurrences included.
+	RedWithNulls int
+}
+
+// PercentRed returns %red.
+func (t DatasetTotals) PercentRed() float64 {
+	if t.Values == 0 {
+		return 0
+	}
+	return 100 * float64(t.Red) / float64(t.Values)
+}
+
+// PercentRedWithNulls returns %red+0.
+func (t DatasetTotals) PercentRedWithNulls() float64 {
+	if t.Values == 0 {
+		return 0
+	}
+	return 100 * float64(t.RedWithNulls) / float64(t.Values)
+}
+
+// Totals computes the dataset-level redundancy of Table IV: occurrences
+// are marked per FD of the cover and counted once, so overlapping FDs do
+// not double-count. Because tuples that agree on an FD's LHS agree on its
+// closure, marking along any cover of the valid FDs marks exactly the
+// occurrences redundant with respect to the full FD set.
+func Totals(r *relation.Relation, fds []dep.FD) DatasetTotals {
+	rows, cols := r.NumRows(), r.NumCols()
+	marked := make([]bool, rows*cols)
+	rk := New(r)
+	for _, f := range fds {
+		p := rk.partitionFor(f.LHS)
+		for a := f.RHS.Next(0); a >= 0; a = f.RHS.Next(a + 1) {
+			base := a * rows
+			for _, cluster := range p.Clusters {
+				for _, row := range cluster {
+					marked[base+int(row)] = true
+				}
+			}
+		}
+	}
+	var t DatasetTotals
+	t.Values = rows * cols
+	for a := 0; a < cols; a++ {
+		mask := r.Nulls[a]
+		base := a * rows
+		for row := 0; row < rows; row++ {
+			if !marked[base+row] {
+				continue
+			}
+			t.RedWithNulls++
+			if mask == nil || !mask[row] {
+				t.Red++
+			}
+		}
+	}
+	return t
+}
+
+// HistogramThresholds are the x-values of Figure 10 as fractions of the
+// maximum per-FD redundancy: 0, 2.5 %, 5 %, …, 100 %.
+var HistogramThresholds = []float64{0, 0.025, 0.05, 0.10, 0.15, 0.20, 0.40, 0.60, 0.80, 1.0}
+
+// Bucket is one bar of Figure 10: the number of FDs whose redundancy lies
+// in (Prev, Max] (the first bucket is exactly zero).
+type Bucket struct {
+	Max  int // inclusive upper bound in redundant occurrences
+	FDs  int
+	Frac float64 // threshold fraction this bucket corresponds to
+}
+
+// Histogram buckets per-FD redundancy counts at the paper's thresholds.
+// counts may be in any order.
+func Histogram(counts []int) []Bucket {
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	buckets := make([]Bucket, len(HistogramThresholds))
+	prev := -1
+	for i, frac := range HistogramThresholds {
+		limit := int(frac * float64(maxCount))
+		if i == len(HistogramThresholds)-1 {
+			limit = maxCount
+		}
+		n := 0
+		for _, c := range counts {
+			if c > prev && c <= limit {
+				n++
+			}
+		}
+		buckets[i] = Bucket{Max: limit, FDs: n, Frac: frac}
+		prev = limit
+	}
+	return buckets
+}
+
+// ColumnView is one row of the Section VI-B table: a minimal LHS
+// determining the fixed column, with its #red and #red-0 counts for that
+// column only.
+type ColumnView struct {
+	LHS     bitset.Set
+	Red     int // #red: occurrences of the column, value non-null
+	RedNoNN int // #red-0: null-free LHS and RHS
+}
+
+// ForColumn lists the minimal LHSs in the cover that determine column col,
+// with per-column redundancy counts, sorted by descending Red.
+func ForColumn(r *relation.Relation, fds []dep.FD, col int) []ColumnView {
+	rk := New(r)
+	var out []ColumnView
+	rhs := bitset.New(r.NumCols())
+	rhs.Add(col)
+	for _, f := range fds {
+		if !f.RHS.Contains(col) {
+			continue
+		}
+		c := rk.FD(dep.FD{LHS: f.LHS, RHS: rhs})
+		out = append(out, ColumnView{LHS: f.LHS, Red: c.NoNullRHS, RedNoNN: c.NoNulls})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Red != out[j].Red {
+			return out[i].Red > out[j].Red
+		}
+		return bitset.CompareLex(out[i].LHS, out[j].LHS) < 0
+	})
+	return out
+}

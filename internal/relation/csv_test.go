@@ -1,0 +1,80 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadCSVQuotedFields(t *testing.T) {
+	csv := "name,address\n\"cox, joseph\",\"9 casey rd\"\n\"warren, essie\",\"105 south st\"\n"
+	r, err := ReadCSVString(csv, Options{KeepDicts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumRows() != 2 {
+		t.Fatalf("rows = %d", r.NumRows())
+	}
+	if got := r.Value(0, 0); got != "cox, joseph" {
+		t.Errorf("quoted value = %q", got)
+	}
+}
+
+func TestReadCSVRaggedRows(t *testing.T) {
+	csv := "a,b\n1,2\n3\n"
+	if _, err := ReadCSVString(csv, Options{}); err == nil {
+		t.Error("ragged csv should error")
+	}
+}
+
+func TestReadCSVHeaderOnly(t *testing.T) {
+	r, err := ReadCSVString("a,b,c\n", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumRows() != 0 || r.NumCols() != 3 {
+		t.Errorf("dims = %dx%d", r.NumRows(), r.NumCols())
+	}
+}
+
+func TestReadCSVWindowsLineEndings(t *testing.T) {
+	csv := "a,b\r\n1,x\r\n1,x\r\n"
+	r, err := ReadCSVString(csv, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumRows() != 2 {
+		t.Fatalf("rows = %d", r.NumRows())
+	}
+	if r.Cols[1][0] != r.Cols[1][1] {
+		t.Error("\\r\\n handling broke value equality")
+	}
+}
+
+func TestReadCSVLargeField(t *testing.T) {
+	big := strings.Repeat("x", 10000)
+	csv := "a\n" + big + "\n" + big + "\n"
+	r, err := ReadCSVString(csv, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cards[0] != 1 {
+		t.Errorf("card = %d, want 1 (identical big fields)", r.Cards[0])
+	}
+}
+
+func TestReadCSVUnicode(t *testing.T) {
+	csv := "städte\nmünchen\nmünchen\nköln\n"
+	r, err := ReadCSVString(csv, Options{KeepDicts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Names[0] != "städte" {
+		t.Errorf("header = %q", r.Names[0])
+	}
+	if r.Cards[0] != 2 {
+		t.Errorf("card = %d", r.Cards[0])
+	}
+	if r.Value(0, 2) != "köln" {
+		t.Errorf("value = %q", r.Value(0, 2))
+	}
+}

@@ -1,0 +1,364 @@
+// Package relation represents relational data with the domain-independent
+// indexing scheme (DIIS) the paper uses for FD discovery.
+//
+// A Relation stores each column as a slice of int32 dictionary codes: the
+// active domain of a column with k distinct values maps bijectively to
+// {0, …, k-1}. All discovery algorithms operate on codes only — stripped
+// partitions, agree sets and validation never touch the original values.
+//
+// Missing values support the two interpretations from the paper:
+//
+//   - NullEqNull (null = null): every null in a column carries the same
+//     code, so two nulls agree like any repeated value.
+//   - NullNeqNull (null ≠ null): every null occurrence receives a fresh
+//     unique code, so nulls never agree with anything.
+//
+// Either way a per-column null mask records which occurrences were missing,
+// which the ranking of FDs needs to exclude null-caused redundancy.
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// NullSemantics selects how missing values compare.
+type NullSemantics int
+
+const (
+	// NullEqNull treats every missing value as the same value (null = null).
+	NullEqNull NullSemantics = iota
+	// NullNeqNull treats every missing value as a unique value (null ≠ null).
+	NullNeqNull
+)
+
+func (s NullSemantics) String() string {
+	if s == NullNeqNull {
+		return "null≠null"
+	}
+	return "null=null"
+}
+
+// Relation is a dictionary-encoded table.
+type Relation struct {
+	// Names holds the column names, len(Names) == NumCols().
+	Names []string
+	// Cols holds the dictionary codes column-major: Cols[c][r] is the code
+	// of row r in column c, in the range [0, Cards[c]).
+	Cols [][]int32
+	// Cards holds the active-domain size of each column.
+	Cards []int
+	// Nulls marks missing occurrences: Nulls[c] is nil when column c is
+	// complete, otherwise Nulls[c][r] reports whether row r is missing.
+	Nulls [][]bool
+	// Semantics records the null interpretation used during encoding.
+	Semantics NullSemantics
+	// Dicts optionally retains the decoded values: Dicts[c][code] is the
+	// original string. Nil when the relation was generated directly in
+	// code form. Under NullNeqNull the per-occurrence null codes all decode
+	// to the null token.
+	Dicts [][]string
+
+	rows int
+}
+
+// NumRows returns the number of tuples.
+func (r *Relation) NumRows() int { return r.rows }
+
+// NumCols returns the number of attributes.
+func (r *Relation) NumCols() int { return len(r.Cols) }
+
+// IsNull reports whether row row of column col is a missing value.
+func (r *Relation) IsNull(col, row int) bool {
+	m := r.Nulls[col]
+	return m != nil && m[row]
+}
+
+// HasNulls reports whether any column contains a missing value.
+func (r *Relation) HasNulls() bool {
+	for c := range r.Nulls {
+		if r.Nulls[c] != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// NullCount returns the total number of missing occurrences.
+func (r *Relation) NullCount() int {
+	n := 0
+	for c := range r.Nulls {
+		for _, isNull := range r.Nulls[c] {
+			if isNull {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Value returns the decoded value at (col, row) if the relation retains
+// dictionaries, else the code rendered as a number.
+func (r *Relation) Value(col, row int) string {
+	code := r.Cols[col][row]
+	if r.Dicts != nil && r.Dicts[col] != nil && int(code) < len(r.Dicts[col]) {
+		return r.Dicts[col][code]
+	}
+	return fmt.Sprintf("%d", code)
+}
+
+// Options configure encoding of raw string data.
+type Options struct {
+	// Semantics selects the null interpretation. Default NullEqNull.
+	Semantics NullSemantics
+	// NullTokens lists the strings treated as missing values. Default
+	// {"", "?"}. Matching is exact after no trimming.
+	NullTokens []string
+	// KeepDicts retains the value dictionaries for decoding.
+	KeepDicts bool
+}
+
+func (o *Options) nullSet() map[string]bool {
+	tokens := o.NullTokens
+	if tokens == nil {
+		tokens = []string{"", "?"}
+	}
+	set := make(map[string]bool, len(tokens))
+	for _, t := range tokens {
+		set[t] = true
+	}
+	return set
+}
+
+// FromRows dictionary-encodes raw string rows. names may be nil, in which
+// case columns are named col0, col1, …. All rows must have the same width.
+func FromRows(names []string, rows [][]string, opts Options) (*Relation, error) {
+	ncols := 0
+	if len(rows) > 0 {
+		ncols = len(rows[0])
+	} else if names != nil {
+		ncols = len(names)
+	}
+	if names == nil {
+		names = make([]string, ncols)
+		for c := range names {
+			names[c] = fmt.Sprintf("col%d", c)
+		}
+	} else if len(names) != ncols && len(rows) > 0 {
+		return nil, fmt.Errorf("relation: %d column names for %d columns", len(names), ncols)
+	}
+	for i, row := range rows {
+		if len(row) != ncols {
+			return nil, fmt.Errorf("relation: row %d has %d fields, want %d", i, len(row), ncols)
+		}
+	}
+
+	nulls := opts.nullSet()
+	rel := &Relation{
+		Names:     append([]string(nil), names...),
+		Cols:      make([][]int32, ncols),
+		Cards:     make([]int, ncols),
+		Nulls:     make([][]bool, ncols),
+		Semantics: opts.Semantics,
+		rows:      len(rows),
+	}
+	if opts.KeepDicts {
+		rel.Dicts = make([][]string, ncols)
+	}
+
+	for c := 0; c < ncols; c++ {
+		codes := make([]int32, len(rows))
+		dict := make(map[string]int32)
+		var values []string
+		var mask []bool
+		next := int32(0) // next free code
+		alloc := func(v string) int32 {
+			code := next
+			next++
+			if opts.KeepDicts {
+				values = append(values, v)
+			}
+			return code
+		}
+		nullCode := int32(-1)
+		for r, row := range rows {
+			v := row[c]
+			if nulls[v] {
+				if mask == nil {
+					mask = make([]bool, len(rows))
+				}
+				mask[r] = true
+				if opts.Semantics == NullNeqNull {
+					codes[r] = alloc(v) // fresh code per occurrence
+				} else {
+					if nullCode < 0 {
+						nullCode = alloc(v)
+					}
+					codes[r] = nullCode
+				}
+				continue
+			}
+			code, ok := dict[v]
+			if !ok {
+				code = alloc(v)
+				dict[v] = code
+			}
+			codes[r] = code
+		}
+		rel.Cols[c] = codes
+		rel.Cards[c] = int(next)
+		rel.Nulls[c] = mask
+		if opts.KeepDicts {
+			rel.Dicts[c] = values
+		}
+	}
+	return rel, nil
+}
+
+// FromCodes builds a relation directly from dictionary codes. The caller
+// supplies column-major codes; cards are computed as 1 + max code. nulls may
+// be nil (complete relation) or per-column masks (nil entries allowed).
+func FromCodes(names []string, cols [][]int32, nulls [][]bool, sem NullSemantics) *Relation {
+	ncols := len(cols)
+	rows := 0
+	if ncols > 0 {
+		rows = len(cols[0])
+	}
+	if names == nil {
+		names = make([]string, ncols)
+		for c := range names {
+			names[c] = fmt.Sprintf("col%d", c)
+		}
+	}
+	if nulls == nil {
+		nulls = make([][]bool, ncols)
+	}
+	rel := &Relation{
+		Names:     names,
+		Cols:      cols,
+		Cards:     make([]int, ncols),
+		Nulls:     nulls,
+		Semantics: sem,
+		rows:      rows,
+	}
+	for c := 0; c < ncols; c++ {
+		if len(cols[c]) != rows {
+			panic(fmt.Sprintf("relation: column %d has %d rows, want %d", c, len(cols[c]), rows))
+		}
+		maxCode := int32(-1)
+		for _, code := range cols[c] {
+			if code > maxCode {
+				maxCode = code
+			}
+		}
+		rel.Cards[c] = int(maxCode) + 1
+	}
+	return rel
+}
+
+// ReadCSV parses CSV data with a header row and encodes it.
+func ReadCSV(r io.Reader, opts Options) (*Relation, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("relation: empty csv")
+	}
+	return FromRows(records[0], records[1:], opts)
+}
+
+// ReadCSVString is ReadCSV over a string, convenient for fixtures.
+func ReadCSVString(data string, opts Options) (*Relation, error) {
+	return ReadCSV(strings.NewReader(data), opts)
+}
+
+// Project returns a new relation restricted to the given columns (by index,
+// in the given order). Codes are shared with the original, not copied.
+func (r *Relation) Project(cols []int) *Relation {
+	p := &Relation{
+		Names:     make([]string, len(cols)),
+		Cols:      make([][]int32, len(cols)),
+		Cards:     make([]int, len(cols)),
+		Nulls:     make([][]bool, len(cols)),
+		Semantics: r.Semantics,
+		rows:      r.rows,
+	}
+	if r.Dicts != nil {
+		p.Dicts = make([][]string, len(cols))
+	}
+	for i, c := range cols {
+		p.Names[i] = r.Names[c]
+		p.Cols[i] = r.Cols[c]
+		p.Cards[i] = r.Cards[c]
+		p.Nulls[i] = r.Nulls[c]
+		if r.Dicts != nil {
+			p.Dicts[i] = r.Dicts[c]
+		}
+	}
+	return p
+}
+
+// Head returns a new relation containing the first n rows (or all rows if
+// n exceeds the size). Codes are re-sliced, cards recomputed.
+func (r *Relation) Head(n int) *Relation {
+	if n > r.rows {
+		n = r.rows
+	}
+	h := &Relation{
+		Names:     r.Names,
+		Cols:      make([][]int32, len(r.Cols)),
+		Cards:     make([]int, len(r.Cols)),
+		Nulls:     make([][]bool, len(r.Cols)),
+		Semantics: r.Semantics,
+		Dicts:     r.Dicts,
+		rows:      n,
+	}
+	for c := range r.Cols {
+		h.Cols[c] = r.Cols[c][:n]
+		if r.Nulls[c] != nil {
+			h.Nulls[c] = r.Nulls[c][:n]
+		}
+		maxCode := int32(-1)
+		for _, code := range h.Cols[c] {
+			if code > maxCode {
+				maxCode = code
+			}
+		}
+		h.Cards[c] = int(maxCode) + 1
+	}
+	return h
+}
+
+// IncompleteStats returns the number of incomplete rows, incomplete columns,
+// and missing values (the #IR, #IC, #⊥ statistics from the paper).
+func (r *Relation) IncompleteStats() (incompleteRows, incompleteCols, missing int) {
+	rowHit := make([]bool, r.rows)
+	for c := range r.Nulls {
+		mask := r.Nulls[c]
+		if mask == nil {
+			continue
+		}
+		colHit := false
+		for row, isNull := range mask {
+			if isNull {
+				missing++
+				colHit = true
+				rowHit[row] = true
+			}
+		}
+		if colHit {
+			incompleteCols++
+		}
+	}
+	for _, hit := range rowHit {
+		if hit {
+			incompleteRows++
+		}
+	}
+	return incompleteRows, incompleteCols, missing
+}

@@ -1,0 +1,211 @@
+package relation
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const simpleCSV = `a,b,c
+1,x,red
+2,x,red
+1,y,blue
+3,?,red
+`
+
+func TestReadCSVBasic(t *testing.T) {
+	r, err := ReadCSVString(simpleCSV, Options{KeepDicts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumRows() != 4 || r.NumCols() != 3 {
+		t.Fatalf("dims = %dx%d", r.NumRows(), r.NumCols())
+	}
+	if !reflect.DeepEqual(r.Names, []string{"a", "b", "c"}) {
+		t.Errorf("names = %v", r.Names)
+	}
+	// Column a: values 1,2,1,3 -> codes 0,1,0,2; card 3.
+	if !reflect.DeepEqual(r.Cols[0], []int32{0, 1, 0, 2}) {
+		t.Errorf("col a codes = %v", r.Cols[0])
+	}
+	if r.Cards[0] != 3 {
+		t.Errorf("card a = %d", r.Cards[0])
+	}
+	// Column c: red,red,blue,red -> 0,0,1,0; card 2.
+	if !reflect.DeepEqual(r.Cols[2], []int32{0, 0, 1, 0}) {
+		t.Errorf("col c codes = %v", r.Cols[2])
+	}
+	if r.Value(2, 2) != "blue" {
+		t.Errorf("Value(2,2) = %q", r.Value(2, 2))
+	}
+}
+
+func TestNullEqNullSharesCode(t *testing.T) {
+	csv := "a\n?\nx\n?\n"
+	r, err := ReadCSVString(csv, Options{Semantics: NullEqNull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cols[0][0] != r.Cols[0][2] {
+		t.Error("null=null should share one code")
+	}
+	if r.Cols[0][0] == r.Cols[0][1] {
+		t.Error("null code collides with value code")
+	}
+	if !r.IsNull(0, 0) || r.IsNull(0, 1) || !r.IsNull(0, 2) {
+		t.Error("null mask wrong")
+	}
+	if r.Cards[0] != 2 {
+		t.Errorf("card = %d, want 2", r.Cards[0])
+	}
+}
+
+func TestNullNeqNullUniqueCodes(t *testing.T) {
+	csv := "a\n?\nx\n?\n?\n"
+	r, err := ReadCSVString(csv, Options{Semantics: NullNeqNull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int32]bool{}
+	for _, code := range r.Cols[0] {
+		if seen[code] {
+			t.Fatalf("duplicate code %d under null≠null", code)
+		}
+		seen[code] = true
+	}
+	if r.Cards[0] != 4 {
+		t.Errorf("card = %d, want 4", r.Cards[0])
+	}
+	if !r.HasNulls() {
+		t.Error("HasNulls = false")
+	}
+	if r.NullCount() != 3 {
+		t.Errorf("NullCount = %d", r.NullCount())
+	}
+}
+
+func TestCustomNullTokens(t *testing.T) {
+	r, err := FromRows([]string{"a"}, [][]string{{"NULL"}, {"x"}, {""}}, Options{NullTokens: []string{"NULL"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.IsNull(0, 0) {
+		t.Error("NULL token not recognized")
+	}
+	if r.IsNull(0, 2) {
+		t.Error("empty string should not be null with custom tokens")
+	}
+}
+
+func TestFromRowsErrors(t *testing.T) {
+	_, err := FromRows([]string{"a", "b"}, [][]string{{"1"}}, Options{})
+	if err == nil {
+		t.Error("want error for mismatched widths")
+	}
+	_, err = FromRows(nil, [][]string{{"1", "2"}, {"3"}}, Options{})
+	if err == nil {
+		t.Error("want error for ragged rows")
+	}
+	if _, err := ReadCSV(strings.NewReader(""), Options{}); err == nil {
+		t.Error("want error for empty csv")
+	}
+}
+
+func TestFromRowsNilNames(t *testing.T) {
+	r, err := FromRows(nil, [][]string{{"1", "2"}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.Names, []string{"col0", "col1"}) {
+		t.Errorf("names = %v", r.Names)
+	}
+}
+
+func TestFromCodes(t *testing.T) {
+	r := FromCodes(nil, [][]int32{{0, 1, 0}, {2, 2, 0}}, nil, NullEqNull)
+	if r.NumRows() != 3 || r.NumCols() != 2 {
+		t.Fatalf("dims = %dx%d", r.NumRows(), r.NumCols())
+	}
+	if r.Cards[0] != 2 || r.Cards[1] != 3 {
+		t.Errorf("cards = %v", r.Cards)
+	}
+	if r.HasNulls() {
+		t.Error("HasNulls on complete relation")
+	}
+}
+
+func TestProject(t *testing.T) {
+	r, err := ReadCSVString(simpleCSV, Options{KeepDicts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := r.Project([]int{2, 0})
+	if !reflect.DeepEqual(p.Names, []string{"c", "a"}) {
+		t.Errorf("projected names = %v", p.Names)
+	}
+	if !reflect.DeepEqual(p.Cols[0], r.Cols[2]) {
+		t.Error("projection should share column 2")
+	}
+	if p.Value(0, 2) != "blue" {
+		t.Errorf("projected Value = %q", p.Value(0, 2))
+	}
+}
+
+func TestHead(t *testing.T) {
+	r, err := ReadCSVString(simpleCSV, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := r.Head(2)
+	if h.NumRows() != 2 {
+		t.Fatalf("head rows = %d", h.NumRows())
+	}
+	// First two rows of column a are codes 0,1 -> card 2.
+	if h.Cards[0] != 2 {
+		t.Errorf("head card a = %d", h.Cards[0])
+	}
+	// Head beyond size returns everything.
+	if r.Head(100).NumRows() != 4 {
+		t.Error("Head(100) should clamp")
+	}
+	// Null masks are sliced too: rows 0-2 of column b are complete, so the
+	// sliced mask must report no nulls even though row 3 of the source is ?.
+	h3 := r.Head(3)
+	if h3.NullCount() != 0 {
+		t.Errorf("Head(3).NullCount() = %d, want 0", h3.NullCount())
+	}
+	if r.NullCount() != 1 {
+		t.Errorf("source NullCount = %d, want 1", r.NullCount())
+	}
+}
+
+func TestIncompleteStats(t *testing.T) {
+	csv := "a,b\n?,1\n2,?\n3,3\n?,4\n"
+	r, err := ReadCSVString(csv, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir, ic, miss := r.IncompleteStats()
+	if ir != 3 || ic != 2 || miss != 3 {
+		t.Errorf("stats = %d,%d,%d want 3,2,3", ir, ic, miss)
+	}
+}
+
+func TestSemanticsString(t *testing.T) {
+	if NullEqNull.String() != "null=null" || NullNeqNull.String() != "null≠null" {
+		t.Error("semantics String wrong")
+	}
+}
+
+func TestDuplicateRowsKeepCodes(t *testing.T) {
+	// The paper's relations are sets of tuples, but benchmark files contain
+	// duplicate lines; encoding must be stable regardless.
+	csv := "a,b\nx,1\nx,1\n"
+	r, err := ReadCSVString(csv, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cols[0][0] != r.Cols[0][1] || r.Cols[1][0] != r.Cols[1][1] {
+		t.Error("duplicate rows should have equal codes")
+	}
+}

@@ -1,0 +1,207 @@
+package sampling
+
+import (
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/partition"
+	"repro/internal/relation"
+)
+
+func rel(t *testing.T, rows [][]string) *relation.Relation {
+	t.Helper()
+	r, err := relation.FromRows(nil, rows, relation.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestAgreeSet(t *testing.T) {
+	r := rel(t, [][]string{
+		{"1", "x", "red"},
+		{"1", "y", "red"},
+		{"2", "y", "red"},
+	})
+	if got := AgreeSet(r, 0, 1, nil); !got.Equal(bitset.FromAttrs(3, 0, 2)) {
+		t.Errorf("ag(0,1) = %v", got)
+	}
+	if got := AgreeSet(r, 1, 2, nil); !got.Equal(bitset.FromAttrs(3, 1, 2)) {
+		t.Errorf("ag(1,2) = %v", got)
+	}
+	if got := AgreeSet(r, 0, 2, nil); !got.Equal(bitset.FromAttrs(3, 2)) {
+		t.Errorf("ag(0,2) = %v", got)
+	}
+	// Reuses the buffer.
+	buf := bitset.New(3)
+	got := AgreeSet(r, 0, 1, buf)
+	if &got[0] != &buf[0] {
+		t.Error("buffer not reused")
+	}
+}
+
+func TestNonFDSetDedupAndFull(t *testing.T) {
+	s := NewNonFDSet(3)
+	if !s.Add(bitset.FromAttrs(3, 0)) {
+		t.Error("first add should be new")
+	}
+	if s.Add(bitset.FromAttrs(3, 0)) {
+		t.Error("duplicate add should be ignored")
+	}
+	if s.Add(bitset.Full(3)) {
+		t.Error("full agree set implies nothing and should be ignored")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestNegativeCover(t *testing.T) {
+	// 3 rows: pairs (0,1) agree on {0,2}, (1,2) on {1,2}, (0,2) on {2}.
+	r := rel(t, [][]string{
+		{"1", "x", "red"},
+		{"1", "y", "red"},
+		{"2", "y", "red"},
+	})
+	s := NegativeCover(r)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	want := map[string]bool{
+		bitset.FromAttrs(3, 0, 2).String(): true,
+		bitset.FromAttrs(3, 1, 2).String(): true,
+		bitset.FromAttrs(3, 2).String():    true,
+	}
+	for _, x := range s.Sets() {
+		if !want[x.String()] {
+			t.Errorf("unexpected agree set %v", x)
+		}
+	}
+}
+
+func TestNonRedundant(t *testing.T) {
+	s := NewNonFDSet(4)
+	s.Add(bitset.FromAttrs(4, 0))
+	s.Add(bitset.FromAttrs(4, 0, 2))
+	s.Add(bitset.FromAttrs(4, 1))
+	s.Add(bitset.FromAttrs(4, 0, 2, 3))
+	s.NonRedundant()
+	// {0} is redundant: its witnesses (0 ↛ 1,2,3) are all covered —
+	// 1 by {0,2,3}, 2 by nothing smaller... 2 ∉ {0}, and {0,2} ⊋ {0} has
+	// 2 ∈ it, but {0,2,3} covers 1 only. Walk it through: outside({0}) =
+	// {1,2,3}; supersets {0,2} covers {1,3}, {0,2,3} covers {1}; union
+	// {1,3} ≠ {1,2,3}, so {0} survives via witness 0 ↛ 2.
+	// {0,2} is redundant: outside = {1,3}, superset {0,2,3} covers {1};
+	// {1,3} ⊄ {1}, so {0,2} also survives via 0,2 ↛ 3.
+	got := map[string]bool{}
+	for _, x := range s.Sets() {
+		got[x.String()] = true
+	}
+	want := []string{
+		bitset.FromAttrs(4, 0).String(),
+		bitset.FromAttrs(4, 0, 2).String(),
+		bitset.FromAttrs(4, 1).String(),
+		bitset.FromAttrs(4, 0, 2, 3).String(),
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("missing %s in %v", w, got)
+		}
+	}
+}
+
+func TestNonRedundantDropsCovered(t *testing.T) {
+	// {0} with supersets {0,1} and {0,2}: outside({0}) = {1,2};
+	// {0,1} covers {2}, {0,2} covers {1} — union {1,2} ⊇ outside, so {0}
+	// is redundant and must be dropped.
+	s := NewNonFDSet(3)
+	s.Add(bitset.FromAttrs(3, 0))
+	s.Add(bitset.FromAttrs(3, 0, 1))
+	s.Add(bitset.FromAttrs(3, 0, 2))
+	s.NonRedundant()
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d: %v", s.Len(), s.Sets())
+	}
+	for _, x := range s.Sets() {
+		if x.Count() != 2 {
+			t.Errorf("kept %v", x)
+		}
+	}
+}
+
+func TestSortDescending(t *testing.T) {
+	s := NewNonFDSet(4)
+	s.Add(bitset.FromAttrs(4, 1))
+	s.Add(bitset.FromAttrs(4, 0, 2, 3))
+	s.Add(bitset.FromAttrs(4, 0, 2))
+	s.SortDescending()
+	sizes := []int{}
+	for _, x := range s.Sets() {
+		sizes = append(sizes, x.Count())
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] > sizes[i-1] {
+			t.Fatalf("not descending: %v", sizes)
+		}
+	}
+}
+
+func TestClusterNeighborSample(t *testing.T) {
+	// Column 0 clusters rows {0,1,2} (all "1"); rows 3 unique.
+	r := rel(t, [][]string{
+		{"1", "x", "red"},
+		{"1", "y", "red"},
+		{"1", "y", "blue"},
+		{"2", "z", "blue"},
+	})
+	p := partition.Single(r.Cols[0], r.Cards[0])
+	s := NewNonFDSet(3)
+	newN, comps := ClusterNeighborSample(r, p, 1, s)
+	if comps != 2 {
+		t.Errorf("comparisons = %d, want 2 (cluster of 3 rows, window 1)", comps)
+	}
+	if newN != s.Len() || newN == 0 {
+		t.Errorf("newNonFDs = %d, Len = %d", newN, s.Len())
+	}
+	// Every sampled agree set must contain attribute 0 (the cluster column).
+	for _, x := range s.Sets() {
+		if !x.Contains(0) {
+			t.Errorf("agree set %v from cluster of column 0 must contain 0", x)
+		}
+	}
+	// Window distance larger than cluster yields nothing.
+	s2 := NewNonFDSet(3)
+	if n, _ := ClusterNeighborSample(r, p, 5, s2); n != 0 {
+		t.Errorf("oversized window sampled %d", n)
+	}
+}
+
+func TestInitialSampleCoversAllColumns(t *testing.T) {
+	r := rel(t, [][]string{
+		{"1", "x"},
+		{"1", "y"},
+		{"2", "x"},
+		{"2", "y"},
+	})
+	singles := make([]*partition.Partition, r.NumCols())
+	for c := range singles {
+		singles[c] = partition.Single(r.Cols[c], r.Cards[c])
+	}
+	s := InitialSample(r, singles)
+	if s.Len() == 0 {
+		t.Fatal("initial sample found nothing")
+	}
+	// Agree sets {0} (rows 0,1) and {1} (rows 0,2 or 1,3) must both appear.
+	found0, found1 := false, false
+	for _, x := range s.Sets() {
+		if x.Equal(bitset.FromAttrs(2, 0)) {
+			found0 = true
+		}
+		if x.Equal(bitset.FromAttrs(2, 1)) {
+			found1 = true
+		}
+	}
+	if !found0 || !found1 {
+		t.Errorf("expected both singleton agree sets, got %v", s.Sets())
+	}
+}

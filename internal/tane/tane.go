@@ -1,0 +1,253 @@
+// Package tane implements the TANE algorithm of Huhtala, Kärkkäinen,
+// Porkka and Toivonen — the column-based baseline of the paper.
+//
+// TANE traverses the attribute lattice level by level. Each level-ℓ
+// candidate X carries its stripped partition π_X (computed by intersecting
+// two level-(ℓ−1) parents) and the RHS-candidate set C+(X); the FD
+// X∖{A} → A is valid iff the partition error e(X∖{A}) equals e(X).
+// Key pruning removes superkeys from the lattice after emitting the FDs
+// they certify.
+//
+// As the paper observes, TANE excels when all FDs have short LHSs
+// (fd-reduced) and degrades badly with many columns; the partitions of a
+// whole level resident in memory are its characteristic cost.
+package tane
+
+import (
+	"context"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/dep"
+	"repro/internal/partition"
+	"repro/internal/relation"
+)
+
+type candidate struct {
+	set   bitset.Set
+	attrs []int // ascending attribute list (cached)
+	part  *partition.Partition
+	err   int
+	cplus bitset.Set
+	dead  bool // pruned, but cplus stays queryable for the key-pruning rule
+}
+
+// Discover returns the left-reduced cover (singleton RHSs, minimal LHSs)
+// of the FDs that hold on r.
+func Discover(r *relation.Relation) []dep.FD {
+	fds, _ := DiscoverCtx(context.Background(), r)
+	return fds
+}
+
+// DiscoverCtx is Discover with cooperative cancellation: lattice levels
+// are abandoned promptly once ctx is done, returning ctx's error. TANE's
+// levels can hold gigabytes of partitions, so cancellation matters for
+// time-limited benchmark drivers.
+func DiscoverCtx(ctx context.Context, r *relation.Relation) ([]dep.FD, error) {
+	n := r.NumCols()
+	var out []dep.FD
+	if n == 0 {
+		return out, nil
+	}
+	nrows := r.NumRows()
+
+	// e(∅): a single cluster of all rows (empty when fewer than 2 rows).
+	emptyErr := 0
+	if nrows >= 2 {
+		emptyErr = nrows - 1
+	}
+
+	full := bitset.Full(n)
+
+	// Level 1. Level 0 is the empty set: one cluster of all rows.
+	emptyPart := &partition.Partition{NRows: nrows}
+	if nrows >= 2 {
+		all := make([]int32, nrows)
+		for i := range all {
+			all[i] = int32(i)
+		}
+		emptyPart.Clusters = [][]int32{all}
+	}
+	prevErr := map[string]int{bitset.New(n).Key(): emptyErr}
+	prevPart := map[string]*partition.Partition{bitset.New(n).Key(): emptyPart}
+	level := make([]*candidate, 0, n)
+	for a := 0; a < n; a++ {
+		p := partition.Single(r.Cols[a], r.Cards[a])
+		level = append(level, &candidate{
+			set:   bitset.FromAttrs(n, a),
+			attrs: []int{a},
+			part:  p,
+			err:   p.Error(),
+			cplus: full.Clone(),
+		})
+	}
+
+	for len(level) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		curCPlus := make(map[string]bitset.Set, len(level))
+		curErr := make(map[string]int, len(level))
+		curPart := make(map[string]*partition.Partition, len(level))
+		for _, c := range level {
+			curCPlus[c.set.Key()] = c.cplus
+			curErr[c.set.Key()] = c.err
+			curPart[c.set.Key()] = c.part
+		}
+
+		// COMPUTE_DEPENDENCIES.
+		for _, c := range level {
+			for _, a := range c.attrs {
+				if !c.cplus.Contains(a) {
+					continue
+				}
+				rest := c.set.Clone()
+				rest.Remove(a)
+				restErr, ok := prevErr[rest.Key()]
+				if !ok {
+					continue // parent pruned: X∖A → A cannot be minimal
+				}
+				if restErr == c.err {
+					rhs := bitset.New(n)
+					rhs.Add(a)
+					out = append(out, dep.FD{LHS: rest, RHS: rhs})
+					c.cplus.Remove(a)
+					// Remove all B ∈ R∖X from C+(X).
+					c.cplus.IntersectWith(c.set)
+				}
+			}
+		}
+
+		// PRUNE.
+		for _, c := range level {
+			if c.cplus.IsEmpty() {
+				c.dead = true
+				continue
+			}
+			if c.part.IsUnique() { // X is a (super)key
+				outside := c.cplus.Difference(c.set)
+				for a := outside.Next(0); a >= 0; a = outside.Next(a + 1) {
+					if keyFDMinimal(r, c, a, prevErr, prevPart) {
+						rhs := bitset.New(n)
+						rhs.Add(a)
+						out = append(out, dep.FD{LHS: c.set.Clone(), RHS: rhs})
+					}
+				}
+				c.dead = true
+			}
+		}
+
+		level = nextLevel(ctx, r, level, curCPlus, n)
+		prevErr, prevPart = curErr, curPart
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	dep.Sort(out)
+	return out, nil
+}
+
+// keyFDMinimal decides whether the key FD X → A (X a superkey, A outside
+// X) is minimal. X → A is certainly valid; it is minimal iff no co-atom
+// X∖{B} determines A, which is checked directly by refining the parent
+// partition with A — the sibling C+ sets TANE's original certificate
+// consults may already be pruned from the lattice, losing FDs.
+func keyFDMinimal(r *relation.Relation, c *candidate, a int, prevErr map[string]int, prevPart map[string]*partition.Partition) bool {
+	rest := c.set.Clone()
+	for _, b := range c.attrs {
+		rest.Remove(b)
+		k := rest.Key()
+		rest.Add(b)
+		pRest, ok := prevPart[k]
+		if !ok {
+			// Parent pruned: it was a key itself, so X∖{B} → A holds and
+			// X → A is not minimal.
+			return false
+		}
+		refined := partition.Refine(pRest, r.Cols[a], r.Cards[a])
+		if refined.Error() == prevErr[k] {
+			return false // X∖{B} → A already valid
+		}
+	}
+	return true
+}
+
+// nextLevel generates level ℓ+1 by joining prefix blocks: two level-ℓ sets
+// sharing their first ℓ−1 attributes produce their union, kept only if all
+// ℓ+1 subsets survive; C+ is the intersection of the subsets' C+ sets, and
+// the partition the product of the parents'.
+func nextLevel(ctx context.Context, r *relation.Relation, level []*candidate, curCPlus map[string]bitset.Set, n int) []*candidate {
+	alive := level[:0:0]
+	for _, c := range level {
+		if !c.dead {
+			alive = append(alive, c)
+		}
+	}
+	if len(alive) == 0 {
+		return nil
+	}
+	sort.Slice(alive, func(i, j int) bool {
+		return bitset.CompareLex(alive[i].set, alive[j].set) < 0
+	})
+	aliveKeys := make(map[string]*candidate, len(alive))
+	for _, c := range alive {
+		aliveKeys[c.set.Key()] = c
+	}
+
+	var next []*candidate
+	for i := 0; i < len(alive); i++ {
+		if i%64 == 0 && ctx.Err() != nil {
+			return nil // abandoned; the caller re-checks ctx
+		}
+		for j := i + 1; j < len(alive); j++ {
+			a, b := alive[i], alive[j]
+			if !samePrefix(a.attrs, b.attrs) {
+				break // sorted order: later j cannot share the prefix either
+			}
+			union := a.set.Union(b.set)
+			cplus := intersectSubsetCPlus(union, curCPlus, aliveKeys, n)
+			if cplus == nil {
+				continue // some subset pruned: no minimal FD can come from here
+			}
+			probe := partition.NewProbeTable(b.part)
+			p := partition.Intersect(a.part, probe)
+			next = append(next, &candidate{
+				set:   union,
+				attrs: union.Attrs(),
+				part:  p,
+				err:   p.Error(),
+				cplus: cplus,
+			})
+		}
+	}
+	return next
+}
+
+func samePrefix(a, b []int) bool {
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// intersectSubsetCPlus returns ∩_{A∈X} C+(X∖A), or nil when a subset was
+// pruned from the lattice (which prunes X as well).
+func intersectSubsetCPlus(x bitset.Set, curCPlus map[string]bitset.Set, alive map[string]*candidate, n int) bitset.Set {
+	acc := bitset.Full(n)
+	sub := x.Clone()
+	for a := x.Next(0); a >= 0; a = x.Next(a + 1) {
+		sub.Remove(a)
+		k := sub.Key()
+		if _, ok := alive[k]; !ok {
+			return nil
+		}
+		acc.IntersectWith(curCPlus[k])
+		sub.Add(a)
+		if acc.IsEmpty() {
+			return nil
+		}
+	}
+	return acc
+}

@@ -1,0 +1,124 @@
+// Package validate implements FD validation over stripped partitions
+// (Algorithm 4 of the paper), shared by HyFD and DHyFD.
+//
+// Validating X → Y with a partition π_X′ for some X′ ⊆ X refines one
+// cluster at a time by the attributes X−X′ (Algorithm 5) and compares the
+// tuples of each refined cluster against a representative. Full partitions
+// are never materialized, so validation of an invalid FD exits as soon as
+// every RHS attribute has a witnessing tuple pair — and every witness pair
+// doubles as a sampled non-FD, the paper's combination of validation and
+// sampling.
+package validate
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/partition"
+	"repro/internal/relation"
+	"repro/internal/sampling"
+)
+
+// Validator holds reusable scratch state for many FD validations over one
+// relation.
+type Validator struct {
+	r  *relation.Relation
+	rf *partition.Refiner
+	ag bitset.Set
+	// Validations counts validated (node, RHS attribute) pairs;
+	// Invalidated counts how many of those failed.
+	Validations int
+	Invalidated int
+}
+
+// New returns a validator for r.
+func New(r *relation.Relation) *Validator {
+	maxCard := 1
+	for _, c := range r.Cards {
+		if c > maxCard {
+			maxCard = c
+		}
+	}
+	return &Validator{
+		r:  r,
+		rf: partition.NewRefiner(maxCard),
+		ag: bitset.New(r.NumCols()),
+	}
+}
+
+// FD validates lhs → rhs given a stripped partition over startAttrs ⊆ lhs.
+// It returns the RHS attributes that remain valid and records one non-FD
+// witness per invalidated attribute group into nonFDs.
+func (v *Validator) FD(lhs, rhs bitset.Set, start *partition.Partition, startAttrs bitset.Set, nonFDs *sampling.NonFDSet) bitset.Set {
+	valid := rhs.Clone()
+	v.Validations += rhs.Count()
+	remaining := lhs.Difference(startAttrs).Attrs()
+	cols := v.r.Cols
+
+	var scratch, next [][]int32
+	for _, cluster := range start.Clusters {
+		scratch = scratch[:0]
+		scratch = append(scratch, cluster)
+		for _, a := range remaining {
+			next = next[:0]
+			for _, s := range scratch {
+				next = v.rf.RefineCluster(s, cols[a], v.r.Cards[a], next)
+			}
+			scratch, next = next, scratch
+			if len(scratch) == 0 {
+				break
+			}
+		}
+		for _, s := range scratch {
+			t0 := s[0]
+			for _, ti := range s[1:] {
+				anyInvalid := false
+				for a := valid.Next(0); a >= 0; a = valid.Next(a + 1) {
+					if cols[a][ti] != cols[a][t0] {
+						valid.Remove(a)
+						v.Invalidated++
+						anyInvalid = true
+					}
+				}
+				if anyInvalid {
+					if nonFDs != nil {
+						nonFDs.Add(sampling.AgreeSet(v.r, int(t0), int(ti), v.ag))
+					}
+					if valid.IsEmpty() {
+						return valid
+					}
+				}
+			}
+		}
+	}
+	return valid
+}
+
+// EmptyLHS validates ∅ → rhs by comparing every row to row 0 — the
+// validate(root, {r}) call at the start of Algorithm 6. Constant columns
+// survive; each invalidated attribute contributes a non-FD witness.
+func (v *Validator) EmptyLHS(rhs bitset.Set, nonFDs *sampling.NonFDSet) bitset.Set {
+	n := v.r.NumRows()
+	if n < 2 {
+		return rhs.Clone()
+	}
+	all := make([]int32, n)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	start := &partition.Partition{NRows: n, Clusters: [][]int32{all}}
+	return v.FD(bitset.New(v.r.NumCols()), rhs, start, bitset.New(v.r.NumCols()), nonFDs)
+}
+
+// InvalidCount tracks Invalidated/Validations deltas around a scope.
+type InvalidCount struct {
+	val, inv int
+}
+
+// Snapshot captures the validator's counters.
+func (v *Validator) Snapshot() InvalidCount {
+	return InvalidCount{val: v.Validations, inv: v.Invalidated}
+}
+
+// Since returns validations and invalidations since the snapshot.
+func (v *Validator) Since(s InvalidCount) (validations, invalidated int) {
+	return v.Validations - s.val, v.Invalidated - s.inv
+}

@@ -1,0 +1,64 @@
+package dhyfd
+
+import (
+	"repro/internal/armstrong"
+	"repro/internal/bitset"
+	"repro/internal/normalize"
+)
+
+// AttrSet is a set of column indexes; render it with Names.
+type AttrSet = bitset.Set
+
+// AttrSetOf builds an attribute set of width numAttrs from column indexes.
+func AttrSetOf(numAttrs int, attrs ...int) AttrSet {
+	return bitset.FromAttrs(numAttrs, attrs...)
+}
+
+// Schema is one relation of a decomposition.
+type Schema = normalize.Relation
+
+// CandidateKeys enumerates the minimal keys implied by fds over numAttrs
+// attributes (Lucchesi–Osborn). maxKeys bounds the potentially exponential
+// output; 0 means unbounded.
+func CandidateKeys(numAttrs int, fds []FD, maxKeys int) []AttrSet {
+	return normalize.CandidateKeys(numAttrs, fds, maxKeys)
+}
+
+// IsSuperkey reports whether x determines every attribute under fds.
+func IsSuperkey(numAttrs int, fds []FD, x AttrSet) bool {
+	return normalize.IsSuperkey(numAttrs, fds, x)
+}
+
+// Synthesize3NF computes a lossless, dependency-preserving Third Normal
+// Form decomposition from the FDs (classic synthesis over the canonical
+// cover).
+func Synthesize3NF(numAttrs int, fds []FD) []Schema {
+	return normalize.Synthesize3NF(numAttrs, fds)
+}
+
+// DecomposeBCNF computes a lossless Boyce-Codd Normal Form decomposition.
+// Dependency preservation is not guaranteed (and not always possible).
+func DecomposeBCNF(numAttrs int, fds []FD) []Schema {
+	return normalize.DecomposeBCNF(numAttrs, fds, 0)
+}
+
+// LosslessDecomposition verifies that the fragments join back to the
+// original relation without spurious tuples.
+func LosslessDecomposition(numAttrs int, fds []FD, rels []Schema) bool {
+	return normalize.LosslessAll(numAttrs, fds, rels)
+}
+
+// PreservesDependencies verifies that every FD is still enforceable on the
+// fragments alone.
+func PreservesDependencies(numAttrs int, fds []FD, rels []Schema) bool {
+	return normalize.Preserved(numAttrs, fds, rels)
+}
+
+// ArmstrongRelation generates a relation that satisfies exactly the FDs
+// implied by fds: every implied FD holds and every other FD is violated.
+// Armstrong relations turn covers into example data a human can inspect.
+// The construction enumerates maximal closed sets, which can be large;
+// budget bounds the search (0 = default).
+func ArmstrongRelation(numAttrs int, fds []FD, budget int) (*Relation, error) {
+	return armstrong.Relation(numAttrs, fds, budget)
+}

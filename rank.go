@@ -1,0 +1,56 @@
+package dhyfd
+
+import (
+	"repro/internal/ranking"
+)
+
+// RedundancyCounts holds the three per-FD redundancy counts: #red+0
+// (WithNulls), #red (NoNullRHS) and #red-0 (NoNulls).
+type RedundancyCounts = ranking.Counts
+
+// RankedFD pairs an FD with its redundancy counts.
+type RankedFD = ranking.Ranked
+
+// Rank computes the redundancy counts of every FD on r and returns them
+// sorted by descending relevance (Section VI of the paper). Highly ranked
+// FDs dominate the data; FDs whose redundancy is carried mostly by null
+// markers (WithNulls >> NoNulls) are likely accidental.
+func Rank(r *Relation, fds []FD) []RankedFD {
+	return ranking.Rank(r, fds)
+}
+
+// RedundancyOf computes the counts of a single FD.
+func RedundancyOf(r *Relation, f FD) RedundancyCounts {
+	return ranking.New(r).FD(f)
+}
+
+// DatasetRedundancy is the Table IV summary of one data set.
+type DatasetRedundancy = ranking.DatasetTotals
+
+// TotalRedundancy computes dataset-level redundancy: the number of data
+// value occurrences fixed in place by the given cover, counted once each.
+func TotalRedundancy(r *Relation, fds []FD) DatasetRedundancy {
+	return ranking.Totals(r, fds)
+}
+
+// RedundancyBucket is one bar of the Figure 10 histogram.
+type RedundancyBucket = ranking.Bucket
+
+// RedundancyHistogram buckets per-FD redundancy counts at the paper's
+// percentile thresholds (0, 2.5 %, 5 %, …, 100 % of the maximum).
+func RedundancyHistogram(ranked []RankedFD) []RedundancyBucket {
+	counts := make([]int, len(ranked))
+	for i, r := range ranked {
+		counts[i] = r.Counts.WithNulls
+	}
+	return ranking.Histogram(counts)
+}
+
+// ColumnLHSView is one row of the per-column analysis of Section VI-B.
+type ColumnLHSView = ranking.ColumnView
+
+// RankForColumn lists the minimal LHSs in the cover determining the given
+// column, each with the redundancy it causes in that column alone.
+func RankForColumn(r *Relation, fds []FD, col int) []ColumnLHSView {
+	return ranking.ForColumn(r, fds, col)
+}
