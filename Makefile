@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build vet fmt test race bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails when any file needs reformatting.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench BenchmarkDiscover -benchtime 1x ./
+
+# The default verify path: build, vet, formatting, then the full suite
+# under the race detector.
+check: build vet fmt race

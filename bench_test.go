@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	dhyfd "repro"
 	"repro/internal/armstrong"
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -268,6 +269,25 @@ func BenchmarkArmstrongRoundTrip(b *testing.B) {
 			b.Fatal(err)
 		}
 		core.Discover(arm)
+	}
+}
+
+// BenchmarkDiscoverParallel measures the engine worker pool end to end
+// through the public API: the serial baseline against Workers=4 on a
+// validation-heavy shape. Speedup requires the host to expose multiple
+// CPUs to the runtime; on a single-CPU host the two are expected to tie,
+// which bounds the pool's overhead instead.
+func BenchmarkDiscoverParallel(b *testing.B) {
+	bm, _ := dataset.ByName("diabetic")
+	r := bm.Generate(1500, 24)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dhyfd.Discover(context.Background(), r, dhyfd.WithWorkers(workers)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

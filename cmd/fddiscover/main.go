@@ -2,19 +2,25 @@
 //
 // Usage:
 //
-//	fddiscover [-algo dhyfd] [-null eq|neq] [-canonical] [-ratio 3.0] file.csv
+//	fddiscover [-algo dhyfd] [-workers 1] [-null eq|neq] [-canonical] [-ratio 3.0] file.csv
 //
 // Algorithms: dhyfd (default), hyfd, tane, fdep, fdep1, fdep2, fastfds, dfd.
 //
 // The file must have a header row. Output is one FD per line using column
 // names, preceded by a summary. With -canonical the left-reduced cover is
-// shrunk to a canonical cover before printing.
+// shrunk to a canonical cover before printing. Interrupting the run
+// (Ctrl-C) cancels discovery promptly and prints the statistics of the
+// phases completed so far.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	dhyfd "repro"
@@ -22,11 +28,13 @@ import (
 
 func main() {
 	algo := flag.String("algo", "dhyfd", "algorithm: dhyfd, hyfd, tane, fdep, fdep1, fdep2, fastfds, dfd")
+	workers := flag.Int("workers", 1, "validation worker-pool width (dhyfd, hyfd, tane)")
 	nullSem := flag.String("null", "eq", "null semantics: eq (null = null) or neq (null ≠ null)")
 	canonical := flag.Bool("canonical", false, "emit a canonical cover instead of the left-reduced cover")
 	ratio := flag.Float64("ratio", 3.0, "DHyFD efficiency–inefficiency ratio")
 	nullToken := flag.String("null-token", "", "extra token to treat as a missing value (empty string and '?' always are)")
-	stats := flag.Bool("stats", false, "print DHyFD run statistics to stderr")
+	stats := flag.Bool("stats", false, "print the run report to stderr")
+	timeout := flag.Duration("timeout", 0, "abort discovery after this long (0 = no limit)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: fddiscover [flags] file.csv\n")
 		flag.PrintDefaults()
@@ -56,19 +64,37 @@ func main() {
 		os.Exit(1)
 	}
 
-	start := time.Now()
-	var fds []dhyfd.FD
-	if *stats && a == dhyfd.DHyFD {
-		var st dhyfd.DHyFDStats
-		fds, st = dhyfd.DiscoverDHyFDStats(rel, *ratio)
-		fmt.Fprintf(os.Stderr, "dhyfd stats: %d initial non-FDs, %d total non-FDs, %d validations (%d invalidated), %d levels, %d DDM refreshes, peak %d dynamic partitions holding %d rows\n",
-			st.InitialNonFDs, st.NonFDs, st.Validations, st.Invalidated,
-			st.Levels, st.Refinements, st.PeakDynPartCount, st.PeakDynPartRows)
-	} else {
-		fds = dhyfd.DiscoverWith(rel, dhyfd.DiscoverOptions{Algorithm: a, Ratio: *ratio})
-	}
-	elapsed := time.Since(start)
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
 
+	discoverOpts := []dhyfd.Option{
+		dhyfd.WithAlgorithm(a),
+		dhyfd.WithWorkers(*workers),
+		dhyfd.WithRatio(*ratio),
+	}
+	if *timeout > 0 {
+		discoverOpts = append(discoverOpts, dhyfd.WithDeadline(time.Now().Add(*timeout)))
+	}
+
+	res, err := dhyfd.Discover(ctx, rel, discoverOpts...)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.Canceled):
+			fmt.Fprintln(os.Stderr, "fddiscover: interrupted; partial run report:")
+		case errors.Is(err, context.DeadlineExceeded):
+			fmt.Fprintln(os.Stderr, "fddiscover: timed out; partial run report:")
+		default:
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, res.Stats.String())
+		os.Exit(1)
+	}
+	if *stats {
+		fmt.Fprintln(os.Stderr, res.Stats.String())
+	}
+
+	fds := res.FDs
 	label := "left-reduced"
 	if *canonical {
 		cstart := time.Now()
@@ -79,6 +105,6 @@ func main() {
 
 	count, attrs := dhyfd.CoverSize(fds)
 	fmt.Fprintf(os.Stderr, "%s: %d rows, %d columns; %s cover: %d FDs, %d attribute occurrences (%v, %v)\n",
-		flag.Arg(0), rel.NumRows(), rel.NumCols(), label, count, attrs, a, elapsed)
+		flag.Arg(0), rel.NumRows(), rel.NumCols(), label, count, attrs, a, res.Stats.Elapsed)
 	fmt.Print(dhyfd.FormatFDs(fds, rel.Names))
 }

@@ -9,9 +9,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	dhyfd "repro"
 	"repro/internal/profile"
@@ -41,7 +45,19 @@ func main() {
 		os.Exit(1)
 	}
 
-	rep := profile.Profile(rel, profile.Options{MaxKeys: *maxKeys, Workers: *workers})
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	rep, err := profile.ProfileCtx(ctx, rel, profile.Options{MaxKeys: *maxKeys, Workers: *workers})
+	if err != nil {
+		if errors.Is(err, context.Canceled) && rep.Run != nil {
+			fmt.Fprintln(os.Stderr, "fdprofile: interrupted; partial run report:")
+			fmt.Fprintln(os.Stderr, rep.Run.String())
+		} else {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		os.Exit(1)
+	}
 	fmt.Printf("profile of %s (%v semantics)\n\n", flag.Arg(0), opts.Semantics)
 	rep.Write(os.Stdout, rel.Names)
 }

@@ -12,9 +12,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
@@ -45,8 +49,21 @@ func main() {
 		os.Exit(1)
 	}
 
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
 	start := time.Now()
-	can := dhyfd.CanonicalCover(rel.NumCols(), dhyfd.Discover(rel))
+	res, err := dhyfd.Discover(ctx, rel)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "fdrank: interrupted; partial run report:")
+			fmt.Fprintln(os.Stderr, res.Stats.String())
+		} else {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		os.Exit(1)
+	}
+	can := dhyfd.CanonicalCover(rel.NumCols(), res.FDs)
 	fmt.Fprintf(os.Stderr, "%d FDs in the canonical cover (%v)\n", len(can), time.Since(start))
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)

@@ -1,6 +1,7 @@
 package dhyfd_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -22,8 +23,11 @@ func ExampleDiscover() {
 	if err != nil {
 		panic(err)
 	}
-	fds := dhyfd.Discover(rel)
-	fmt.Print(dhyfd.FormatFDs(fds, rel.Names))
+	res, err := dhyfd.Discover(context.Background(), rel)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(dhyfd.FormatFDs(res.FDs, rel.Names))
 	// Output:
 	// ∅ -> state
 	// id -> city
@@ -34,8 +38,8 @@ func ExampleDiscover() {
 
 func ExampleCanonicalCover() {
 	rel, _ := dhyfd.ReadCSV(strings.NewReader(exampleCSV), dhyfd.Options{})
-	fds := dhyfd.Discover(rel)
-	can := dhyfd.CanonicalCover(rel.NumCols(), fds)
+	res, _ := dhyfd.Discover(context.Background(), rel)
+	can := dhyfd.CanonicalCover(rel.NumCols(), res.FDs)
 	n, attrs := dhyfd.CoverSize(can)
 	fmt.Printf("%d FDs, %d attribute occurrences\n", n, attrs)
 	fmt.Print(dhyfd.FormatFDs(can, rel.Names))
@@ -49,7 +53,8 @@ func ExampleCanonicalCover() {
 
 func ExampleRank() {
 	rel, _ := dhyfd.ReadCSV(strings.NewReader(exampleCSV), dhyfd.Options{})
-	can := dhyfd.CanonicalCover(rel.NumCols(), dhyfd.Discover(rel))
+	res, _ := dhyfd.Discover(context.Background(), rel)
+	can := dhyfd.CanonicalCover(rel.NumCols(), res.FDs)
 	for _, r := range dhyfd.Rank(rel, can) {
 		fmt.Printf("%d  %s\n", r.Counts.WithNulls, r.FD.Format(rel.Names))
 	}
@@ -62,7 +67,8 @@ func ExampleRank() {
 
 func ExampleCandidateKeys() {
 	rel, _ := dhyfd.ReadCSV(strings.NewReader(exampleCSV), dhyfd.Options{})
-	can := dhyfd.CanonicalCover(rel.NumCols(), dhyfd.Discover(rel))
+	res, _ := dhyfd.Discover(context.Background(), rel)
+	can := dhyfd.CanonicalCover(rel.NumCols(), res.FDs)
 	for _, k := range dhyfd.CandidateKeys(rel.NumCols(), can, 0) {
 		fmt.Printf("KEY (%s)\n", k.Names(rel.Names))
 	}
@@ -72,15 +78,19 @@ func ExampleCandidateKeys() {
 
 func ExampleArmstrongRelation() {
 	rel, _ := dhyfd.ReadCSV(strings.NewReader(exampleCSV), dhyfd.Options{})
-	can := dhyfd.CanonicalCover(rel.NumCols(), dhyfd.Discover(rel))
+	res, _ := dhyfd.Discover(context.Background(), rel)
+	can := dhyfd.CanonicalCover(rel.NumCols(), res.FDs)
 	// Build example data exhibiting exactly the same FDs, then close the
 	// loop: discovering on the Armstrong relation gives the cover back.
 	arm, err := dhyfd.ArmstrongRelation(rel.NumCols(), can, 0)
 	if err != nil {
 		panic(err)
 	}
-	again := dhyfd.Discover(arm)
-	fmt.Println("equivalent:", dhyfd.EquivalentCovers(rel.NumCols(), can, again))
+	again, err := dhyfd.Discover(context.Background(), arm)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("equivalent:", dhyfd.EquivalentCovers(rel.NumCols(), can, again.FDs))
 	// Output:
 	// equivalent: true
 }

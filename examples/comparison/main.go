@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"text/tabwriter"
@@ -31,7 +32,11 @@ func main() {
 		fdCount := 0
 		for i, a := range algos {
 			start := time.Now()
-			fds := dhyfd.DiscoverWith(rel, dhyfd.DiscoverOptions{Algorithm: a})
+			res, err := dhyfd.Discover(context.Background(), rel, dhyfd.WithAlgorithm(a))
+			if err != nil {
+				panic(err)
+			}
+			fds := res.FDs
 			times[i] = time.Since(start)
 			fdCount = len(fds)
 		}
@@ -51,7 +56,11 @@ func main() {
 		fdCount := 0
 		for i, a := range algos {
 			start := time.Now()
-			fds := dhyfd.DiscoverWith(rel, dhyfd.DiscoverOptions{Algorithm: a})
+			res, err := dhyfd.Discover(context.Background(), rel, dhyfd.WithAlgorithm(a))
+			if err != nil {
+				panic(err)
+			}
+			fds := res.FDs
 			times[i] = time.Since(start)
 			fdCount = len(fds)
 		}

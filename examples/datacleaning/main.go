@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -34,7 +35,11 @@ func main() {
 	ir, ic, miss := rel.IncompleteStats()
 	fmt.Printf("incomplete rows: %d, incomplete columns: %d, missing values: %d\n\n", ir, ic, miss)
 
-	can := dhyfd.CanonicalCover(rel.NumCols(), dhyfd.Discover(rel))
+	res, err := dhyfd.Discover(context.Background(), rel)
+	if err != nil {
+		panic(err)
+	}
+	can := dhyfd.CanonicalCover(rel.NumCols(), res.FDs)
 	ranked := dhyfd.Rank(rel, can)
 	fmt.Printf("canonical cover: %d FDs\n\n", len(can))
 

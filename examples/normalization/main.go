@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	dhyfd "repro"
@@ -24,7 +25,11 @@ func main() {
 	n := rel.NumCols()
 	fmt.Printf("schema R with %d attributes, %d rows\n\n", n, rel.NumRows())
 
-	can := dhyfd.CanonicalCover(n, dhyfd.Discover(rel))
+	res, err := dhyfd.Discover(context.Background(), rel)
+	if err != nil {
+		panic(err)
+	}
+	can := dhyfd.CanonicalCover(n, res.FDs)
 	ranked := dhyfd.Rank(rel, can)
 	fmt.Printf("canonical cover: %d FDs\n", len(can))
 

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	dhyfd "repro"
@@ -18,7 +19,11 @@ import (
 func main() {
 	for _, sem := range []dhyfd.NullSemantics{dhyfd.NullEqNull, dhyfd.NullNeqNull} {
 		rel := dataset.NCVoterSnippet(sem)
-		fds := dhyfd.Discover(rel)
+		res, err := dhyfd.Discover(context.Background(), rel)
+		if err != nil {
+			panic(err)
+		}
+		fds := res.FDs
 		can := dhyfd.CanonicalCover(rel.NumCols(), fds)
 		fmt.Printf("── %v ──\n", sem)
 		fmt.Printf("left-reduced cover: %d FDs; canonical: %d FDs\n", len(fds), len(can))

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -38,7 +39,11 @@ func main() {
 	fmt.Printf("loaded %d rows x %d columns\n\n", rel.NumRows(), rel.NumCols())
 
 	// 2. Discover the left-reduced cover with DHyFD.
-	fds := dhyfd.Discover(rel)
+	res, err := dhyfd.Discover(context.Background(), rel)
+	if err != nil {
+		panic(err)
+	}
+	fds := res.FDs
 	n, attrs := dhyfd.CoverSize(fds)
 	fmt.Printf("left-reduced cover: %d FDs, %d attribute occurrences\n", n, attrs)
 

@@ -11,25 +11,41 @@
 // Quick start:
 //
 //	rel, err := dhyfd.ReadCSVFile("voters.csv", dhyfd.Options{})
-//	fds := dhyfd.Discover(rel)                          // left-reduced cover
-//	can := dhyfd.CanonicalCover(rel.NumCols(), fds)     // much smaller cover
-//	for _, r := range dhyfd.Rank(rel, can) {            // most relevant first
+//	res, err := dhyfd.Discover(context.Background(), rel)
+//	can := dhyfd.CanonicalCover(rel.NumCols(), res.FDs)  // much smaller cover
+//	for _, r := range dhyfd.Rank(rel, can) {             // most relevant first
 //		fmt.Printf("%6d  %s\n", r.Counts.WithNulls, r.FD.Format(rel.Names))
 //	}
+//	fmt.Println(res.Stats.String())                      // where the time went
 //
 // Discovery returns a left-reduced cover: every minimal FD X → A with a
-// singleton right-hand side. CanonicalCover shrinks that to a non-redundant
-// cover with unique left-hand sides, and Rank orders FDs by relevance.
+// singleton right-hand side, bundled in a Result together with the run
+// report (per-phase wall time, rows scanned, partitions built and refined,
+// candidates validated). Options select the algorithm and tuning:
+//
+//	res, err := dhyfd.Discover(ctx, rel,
+//		dhyfd.WithAlgorithm(dhyfd.TANE),
+//		dhyfd.WithWorkers(4),
+//		dhyfd.WithDeadline(time.Now().Add(30*time.Second)))
+//
+// Cancel ctx (or let the deadline pass) and Discover returns promptly with
+// the context's error and a partial Result whose Stats record the phases
+// completed so far. CanonicalCover shrinks the cover to a non-redundant one
+// with unique left-hand sides, and Rank orders FDs by relevance.
 package dhyfd
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
+	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dep"
 	"repro/internal/dfd"
+	"repro/internal/engine"
 	"repro/internal/fastfds"
 	"repro/internal/fdep"
 	"repro/internal/hyfd"
@@ -125,10 +141,12 @@ func (a Algorithm) String() string {
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
 
-// ParseAlgorithm resolves a name like "dhyfd" or "tane".
+// ParseAlgorithm resolves a name like "dhyfd" or "TANE". Matching is
+// case-insensitive and deterministic: candidates are tried in the stable
+// order of Algorithms.
 func ParseAlgorithm(name string) (Algorithm, error) {
-	for a, s := range algorithmNames {
-		if s == name {
+	for _, a := range Algorithms() {
+		if strings.EqualFold(algorithmNames[a], name) {
 			return a, nil
 		}
 	}
@@ -140,54 +158,163 @@ func Algorithms() []Algorithm {
 	return []Algorithm{DHyFD, HyFD, TANE, FDEP, FDEP1, FDEP2, FastFDs, DFD}
 }
 
-// DiscoverOptions tunes discovery.
+// RunStats is the algorithm-agnostic run report every algorithm emits:
+// per-phase wall time, hot-path counters (rows scanned, partitions built
+// and refined, candidates validated) and the cancellation state.
+type RunStats = engine.RunStats
+
+// Result bundles a discovery run's output: the left-reduced cover and the
+// run report. On cancellation Discover returns a partial Result — Stats
+// describe the phases completed before the context fired — alongside the
+// context's error.
+type Result struct {
+	// FDs is the left-reduced cover: every minimal FD with a singleton RHS.
+	FDs []FD
+	// Algorithm is the algorithm that produced the cover.
+	Algorithm Algorithm
+	// Stats reports what the run did and where the time went.
+	Stats RunStats
+}
+
+// Option tunes a Discover call; see WithAlgorithm, WithWorkers, WithRatio
+// and WithDeadline.
+type Option func(*discoverConfig)
+
+type discoverConfig struct {
+	algorithm Algorithm
+	workers   int
+	ratio     float64
+	deadline  time.Time
+	hyfd      hyfd.Config
+}
+
+// WithAlgorithm selects the discovery algorithm (default DHyFD).
+func WithAlgorithm(a Algorithm) Option {
+	return func(c *discoverConfig) { c.algorithm = a }
+}
+
+// WithWorkers sets the validation worker-pool width for the algorithms
+// with a parallel hot path (DHyFD, HyFD, TANE). Values below 2 keep the
+// serial behaviour; other algorithms ignore it.
+func WithWorkers(n int) Option {
+	return func(c *discoverConfig) { c.workers = n }
+}
+
+// WithRatio sets DHyFD's efficiency–inefficiency threshold (default 3.0,
+// the paper's tuned value). Other algorithms ignore it.
+func WithRatio(ratio float64) Option {
+	return func(c *discoverConfig) { c.ratio = ratio }
+}
+
+// WithDeadline bounds the run's wall time: past d, Discover returns
+// context.DeadlineExceeded with a partial Result. It composes with the
+// caller's ctx; whichever deadline is earlier wins.
+func WithDeadline(d time.Time) Option {
+	return func(c *discoverConfig) { c.deadline = d }
+}
+
+// Discover computes the left-reduced cover of the FDs holding on r. With
+// no options it runs DHyFD with the paper's tuning. The context cancels
+// the run cooperatively: on cancellation Discover returns ctx's error and
+// a partial Result whose Stats (Cancelled = true) cover the work done so
+// far.
+func Discover(ctx context.Context, r *Relation, opts ...Option) (*Result, error) {
+	var cfg discoverConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if !cfg.deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, cfg.deadline)
+		defer cancel()
+	}
+
+	var (
+		fds []FD
+		rs  *engine.RunStats
+		err error
+	)
+	switch cfg.algorithm {
+	case DHyFD:
+		fds, rs, err = core.DiscoverRun(ctx, r, core.Config{Ratio: cfg.ratio, Workers: cfg.workers})
+	case HyFD:
+		hcfg := cfg.hyfd
+		if cfg.workers > hcfg.Workers {
+			hcfg.Workers = cfg.workers
+		}
+		fds, rs, err = hyfd.DiscoverRun(ctx, r, hcfg)
+	case TANE:
+		fds, rs, err = tane.DiscoverRun(ctx, r, cfg.workers)
+	case FDEP:
+		fds, rs, err = fdep.DiscoverRun(ctx, r, fdep.Classic)
+	case FDEP1:
+		fds, rs, err = fdep.DiscoverRun(ctx, r, fdep.NonRedundant)
+	case FDEP2:
+		fds, rs, err = fdep.DiscoverRun(ctx, r, fdep.Sorted)
+	case FastFDs:
+		fds, rs, err = fastfds.DiscoverRun(ctx, r)
+	case DFD:
+		fds, rs, err = dfd.DiscoverRun(ctx, r)
+	default:
+		return nil, fmt.Errorf("dhyfd: unknown algorithm %v", cfg.algorithm)
+	}
+
+	res := &Result{FDs: fds, Algorithm: cfg.algorithm}
+	if rs != nil {
+		res.Stats = *rs
+	}
+	if err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// DiscoverOptions tunes discovery for the deprecated DiscoverWith.
+//
+// Deprecated: use Discover with Option values instead.
 type DiscoverOptions struct {
 	// Algorithm defaults to DHyFD.
 	Algorithm Algorithm
 	// Ratio is DHyFD's efficiency–inefficiency threshold (default 3.0).
 	Ratio float64
-	// Workers parallelizes DHyFD's per-level validation (default serial).
+	// Workers parallelizes the validation hot path (default serial).
 	Workers int
 	// HyFDConfig tunes the HyFD baseline's phase switching.
 	HyFDConfig hyfd.Config
 }
 
-// Discover computes the left-reduced cover of the FDs holding on r using
-// DHyFD with default tuning.
-func Discover(r *Relation) []FD {
-	return core.Discover(r)
-}
-
 // DiscoverWith computes the left-reduced cover with an explicit algorithm
 // and tuning.
+//
+// Deprecated: use Discover with WithAlgorithm / WithWorkers / WithRatio;
+// it also reports run statistics and honours a context.
 func DiscoverWith(r *Relation, opts DiscoverOptions) []FD {
-	switch opts.Algorithm {
-	case HyFD:
-		fds, _ := hyfd.DiscoverWithConfig(r, opts.HyFDConfig)
-		return fds
-	case TANE:
-		return tane.Discover(r)
-	case FDEP:
-		return fdep.Discover(r, fdep.Classic)
-	case FDEP1:
-		return fdep.Discover(r, fdep.NonRedundant)
-	case FDEP2:
-		return fdep.Discover(r, fdep.Sorted)
-	case FastFDs:
-		return fastfds.Discover(r)
-	case DFD:
-		return dfd.Discover(r)
-	default:
-		fds, _ := core.DiscoverWithConfig(r, core.Config{Ratio: opts.Ratio, Workers: opts.Workers})
-		return fds
+	res, err := Discover(context.Background(), r,
+		WithAlgorithm(opts.Algorithm),
+		WithWorkers(opts.Workers),
+		WithRatio(opts.Ratio),
+		withHyFDConfig(opts.HyFDConfig))
+	if err != nil {
+		return nil
 	}
+	return res.FDs
 }
 
-// DHyFDStats re-exports the DHyFD run statistics.
+// withHyFDConfig threads the legacy HyFD tuning through the option path.
+func withHyFDConfig(cfg hyfd.Config) Option {
+	return func(c *discoverConfig) { c.hyfd = cfg }
+}
+
+// DHyFDStats re-exports the DHyFD-specific run statistics.
+//
+// Deprecated: use Result.Stats from Discover for the algorithm-agnostic
+// run report.
 type DHyFDStats = core.Stats
 
-// DiscoverDHyFDStats runs DHyFD and returns its run statistics, useful for
-// understanding where time and memory went.
+// DiscoverDHyFDStats runs DHyFD and returns its run statistics.
+//
+// Deprecated: use Discover, whose Result carries RunStats for every
+// algorithm.
 func DiscoverDHyFDStats(r *Relation, ratio float64) ([]FD, DHyFDStats) {
 	return core.DiscoverWithConfig(r, core.Config{Ratio: ratio})
 }

@@ -1,8 +1,11 @@
 package dhyfd_test
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	dhyfd "repro"
 	"repro/internal/brute"
@@ -26,9 +29,19 @@ func loadVoters(t *testing.T) *dhyfd.Relation {
 	return rel
 }
 
+// discoverDefault runs the default algorithm through the redesigned API.
+func discoverDefault(t *testing.T, rel *dhyfd.Relation) []dhyfd.FD {
+	t.Helper()
+	res, err := dhyfd.Discover(context.Background(), rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.FDs
+}
+
 func TestDiscoverPublicAPI(t *testing.T) {
 	rel := loadVoters(t)
-	fds := dhyfd.Discover(rel)
+	fds := discoverDefault(t, rel)
 	want := brute.MinimalFDs(rel)
 	if !dep.Equal(fds, want) {
 		t.Fatalf("Discover mismatch: %v vs %v", fds, want)
@@ -58,7 +71,7 @@ func TestAllAlgorithmsAgree(t *testing.T) {
 
 func TestCanonicalCoverShrinks(t *testing.T) {
 	rel := loadVoters(t)
-	fds := dhyfd.Discover(rel)
+	fds := discoverDefault(t, rel)
 	can := dhyfd.CanonicalCover(rel.NumCols(), fds)
 	if !dhyfd.EquivalentCovers(rel.NumCols(), fds, can) {
 		t.Error("canonical cover not equivalent")
@@ -72,7 +85,7 @@ func TestCanonicalCoverShrinks(t *testing.T) {
 
 func TestRankPublicAPI(t *testing.T) {
 	rel := loadVoters(t)
-	can := dhyfd.CanonicalCover(rel.NumCols(), dhyfd.Discover(rel))
+	can := dhyfd.CanonicalCover(rel.NumCols(), discoverDefault(t, rel))
 	ranked := dhyfd.Rank(rel, can)
 	if len(ranked) == 0 {
 		t.Fatal("no ranked FDs")
@@ -98,7 +111,7 @@ func TestRankPublicAPI(t *testing.T) {
 
 func TestRankForColumn(t *testing.T) {
 	rel := loadVoters(t)
-	can := dhyfd.CanonicalCover(rel.NumCols(), dhyfd.Discover(rel))
+	can := dhyfd.CanonicalCover(rel.NumCols(), discoverDefault(t, rel))
 	views := dhyfd.RankForColumn(rel, can, 2) // city
 	if len(views) == 0 {
 		t.Fatal("no LHS determines city?")
@@ -124,9 +137,70 @@ func TestParseAlgorithm(t *testing.T) {
 		if err != nil || got != a {
 			t.Errorf("round trip failed for %v", a)
 		}
+		// Matching is case-insensitive.
+		upper, err := dhyfd.ParseAlgorithm(strings.ToUpper(a.String()))
+		if err != nil || upper != a {
+			t.Errorf("case-insensitive round trip failed for %v", a)
+		}
+		mixed := strings.ToUpper(a.String()[:1]) + a.String()[1:]
+		if got, err := dhyfd.ParseAlgorithm(mixed); err != nil || got != a {
+			t.Errorf("mixed-case round trip failed for %v", a)
+		}
 	}
 	if _, err := dhyfd.ParseAlgorithm("nope"); err == nil {
 		t.Error("want error for unknown algorithm")
+	}
+	if _, err := dhyfd.ParseAlgorithm(dhyfd.Algorithm(99).String()); err == nil {
+		t.Error("want error for out-of-range algorithm rendering")
+	}
+}
+
+func TestDiscoverResultAndOptions(t *testing.T) {
+	rel := loadVoters(t)
+	want := brute.MinimalFDs(rel)
+	for _, a := range dhyfd.Algorithms() {
+		res, err := dhyfd.Discover(context.Background(), rel,
+			dhyfd.WithAlgorithm(a), dhyfd.WithWorkers(2))
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		if res.Algorithm != a {
+			t.Errorf("%v: Result.Algorithm = %v", a, res.Algorithm)
+		}
+		if !dep.Equal(res.FDs, want) {
+			t.Errorf("%v disagrees with brute force", a)
+		}
+		if len(res.Stats.Phases) == 0 || res.Stats.Elapsed <= 0 {
+			t.Errorf("%v: run stats not populated: %+v", a, res.Stats)
+		}
+		if res.Stats.FDs != int64(len(res.FDs)) {
+			t.Errorf("%v: Stats.FDs = %d, len = %d", a, res.Stats.FDs, len(res.FDs))
+		}
+	}
+}
+
+func TestDiscoverCancellation(t *testing.T) {
+	rel := loadVoters(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := dhyfd.Discover(ctx, rel)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || !res.Stats.Cancelled {
+		t.Error("partial Result must carry Cancelled stats")
+	}
+}
+
+func TestDiscoverDeadline(t *testing.T) {
+	rel := loadVoters(t)
+	res, err := dhyfd.Discover(context.Background(), rel,
+		dhyfd.WithDeadline(time.Now().Add(-time.Second)))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if res == nil || !res.Stats.Cancelled {
+		t.Error("partial Result must carry Cancelled stats")
 	}
 }
 
@@ -140,7 +214,7 @@ func TestDiscoverDHyFDStats(t *testing.T) {
 
 func TestTotalRedundancy(t *testing.T) {
 	rel := loadVoters(t)
-	can := dhyfd.CanonicalCover(rel.NumCols(), dhyfd.Discover(rel))
+	can := dhyfd.CanonicalCover(rel.NumCols(), discoverDefault(t, rel))
 	tot := dhyfd.TotalRedundancy(rel, can)
 	if tot.Values != 25 {
 		t.Errorf("values = %d", tot.Values)
@@ -157,7 +231,7 @@ func TestTotalRedundancy(t *testing.T) {
 func TestNormalizationPublicAPI(t *testing.T) {
 	rel := loadVoters(t)
 	n := rel.NumCols()
-	can := dhyfd.CanonicalCover(n, dhyfd.Discover(rel))
+	can := dhyfd.CanonicalCover(n, discoverDefault(t, rel))
 
 	keys := dhyfd.CandidateKeys(n, can, 8)
 	if len(keys) == 0 {
@@ -192,7 +266,7 @@ func TestAttrSetOf(t *testing.T) {
 
 func TestCheckAndCoverIO(t *testing.T) {
 	rel := loadVoters(t)
-	can := dhyfd.CanonicalCover(rel.NumCols(), dhyfd.Discover(rel))
+	can := dhyfd.CanonicalCover(rel.NumCols(), discoverDefault(t, rel))
 
 	// Serialize and parse back.
 	var buf strings.Builder

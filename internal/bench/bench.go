@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dep"
 	"repro/internal/dfd"
+	"repro/internal/engine"
 	"repro/internal/fastfds"
 	"repro/internal/fdep"
 	"repro/internal/hyfd"
@@ -74,6 +75,8 @@ type RunResult struct {
 	Elapsed   time.Duration
 	AllocMB   float64
 	TimedOut  bool
+	// Stats is the algorithm-agnostic run report (partial on timeout).
+	Stats *engine.RunStats
 }
 
 // Time renders the elapsed time like the paper's tables ("TL" on timeout).
@@ -84,16 +87,16 @@ func (r RunResult) Time() string {
 	return fmt.Sprintf("%.3f", r.Elapsed.Seconds())
 }
 
-// runFunc executes one algorithm and returns its FD count, or an error
-// when cancelled.
-type runFunc func(ctx context.Context, r *relation.Relation) (int, error)
+// runFunc executes one algorithm and returns its FD count and run report,
+// or an error (with the partial report) when cancelled.
+type runFunc func(ctx context.Context, r *relation.Relation) (int, *engine.RunStats, error)
 
 func algorithmFunc(name string) runFunc {
 	switch name {
 	case "TANE":
-		return func(ctx context.Context, r *relation.Relation) (int, error) {
-			fds, err := tane.DiscoverCtx(ctx, r)
-			return len(fds), err
+		return func(ctx context.Context, r *relation.Relation) (int, *engine.RunStats, error) {
+			fds, rs, err := tane.DiscoverRun(ctx, r, 1)
+			return len(fds), rs, err
 		}
 	case "FDEP":
 		return fdepFunc(fdep.Classic)
@@ -102,33 +105,33 @@ func algorithmFunc(name string) runFunc {
 	case "FDEP2":
 		return fdepFunc(fdep.Sorted)
 	case "HyFD":
-		return func(ctx context.Context, r *relation.Relation) (int, error) {
-			fds, _, err := hyfd.DiscoverCtx(ctx, r, hyfd.DefaultConfig())
-			return len(fds), err
+		return func(ctx context.Context, r *relation.Relation) (int, *engine.RunStats, error) {
+			fds, rs, err := hyfd.DiscoverRun(ctx, r, hyfd.DefaultConfig())
+			return len(fds), rs, err
 		}
 	case "DHyFD":
-		return func(ctx context.Context, r *relation.Relation) (int, error) {
-			fds, _, err := core.DiscoverCtx(ctx, r, core.DefaultConfig())
-			return len(fds), err
+		return func(ctx context.Context, r *relation.Relation) (int, *engine.RunStats, error) {
+			fds, rs, err := core.DiscoverRun(ctx, r, core.DefaultConfig())
+			return len(fds), rs, err
 		}
 	case "FastFDs":
-		return func(ctx context.Context, r *relation.Relation) (int, error) {
-			fds, err := fastfds.DiscoverCtx(ctx, r)
-			return len(fds), err
+		return func(ctx context.Context, r *relation.Relation) (int, *engine.RunStats, error) {
+			fds, rs, err := fastfds.DiscoverRun(ctx, r)
+			return len(fds), rs, err
 		}
 	case "DFD":
-		return func(ctx context.Context, r *relation.Relation) (int, error) {
-			fds, err := dfd.DiscoverCtx(ctx, r)
-			return len(fds), err
+		return func(ctx context.Context, r *relation.Relation) (int, *engine.RunStats, error) {
+			fds, rs, err := dfd.DiscoverRun(ctx, r)
+			return len(fds), rs, err
 		}
 	}
 	panic("bench: unknown algorithm " + name)
 }
 
 func fdepFunc(v fdep.Variant) runFunc {
-	return func(ctx context.Context, r *relation.Relation) (int, error) {
-		fds, err := fdep.DiscoverCtx(ctx, r, v)
-		return len(fds), err
+	return func(ctx context.Context, r *relation.Relation) (int, *engine.RunStats, error) {
+		fds, rs, err := fdep.DiscoverRun(ctx, r, v)
+		return len(fds), rs, err
 	}
 }
 
@@ -152,12 +155,13 @@ func Run(name string, r *relation.Relation, limit time.Duration) RunResult {
 	defer cancel()
 
 	start := time.Now()
-	fds, err := f(ctx, r)
+	fds, rs, err := f(ctx, r)
 	elapsed := time.Since(start)
 
 	var after runtime.MemStats
 	runtime.ReadMemStats(&after)
 
+	res.Stats = rs
 	if err != nil {
 		res.TimedOut = true
 		res.Elapsed = limit

@@ -21,15 +21,19 @@
 // pair selection over the single-attribute partitions), and every FD
 // validation doubles as further sampling: witness pairs of invalid FDs
 // are genuine non-FDs fed back into synergized induction.
+//
+// Both validation hot paths run on the shared engine.Pool: per-level
+// candidate validation fans out over per-worker validators, and DDM
+// refreshes batch their partition refinements through
+// partition.RefineBatch. Workers: 1 keeps the paper's serial behaviour.
 package core
 
 import (
 	"context"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/bitset"
 	"repro/internal/dep"
+	"repro/internal/engine"
 	"repro/internal/fdtree"
 	"repro/internal/partition"
 	"repro/internal/relation"
@@ -44,12 +48,12 @@ type Config struct {
 	// to 3.0 (Figure 6). Set it very large to disable refreshes entirely,
 	// which degenerates DHyFD into a validate-from-singletons hybrid.
 	Ratio float64
-	// Workers sets the number of goroutines validating a level's
-	// candidates concurrently — an extension beyond the paper's
-	// single-threaded implementation. Validation of distinct FD-nodes is
-	// independent (the DDM is read-only during a level), so levels
-	// parallelize cleanly; induction remains sequential. Values below 2
-	// keep the paper's serial behaviour.
+	// Workers sets the engine.Pool width used to validate a level's
+	// candidates and to refresh the DDM's partitions — an extension
+	// beyond the paper's single-threaded implementation. Validation of
+	// distinct FD-nodes is independent (the DDM is read-only during a
+	// level), so levels parallelize cleanly; induction remains
+	// sequential. Values below 2 keep the paper's serial behaviour.
 	Workers int
 }
 
@@ -60,9 +64,14 @@ func (c *Config) fillDefaults() {
 	if c.Ratio == 0 {
 		c.Ratio = 3.0
 	}
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
 }
 
-// Stats reports what a run did.
+// Stats reports the DHyFD-specific measures of a run; the algorithm-
+// agnostic view (phase timings, hot-path counters, cancellation state)
+// is the engine.RunStats that DiscoverRun returns.
 type Stats struct {
 	InitialNonFDs    int // distinct agree sets from the one-shot sampling
 	Comparisons      int // tuple pairs compared by the one-shot sampling
@@ -86,7 +95,6 @@ type ddm struct {
 	singles []*partition.Partition
 	epoch   int
 	slots   []dynPartition
-	rf      *partition.Refiner
 }
 
 type dynPartition struct {
@@ -96,17 +104,10 @@ type dynPartition struct {
 
 func newDDM(r *relation.Relation) *ddm {
 	n := r.NumCols()
-	maxCard := 1
-	for _, c := range r.Cards {
-		if c > maxCard {
-			maxCard = c
-		}
-	}
 	m := &ddm{
 		r:       r,
 		singles: make([]*partition.Partition, n),
 		epoch:   1,
-		rf:      partition.NewRefiner(maxCard),
 	}
 	for c := 0; c < n; c++ {
 		m.singles[c] = partition.Single(r.Cols[c], r.Cards[c])
@@ -142,20 +143,22 @@ func (m *ddm) partitionFor(node *fdtree.Node, lhs bitset.Set) (*partition.Partit
 // update implements Algorithm 3: a new dynamic array is built from the
 // reusable nodes at the new controlled level. Each node's partition starts
 // from its consistent dynamic partition (or its own singleton) and is
-// refined by the missing path attributes; the node receives the new slot id
-// and propagates it to its descendants.
-func (m *ddm) update(reusables []*fdtree.Node) {
+// refined by the missing path attributes — refinements run as one
+// partition.RefineBatch on the worker pool, since the jobs are
+// independent; the node then receives the new slot id and propagates it
+// to its descendants. On cancellation the DDM is left untouched (the old
+// epoch stays consistent) and ctx's error is returned.
+func (m *ddm) update(ctx context.Context, workers int, reusables []*fdtree.Node) error {
 	n := len(m.singles)
-	oldEpoch := m.epoch
-	oldSlots := m.slots
-	m.epoch++
-	newSlots := make([]dynPartition, 0, len(reusables))
-	for _, node := range reusables {
+	jobs := make([]partition.RefineJob, len(reusables))
+	lhss := make([]bitset.Set, len(reusables))
+	for k, node := range reusables {
 		lhs := node.Path(n)
+		lhss[k] = lhs
 		var p *partition.Partition
 		var attrs bitset.Set
-		if node.ID >= n && node.Epoch == oldEpoch {
-			slot := oldSlots[node.ID-n]
+		if node.ID >= n && node.Epoch == m.epoch {
+			slot := m.slots[node.ID-n]
 			if slot.attrs.IsSubsetOf(lhs) {
 				p, attrs = slot.part, slot.attrs
 			}
@@ -164,18 +167,30 @@ func (m *ddm) update(reusables []*fdtree.Node) {
 			a := node.Attr
 			p, attrs = m.singles[a], bitset.FromAttrs(n, a)
 		}
+		job := partition.RefineJob{Part: p}
 		for b := lhs.Next(0); b >= 0; b = lhs.Next(b + 1) {
 			if attrs.Contains(b) {
 				continue
 			}
-			p = m.rf.Refine(p, m.r.Cols[b], m.r.Cards[b])
+			job.Cols = append(job.Cols, m.r.Cols[b])
+			job.Cards = append(job.Cards, m.r.Cards[b])
 		}
+		jobs[k] = job
+	}
+	parts, err := partition.RefineBatch(ctx, workers, jobs)
+	if err != nil {
+		return err
+	}
+	m.epoch++
+	newSlots := make([]dynPartition, 0, len(reusables))
+	for k, node := range reusables {
 		node.ID = n + len(newSlots)
 		node.Epoch = m.epoch
-		newSlots = append(newSlots, dynPartition{part: p, attrs: lhs})
+		newSlots = append(newSlots, dynPartition{part: parts[k], attrs: lhss[k]})
 		fdtree.PropagateID(node)
 	}
 	m.slots = newSlots
+	return nil
 }
 
 // rows returns Σ‖π‖ over the dynamic array, the memory proxy of Figure 7.
@@ -201,19 +216,38 @@ func DiscoverWithConfig(r *relation.Relation, cfg Config) ([]dep.FD, Stats) {
 }
 
 // DiscoverCtx is DiscoverWithConfig with cooperative cancellation, checked
-// between validations.
+// between validation batches.
 func DiscoverCtx(ctx context.Context, r *relation.Relation, cfg Config) ([]dep.FD, Stats, error) {
+	fds, stats, _, err := discover(ctx, r, cfg)
+	return fds, stats, err
+}
+
+// DiscoverRun runs DHyFD and emits the algorithm-agnostic run report. On
+// cancellation the partial report (with Cancelled set) is returned
+// alongside ctx's error.
+func DiscoverRun(ctx context.Context, r *relation.Relation, cfg Config) ([]dep.FD, *engine.RunStats, error) {
+	fds, _, rs, err := discover(ctx, r, cfg)
+	return fds, rs, err
+}
+
+func discover(ctx context.Context, r *relation.Relation, cfg Config) ([]dep.FD, Stats, *engine.RunStats, error) {
 	cfg.fillDefaults()
 	var stats Stats
+	rs := engine.NewRunStats("dhyfd", cfg.Workers)
 	n := r.NumCols()
 	if n == 0 {
-		return nil, stats, nil
+		rs.Finish(nil)
+		return nil, stats, rs, nil
 	}
+	pool := engine.NewPool(cfg.Workers)
 
 	if err := ctx.Err(); err != nil {
-		return nil, stats, err
+		rs.Finish(err)
+		return nil, stats, rs, err
 	}
+	stop := rs.Phase("sample")
 	m := newDDM(r)
+	rs.PartitionsBuilt += int64(n)
 	v := validate.New(r)
 	tree := fdtree.NewWithFullRHS(n)
 	tree.ControlledLevel = 1
@@ -225,13 +259,36 @@ func DiscoverCtx(ctx context.Context, r *relation.Relation, cfg Config) ([]dep.F
 		_, comps := sampling.ClusterNeighborSample(r, m.singles[c], 1, nonFDs)
 		stats.Comparisons += comps
 	}
+	rs.RowsScanned += 2 * int64(stats.Comparisons)
 	v.EmptyLHS(full, nonFDs)
 	stats.InitialNonFDs = nonFDs.Len()
+	stop()
+	stop = rs.Phase("induct")
 	inductAll(tree, full, nonFDs.Sets())
+	stop()
 	processed := nonFDs.Len()
 
 	// The surviving root RHS attributes are the validated FDs ∅ → A.
 	numFDs := tree.Root().RHSCount()
+
+	finish := func(err error) ([]dep.FD, Stats, *engine.RunStats, error) {
+		stats.Validations = v.Validations
+		stats.Invalidated = v.Invalidated
+		stats.NonFDs = nonFDs.Len()
+		rs.CandidatesValidated = int64(v.Validations)
+		rs.Invalidated = int64(v.Invalidated)
+		rs.RowsScanned += int64(v.RowsScanned)
+		rs.PartitionsRefined += int64(v.ClustersRefined)
+		rs.NonFDs = int64(stats.NonFDs)
+		rs.Levels = int64(stats.Levels)
+		rs.Count("initial_non_fds", int64(stats.InitialNonFDs))
+		rs.Count("sampling_comparisons", int64(stats.Comparisons))
+		rs.Count("ddm_refreshes", int64(stats.Refinements))
+		rs.Count("peak_dyn_partitions", int64(stats.PeakDynPartCount))
+		rs.Count("peak_dyn_rows", int64(stats.PeakDynPartRows))
+		rs.Finish(err)
+		return nil, stats, rs, err
+	}
 
 	for vl := 1; vl <= tree.MaxLevel(); vl++ {
 		candidates := tree.NodesAtLevel(vl)
@@ -241,10 +298,15 @@ func DiscoverCtx(ctx context.Context, r *relation.Relation, cfg Config) ([]dep.F
 		for _, node := range candidates {
 			total += node.RHSCount()
 		}
-		if err := validateLevel(ctx, cfg.Workers, r, m, candidates, v, nonFDs); err != nil {
-			return nil, stats, err
+		stop = rs.Phase("validate")
+		err := validateLevel(ctx, pool, r, m, candidates, v, nonFDs)
+		stop()
+		if err != nil {
+			return finish(err)
 		}
+		stop = rs.Phase("induct")
 		inductAll(tree, full, nonFDs.Sets()[processed:])
+		stop()
 		processed = nonFDs.Len()
 
 		numNewFDs := 0
@@ -265,8 +327,14 @@ func DiscoverCtx(ctx context.Context, r *relation.Relation, cfg Config) ([]dep.F
 		if vl > 1 && total > 0 && len(reusables) > 0 && higher > 0 {
 			if EfficiencyInefficiencyRatio(numNewFDs, total, len(reusables), higher) > cfg.Ratio {
 				tree.ControlledLevel = vl
-				m.update(reusables)
+				stop = rs.Phase("refine")
+				err := m.update(ctx, cfg.Workers, reusables)
+				stop()
+				if err != nil {
+					return finish(err)
+				}
 				stats.Refinements++
+				rs.PartitionsBuilt += int64(len(reusables))
 				if rows := m.rows(); rows > stats.PeakDynPartRows {
 					stats.PeakDynPartRows = rows
 				}
@@ -277,17 +345,15 @@ func DiscoverCtx(ctx context.Context, r *relation.Relation, cfg Config) ([]dep.F
 		}
 	}
 
-	stats.Validations = v.Validations
-	stats.Invalidated = v.Invalidated
-	stats.NonFDs = nonFDs.Len()
-
 	if err := ctx.Err(); err != nil {
-		return nil, stats, err
+		return finish(err)
 	}
 	fds := dep.SplitRHS(tree.FDs())
 	dep.Sort(fds)
 	stats.FDs = len(fds)
-	return fds, stats, nil
+	_, _, _, _ = finish(nil)
+	rs.FDs = int64(stats.FDs)
+	return fds, stats, rs, nil
 }
 
 // EfficiencyInefficiencyRatio computes the paper's Section IV-G measure:
@@ -303,13 +369,16 @@ func EfficiencyInefficiencyRatio(validFDs, totalFDs, reusableNodes, higherFDs in
 }
 
 // validateLevel validates the FD-nodes among candidates against their DDM
-// partitions, collecting witness non-FDs. With workers > 1 the candidates
-// are validated concurrently: each worker owns a validator and a local
-// non-FD buffer, and nodes are handed out by an atomic cursor. The DDM is
-// read-only during a level except for per-node id resets, which are safe
-// because every node is processed by exactly one worker.
-func validateLevel(ctx context.Context, workers int, r *relation.Relation, m *ddm, candidates []*fdtree.Node, v *validate.Validator, nonFDs *sampling.NonFDSet) error {
+// partitions, collecting witness non-FDs. With a pool wider than one the
+// candidates fan out over engine.Pool workers: each worker owns a
+// validator and a local non-FD buffer, merged into v and nonFDs after the
+// level. The DDM is read-only during a level except for per-node id
+// resets, which are safe because every node is processed by exactly one
+// worker. Counters are merged even on cancellation so partial runs report
+// honestly.
+func validateLevel(ctx context.Context, pool *engine.Pool, r *relation.Relation, m *ddm, candidates []*fdtree.Node, v *validate.Validator, nonFDs *sampling.NonFDSet) error {
 	n := r.NumCols()
+	workers := pool.Workers()
 	if workers < 2 || len(candidates) < 4*workers {
 		for i, node := range candidates {
 			if i%64 == 0 {
@@ -329,44 +398,29 @@ func validateLevel(ctx context.Context, workers int, r *relation.Relation, m *dd
 
 	locals := make([]*sampling.NonFDSet, workers)
 	validators := make([]*validate.Validator, workers)
-	var next atomic.Int64
-	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		locals[w] = sampling.NewNonFDSet(n)
 		validators[w] = validate.New(r)
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(candidates) {
-					return
-				}
-				if i%64 == 0 && ctx.Err() != nil {
-					return
-				}
-				node := candidates[i]
-				if !node.IsFDNode() {
-					continue
-				}
-				lhs := node.Path(n)
-				p, attrs := m.partitionFor(node, lhs)
-				validators[w].FD(lhs, node.RHS, p, attrs, locals[w])
-			}
-		}(w)
 	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return err
-	}
+	err := pool.Run(ctx, len(candidates), func(w, i int) {
+		node := candidates[i]
+		if !node.IsFDNode() {
+			return
+		}
+		lhs := node.Path(n)
+		p, attrs := m.partitionFor(node, lhs)
+		validators[w].FD(lhs, node.RHS, p, attrs, locals[w])
+	})
 	for w := 0; w < workers; w++ {
 		v.Validations += validators[w].Validations
 		v.Invalidated += validators[w].Invalidated
+		v.RowsScanned += validators[w].RowsScanned
+		v.ClustersRefined += validators[w].ClustersRefined
 		for _, x := range locals[w].Sets() {
 			nonFDs.Add(x)
 		}
 	}
-	return nil
+	return err
 }
 
 // inductAll sorts agree sets descending by LHS size and inducts each

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/dep"
+	"repro/internal/engine"
 	"repro/internal/partition"
 	"repro/internal/relation"
 )
@@ -36,6 +37,15 @@ func Discover(r *relation.Relation) []dep.FD {
 
 // DiscoverCtx is Discover with cooperative cancellation.
 func DiscoverCtx(ctx context.Context, r *relation.Relation) ([]dep.FD, error) {
+	fds, _, err := DiscoverRun(ctx, r)
+	return fds, err
+}
+
+// DiscoverRun is DiscoverCtx emitting the algorithm-agnostic run report.
+// On cancellation the partial report (with Cancelled set) is returned
+// alongside ctx's error.
+func DiscoverRun(ctx context.Context, r *relation.Relation) ([]dep.FD, *engine.RunStats, error) {
+	rs := engine.NewRunStats("dfd", 1)
 	n := r.NumCols()
 	var out []dep.FD
 	d := &dfd{
@@ -44,13 +54,17 @@ func DiscoverCtx(ctx context.Context, r *relation.Relation) ([]dep.FD, error) {
 		errs: map[string]int{},
 		rng:  rand.New(rand.NewSource(0x0dfd)),
 	}
+	stop := rs.Phase("walk")
+	defer stop()
 	for a := 0; a < n; a++ {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			rs.Finish(err)
+			return nil, rs, err
 		}
 		minDeps, err := d.minimalLHSs(ctx, a)
 		if err != nil {
-			return nil, err
+			rs.Finish(err)
+			return nil, rs, err
 		}
 		rhs := bitset.New(n)
 		rhs.Add(a)
@@ -59,7 +73,11 @@ func DiscoverCtx(ctx context.Context, r *relation.Relation) ([]dep.FD, error) {
 		}
 	}
 	dep.Sort(out)
-	return out, nil
+	rs.FDs = int64(len(out))
+	rs.CandidatesValidated = int64(len(d.errs))
+	rs.PartitionsBuilt = int64(len(d.errs))
+	rs.Finish(nil)
+	return out, rs, nil
 }
 
 type dfd struct {

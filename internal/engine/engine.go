@@ -1,0 +1,302 @@
+// Package engine provides the shared parallel-validation machinery of the
+// discovery algorithms: a bounded, context-aware worker pool with panic
+// recovery, and RunStats, the algorithm-agnostic run report every
+// algorithm emits.
+//
+// The pool deliberately has no queues or channels on the hot path. Work
+// is an index range [0, n); workers claim indexes through an atomic
+// cursor, so distribution costs one atomic add per item and the pool
+// allocates nothing but the goroutines themselves. Cancellation is
+// cooperative: workers poll the context every checkEvery items, which
+// bounds the reaction latency to one small batch of validations.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// checkEvery is how many items a worker processes between context polls.
+// It bounds how much work runs after cancellation: at most
+// workers × checkEvery items.
+const checkEvery = 32
+
+// PanicError wraps a panic recovered inside a pool worker so that callers
+// observe it as an ordinary error instead of a crashed process.
+type PanicError struct {
+	Value any    // the recovered panic value
+	Stack []byte // stack of the panicking goroutine
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine: worker panic: %v", e.Value)
+}
+
+// Pool is a bounded worker pool. The zero value is not usable; use
+// NewPool. Pools are stateless between Run calls and may be reused and
+// shared.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool of the given width. Widths below 1 clamp to 1,
+// which makes Run a serial loop (still with context checks and panic
+// recovery), so callers can pass a user-supplied Workers knob through
+// unconditionally.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool width. Callers allocating per-worker scratch
+// state (validators, refiners, non-FD buffers) size it with this.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes fn(worker, i) for every i in [0, n), distributing items
+// across the pool's workers. worker identifies the executing worker in
+// [0, Workers()), so fn can use per-worker scratch state without locking.
+//
+// Run returns early with ctx.Err() when the context is cancelled — within
+// one batch of checkEvery items per worker — and with a *PanicError when
+// fn panics. Items are claimed in order but complete in any order; fn
+// must not assume i monotonicity across workers.
+func (p *Pool) Run(ctx context.Context, n int, fn func(worker, i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		return runSerial(ctx, n, fn)
+	}
+
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		panicked atomic.Pointer[PanicError]
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					panicked.CompareAndSwap(nil, &PanicError{Value: rec, Stack: debug.Stack()})
+					stop.Store(true)
+				}
+			}()
+			for polled := 0; ; polled++ {
+				if stop.Load() {
+					return
+				}
+				if polled%checkEvery == 0 && ctx.Err() != nil {
+					stop.Store(true)
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if pe := panicked.Load(); pe != nil {
+		return pe
+	}
+	return ctx.Err()
+}
+
+func runSerial(ctx context.Context, n int, fn func(worker, i int)) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = &PanicError{Value: rec, Stack: debug.Stack()}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		if i%checkEvery == 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+		}
+		fn(0, i)
+	}
+	return ctx.Err()
+}
+
+// Map runs fn over items on up to workers goroutines and collects the
+// results in input order. On cancellation or panic the partial results
+// are returned alongside the error; entries for unprocessed items are the
+// zero value of R.
+func Map[T, R any](ctx context.Context, workers int, items []T, fn func(worker int, item T) R) ([]R, error) {
+	out := make([]R, len(items))
+	err := NewPool(workers).Run(ctx, len(items), func(w, i int) {
+		out[i] = fn(w, items[i])
+	})
+	return out, err
+}
+
+// PhaseStat is the accumulated wall time of one named algorithm phase.
+type PhaseStat struct {
+	Name     string
+	Duration time.Duration
+}
+
+// RunStats is the algorithm-agnostic report of one discovery run: where
+// the wall time went, how much data the hot paths touched, and whether
+// the run was cancelled. Every algorithm fills the fields that apply and
+// leaves the rest zero; algorithm-specific extras go into Counters.
+type RunStats struct {
+	// Algorithm is the lower-case algorithm name ("dhyfd", "tane", ...).
+	Algorithm string
+	// Workers is the validation worker-pool width the run used (>= 1).
+	Workers int
+	// Phases holds per-phase wall times in first-seen order. A phase
+	// entered repeatedly (per level, say) accumulates into one entry.
+	Phases []PhaseStat
+	// RowsScanned counts row accesses on the hot path: cluster rows fed
+	// into partition refinement, tuple-pair comparisons, probe lookups.
+	RowsScanned int64
+	// PartitionsBuilt counts stripped partitions materialized (singles,
+	// PLI intersections, DDM refreshes).
+	PartitionsBuilt int64
+	// PartitionsRefined counts cluster-level refinement steps
+	// (Algorithm 5 invocations).
+	PartitionsRefined int64
+	// CandidatesValidated counts (node, RHS attribute) validations;
+	// Invalidated counts how many of those failed.
+	CandidatesValidated int64
+	Invalidated         int64
+	// NonFDs is the number of distinct agree sets collected.
+	NonFDs int64
+	// Levels is the number of validation levels (or lattice levels)
+	// processed.
+	Levels int64
+	// FDs is the size of the output cover.
+	FDs int64
+	// Counters holds algorithm-specific extras ("ddm_refreshes",
+	// "sampling_rounds", ...). Nil until the first Count call.
+	Counters map[string]int64
+	// Cancelled reports that the run stopped early on context
+	// cancellation; the other fields then describe the partial run.
+	Cancelled bool
+	// Elapsed is the total wall time of the run.
+	Elapsed time.Duration
+
+	start time.Time
+}
+
+// NewRunStats returns a report for the named algorithm and starts its
+// total-elapsed clock. workers clamps to 1.
+func NewRunStats(algorithm string, workers int) *RunStats {
+	if workers < 1 {
+		workers = 1
+	}
+	return &RunStats{Algorithm: algorithm, Workers: workers, start: time.Now()}
+}
+
+// Phase starts the named phase's stopwatch and returns the function that
+// stops it, accumulating into the phase's entry:
+//
+//	stop := rs.Phase("validate")
+//	... work ...
+//	stop()
+func (s *RunStats) Phase(name string) func() {
+	t0 := time.Now()
+	return func() { s.AddPhase(name, time.Since(t0)) }
+}
+
+// AddPhase accumulates d into the named phase, creating it on first use.
+func (s *RunStats) AddPhase(name string, d time.Duration) {
+	for i := range s.Phases {
+		if s.Phases[i].Name == name {
+			s.Phases[i].Duration += d
+			return
+		}
+	}
+	s.Phases = append(s.Phases, PhaseStat{Name: name, Duration: d})
+}
+
+// PhaseDuration returns the accumulated wall time of the named phase
+// (zero when the phase never ran).
+func (s *RunStats) PhaseDuration(name string) time.Duration {
+	for _, p := range s.Phases {
+		if p.Name == name {
+			return p.Duration
+		}
+	}
+	return 0
+}
+
+// PhaseTotal returns the sum of all phase durations.
+func (s *RunStats) PhaseTotal() time.Duration {
+	var total time.Duration
+	for _, p := range s.Phases {
+		total += p.Duration
+	}
+	return total
+}
+
+// Count adds delta to the named algorithm-specific counter.
+func (s *RunStats) Count(name string, delta int64) {
+	if s.Counters == nil {
+		s.Counters = make(map[string]int64)
+	}
+	s.Counters[name] += delta
+}
+
+// Finish stamps the total elapsed time and records whether err was a
+// cancellation. Call it exactly once, on every return path.
+func (s *RunStats) Finish(err error) {
+	s.Elapsed = time.Since(s.start)
+	if err != nil {
+		s.Cancelled = true
+	}
+}
+
+// String renders a multi-line human-readable summary, the form the cmd
+// tools print to stderr.
+func (s *RunStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d FDs in %v (workers=%d", s.Algorithm, s.FDs, s.Elapsed.Round(time.Microsecond), s.Workers)
+	if s.Cancelled {
+		b.WriteString(", CANCELLED — partial run")
+	}
+	b.WriteString(")\n")
+	fmt.Fprintf(&b, "  validated %d candidates (%d invalidated), %d non-FDs, %d levels\n",
+		s.CandidatesValidated, s.Invalidated, s.NonFDs, s.Levels)
+	fmt.Fprintf(&b, "  partitions: %d built, %d cluster refinements; %d rows scanned\n",
+		s.PartitionsBuilt, s.PartitionsRefined, s.RowsScanned)
+	if len(s.Phases) > 0 {
+		b.WriteString("  phases:")
+		for _, p := range s.Phases {
+			fmt.Fprintf(&b, " %s %v", p.Name, p.Duration.Round(time.Microsecond))
+		}
+		b.WriteString("\n")
+	}
+	if len(s.Counters) > 0 {
+		names := make([]string, 0, len(s.Counters))
+		for k := range s.Counters {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		b.WriteString("  counters:")
+		for _, k := range names {
+			fmt.Fprintf(&b, " %s=%d", k, s.Counters[k])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/dep"
+	"repro/internal/engine"
 	"repro/internal/relation"
 	"repro/internal/sampling"
 )
@@ -34,14 +35,30 @@ func Discover(r *relation.Relation) []dep.FD {
 
 // DiscoverCtx is Discover with cooperative cancellation.
 func DiscoverCtx(ctx context.Context, r *relation.Relation) ([]dep.FD, error) {
+	fds, _, err := DiscoverRun(ctx, r)
+	return fds, err
+}
+
+// DiscoverRun is DiscoverCtx emitting the algorithm-agnostic run report.
+// On cancellation the partial report (with Cancelled set) is returned
+// alongside ctx's error.
+func DiscoverRun(ctx context.Context, r *relation.Relation) ([]dep.FD, *engine.RunStats, error) {
+	rs := engine.NewRunStats("fastfds", 1)
 	n := r.NumCols()
 	if n == 0 {
-		return nil, nil
+		rs.Finish(nil)
+		return nil, rs, nil
 	}
+	stop := rs.Phase("negative-cover")
 	neg, err := sampling.NegativeCoverCtx(ctx, r)
+	stop()
 	if err != nil {
-		return nil, err
+		rs.Finish(err)
+		return nil, rs, err
 	}
+	nrows := int64(r.NumRows())
+	rs.RowsScanned += nrows * (nrows - 1)
+	rs.NonFDs = int64(neg.Len())
 	full := bitset.Full(n)
 
 	// Difference sets: complements of the (deduplicated) agree sets.
@@ -50,14 +67,15 @@ func DiscoverCtx(ctx context.Context, r *relation.Relation) ([]dep.FD, error) {
 		diffSets = append(diffSets, full.Difference(ag))
 	}
 
+	stop = rs.Phase("covers")
 	var out []dep.FD
-	for a := 0; a < n; a++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+	for a := 0; a < n && err == nil; a++ {
+		if err = ctx.Err(); err != nil {
+			break
 		}
-		covers, err := coversFor(ctx, n, diffSets, a)
-		if err != nil {
-			return nil, err
+		var covers []bitset.Set
+		if covers, err = coversFor(ctx, n, diffSets, a); err != nil {
+			break
 		}
 		rhs := bitset.New(n)
 		rhs.Add(a)
@@ -65,8 +83,15 @@ func DiscoverCtx(ctx context.Context, r *relation.Relation) ([]dep.FD, error) {
 			out = append(out, dep.FD{LHS: x, RHS: rhs.Clone()})
 		}
 	}
+	stop()
+	if err != nil {
+		rs.Finish(err)
+		return nil, rs, err
+	}
 	dep.Sort(out)
-	return out, nil
+	rs.FDs = int64(len(out))
+	rs.Finish(nil)
+	return out, rs, nil
 }
 
 // coversFor enumerates the minimal covers of D_A.

@@ -18,9 +18,11 @@ package fdep
 
 import (
 	"context"
+	"strings"
 
 	"repro/internal/bitset"
 	"repro/internal/dep"
+	"repro/internal/engine"
 	"repro/internal/fdtree"
 	"repro/internal/relation"
 	"repro/internal/sampling"
@@ -60,12 +62,40 @@ func Discover(r *relation.Relation, variant Variant) []dep.FD {
 // DiscoverCtx is Discover with cooperative cancellation: both the
 // quadratic negative-cover pass and the induction loop honour ctx.
 func DiscoverCtx(ctx context.Context, r *relation.Relation, variant Variant) ([]dep.FD, error) {
+	fds, _, err := DiscoverRun(ctx, r, variant)
+	return fds, err
+}
+
+// DiscoverRun is DiscoverCtx emitting the algorithm-agnostic run report.
+// On cancellation the partial report (with Cancelled set) is returned
+// alongside ctx's error.
+func DiscoverRun(ctx context.Context, r *relation.Relation, variant Variant) ([]dep.FD, *engine.RunStats, error) {
+	rs := engine.NewRunStats(strings.ToLower(variant.String()), 1)
 	n := r.NumCols()
+	nrows := int64(r.NumRows())
+	stop := rs.Phase("negative-cover")
 	neg, err := sampling.NegativeCoverCtx(ctx, r)
+	stop()
 	if err != nil {
-		return nil, err
+		rs.Finish(err)
+		return nil, rs, err
+	}
+	rs.RowsScanned += nrows * (nrows - 1) // every tuple pair reads two rows
+	rs.NonFDs = int64(neg.Len())
+
+	fail := func(err error) ([]dep.FD, *engine.RunStats, error) {
+		rs.Finish(err)
+		return nil, rs, err
+	}
+	done := func(fds []dep.FD) ([]dep.FD, *engine.RunStats, error) {
+		dep.Sort(fds)
+		rs.FDs = int64(len(fds))
+		rs.Finish(nil)
+		return fds, rs, nil
 	}
 
+	stop = rs.Phase("induct")
+	defer stop()
 	switch variant {
 	case Classic:
 		neg.SortDescending()
@@ -73,7 +103,7 @@ func DiscoverCtx(ctx context.Context, r *relation.Relation, variant Variant) ([]
 		for i, x := range neg.Sets() {
 			if i%64 == 0 {
 				if err := ctx.Err(); err != nil {
-					return nil, err
+					return fail(err)
 				}
 			}
 			for a := 0; a < n; a++ {
@@ -82,9 +112,7 @@ func DiscoverCtx(ctx context.Context, r *relation.Relation, variant Variant) ([]
 				}
 			}
 		}
-		fds := dep.SplitRHS(tree.FDs())
-		dep.Sort(fds)
-		return fds, nil
+		return done(dep.SplitRHS(tree.FDs()))
 	case NonRedundant:
 		neg.NonRedundant()
 	default:
@@ -96,13 +124,11 @@ func DiscoverCtx(ctx context.Context, r *relation.Relation, variant Variant) ([]
 	for i, x := range neg.Sets() {
 		if i%64 == 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return fail(err)
 			}
 		}
 		y := full.Difference(x)
 		tree.Induct(x, y)
 	}
-	fds := dep.SplitRHS(tree.FDs())
-	dep.Sort(fds)
-	return fds, nil
+	return done(dep.SplitRHS(tree.FDs()))
 }

@@ -14,7 +14,8 @@
 // induction on extended FD-trees, which already improves on the published
 // HyFD numbers. Validation always refines the single-attribute partitions
 // from scratch; reusing refinements across levels is exactly what DHyFD's
-// dynamic data manager adds (package core).
+// dynamic data manager adds (package core). The validation phase runs on
+// the shared engine.Pool when Config.Workers is above one.
 package hyfd
 
 import (
@@ -22,6 +23,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/dep"
+	"repro/internal/engine"
 	"repro/internal/fdtree"
 	"repro/internal/partition"
 	"repro/internal/relation"
@@ -29,7 +31,7 @@ import (
 	"repro/internal/validate"
 )
 
-// Config tunes the phase-switching heuristics.
+// Config tunes the phase-switching heuristics and the validation pool.
 type Config struct {
 	// InvalidSwitchRatio: after a validation level, switch to sampling when
 	// invalidated/validated exceeds this fraction. Default 0.01.
@@ -37,6 +39,10 @@ type Config struct {
 	// SamplingEfficiency: a sampling phase keeps growing runs while the best
 	// run yields at least this many new non-FDs per comparison. Default 0.01.
 	SamplingEfficiency float64
+	// Workers sets the engine.Pool width for the validation phase.
+	// Values below 2 keep the published serial behaviour; sampling and
+	// induction are sequential either way.
+	Workers int
 }
 
 // DefaultConfig returns the configuration used in the experiments.
@@ -50,6 +56,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.SamplingEfficiency <= 0 {
 		c.SamplingEfficiency = 0.01
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
 	}
 }
 
@@ -173,22 +182,41 @@ func DiscoverWithConfig(r *relation.Relation, cfg Config) ([]dep.FD, Stats) {
 }
 
 // DiscoverCtx is DiscoverWithConfig with cooperative cancellation, checked
-// between validations and sampling runs.
+// between validation batches and sampling runs.
 func DiscoverCtx(ctx context.Context, r *relation.Relation, cfg Config) ([]dep.FD, Stats, error) {
+	fds, stats, _, err := discover(ctx, r, cfg)
+	return fds, stats, err
+}
+
+// DiscoverRun runs HyFD and emits the algorithm-agnostic run report. On
+// cancellation the partial report (with Cancelled set) is returned
+// alongside ctx's error.
+func DiscoverRun(ctx context.Context, r *relation.Relation, cfg Config) ([]dep.FD, *engine.RunStats, error) {
+	fds, _, rs, err := discover(ctx, r, cfg)
+	return fds, rs, err
+}
+
+func discover(ctx context.Context, r *relation.Relation, cfg Config) ([]dep.FD, Stats, *engine.RunStats, error) {
 	cfg.fillDefaults()
 	var stats Stats
+	rs := engine.NewRunStats("hyfd", cfg.Workers)
 	n := r.NumCols()
 	if n == 0 {
-		return nil, stats, nil
+		rs.Finish(nil)
+		return nil, stats, rs, nil
 	}
+	pool := engine.NewPool(cfg.Workers)
 
 	if err := ctx.Err(); err != nil {
-		return nil, stats, err
+		rs.Finish(err)
+		return nil, stats, rs, err
 	}
+	stop := rs.Phase("sample")
 	plis := make([]*partition.Partition, n)
 	for c := 0; c < n; c++ {
 		plis[c] = partition.Single(r.Cols[c], r.Cards[c])
 	}
+	rs.PartitionsBuilt += int64(n)
 	v := validate.New(r)
 	nonFDs := sampling.NewNonFDSet(n)
 	tree := fdtree.NewWithFullRHS(n)
@@ -206,17 +234,85 @@ func DiscoverCtx(ctx context.Context, r *relation.Relation, cfg Config) ([]dep.F
 		stats.SamplingRounds++
 		stats.Comparisons += comps
 	}
+	stop()
+	stop = rs.Phase("induct")
 	inductAll(tree, full, nonFDs.Sets())
+	stop()
 	processed := nonFDs.Len()
+
+	finish := func(err error) ([]dep.FD, Stats, *engine.RunStats, error) {
+		stats.Validations = v.Validations
+		stats.Invalidated = v.Invalidated
+		stats.NonFDs = nonFDs.Len()
+		rs.CandidatesValidated = int64(v.Validations)
+		rs.Invalidated = int64(v.Invalidated)
+		rs.RowsScanned += int64(v.RowsScanned) + 2*int64(stats.Comparisons)
+		rs.PartitionsRefined += int64(v.ClustersRefined)
+		rs.NonFDs = int64(stats.NonFDs)
+		rs.Levels = int64(stats.Levels)
+		rs.Count("sampling_rounds", int64(stats.SamplingRounds))
+		rs.Count("sampling_comparisons", int64(stats.Comparisons))
+		rs.Finish(err)
+		return nil, stats, rs, err
+	}
 
 	for vl := 1; vl <= tree.MaxLevel(); vl++ {
 		candidates := tree.NodesAtLevel(vl)
 		stats.Levels++
+		stop = rs.Phase("validate")
+		validations, invalidated, err := validateLevel(ctx, pool, r, plis, candidates, v, nonFDs)
+		stop()
+		if err != nil {
+			return finish(err)
+		}
+
+		stop = rs.Phase("induct")
+		inductAll(tree, full, nonFDs.Sets()[processed:])
+		stop()
+		processed = nonFDs.Len()
+
+		// Switch to sampling when the level went badly and the sampler can
+		// still contribute; its non-FDs prune the deeper levels.
+		if validations > 0 &&
+			float64(invalidated) > cfg.InvalidSwitchRatio*float64(validations) &&
+			smp.alive() {
+			stop = rs.Phase("sample")
+			smp.phase(nonFDs, &stats)
+			stop()
+			stop = rs.Phase("induct")
+			inductAll(tree, full, nonFDs.Sets()[processed:])
+			stop()
+			processed = nonFDs.Len()
+		}
+	}
+
+	if err := ctx.Err(); err != nil {
+		return finish(err)
+	}
+	fds := dep.SplitRHS(tree.FDs())
+	dep.Sort(fds)
+	stats.FDs = len(fds)
+	_, _, _, _ = finish(nil)
+	rs.FDs = int64(stats.FDs)
+	return fds, stats, rs, nil
+}
+
+// validateLevel validates one level's FD-nodes against refinements of the
+// single-attribute partitions, fanning out over the pool when it is wider
+// than one worker: each worker owns a validator and a local non-FD
+// buffer, merged into v and nonFDs afterwards (even on cancellation, so
+// partial runs report honestly). It returns the level's validation and
+// invalidation counts, the inputs of the phase-switching heuristic.
+func validateLevel(ctx context.Context, pool *engine.Pool, r *relation.Relation, plis []*partition.Partition, candidates []*fdtree.Node, v *validate.Validator, nonFDs *sampling.NonFDSet) (validations, invalidated int, err error) {
+	n := r.NumCols()
+	workers := pool.Workers()
+	if workers < 2 || len(candidates) < 4*workers {
 		snap := v.Snapshot()
 		for i, node := range candidates {
 			if i%64 == 0 {
 				if err := ctx.Err(); err != nil {
-					return nil, stats, err
+					validations, invalidated = v.Since(snap)
+					return validations, invalidated, err
 				}
 			}
 			if !node.IsFDNode() {
@@ -228,34 +324,39 @@ func DiscoverCtx(ctx context.Context, r *relation.Relation, cfg Config) ([]dep.F
 			start.Add(a)
 			v.FD(lhs, node.RHS, plis[a], start, nonFDs)
 		}
-		validations, invalidated := v.Since(snap)
+		validations, invalidated = v.Since(snap)
+		return validations, invalidated, nil
+	}
 
-		newSets := nonFDs.Sets()[processed:]
-		inductAll(tree, full, newSets)
-		processed = nonFDs.Len()
-
-		// Switch to sampling when the level went badly and the sampler can
-		// still contribute; its non-FDs prune the deeper levels.
-		if validations > 0 &&
-			float64(invalidated) > cfg.InvalidSwitchRatio*float64(validations) &&
-			smp.alive() {
-			smp.phase(nonFDs, &stats)
-			inductAll(tree, full, nonFDs.Sets()[processed:])
-			processed = nonFDs.Len()
+	locals := make([]*sampling.NonFDSet, workers)
+	validators := make([]*validate.Validator, workers)
+	for w := 0; w < workers; w++ {
+		locals[w] = sampling.NewNonFDSet(n)
+		validators[w] = validate.New(r)
+	}
+	err = pool.Run(ctx, len(candidates), func(w, i int) {
+		node := candidates[i]
+		if !node.IsFDNode() {
+			return
+		}
+		lhs := node.Path(n)
+		a := cheapestAttr(lhs, plis)
+		start := bitset.New(n)
+		start.Add(a)
+		validators[w].FD(lhs, node.RHS, plis[a], start, locals[w])
+	})
+	for w := 0; w < workers; w++ {
+		validations += validators[w].Validations
+		invalidated += validators[w].Invalidated
+		v.Validations += validators[w].Validations
+		v.Invalidated += validators[w].Invalidated
+		v.RowsScanned += validators[w].RowsScanned
+		v.ClustersRefined += validators[w].ClustersRefined
+		for _, x := range locals[w].Sets() {
+			nonFDs.Add(x)
 		}
 	}
-
-	stats.Validations = v.Validations
-	stats.Invalidated = v.Invalidated
-	stats.NonFDs = nonFDs.Len()
-
-	if err := ctx.Err(); err != nil {
-		return nil, stats, err
-	}
-	fds := dep.SplitRHS(tree.FDs())
-	dep.Sort(fds)
-	stats.FDs = len(fds)
-	return fds, stats, nil
+	return validations, invalidated, err
 }
 
 // inductAll sorts the given agree sets descending and inducts each.

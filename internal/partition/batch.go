@@ -1,0 +1,66 @@
+package partition
+
+import (
+	"context"
+
+	"repro/internal/engine"
+)
+
+// IntersectJob is one PLI product π_Left ∩ π_Right. The probe table of
+// Right is built inside the worker so that its construction parallelizes
+// with the intersections.
+type IntersectJob struct {
+	Left, Right *Partition
+}
+
+// IntersectBatch computes every job's intersection on up to workers
+// goroutines and returns the results in job order. It is the batched
+// form of Intersect that TANE's level generation feeds whole prefix-block
+// joins through. On cancellation the partial results are returned with
+// ctx's error; unprocessed entries are nil.
+func IntersectBatch(ctx context.Context, workers int, jobs []IntersectJob) ([]*Partition, error) {
+	return engine.Map(ctx, workers, jobs, func(w int, j IntersectJob) *Partition {
+		return Intersect(j.Left, NewProbeTable(j.Right))
+	})
+}
+
+// RefineJob refines Part by the listed columns in order. Cols[k] must be
+// a full dictionary-encoded column with cardinality Cards[k].
+type RefineJob struct {
+	Part  *Partition
+	Cols  [][]int32
+	Cards []int
+}
+
+// RefineBatch refines every job on up to workers goroutines, one Refiner
+// per worker so refinement scratch is reused without locking, and returns
+// the refined partitions in job order. The DDM's partition refreshes run
+// through it. On cancellation the partial results are returned with ctx's
+// error; unprocessed entries are nil.
+func RefineBatch(ctx context.Context, workers int, jobs []RefineJob) ([]*Partition, error) {
+	maxCard := 1
+	for _, j := range jobs {
+		for _, c := range j.Cards {
+			if c > maxCard {
+				maxCard = c
+			}
+		}
+	}
+	pool := engine.NewPool(workers)
+	refiners := make([]*Refiner, pool.Workers())
+	for w := range refiners {
+		refiners[w] = NewRefiner(maxCard)
+	}
+	out := make([]*Partition, len(jobs))
+	err := pool.Run(ctx, len(jobs), func(w, i int) {
+		p := jobs[i].Part
+		for k, col := range jobs[i].Cols {
+			if len(p.Clusters) == 0 {
+				break
+			}
+			p = refiners[w].Refine(p, col, jobs[i].Cards[k])
+		}
+		out[i] = p
+	})
+	return out, err
+}

@@ -5,6 +5,7 @@
 package profile
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cover"
 	"repro/internal/dep"
+	"repro/internal/engine"
 	"repro/internal/normalize"
 	"repro/internal/ranking"
 	"repro/internal/relation"
@@ -58,6 +60,11 @@ type Report struct {
 
 	DiscoveryTime time.Duration
 	TotalTime     time.Duration
+
+	// Run is the discovery run report: per-phase wall time and hot-path
+	// counters (partial, with Cancelled set, when the profile was
+	// interrupted).
+	Run *engine.RunStats
 }
 
 // Options bound the potentially expensive parts of a profile.
@@ -82,6 +89,14 @@ func (o *Options) fillDefaults() {
 
 // Profile computes the full report for a relation.
 func Profile(r *relation.Relation, opts Options) *Report {
+	rep, _ := ProfileCtx(context.Background(), r, opts)
+	return rep
+}
+
+// ProfileCtx is Profile with cooperative cancellation: discovery — the
+// dominant cost — aborts promptly once ctx is done, returning the partial
+// report alongside ctx's error.
+func ProfileCtx(ctx context.Context, r *relation.Relation, opts Options) (*Report, error) {
 	opts.fillDefaults()
 	start := time.Now()
 	n := r.NumCols()
@@ -91,8 +106,13 @@ func Profile(r *relation.Relation, opts Options) *Report {
 
 	// Discovery, cover, ranking.
 	dstart := time.Now()
-	lr, _ := core.DiscoverWithConfig(r, core.Config{Workers: opts.Workers})
+	lr, rs, err := core.DiscoverRun(ctx, r, core.Config{Workers: opts.Workers})
 	rep.DiscoveryTime = time.Since(dstart)
+	rep.Run = rs
+	if err != nil {
+		rep.TotalTime = time.Since(start)
+		return rep, err
+	}
 	can := cover.Canonical(n, lr)
 	rep.LeftReducedFDs = len(lr)
 	rep.CanonicalFDs = len(can)
@@ -141,7 +161,7 @@ func Profile(r *relation.Relation, opts Options) *Report {
 		rep.Columns[c] = col
 	}
 	rep.TotalTime = time.Since(start)
-	return rep
+	return rep, nil
 }
 
 func uniqueColumn(r *relation.Relation, c int) bool {
@@ -191,9 +211,18 @@ func (rep *Report) Write(w io.Writer, names []string) {
 	fmt.Fprintf(w, "FDs: %d left-reduced, %d canonical   discovery: %v   total: %v\n",
 		rep.LeftReducedFDs, rep.CanonicalFDs,
 		rep.DiscoveryTime.Round(time.Millisecond), rep.TotalTime.Round(time.Millisecond))
-	fmt.Fprintf(w, "redundancy: %d of %d values (%.1f%%), %d incl. nulls (%.1f%%)\n\n",
+	fmt.Fprintf(w, "redundancy: %d of %d values (%.1f%%), %d incl. nulls (%.1f%%)\n",
 		rep.Totals.Red, rep.Totals.Values, rep.Totals.PercentRed(),
 		rep.Totals.RedWithNulls, rep.Totals.PercentRedWithNulls())
+	if rep.Run != nil {
+		fmt.Fprintf(w, "discovery phases (%s, %d workers):", rep.Run.Algorithm, rep.Run.Workers)
+		for _, ph := range rep.Run.Phases {
+			fmt.Fprintf(w, " %s=%v", ph.Name, ph.Duration.Round(time.Millisecond))
+		}
+		fmt.Fprintf(w, "; %d candidates validated, %d rows scanned, %d partitions refined\n",
+			rep.Run.CandidatesValidated, rep.Run.RowsScanned, rep.Run.PartitionsRefined)
+	}
+	fmt.Fprintln(w)
 
 	fmt.Fprintln(w, "columns:")
 	fmt.Fprintf(w, "  %-20s %9s %7s %5s %7s %7s %9s  %s\n",

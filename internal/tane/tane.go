@@ -8,6 +8,10 @@
 // Key pruning removes superkeys from the lattice after emitting the FDs
 // they certify.
 //
+// The PLI intersections of one level are independent, so level generation
+// batches them through partition.IntersectBatch on the shared engine
+// pool; workers = 1 keeps the classic serial behaviour.
+//
 // As the paper observes, TANE excels when all FDs have short LHSs
 // (fd-reduced) and degrades badly with many columns; the partitions of a
 // whole level resident in memory are its characteristic cost.
@@ -19,6 +23,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/dep"
+	"repro/internal/engine"
 	"repro/internal/partition"
 	"repro/internal/relation"
 )
@@ -44,10 +49,24 @@ func Discover(r *relation.Relation) []dep.FD {
 // levels can hold gigabytes of partitions, so cancellation matters for
 // time-limited benchmark drivers.
 func DiscoverCtx(ctx context.Context, r *relation.Relation) ([]dep.FD, error) {
+	fds, _, err := DiscoverRun(ctx, r, 1)
+	return fds, err
+}
+
+// DiscoverRun runs TANE with the given worker-pool width for its PLI
+// intersections and emits the algorithm-agnostic run report. On
+// cancellation the partial report (with Cancelled set) is returned
+// alongside ctx's error.
+func DiscoverRun(ctx context.Context, r *relation.Relation, workers int) ([]dep.FD, *engine.RunStats, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	rs := engine.NewRunStats("tane", workers)
 	n := r.NumCols()
 	var out []dep.FD
 	if n == 0 {
-		return out, nil
+		rs.Finish(nil)
+		return out, rs, nil
 	}
 	nrows := r.NumRows()
 
@@ -60,6 +79,7 @@ func DiscoverCtx(ctx context.Context, r *relation.Relation) ([]dep.FD, error) {
 	full := bitset.Full(n)
 
 	// Level 1. Level 0 is the empty set: one cluster of all rows.
+	stop := rs.Phase("build")
 	emptyPart := &partition.Partition{NRows: nrows}
 	if nrows >= 2 {
 		all := make([]int32, nrows)
@@ -81,11 +101,21 @@ func DiscoverCtx(ctx context.Context, r *relation.Relation) ([]dep.FD, error) {
 			cplus: full.Clone(),
 		})
 	}
+	rs.PartitionsBuilt += int64(n)
+	stop()
+
+	fail := func(err error) ([]dep.FD, *engine.RunStats, error) {
+		rs.FDs = int64(len(out))
+		rs.Finish(err)
+		return nil, rs, err
+	}
 
 	for len(level) > 0 {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return fail(err)
 		}
+		rs.Levels++
+		stop = rs.Phase("validate")
 		curCPlus := make(map[string]bitset.Set, len(level))
 		curErr := make(map[string]int, len(level))
 		curPart := make(map[string]*partition.Partition, len(level))
@@ -107,6 +137,7 @@ func DiscoverCtx(ctx context.Context, r *relation.Relation) ([]dep.FD, error) {
 				if !ok {
 					continue // parent pruned: X∖A → A cannot be minimal
 				}
+				rs.CandidatesValidated++
 				if restErr == c.err {
 					rhs := bitset.New(n)
 					rhs.Add(a)
@@ -114,6 +145,8 @@ func DiscoverCtx(ctx context.Context, r *relation.Relation) ([]dep.FD, error) {
 					c.cplus.Remove(a)
 					// Remove all B ∈ R∖X from C+(X).
 					c.cplus.IntersectWith(c.set)
+				} else {
+					rs.Invalidated++
 				}
 			}
 		}
@@ -127,7 +160,7 @@ func DiscoverCtx(ctx context.Context, r *relation.Relation) ([]dep.FD, error) {
 			if c.part.IsUnique() { // X is a (super)key
 				outside := c.cplus.Difference(c.set)
 				for a := outside.Next(0); a >= 0; a = outside.Next(a + 1) {
-					if keyFDMinimal(r, c, a, prevErr, prevPart) {
+					if keyFDMinimal(r, c, a, prevErr, prevPart, rs) {
 						rhs := bitset.New(n)
 						rhs.Add(a)
 						out = append(out, dep.FD{LHS: c.set.Clone(), RHS: rhs})
@@ -136,15 +169,24 @@ func DiscoverCtx(ctx context.Context, r *relation.Relation) ([]dep.FD, error) {
 				c.dead = true
 			}
 		}
+		stop()
 
-		level = nextLevel(ctx, r, level, curCPlus, n)
+		stop = rs.Phase("generate")
+		next, err := nextLevel(ctx, workers, level, curCPlus, n, rs)
+		stop()
+		if err != nil {
+			return fail(err)
+		}
+		level = next
 		prevErr, prevPart = curErr, curPart
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return fail(err)
 	}
 	dep.Sort(out)
-	return out, nil
+	rs.FDs = int64(len(out))
+	rs.Finish(nil)
+	return out, rs, nil
 }
 
 // keyFDMinimal decides whether the key FD X → A (X a superkey, A outside
@@ -152,7 +194,7 @@ func DiscoverCtx(ctx context.Context, r *relation.Relation) ([]dep.FD, error) {
 // X∖{B} determines A, which is checked directly by refining the parent
 // partition with A — the sibling C+ sets TANE's original certificate
 // consults may already be pruned from the lattice, losing FDs.
-func keyFDMinimal(r *relation.Relation, c *candidate, a int, prevErr map[string]int, prevPart map[string]*partition.Partition) bool {
+func keyFDMinimal(r *relation.Relation, c *candidate, a int, prevErr map[string]int, prevPart map[string]*partition.Partition, rs *engine.RunStats) bool {
 	rest := c.set.Clone()
 	for _, b := range c.attrs {
 		rest.Remove(b)
@@ -165,6 +207,8 @@ func keyFDMinimal(r *relation.Relation, c *candidate, a int, prevErr map[string]
 			return false
 		}
 		refined := partition.Refine(pRest, r.Cols[a], r.Cards[a])
+		rs.PartitionsRefined += int64(len(pRest.Clusters))
+		rs.RowsScanned += int64(pRest.Size())
 		if refined.Error() == prevErr[k] {
 			return false // X∖{B} → A already valid
 		}
@@ -175,8 +219,10 @@ func keyFDMinimal(r *relation.Relation, c *candidate, a int, prevErr map[string]
 // nextLevel generates level ℓ+1 by joining prefix blocks: two level-ℓ sets
 // sharing their first ℓ−1 attributes produce their union, kept only if all
 // ℓ+1 subsets survive; C+ is the intersection of the subsets' C+ sets, and
-// the partition the product of the parents'.
-func nextLevel(ctx context.Context, r *relation.Relation, level []*candidate, curCPlus map[string]bitset.Set, n int) []*candidate {
+// the partition the product of the parents'. The pair scan is cheap and
+// serial; the PLI products — the level's hot path — run as one
+// partition.IntersectBatch over the worker pool.
+func nextLevel(ctx context.Context, workers int, level []*candidate, curCPlus map[string]bitset.Set, n int, rs *engine.RunStats) ([]*candidate, error) {
 	alive := level[:0:0]
 	for _, c := range level {
 		if !c.dead {
@@ -184,7 +230,7 @@ func nextLevel(ctx context.Context, r *relation.Relation, level []*candidate, cu
 		}
 	}
 	if len(alive) == 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	sort.Slice(alive, func(i, j int) bool {
 		return bitset.CompareLex(alive[i].set, alive[j].set) < 0
@@ -195,9 +241,12 @@ func nextLevel(ctx context.Context, r *relation.Relation, level []*candidate, cu
 	}
 
 	var next []*candidate
+	var jobs []partition.IntersectJob
 	for i := 0; i < len(alive); i++ {
-		if i%64 == 0 && ctx.Err() != nil {
-			return nil // abandoned; the caller re-checks ctx
+		if i%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 		}
 		for j := i + 1; j < len(alive); j++ {
 			a, b := alive[i], alive[j]
@@ -209,18 +258,25 @@ func nextLevel(ctx context.Context, r *relation.Relation, level []*candidate, cu
 			if cplus == nil {
 				continue // some subset pruned: no minimal FD can come from here
 			}
-			probe := partition.NewProbeTable(b.part)
-			p := partition.Intersect(a.part, probe)
+			jobs = append(jobs, partition.IntersectJob{Left: a.part, Right: b.part})
 			next = append(next, &candidate{
 				set:   union,
 				attrs: union.Attrs(),
-				part:  p,
-				err:   p.Error(),
 				cplus: cplus,
 			})
 		}
 	}
-	return next
+	parts, err := partition.IntersectBatch(ctx, workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for k, c := range next {
+		c.part = parts[k]
+		c.err = parts[k].Error()
+		rs.RowsScanned += int64(jobs[k].Left.Size())
+	}
+	rs.PartitionsBuilt += int64(len(jobs))
+	return next, nil
 }
 
 func samePrefix(a, b []int) bool {

@@ -27,6 +27,11 @@ type Validator struct {
 	// Invalidated counts how many of those failed.
 	Validations int
 	Invalidated int
+	// RowsScanned counts cluster rows fed into refinement and tuple
+	// comparison; ClustersRefined counts Algorithm 5 cluster-refinement
+	// steps. Both feed the engine.RunStats hot-path counters.
+	RowsScanned     int
+	ClustersRefined int
 }
 
 // New returns a validator for r.
@@ -55,11 +60,14 @@ func (v *Validator) FD(lhs, rhs bitset.Set, start *partition.Partition, startAtt
 
 	var scratch, next [][]int32
 	for _, cluster := range start.Clusters {
+		v.RowsScanned += len(cluster)
 		scratch = scratch[:0]
 		scratch = append(scratch, cluster)
 		for _, a := range remaining {
 			next = next[:0]
 			for _, s := range scratch {
+				v.ClustersRefined++
+				v.RowsScanned += len(s)
 				next = v.rf.RefineCluster(s, cols[a], v.r.Cards[a], next)
 			}
 			scratch, next = next, scratch
