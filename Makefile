@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt test race bench check
+.PHONY: all build vet fmt test race bench chaos fuzz-smoke check
 
 all: check
 
@@ -26,6 +26,18 @@ race:
 bench:
 	$(GO) test -bench BenchmarkDiscover -benchtime 1x ./
 
-# The default verify path: build, vet, formatting, then the full suite
+# The fault-injection matrix — every site × every plan × every algorithm —
 # under the race detector.
-check: build vet fmt race
+chaos:
+	$(GO) test -race -run 'TestChaos' ./internal/integration/
+
+# A ~10s native-fuzzing smoke pass over the CSV reader and the discovery
+# pipeline. Longer runs: go test -fuzz=FuzzReadCSV ./internal/relation/
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzReadCSV -fuzztime 5s -run '^$$' ./internal/relation/
+	$(GO) test -fuzz=FuzzDiscoverSmall -fuzztime 5s -run '^$$' ./internal/integration/
+
+# The default verify path: build, vet, formatting, then the full suite
+# under the race detector (which includes the chaos matrix), then the
+# fuzz smoke pass.
+check: build vet fmt race fuzz-smoke

@@ -11,6 +11,12 @@
 // shrunk to a canonical cover before printing. Interrupting the run
 // (Ctrl-C) cancels discovery promptly and prints the statistics of the
 // phases completed so far.
+//
+// -mem-budget and -max-partitions bound the run's partition footprint;
+// when a budget is exhausted the run finishes early with a sound partial
+// cover and a warning on stderr. Exit codes: 0 success (including
+// degraded-with-warning), 1 runtime failure or interrupted/partial run,
+// 2 usage error.
 package main
 
 import (
@@ -35,6 +41,8 @@ func main() {
 	nullToken := flag.String("null-token", "", "extra token to treat as a missing value (empty string and '?' always are)")
 	stats := flag.Bool("stats", false, "print the run report to stderr")
 	timeout := flag.Duration("timeout", 0, "abort discovery after this long (0 = no limit)")
+	memBudget := flag.Int64("mem-budget", -1, "approximate partition-memory budget in bytes; on exhaustion the run degrades to a sound partial result (-1 = unlimited)")
+	maxParts := flag.Int("max-partitions", -1, "cap on partitions materialized; on exhaustion the run degrades to a sound partial result (-1 = unlimited)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: fddiscover [flags] file.csv\n")
 		flag.PrintDefaults()
@@ -75,20 +83,32 @@ func main() {
 	if *timeout > 0 {
 		discoverOpts = append(discoverOpts, dhyfd.WithDeadline(time.Now().Add(*timeout)))
 	}
+	if *memBudget >= 0 {
+		discoverOpts = append(discoverOpts, dhyfd.WithMemoryBudget(*memBudget))
+	}
+	if *maxParts >= 0 {
+		discoverOpts = append(discoverOpts, dhyfd.WithMaxPartitions(*maxParts))
+	}
 
 	res, err := dhyfd.Discover(ctx, rel, discoverOpts...)
 	if err != nil {
+		var perr *dhyfd.PanicError
 		switch {
 		case errors.Is(err, context.Canceled):
 			fmt.Fprintln(os.Stderr, "fddiscover: interrupted; partial run report:")
 		case errors.Is(err, context.DeadlineExceeded):
 			fmt.Fprintln(os.Stderr, "fddiscover: timed out; partial run report:")
+		case errors.As(err, &perr):
+			fmt.Fprintf(os.Stderr, "fddiscover: internal panic at %s: %v\n%s\n", perr.Site, perr.Value, perr.Stack)
 		default:
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Fprintln(os.Stderr, res.Stats.String())
 		os.Exit(1)
+	}
+	if res.Stats.Degraded {
+		fmt.Fprintf(os.Stderr, "fddiscover: warning: degraded run (%s); the cover below is sound but may be incomplete\n", res.Stats.DegradedReason)
 	}
 	if *stats {
 		fmt.Fprintln(os.Stderr, res.Stats.String())

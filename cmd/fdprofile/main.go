@@ -50,9 +50,12 @@ func main() {
 
 	rep, err := profile.ProfileCtx(ctx, rel, profile.Options{MaxKeys: *maxKeys, Workers: *workers})
 	if err != nil {
+		var perr *dhyfd.PanicError
 		if errors.Is(err, context.Canceled) && rep.Run != nil {
 			fmt.Fprintln(os.Stderr, "fdprofile: interrupted; partial run report:")
 			fmt.Fprintln(os.Stderr, rep.Run.String())
+		} else if errors.As(err, &perr) {
+			fmt.Fprintf(os.Stderr, "fdprofile: internal panic at %s: %v\n%s\n", perr.Site, perr.Value, perr.Stack)
 		} else {
 			fmt.Fprintln(os.Stderr, err)
 		}

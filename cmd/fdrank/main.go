@@ -55,13 +55,19 @@ func main() {
 	start := time.Now()
 	res, err := dhyfd.Discover(ctx, rel)
 	if err != nil {
+		var perr *dhyfd.PanicError
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "fdrank: interrupted; partial run report:")
 			fmt.Fprintln(os.Stderr, res.Stats.String())
+		} else if errors.As(err, &perr) {
+			fmt.Fprintf(os.Stderr, "fdrank: internal panic at %s: %v\n%s\n", perr.Site, perr.Value, perr.Stack)
 		} else {
 			fmt.Fprintln(os.Stderr, err)
 		}
 		os.Exit(1)
+	}
+	if res.Stats.Degraded {
+		fmt.Fprintf(os.Stderr, "fdrank: warning: degraded run (%s); ranking a sound but possibly incomplete cover\n", res.Stats.DegradedReason)
 	}
 	can := dhyfd.CanonicalCover(rel.NumCols(), res.FDs)
 	fmt.Fprintf(os.Stderr, "%d FDs in the canonical cover (%v)\n", len(can), time.Since(start))

@@ -42,6 +42,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/dep"
 	"repro/internal/dfd"
@@ -49,6 +50,7 @@ import (
 	"repro/internal/fastfds"
 	"repro/internal/fdep"
 	"repro/internal/hyfd"
+	"repro/internal/partition"
 	"repro/internal/relation"
 	"repro/internal/tane"
 )
@@ -160,8 +162,18 @@ func Algorithms() []Algorithm {
 
 // RunStats is the algorithm-agnostic run report every algorithm emits:
 // per-phase wall time, hot-path counters (rows scanned, partitions built
-// and refined, candidates validated) and the cancellation state.
+// and refined, candidates validated) and the cancellation and degradation
+// state.
 type RunStats = engine.RunStats
+
+// PanicError is the typed error a panic inside the discovery runtime is
+// promoted to: Discover returns it alongside a partial Result instead of
+// crashing the process. Site attributes the failure, Stack holds the
+// panicking goroutine's stack. Unwrap it with errors.As:
+//
+//	var pe *dhyfd.PanicError
+//	if errors.As(err, &pe) { log.Printf("panic at %s:\n%s", pe.Site, pe.Stack) }
+type PanicError = engine.PanicError
 
 // Result bundles a discovery run's output: the left-reduced cover and the
 // run report. On cancellation Discover returns a partial Result — Stats
@@ -186,6 +198,9 @@ type discoverConfig struct {
 	ratio     float64
 	deadline  time.Time
 	hyfd      hyfd.Config
+	memBudget int64 // bytes; < 0 = unlimited
+	maxParts  int64 // partitions; < 0 = unlimited
+	noVerify  bool
 }
 
 // WithAlgorithm selects the discovery algorithm (default DHyFD).
@@ -213,13 +228,56 @@ func WithDeadline(d time.Time) Option {
 	return func(c *discoverConfig) { c.deadline = d }
 }
 
+// WithMemoryBudget bounds the approximate partition memory a run may hold
+// live (clusters × rows accounting over the PLI caches). On exhaustion the
+// run stops refining — DHyFD disables DDM refreshes, TANE abandons deeper
+// lattice levels, DFD abandons its remaining walks — finishes validating
+// the candidates in flight, and returns with Stats.Degraded set and the
+// reason in Stats.DegradedReason, instead of exhausting memory. A budget
+// of 0 degrades immediately; the row-based FDEP variants hold no
+// partitions and ignore it. Degraded partial covers pass the post-run
+// soundness verifier before Discover returns them.
+func WithMemoryBudget(bytes int64) Option {
+	return func(c *discoverConfig) {
+		if bytes < 0 {
+			bytes = 0
+		}
+		c.memBudget = bytes
+	}
+}
+
+// WithMaxPartitions caps the total number of stripped partitions a run may
+// materialize, the coarse-grained companion of WithMemoryBudget with the
+// same degradation semantics.
+func WithMaxPartitions(n int) Option {
+	return func(c *discoverConfig) {
+		if n < 0 {
+			n = 0
+		}
+		c.maxParts = int64(n)
+	}
+}
+
+// withoutPostVerify disables the post-run soundness verifier, for tests
+// that inspect raw degraded output.
+func withoutPostVerify() Option {
+	return func(c *discoverConfig) { c.noVerify = true }
+}
+
 // Discover computes the left-reduced cover of the FDs holding on r. With
 // no options it runs DHyFD with the paper's tuning. The context cancels
 // the run cooperatively: on cancellation Discover returns ctx's error and
 // a partial Result whose Stats (Cancelled = true) cover the work done so
 // far.
-func Discover(ctx context.Context, r *Relation, opts ...Option) (*Result, error) {
-	var cfg discoverConfig
+//
+// Discover never re-panics: a panic anywhere in the runtime surfaces as a
+// *PanicError alongside the partial Result. Runs that end early for any
+// reason — cancelled, degraded under a WithMemoryBudget/WithMaxPartitions
+// budget, or errored — have their partial cover re-verified against the
+// relation before it is returned, so every FD in Result.FDs holds on the
+// data (row-sampled above check.DefaultSampleRows rows).
+func Discover(ctx context.Context, r *Relation, opts ...Option) (res *Result, err error) {
+	cfg := discoverConfig{memBudget: -1, maxParts: -1}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -228,23 +286,38 @@ func Discover(ctx context.Context, r *Relation, opts ...Option) (*Result, error)
 		ctx, cancel = context.WithDeadline(ctx, cfg.deadline)
 		defer cancel()
 	}
+	var budget *partition.Budget
+	if cfg.memBudget >= 0 || cfg.maxParts >= 0 {
+		budget = partition.NewBudget(cfg.memBudget, cfg.maxParts)
+	}
+
+	res = &Result{Algorithm: cfg.algorithm}
+	// Backstop: the drivers recover their own panics into typed errors
+	// with their partial run report, but option plumbing, future drivers
+	// and the post-run verifier must not crash the caller either.
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = engine.NewPanicError("discover", rec)
+			res.FDs = nil
+		}
+	}()
 
 	var (
 		fds []FD
 		rs  *engine.RunStats
-		err error
 	)
 	switch cfg.algorithm {
 	case DHyFD:
-		fds, rs, err = core.DiscoverRun(ctx, r, core.Config{Ratio: cfg.ratio, Workers: cfg.workers})
+		fds, rs, err = core.DiscoverRun(ctx, r, core.Config{Ratio: cfg.ratio, Workers: cfg.workers, Budget: budget})
 	case HyFD:
 		hcfg := cfg.hyfd
 		if cfg.workers > hcfg.Workers {
 			hcfg.Workers = cfg.workers
 		}
+		hcfg.Budget = budget
 		fds, rs, err = hyfd.DiscoverRun(ctx, r, hcfg)
 	case TANE:
-		fds, rs, err = tane.DiscoverRun(ctx, r, cfg.workers)
+		fds, rs, err = tane.Run(ctx, r, tane.Config{Workers: cfg.workers, Budget: budget})
 	case FDEP:
 		fds, rs, err = fdep.DiscoverRun(ctx, r, fdep.Classic)
 	case FDEP1:
@@ -254,19 +327,38 @@ func Discover(ctx context.Context, r *Relation, opts ...Option) (*Result, error)
 	case FastFDs:
 		fds, rs, err = fastfds.DiscoverRun(ctx, r)
 	case DFD:
-		fds, rs, err = dfd.DiscoverRun(ctx, r)
+		fds, rs, err = dfd.Run(ctx, r, dfd.Config{Budget: budget})
 	default:
 		return nil, fmt.Errorf("dhyfd: unknown algorithm %v", cfg.algorithm)
 	}
 
-	res := &Result{FDs: fds, Algorithm: cfg.algorithm}
+	res.FDs = fds
 	if rs != nil {
 		res.Stats = *rs
 	}
-	if err != nil {
-		return res, err
+	if (err != nil || res.Stats.Degraded) && !cfg.noVerify {
+		verifySoundness(r, res)
 	}
-	return res, nil
+	return res, err
+}
+
+// verifySoundness re-validates a partial cover against the relation and
+// drops any FD that does not hold, recording the outcome in the run
+// report's counters (postverify_checked / postverify_dropped /
+// postverify_sampled). Clean complete runs skip it: their cover is exact
+// by construction and continuously cross-checked in the test suite.
+func verifySoundness(r *Relation, res *Result) {
+	if r == nil || len(res.FDs) == 0 {
+		return
+	}
+	rep := check.VerifyCover(r, res.FDs, check.VerifyOptions{})
+	res.FDs = rep.Sound
+	res.Stats.FDs = int64(len(rep.Sound))
+	res.Stats.Count("postverify_checked", int64(rep.Checked))
+	res.Stats.Count("postverify_dropped", int64(rep.Violated))
+	if rep.Sampled {
+		res.Stats.Count("postverify_sampled", 1)
+	}
 }
 
 // DiscoverOptions tunes discovery for the deprecated DiscoverWith.

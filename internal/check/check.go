@@ -58,6 +58,63 @@ func All(r *relation.Relation, fds []dep.FD) map[int]Violation {
 	return out
 }
 
+// VerifyOptions tunes VerifyCover.
+type VerifyOptions struct {
+	// SampleRows bounds the rows verified per FD: relations larger than
+	// this are verified on their first SampleRows rows (a violation in
+	// the sample disproves the FD on the whole relation, so sampling
+	// never drops a valid FD — it can only fail to catch a violation
+	// hiding in the tail). 0 applies DefaultSampleRows; negative
+	// verifies every row.
+	SampleRows int
+}
+
+// DefaultSampleRows is the row-sample bound the post-run verifier uses
+// when VerifyOptions leaves SampleRows zero.
+const DefaultSampleRows = 100_000
+
+// VerifyReport is the outcome of a post-run cover verification.
+type VerifyReport struct {
+	// Checked is the number of FDs verified; Violated how many failed.
+	Checked, Violated int
+	// Sound holds the FDs that passed, in input order.
+	Sound []dep.FD
+	// Sampled reports that verification ran on a row sample rather than
+	// the full relation.
+	Sampled bool
+}
+
+// VerifyCover re-validates every FD of a cover directly against the
+// relation and splits the sound ones from the violated ones — the
+// soundness gate a cancelled, degraded, or errored discovery run passes
+// its partial cover through before anyone acts on it. It shares no state
+// with the run that produced the cover: each FD is checked from its own
+// freshly built partition.
+func VerifyCover(r *relation.Relation, fds []dep.FD, opts VerifyOptions) VerifyReport {
+	rep := VerifyReport{Checked: len(fds)}
+	if len(fds) == 0 {
+		return rep
+	}
+	limit := opts.SampleRows
+	if limit == 0 {
+		limit = DefaultSampleRows
+	}
+	target := r
+	if limit > 0 && r.NumRows() > limit {
+		target = r.Head(limit)
+		rep.Sampled = true
+	}
+	rep.Sound = make([]dep.FD, 0, len(fds))
+	for _, f := range fds {
+		if Holds(target, f) {
+			rep.Sound = append(rep.Sound, f)
+		} else {
+			rep.Violated++
+		}
+	}
+	return rep
+}
+
 // Keys verifies that an attribute set is unique on r, returning a
 // duplicate row pair if not.
 func Keys(r *relation.Relation, key bitset.Set) (int, int, bool) {

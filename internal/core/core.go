@@ -34,6 +34,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/dep"
 	"repro/internal/engine"
+	"repro/internal/faults"
 	"repro/internal/fdtree"
 	"repro/internal/partition"
 	"repro/internal/relation"
@@ -55,6 +56,11 @@ type Config struct {
 	// level), so levels parallelize cleanly; induction remains
 	// sequential. Values below 2 keep the paper's serial behaviour.
 	Workers int
+	// Budget optionally bounds partition memory. On exhaustion DHyFD
+	// stops refreshing the DDM (falling back to single-attribute
+	// partitions, which keeps the cover complete and sound) and flags
+	// the run report Degraded. Nil means unlimited.
+	Budget *partition.Budget
 }
 
 // DefaultConfig returns the paper's tuned configuration.
@@ -95,6 +101,7 @@ type ddm struct {
 	singles []*partition.Partition
 	epoch   int
 	slots   []dynPartition
+	budget  *partition.Budget
 }
 
 type dynPartition struct {
@@ -102,15 +109,17 @@ type dynPartition struct {
 	attrs bitset.Set
 }
 
-func newDDM(r *relation.Relation) *ddm {
+func newDDM(r *relation.Relation, budget *partition.Budget) *ddm {
 	n := r.NumCols()
 	m := &ddm{
 		r:       r,
 		singles: make([]*partition.Partition, n),
 		epoch:   1,
+		budget:  budget,
 	}
 	for c := 0; c < n; c++ {
 		m.singles[c] = partition.Single(r.Cols[c], r.Cards[c])
+		budget.Charge(m.singles[c])
 	}
 	return m
 }
@@ -149,6 +158,9 @@ func (m *ddm) partitionFor(node *fdtree.Node, lhs bitset.Set) (*partition.Partit
 // to its descendants. On cancellation the DDM is left untouched (the old
 // epoch stays consistent) and ctx's error is returned.
 func (m *ddm) update(ctx context.Context, workers int, reusables []*fdtree.Node) error {
+	if err := faults.Hit(faults.DDMRefresh); err != nil {
+		return err
+	}
 	n := len(m.singles)
 	jobs := make([]partition.RefineJob, len(reusables))
 	lhss := make([]bitset.Set, len(reusables))
@@ -188,6 +200,13 @@ func (m *ddm) update(ctx context.Context, workers int, reusables []*fdtree.Node)
 		node.Epoch = m.epoch
 		newSlots = append(newSlots, dynPartition{part: parts[k], attrs: lhss[k]})
 		fdtree.PropagateID(node)
+		m.budget.Charge(parts[k])
+	}
+	// The replaced epoch's partitions are garbage now; return their bytes.
+	// A reused (unrefined) slot aliases its old partition, so the charge
+	// above and this release net out for it.
+	for _, s := range m.slots {
+		m.budget.Release(s.part)
 	}
 	m.slots = newSlots
 	return nil
@@ -230,10 +249,17 @@ func DiscoverRun(ctx context.Context, r *relation.Relation, cfg Config) ([]dep.F
 	return fds, rs, err
 }
 
-func discover(ctx context.Context, r *relation.Relation, cfg Config) ([]dep.FD, Stats, *engine.RunStats, error) {
+func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD, retStats Stats, retRS *engine.RunStats, retErr error) {
 	cfg.fillDefaults()
 	var stats Stats
 	rs := engine.NewRunStats("dhyfd", cfg.Workers)
+	defer func() {
+		if rec := recover(); rec != nil {
+			perr := engine.NewPanicError("dhyfd", rec)
+			rs.Finish(perr)
+			retFDs, retStats, retRS, retErr = nil, stats, rs, perr
+		}
+	}()
 	n := r.NumCols()
 	if n == 0 {
 		rs.Finish(nil)
@@ -246,8 +272,11 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) ([]dep.FD, 
 		return nil, stats, rs, err
 	}
 	stop := rs.Phase("sample")
-	m := newDDM(r)
+	m := newDDM(r, cfg.Budget)
 	rs.PartitionsBuilt += int64(n)
+	if cfg.Budget.Exhausted() {
+		rs.Degrade(cfg.Budget.Reason() + "; DDM refreshes disabled")
+	}
 	v := validate.New(r)
 	tree := fdtree.NewWithFullRHS(n)
 	tree.ControlledLevel = 1
@@ -326,6 +355,13 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) ([]dep.FD, 
 		higher := tree.CountFDs() - numFDs
 		if vl > 1 && total > 0 && len(reusables) > 0 && higher > 0 {
 			if EfficiencyInefficiencyRatio(numNewFDs, total, len(reusables), higher) > cfg.Ratio {
+				// Refreshing trades memory for time; once the budget is
+				// exhausted the trade is off — validation continues from
+				// the partitions already held, which stays sound.
+				if cfg.Budget.Exhausted() {
+					rs.Degrade(cfg.Budget.Reason() + "; DDM refreshes disabled")
+					continue
+				}
 				tree.ControlledLevel = vl
 				stop = rs.Phase("refine")
 				err := m.update(ctx, cfg.Workers, reusables)

@@ -41,18 +41,41 @@ func DiscoverCtx(ctx context.Context, r *relation.Relation) ([]dep.FD, error) {
 	return fds, err
 }
 
+// Config tunes DFD.
+type Config struct {
+	// Budget optionally caps the partitions DFD materializes during its
+	// lattice walks. On exhaustion the walks for the remaining RHS
+	// attributes are abandoned: the run returns the minimal FDs of the
+	// attributes fully walked so far (sound, since each was individually
+	// verified) flagged Degraded. Nil means unlimited.
+	Budget *partition.Budget
+}
+
 // DiscoverRun is DiscoverCtx emitting the algorithm-agnostic run report.
 // On cancellation the partial report (with Cancelled set) is returned
 // alongside ctx's error.
 func DiscoverRun(ctx context.Context, r *relation.Relation) ([]dep.FD, *engine.RunStats, error) {
+	return Run(ctx, r, Config{})
+}
+
+// Run is DiscoverRun with tuning, including a partition budget.
+func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD, retRS *engine.RunStats, retErr error) {
 	rs := engine.NewRunStats("dfd", 1)
+	defer func() {
+		if rec := recover(); rec != nil {
+			perr := engine.NewPanicError("dfd", rec)
+			rs.Finish(perr)
+			retFDs, retRS, retErr = nil, rs, perr
+		}
+	}()
 	n := r.NumCols()
 	var out []dep.FD
 	d := &dfd{
-		r:    r,
-		n:    n,
-		errs: map[string]int{},
-		rng:  rand.New(rand.NewSource(0x0dfd)),
+		r:      r,
+		n:      n,
+		errs:   map[string]int{},
+		rng:    rand.New(rand.NewSource(0x0dfd)),
+		budget: cfg.Budget,
 	}
 	stop := rs.Phase("walk")
 	defer stop()
@@ -60,6 +83,13 @@ func DiscoverRun(ctx context.Context, r *relation.Relation) ([]dep.FD, *engine.R
 		if err := ctx.Err(); err != nil {
 			rs.Finish(err)
 			return nil, rs, err
+		}
+		// A walk decides one RHS attribute completely or not at all, so
+		// abandoning the remaining attributes on budget exhaustion leaves
+		// a sound partial cover.
+		if d.budget.Exhausted() {
+			rs.Degrade(d.budget.Reason() + "; remaining RHS walks abandoned")
+			break
 		}
 		minDeps, err := d.minimalLHSs(ctx, a)
 		if err != nil {
@@ -81,19 +111,24 @@ func DiscoverRun(ctx context.Context, r *relation.Relation) ([]dep.FD, *engine.R
 }
 
 type dfd struct {
-	r    *relation.Relation
-	n    int
-	errs map[string]int // partition error cache, keyed by attribute set
-	rng  *rand.Rand
+	r      *relation.Relation
+	n      int
+	errs   map[string]int // partition error cache, keyed by attribute set
+	rng    *rand.Rand
+	budget *partition.Budget
 }
 
-// errorOf returns e(X) = ‖π_X‖ − |π_X|, cached.
+// errorOf returns e(X) = ‖π_X‖ − |π_X|, cached. Each miss materializes a
+// partition transiently; the budget counts it against the partition cap
+// (the byte charge is returned immediately, since only the error is kept).
 func (d *dfd) errorOf(x bitset.Set) int {
 	k := x.Key()
 	if e, ok := d.errs[k]; ok {
 		return e
 	}
 	p := partition.ForAttrs(x, d.r.Cols, d.r.Cards)
+	d.budget.Charge(p)
+	d.budget.Release(p)
 	e := p.Error()
 	d.errs[k] = e
 	return e

@@ -20,6 +20,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/faults"
 )
 
 // checkEvery is how many items a worker processes between context polls.
@@ -27,15 +29,55 @@ import (
 // workers × checkEvery items.
 const checkEvery = 32
 
-// PanicError wraps a panic recovered inside a pool worker so that callers
-// observe it as an ordinary error instead of a crashed process.
+// PanicError wraps a panic recovered inside the discovery runtime — a pool
+// worker or an algorithm driver — so that callers observe it as an
+// ordinary error plus a partial result instead of a crashed process.
 type PanicError struct {
+	// Site attributes the panic: a faults.Site name for injected
+	// failures, or the recovery point ("engine.worker", "discover") for
+	// organic ones.
+	Site  string
 	Value any    // the recovered panic value
 	Stack []byte // stack of the panicking goroutine
 }
 
 func (e *PanicError) Error() string {
-	return fmt.Sprintf("engine: worker panic: %v", e.Value)
+	if e.Site != "" {
+		return fmt.Sprintf("engine: panic at %s: %v", e.Site, e.Value)
+	}
+	return fmt.Sprintf("engine: panic: %v", e.Value)
+}
+
+// Unwrap exposes panic values that are errors (injected faults panic with
+// their Injection error), so errors.Is sees through the wrapper.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// NewPanicError types a recovered panic value. site names the recovery
+// point; when the value itself carries a fault-injection site, that more
+// precise name wins. The stack is captured here, so call it directly
+// inside the deferred recovery.
+func NewPanicError(site string, value any) *PanicError {
+	if s := faults.SiteOf(value); s != "" {
+		site = string(s)
+	}
+	return &PanicError{Site: site, Value: value, Stack: debug.Stack()}
+}
+
+// Recover converts an in-flight panic into a *PanicError assigned to
+// *errp, for use as a one-line driver epilogue:
+//
+//	defer engine.Recover("tane", &err)
+//
+// With no panic in flight it leaves *errp alone.
+func Recover(site string, errp *error) {
+	if rec := recover(); rec != nil {
+		*errp = NewPanicError(site, rec)
+	}
 }
 
 // Pool is a bounded worker pool. The zero value is not usable; use
@@ -92,7 +134,7 @@ func (p *Pool) Run(ctx context.Context, n int, fn func(worker, i int)) error {
 			defer wg.Done()
 			defer func() {
 				if rec := recover(); rec != nil {
-					panicked.CompareAndSwap(nil, &PanicError{Value: rec, Stack: debug.Stack()})
+					panicked.CompareAndSwap(nil, NewPanicError("engine.worker", rec))
 					stop.Store(true)
 				}
 			}()
@@ -108,6 +150,7 @@ func (p *Pool) Run(ctx context.Context, n int, fn func(worker, i int)) error {
 				if i >= n {
 					return
 				}
+				faults.Check(faults.EngineWorker)
 				fn(w, i)
 			}
 		}(w)
@@ -122,7 +165,7 @@ func (p *Pool) Run(ctx context.Context, n int, fn func(worker, i int)) error {
 func runSerial(ctx context.Context, n int, fn func(worker, i int)) (err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			err = &PanicError{Value: rec, Stack: debug.Stack()}
+			err = NewPanicError("engine.worker", rec)
 		}
 	}()
 	for i := 0; i < n; i++ {
@@ -131,6 +174,7 @@ func runSerial(ctx context.Context, n int, fn func(worker, i int)) (err error) {
 				return cerr
 			}
 		}
+		faults.Check(faults.EngineWorker)
 		fn(0, i)
 	}
 	return ctx.Err()
@@ -192,6 +236,13 @@ type RunStats struct {
 	// Cancelled reports that the run stopped early on context
 	// cancellation; the other fields then describe the partial run.
 	Cancelled bool
+	// Degraded reports that the run hit a resource budget and finished in
+	// a reduced mode — refinement disabled, deeper levels abandoned —
+	// rather than exhausting memory. DegradedReason says which budget and
+	// what was given up; the emitted cover remains sound but may be
+	// partial.
+	Degraded       bool
+	DegradedReason string
 	// Elapsed is the total wall time of the run.
 	Elapsed time.Duration
 
@@ -249,6 +300,15 @@ func (s *RunStats) PhaseTotal() time.Duration {
 	return total
 }
 
+// Degrade marks the run degraded. The first reason wins; later calls
+// keep it, so callers can report the budget that tripped first.
+func (s *RunStats) Degrade(reason string) {
+	if !s.Degraded {
+		s.Degraded = true
+		s.DegradedReason = reason
+	}
+}
+
 // Count adds delta to the named algorithm-specific counter.
 func (s *RunStats) Count(name string, delta int64) {
 	if s.Counters == nil {
@@ -273,6 +333,9 @@ func (s *RunStats) String() string {
 	fmt.Fprintf(&b, "%s: %d FDs in %v (workers=%d", s.Algorithm, s.FDs, s.Elapsed.Round(time.Microsecond), s.Workers)
 	if s.Cancelled {
 		b.WriteString(", CANCELLED — partial run")
+	}
+	if s.Degraded {
+		fmt.Fprintf(&b, ", DEGRADED — %s", s.DegradedReason)
 	}
 	b.WriteString(")\n")
 	fmt.Fprintf(&b, "  validated %d candidates (%d invalidated), %d non-FDs, %d levels\n",

@@ -42,8 +42,15 @@ func DiscoverCtx(ctx context.Context, r *relation.Relation) ([]dep.FD, error) {
 // DiscoverRun is DiscoverCtx emitting the algorithm-agnostic run report.
 // On cancellation the partial report (with Cancelled set) is returned
 // alongside ctx's error.
-func DiscoverRun(ctx context.Context, r *relation.Relation) ([]dep.FD, *engine.RunStats, error) {
+func DiscoverRun(ctx context.Context, r *relation.Relation) (retFDs []dep.FD, retRS *engine.RunStats, retErr error) {
 	rs := engine.NewRunStats("fastfds", 1)
+	defer func() {
+		if rec := recover(); rec != nil {
+			perr := engine.NewPanicError("fastfds", rec)
+			rs.Finish(perr)
+			retFDs, retRS, retErr = nil, rs, perr
+		}
+	}()
 	n := r.NumCols()
 	if n == 0 {
 		rs.Finish(nil)

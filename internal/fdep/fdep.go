@@ -69,8 +69,15 @@ func DiscoverCtx(ctx context.Context, r *relation.Relation, variant Variant) ([]
 // DiscoverRun is DiscoverCtx emitting the algorithm-agnostic run report.
 // On cancellation the partial report (with Cancelled set) is returned
 // alongside ctx's error.
-func DiscoverRun(ctx context.Context, r *relation.Relation, variant Variant) ([]dep.FD, *engine.RunStats, error) {
+func DiscoverRun(ctx context.Context, r *relation.Relation, variant Variant) (retFDs []dep.FD, retRS *engine.RunStats, retErr error) {
 	rs := engine.NewRunStats(strings.ToLower(variant.String()), 1)
+	defer func() {
+		if rec := recover(); rec != nil {
+			perr := engine.NewPanicError(rs.Algorithm, rec)
+			rs.Finish(perr)
+			retFDs, retRS, retErr = nil, rs, perr
+		}
+	}()
 	n := r.NumCols()
 	nrows := int64(r.NumRows())
 	stop := rs.Phase("negative-cover")

@@ -43,6 +43,11 @@ type Config struct {
 	// Values below 2 keep the published serial behaviour; sampling and
 	// induction are sequential either way.
 	Workers int
+	// Budget optionally bounds partition memory. HyFD holds only the
+	// single-attribute partitions, so exhaustion cannot change its
+	// behaviour — the run is flagged Degraded to tell the caller the
+	// budget could not be honoured. Nil means unlimited.
+	Budget *partition.Budget
 }
 
 // DefaultConfig returns the configuration used in the experiments.
@@ -196,10 +201,17 @@ func DiscoverRun(ctx context.Context, r *relation.Relation, cfg Config) ([]dep.F
 	return fds, rs, err
 }
 
-func discover(ctx context.Context, r *relation.Relation, cfg Config) ([]dep.FD, Stats, *engine.RunStats, error) {
+func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD, retStats Stats, retRS *engine.RunStats, retErr error) {
 	cfg.fillDefaults()
 	var stats Stats
 	rs := engine.NewRunStats("hyfd", cfg.Workers)
+	defer func() {
+		if rec := recover(); rec != nil {
+			perr := engine.NewPanicError("hyfd", rec)
+			rs.Finish(perr)
+			retFDs, retStats, retRS, retErr = nil, stats, rs, perr
+		}
+	}()
 	n := r.NumCols()
 	if n == 0 {
 		rs.Finish(nil)
@@ -215,8 +227,12 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) ([]dep.FD, 
 	plis := make([]*partition.Partition, n)
 	for c := 0; c < n; c++ {
 		plis[c] = partition.Single(r.Cols[c], r.Cards[c])
+		cfg.Budget.Charge(plis[c])
 	}
 	rs.PartitionsBuilt += int64(n)
+	if cfg.Budget.Exhausted() {
+		rs.Degrade(cfg.Budget.Reason())
+	}
 	v := validate.New(r)
 	nonFDs := sampling.NewNonFDSet(n)
 	tree := fdtree.NewWithFullRHS(n)

@@ -1,0 +1,128 @@
+package integration
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	dhyfd "repro"
+	"repro/internal/check"
+	"repro/internal/dataset"
+	"repro/internal/dep"
+	"repro/internal/faults"
+)
+
+// chaosAlgorithms covers every driver family: the DDM pipeline, the
+// sampling-based hybrids, the lattice algorithms and the row-based ones.
+var chaosAlgorithms = []dhyfd.Algorithm{
+	dhyfd.DHyFD, dhyfd.HyFD, dhyfd.TANE, dhyfd.FDEP2, dhyfd.FastFDs, dhyfd.DFD,
+}
+
+// TestChaos arms every fault site with every plan shape against every
+// algorithm and asserts the resilience contract: no crash ever escapes
+// Discover, a fired fault surfaces as a typed error carrying
+// faults.ErrInjected, whatever cover comes back is sound, the run report
+// survives, and no goroutines leak. Plans whose site an algorithm never
+// reaches (or not often enough) simply don't fire; those runs must match
+// the fault-free baseline exactly.
+func TestChaos(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	r := dataset.Random(rng, 200, 6, 4)
+	ctx := context.Background()
+
+	baseline := map[dhyfd.Algorithm][]dep.FD{}
+	for _, a := range chaosAlgorithms {
+		res, err := dhyfd.Discover(ctx, r, dhyfd.WithAlgorithm(a), dhyfd.WithWorkers(2))
+		if err != nil {
+			t.Fatalf("fault-free %v run failed: %v", a, err)
+		}
+		baseline[a] = res.FDs
+	}
+
+	plans := []faults.Plan{
+		{Kind: faults.KindPanic, N: 1},
+		{Kind: faults.KindPanic, N: 3},
+		{Kind: faults.KindError, N: 1},
+	}
+	before := runtime.NumGoroutine()
+	for _, site := range faults.Sites() {
+		for _, plan := range plans {
+			for _, a := range chaosAlgorithms {
+				name := fmt.Sprintf("%s/%v@%d/%v", site, plan.Kind, plan.N, a)
+				t.Run(name, func(t *testing.T) {
+					defer faults.Reset()
+					faults.Arm(site, plan)
+					res, err := dhyfd.Discover(ctx, r, dhyfd.WithAlgorithm(a), dhyfd.WithWorkers(2))
+					if res == nil {
+						t.Fatal("Discover returned a nil result")
+					}
+					fired := !faults.Armed(site)
+					if err != nil {
+						if !fired {
+							t.Fatalf("error %v without the fault firing", err)
+						}
+						if !errors.Is(err, faults.ErrInjected) {
+							t.Fatalf("fired fault surfaced as untyped error %v", err)
+						}
+						if plan.Kind == faults.KindPanic {
+							var perr *dhyfd.PanicError
+							if !errors.As(err, &perr) {
+								t.Fatalf("panic injection surfaced as %T, want *PanicError", err)
+							}
+							if perr.Site == "" || len(perr.Stack) == 0 {
+								t.Errorf("PanicError missing diagnostics: site=%q stack=%d bytes", perr.Site, len(perr.Stack))
+							}
+						}
+					} else if !fired && !dep.Equal(res.FDs, baseline[a]) {
+						t.Error("unfired fault changed the discovered cover")
+					}
+					// Soundness: every emitted FD must hold on the data,
+					// whether the run fired, errored, or completed.
+					for _, f := range res.FDs {
+						if !check.Holds(r, f) {
+							t.Errorf("unsound FD emitted: %v", f.Format(r.Names))
+						}
+					}
+				})
+			}
+		}
+	}
+	// The whole matrix must leave no goroutines behind; allow the
+	// runtime a moment to retire finished workers.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		buf := make([]byte, 1<<16)
+		t.Errorf("goroutine leak: %d before, %d after\n%s", before, after, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// TestChaosDelayInjection exercises KindDelay: the run must simply take
+// the extra time and finish with the baseline cover.
+func TestChaosDelayInjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r := dataset.Random(rng, 120, 5, 3)
+	want, err := dhyfd.Discover(context.Background(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer faults.Reset()
+	faults.Arm(faults.PartitionBuild, faults.Plan{Kind: faults.KindDelay, N: 1, Delay: 50 * time.Millisecond})
+	start := time.Now()
+	res, err := dhyfd.Discover(context.Background(), r)
+	if err != nil {
+		t.Fatalf("delay injection broke the run: %v", err)
+	}
+	if time.Since(start) < 50*time.Millisecond {
+		t.Error("delay did not happen")
+	}
+	if !dep.Equal(res.FDs, want.FDs) {
+		t.Error("delay changed the cover")
+	}
+}

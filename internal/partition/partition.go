@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"repro/internal/bitset"
+	"repro/internal/faults"
 )
 
 // Partition is a stripped partition: clusters of row indexes, each of size
@@ -64,6 +65,7 @@ func (p *Partition) Clone() *Partition {
 // Single builds the stripped partition of one dictionary-encoded column.
 // card must be at least 1 + max(col); rows with unique codes are stripped.
 func Single(col []int32, card int) *Partition {
+	faults.Check(faults.PartitionBuild)
 	if card < 1 {
 		card = 1
 	}
@@ -185,6 +187,7 @@ func NewProbeTable(p *Partition) ProbeTable {
 // PLI product used by TANE: rows of each X-cluster are grouped by their
 // Y-cluster id; rows singleton in Y (probe -1) are dropped immediately.
 func Intersect(p *Partition, probe ProbeTable) *Partition {
+	faults.Check(faults.PartitionIntersect)
 	out := &Partition{NRows: p.NRows}
 	groups := make(map[int32][]int32)
 	for _, cluster := range p.Clusters {

@@ -118,6 +118,17 @@ type Options struct {
 	NullTokens []string
 	// KeepDicts retains the value dictionaries for decoding.
 	KeepDicts bool
+	// PadRagged pads rows shorter than the header with missing values
+	// instead of rejecting them. Rows wider than the header are always an
+	// error: there is no column to put the extra fields in. Default false:
+	// any ragged row is an error.
+	PadRagged bool
+	// MaxRows caps the number of data rows ReadCSV accepts; more is an
+	// error rather than a silent truncation. 0 means unlimited.
+	MaxRows int
+	// MaxCols caps the number of columns ReadCSV accepts. 0 means
+	// unlimited.
+	MaxCols int
 }
 
 func (o *Options) nullSet() map[string]bool {
@@ -133,7 +144,9 @@ func (o *Options) nullSet() map[string]bool {
 }
 
 // FromRows dictionary-encodes raw string rows. names may be nil, in which
-// case columns are named col0, col1, …. All rows must have the same width.
+// case columns are named col0, col1, …. Rows narrower than the column
+// count are an error unless Options.PadRagged pads them with missing
+// values; wider rows are always an error.
 func FromRows(names []string, rows [][]string, opts Options) (*Relation, error) {
 	ncols := 0
 	if len(rows) > 0 {
@@ -141,80 +154,137 @@ func FromRows(names []string, rows [][]string, opts Options) (*Relation, error) 
 	} else if names != nil {
 		ncols = len(names)
 	}
+	if names != nil && len(names) != ncols && len(rows) > 0 {
+		return nil, fmt.Errorf("relation: %d column names for %d columns", len(names), ncols)
+	}
+	e := newEncoder(ncols, opts)
+	for _, row := range rows {
+		if err := e.addRow(row); err != nil {
+			return nil, err
+		}
+	}
+	return e.finish(names), nil
+}
+
+// encoder dictionary-encodes rows one at a time, so large inputs stream
+// through without a second in-memory copy of the raw strings. FromRows
+// and ReadCSV share it.
+type encoder struct {
+	opts  Options
+	nulls map[string]bool
+	ncols int
+	rows  int
+	cols  []colEncoder
+}
+
+// colEncoder holds the per-column dictionary state.
+type colEncoder struct {
+	codes    []int32
+	dict     map[string]int32
+	values   []string // decoded dictionary, only under KeepDicts
+	mask     []bool   // nil until the first null
+	next     int32    // next free code
+	nullCode int32    // shared null code under NullEqNull, -1 until used
+}
+
+func newEncoder(ncols int, opts Options) *encoder {
+	e := &encoder{opts: opts, nulls: opts.nullSet(), ncols: ncols, cols: make([]colEncoder, ncols)}
+	for c := range e.cols {
+		e.cols[c].dict = map[string]int32{}
+		e.cols[c].nullCode = -1
+	}
+	return e
+}
+
+// addRow encodes one row. Rows wider than the relation are rejected; rows
+// narrower are rejected too unless PadRagged fills the missing tail with
+// nulls.
+func (e *encoder) addRow(row []string) error {
+	if len(row) != e.ncols && (len(row) > e.ncols || !e.opts.PadRagged) {
+		return fmt.Errorf("relation: row %d has %d fields, want %d", e.rows, len(row), e.ncols)
+	}
+	for c := 0; c < e.ncols; c++ {
+		ce := &e.cols[c]
+		if c >= len(row) {
+			ce.addNull("", e.opts) // padded cell
+			continue
+		}
+		v := row[c]
+		if e.nulls[v] {
+			ce.addNull(v, e.opts)
+			continue
+		}
+		code, ok := ce.dict[v]
+		if !ok {
+			code = ce.alloc(v, e.opts)
+			ce.dict[v] = code
+		}
+		ce.codes = append(ce.codes, code)
+		if ce.mask != nil {
+			ce.mask = append(ce.mask, false)
+		}
+	}
+	e.rows++
+	return nil
+}
+
+func (ce *colEncoder) alloc(v string, opts Options) int32 {
+	code := ce.next
+	ce.next++
+	if opts.KeepDicts {
+		ce.values = append(ce.values, v)
+	}
+	return code
+}
+
+func (ce *colEncoder) addNull(v string, opts Options) {
+	if ce.mask == nil {
+		ce.mask = make([]bool, len(ce.codes))
+	}
+	ce.mask = append(ce.mask, true)
+	if opts.Semantics == NullNeqNull {
+		ce.codes = append(ce.codes, ce.alloc(v, opts)) // fresh code per occurrence
+		return
+	}
+	if ce.nullCode < 0 {
+		ce.nullCode = ce.alloc(v, opts)
+	}
+	ce.codes = append(ce.codes, ce.nullCode)
+}
+
+// finish assembles the relation. names may be nil (columns are named
+// col0, col1, …).
+func (e *encoder) finish(names []string) *Relation {
 	if names == nil {
-		names = make([]string, ncols)
+		names = make([]string, e.ncols)
 		for c := range names {
 			names[c] = fmt.Sprintf("col%d", c)
 		}
-	} else if len(names) != ncols && len(rows) > 0 {
-		return nil, fmt.Errorf("relation: %d column names for %d columns", len(names), ncols)
 	}
-	for i, row := range rows {
-		if len(row) != ncols {
-			return nil, fmt.Errorf("relation: row %d has %d fields, want %d", i, len(row), ncols)
-		}
-	}
-
-	nulls := opts.nullSet()
 	rel := &Relation{
 		Names:     append([]string(nil), names...),
-		Cols:      make([][]int32, ncols),
-		Cards:     make([]int, ncols),
-		Nulls:     make([][]bool, ncols),
-		Semantics: opts.Semantics,
-		rows:      len(rows),
+		Cols:      make([][]int32, e.ncols),
+		Cards:     make([]int, e.ncols),
+		Nulls:     make([][]bool, e.ncols),
+		Semantics: e.opts.Semantics,
+		rows:      e.rows,
 	}
-	if opts.KeepDicts {
-		rel.Dicts = make([][]string, ncols)
+	if e.opts.KeepDicts {
+		rel.Dicts = make([][]string, e.ncols)
 	}
-
-	for c := 0; c < ncols; c++ {
-		codes := make([]int32, len(rows))
-		dict := make(map[string]int32)
-		var values []string
-		var mask []bool
-		next := int32(0) // next free code
-		alloc := func(v string) int32 {
-			code := next
-			next++
-			if opts.KeepDicts {
-				values = append(values, v)
-			}
-			return code
+	for c := range e.cols {
+		ce := &e.cols[c]
+		if ce.codes == nil {
+			ce.codes = []int32{}
 		}
-		nullCode := int32(-1)
-		for r, row := range rows {
-			v := row[c]
-			if nulls[v] {
-				if mask == nil {
-					mask = make([]bool, len(rows))
-				}
-				mask[r] = true
-				if opts.Semantics == NullNeqNull {
-					codes[r] = alloc(v) // fresh code per occurrence
-				} else {
-					if nullCode < 0 {
-						nullCode = alloc(v)
-					}
-					codes[r] = nullCode
-				}
-				continue
-			}
-			code, ok := dict[v]
-			if !ok {
-				code = alloc(v)
-				dict[v] = code
-			}
-			codes[r] = code
-		}
-		rel.Cols[c] = codes
-		rel.Cards[c] = int(next)
-		rel.Nulls[c] = mask
-		if opts.KeepDicts {
-			rel.Dicts[c] = values
+		rel.Cols[c] = ce.codes
+		rel.Cards[c] = int(ce.next)
+		rel.Nulls[c] = ce.mask
+		if e.opts.KeepDicts {
+			rel.Dicts[c] = ce.values
 		}
 	}
-	return rel, nil
+	return rel
 }
 
 // FromCodes builds a relation directly from dictionary codes. The caller
@@ -258,18 +328,54 @@ func FromCodes(names []string, cols [][]int32, nulls [][]bool, sem NullSemantics
 	return rel
 }
 
-// ReadCSV parses CSV data with a header row and encodes it.
+// ReadCSV parses CSV data with a header row and encodes it. Records
+// stream through the encoder one at a time, so the raw file is never
+// materialized in memory alongside the relation. Header names must be
+// non-empty and unique; Options.MaxRows/MaxCols bound the accepted input
+// and Options.PadRagged selects the ragged-row policy.
 func ReadCSV(r io.Reader, opts Options) (*Relation, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
-	records, err := cr.ReadAll()
+	cr.ReuseRecord = true // addRow copies nothing row-shaped; field strings are fresh
+	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("relation: empty csv")
+	}
 	if err != nil {
 		return nil, fmt.Errorf("relation: reading csv: %w", err)
 	}
-	if len(records) == 0 {
-		return nil, fmt.Errorf("relation: empty csv")
+	if opts.MaxCols > 0 && len(header) > opts.MaxCols {
+		return nil, fmt.Errorf("relation: %d columns exceeds the MaxCols cap of %d", len(header), opts.MaxCols)
 	}
-	return FromRows(records[0], records[1:], opts)
+	names := make([]string, len(header))
+	seen := make(map[string]int, len(header))
+	for i, name := range header {
+		if name == "" {
+			return nil, fmt.Errorf("relation: column %d has an empty name", i)
+		}
+		if j, dup := seen[name]; dup {
+			return nil, fmt.Errorf("relation: duplicate column name %q (columns %d and %d)", name, j, i)
+		}
+		seen[name] = i
+		names[i] = name
+	}
+	e := newEncoder(len(names), opts)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: reading csv: %w", err)
+		}
+		if opts.MaxRows > 0 && e.rows >= opts.MaxRows {
+			return nil, fmt.Errorf("relation: input exceeds the MaxRows cap of %d data rows", opts.MaxRows)
+		}
+		if err := e.addRow(rec); err != nil {
+			return nil, err
+		}
+	}
+	return e.finish(names), nil
 }
 
 // ReadCSVString is ReadCSV over a string, convenient for fixtures.

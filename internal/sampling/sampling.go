@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"repro/internal/bitset"
+	"repro/internal/faults"
 	"repro/internal/partition"
 	"repro/internal/relation"
 )
@@ -151,6 +152,7 @@ func NegativeCoverCtx(ctx context.Context, r *relation.Relation) (*NonFDSet, err
 // rows. Results accumulate into dst; the number of *new* non-FDs and the
 // number of comparisons are returned.
 func ClusterNeighborSample(r *relation.Relation, p *partition.Partition, distance int, dst *NonFDSet) (newNonFDs, comparisons int) {
+	faults.Check(faults.SamplingRun)
 	if distance < 1 {
 		distance = 1
 	}

@@ -53,15 +53,41 @@ func DiscoverCtx(ctx context.Context, r *relation.Relation) ([]dep.FD, error) {
 	return fds, err
 }
 
+// Config tunes TANE.
+type Config struct {
+	// Workers is the pool width for the per-level PLI intersections.
+	Workers int
+	// Budget optionally bounds partition memory — TANE's characteristic
+	// cost is whole lattice levels of partitions resident at once. On
+	// exhaustion the current level finishes validating and deeper levels
+	// are abandoned: the run returns the FDs certified so far (each
+	// individually valid, so the partial cover is sound) flagged
+	// Degraded. Nil means unlimited.
+	Budget *partition.Budget
+}
+
 // DiscoverRun runs TANE with the given worker-pool width for its PLI
 // intersections and emits the algorithm-agnostic run report. On
 // cancellation the partial report (with Cancelled set) is returned
 // alongside ctx's error.
 func DiscoverRun(ctx context.Context, r *relation.Relation, workers int) ([]dep.FD, *engine.RunStats, error) {
+	return Run(ctx, r, Config{Workers: workers})
+}
+
+// Run is DiscoverRun with full tuning, including a partition budget.
+func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD, retRS *engine.RunStats, retErr error) {
+	workers := cfg.Workers
 	if workers < 1 {
 		workers = 1
 	}
 	rs := engine.NewRunStats("tane", workers)
+	defer func() {
+		if rec := recover(); rec != nil {
+			perr := engine.NewPanicError("tane", rec)
+			rs.Finish(perr)
+			retFDs, retRS, retErr = nil, rs, perr
+		}
+	}()
 	n := r.NumCols()
 	var out []dep.FD
 	if n == 0 {
@@ -91,8 +117,10 @@ func DiscoverRun(ctx context.Context, r *relation.Relation, workers int) ([]dep.
 	prevErr := map[string]int{bitset.New(n).Key(): emptyErr}
 	prevPart := map[string]*partition.Partition{bitset.New(n).Key(): emptyPart}
 	level := make([]*candidate, 0, n)
+	cfg.Budget.Charge(emptyPart)
 	for a := 0; a < n; a++ {
 		p := partition.Single(r.Cols[a], r.Cards[a])
+		cfg.Budget.Charge(p)
 		level = append(level, &candidate{
 			set:   bitset.FromAttrs(n, a),
 			attrs: []int{a},
@@ -171,14 +199,28 @@ func DiscoverRun(ctx context.Context, r *relation.Relation, workers int) ([]dep.
 		}
 		stop()
 
+		// Past the budget, generating another level of partitions would be
+		// the memory blow-up the budget exists to prevent: the level just
+		// validated is complete, deeper levels are abandoned, and the FDs
+		// certified so far stand on their own (each passed the error
+		// test), so the partial cover is sound.
+		if cfg.Budget.Exhausted() {
+			rs.Degrade(cfg.Budget.Reason() + "; deeper lattice levels abandoned")
+			break
+		}
+
 		stop = rs.Phase("generate")
-		next, err := nextLevel(ctx, workers, level, curCPlus, n, rs)
+		next, err := nextLevel(ctx, workers, level, curCPlus, n, rs, cfg.Budget)
 		stop()
 		if err != nil {
 			return fail(err)
 		}
 		level = next
+		dropped := prevPart
 		prevErr, prevPart = curErr, curPart
+		for _, p := range dropped {
+			cfg.Budget.Release(p)
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		return fail(err)
@@ -222,7 +264,7 @@ func keyFDMinimal(r *relation.Relation, c *candidate, a int, prevErr map[string]
 // the partition the product of the parents'. The pair scan is cheap and
 // serial; the PLI products — the level's hot path — run as one
 // partition.IntersectBatch over the worker pool.
-func nextLevel(ctx context.Context, workers int, level []*candidate, curCPlus map[string]bitset.Set, n int, rs *engine.RunStats) ([]*candidate, error) {
+func nextLevel(ctx context.Context, workers int, level []*candidate, curCPlus map[string]bitset.Set, n int, rs *engine.RunStats, budget *partition.Budget) ([]*candidate, error) {
 	alive := level[:0:0]
 	for _, c := range level {
 		if !c.dead {
@@ -274,6 +316,7 @@ func nextLevel(ctx context.Context, workers int, level []*candidate, curCPlus ma
 		c.part = parts[k]
 		c.err = parts[k].Error()
 		rs.RowsScanned += int64(jobs[k].Left.Size())
+		budget.Charge(parts[k])
 	}
 	rs.PartitionsBuilt += int64(len(jobs))
 	return next, nil

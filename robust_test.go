@@ -1,0 +1,217 @@
+package dhyfd_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	dhyfd "repro"
+	"repro/internal/check"
+	"repro/internal/dataset"
+	"repro/internal/faults"
+)
+
+// TestDiscoverZeroRowRelation: a header-only relation must run cleanly
+// through every algorithm — 0 rows means every FD holds vacuously and
+// the left-reduced cover is ∅ → A for every attribute.
+func TestDiscoverZeroRowRelation(t *testing.T) {
+	r, err := dhyfd.FromRows([]string{"a", "b", "c"}, nil, dhyfd.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range dhyfd.Algorithms() {
+		res, err := dhyfd.Discover(context.Background(), r, dhyfd.WithAlgorithm(a))
+		if err != nil {
+			t.Errorf("%v on 0 rows: %v", a, err)
+			continue
+		}
+		for _, f := range res.FDs {
+			if !f.LHS.IsEmpty() {
+				t.Errorf("%v: non-minimal FD %v on the empty relation", a, f.Format(r.Names))
+			}
+		}
+	}
+}
+
+// TestDiscoverOneColumnRelation: a single attribute admits no non-trivial
+// FD unless it is constant.
+func TestDiscoverOneColumnRelation(t *testing.T) {
+	varied, err := dhyfd.FromRows([]string{"a"}, [][]string{{"x"}, {"y"}, {"x"}}, dhyfd.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	constant, err := dhyfd.FromRows([]string{"a"}, [][]string{{"x"}, {"x"}}, dhyfd.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range dhyfd.Algorithms() {
+		res, err := dhyfd.Discover(context.Background(), varied, dhyfd.WithAlgorithm(a))
+		if err != nil {
+			t.Errorf("%v on one varied column: %v", a, err)
+		} else if len(res.FDs) != 0 {
+			t.Errorf("%v found %d FDs on one varied column", a, len(res.FDs))
+		}
+		res, err = dhyfd.Discover(context.Background(), constant, dhyfd.WithAlgorithm(a))
+		if err != nil {
+			t.Errorf("%v on one constant column: %v", a, err)
+		} else if len(res.FDs) != 1 {
+			t.Errorf("%v found %d FDs on one constant column, want ∅ → a", a, len(res.FDs))
+		}
+	}
+}
+
+// TestZeroBudgetDegradesImmediately: a budget of 0 bytes is a real budget
+// that exhausts on the first partition — the run must finish without
+// error, flag itself Degraded with a reason, and still emit only sound
+// FDs.
+func TestZeroBudgetDegradesImmediately(t *testing.T) {
+	r := testRelation(t)
+	for _, a := range []dhyfd.Algorithm{dhyfd.DHyFD, dhyfd.HyFD, dhyfd.TANE, dhyfd.DFD} {
+		res, err := dhyfd.Discover(context.Background(), r,
+			dhyfd.WithAlgorithm(a), dhyfd.WithMemoryBudget(0))
+		if err != nil {
+			t.Errorf("%v with zero budget: %v", a, err)
+			continue
+		}
+		if !res.Stats.Degraded {
+			t.Errorf("%v with zero budget did not degrade", a)
+		}
+		if res.Stats.DegradedReason == "" {
+			t.Errorf("%v degraded without a reason", a)
+		}
+		for _, f := range res.FDs {
+			if !check.Holds(r, f) {
+				t.Errorf("%v emitted unsound FD %v under zero budget", a, f.Format(r.Names))
+			}
+		}
+	}
+}
+
+// TestMaxPartitionsDegrades: a tight partition cap degrades TANE to the
+// shallow lattice levels; the partial cover stays sound.
+func TestMaxPartitionsDegrades(t *testing.T) {
+	r := testRelation(t)
+	res, err := dhyfd.Discover(context.Background(), r,
+		dhyfd.WithAlgorithm(dhyfd.TANE), dhyfd.WithMaxPartitions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Degraded || !strings.Contains(res.Stats.DegradedReason, "partition budget") {
+		t.Errorf("degraded=%v reason=%q", res.Stats.Degraded, res.Stats.DegradedReason)
+	}
+	for _, f := range res.FDs {
+		if !check.Holds(r, f) {
+			t.Errorf("unsound FD %v", f.Format(r.Names))
+		}
+	}
+}
+
+// TestDHyFDBudgetKeepsCompleteCover: DHyFD degrades by disabling DDM
+// refreshes, which only costs speed — the cover must still match an
+// unbudgeted run exactly.
+func TestDHyFDBudgetKeepsCompleteCover(t *testing.T) {
+	r := testRelation(t)
+	want, err := dhyfd.Discover(context.Background(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dhyfd.Discover(context.Background(), r, dhyfd.WithMemoryBudget(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.FDs) != len(want.FDs) {
+		t.Fatalf("budgeted DHyFD found %d FDs, unbudgeted %d", len(got.FDs), len(want.FDs))
+	}
+	for i := range want.FDs {
+		if !want.FDs[i].LHS.Equal(got.FDs[i].LHS) || !want.FDs[i].RHS.Equal(got.FDs[i].RHS) {
+			t.Fatalf("covers diverge at %d", i)
+		}
+	}
+}
+
+// TestDeadlineDuringDDMRefresh expires the deadline while a DDM refresh
+// is sleeping on an injected delay: the run must come back promptly with
+// the deadline error and the partial run report, not hang or crash.
+func TestDeadlineDuringDDMRefresh(t *testing.T) {
+	// Valid FDs at level 2 raise efficiency early while low-cardinality
+	// categoricals keep deeper FDs pending, so the aggressive ratio
+	// refreshes (same shape as the core refinement test).
+	r := dataset.Generate(dataset.Spec{
+		Name: "deep", Rows: 200, Seed: 9,
+		Columns: []dataset.Column{
+			{Kind: dataset.Categorical, Card: 3},
+			{Kind: dataset.Categorical, Card: 3},
+			{Kind: dataset.Categorical, Card: 3},
+			{Kind: dataset.Categorical, Card: 3},
+			{Kind: dataset.Categorical, Card: 3},
+			{Kind: dataset.Categorical, Card: 3},
+			{Kind: dataset.Derived, Deps: []int{0, 1}, Card: 100},
+		},
+	})
+	defer faults.Reset()
+	faults.Arm(faults.DDMRefresh, faults.Plan{Kind: faults.KindDelay, N: 1, Delay: 150 * time.Millisecond})
+	res, err := dhyfd.Discover(context.Background(), r,
+		dhyfd.WithRatio(0.001), // refresh as often as possible
+		dhyfd.WithDeadline(time.Now().Add(30*time.Millisecond)))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if res == nil || !res.Stats.Cancelled {
+		t.Error("partial run report should record the cancellation")
+	}
+	for _, f := range res.FDs {
+		if !check.Holds(r, f) {
+			t.Errorf("unsound FD %v after deadline", f.Format(r.Names))
+		}
+	}
+}
+
+// TestPanicErrorSurfacesThroughDiscover: an injected panic deep in
+// partition code must come back as a *dhyfd.PanicError reachable with
+// errors.As, itself unwrapping to faults.ErrInjected.
+func TestPanicErrorSurfacesThroughDiscover(t *testing.T) {
+	r := testRelation(t)
+	defer faults.Reset()
+	faults.Arm(faults.PartitionBuild, faults.Plan{Kind: faults.KindPanic, N: 1})
+	res, err := dhyfd.Discover(context.Background(), r, dhyfd.WithAlgorithm(dhyfd.TANE))
+	if err == nil {
+		t.Fatal("injected panic produced no error")
+	}
+	var perr *dhyfd.PanicError
+	if !errors.As(err, &perr) {
+		t.Fatalf("err is %T, want *dhyfd.PanicError", err)
+	}
+	if perr.Site != string(faults.PartitionBuild) {
+		t.Errorf("site = %q, want %q", perr.Site, faults.PartitionBuild)
+	}
+	if len(perr.Stack) == 0 {
+		t.Error("no stack captured")
+	}
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Error("errors.Is(err, faults.ErrInjected) should hold through the PanicError")
+	}
+	if res == nil {
+		t.Error("partial result should accompany the error")
+	}
+}
+
+func testRelation(t *testing.T) *dhyfd.Relation {
+	t.Helper()
+	rows := [][]string{
+		{"1", "a", "x", "p"},
+		{"2", "a", "y", "p"},
+		{"3", "b", "x", "q"},
+		{"4", "b", "y", "q"},
+		{"5", "a", "x", "p"},
+		{"6", "c", "z", "r"},
+		{"7", "c", "x", "r"},
+		{"8", "a", "z", "p"},
+	}
+	r, err := dhyfd.FromRows([]string{"id", "dept", "site", "mgr"}, rows, dhyfd.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}

@@ -1,0 +1,63 @@
+package dhyfd
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/dep"
+)
+
+func verifyTestRelation(t *testing.T) *Relation {
+	t.Helper()
+	rows := [][]string{
+		{"1", "a", "x"},
+		{"2", "a", "y"},
+		{"3", "b", "x"},
+		{"1", "b", "y"}, // col0 repeats, so col0 → col1 is violated
+	}
+	r, err := FromRows([]string{"p", "q", "s"}, rows, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestVerifySoundnessDropsViolatedFDs feeds the post-run verifier a cover
+// with a planted violation: the bogus FD must be dropped and the counters
+// must record the check.
+func TestVerifySoundnessDropsViolatedFDs(t *testing.T) {
+	r := verifyTestRelation(t)
+	valid := dep.FD{LHS: bitset.FromAttrs(3, 1, 2), RHS: bitset.FromAttrs(3, 0)}
+	bogus := dep.FD{LHS: bitset.FromAttrs(3, 0), RHS: bitset.FromAttrs(3, 1)}
+	res := &Result{FDs: []dep.FD{valid, bogus}}
+	res.Stats.Degrade("test")
+
+	verifySoundness(r, res)
+
+	if len(res.FDs) != 1 || !res.FDs[0].LHS.Equal(valid.LHS) {
+		t.Fatalf("FDs after verification: %v", res.FDs)
+	}
+	if res.Stats.Counters["postverify_checked"] != 2 || res.Stats.Counters["postverify_dropped"] != 1 {
+		t.Errorf("counters = %v", res.Stats.Counters)
+	}
+	if res.Stats.FDs != 1 {
+		t.Errorf("Stats.FDs = %d", res.Stats.FDs)
+	}
+}
+
+// TestWithoutPostVerifyOption: the private escape hatch hands tests the
+// raw degraded output without the soundness gate rewriting it.
+func TestWithoutPostVerifyOption(t *testing.T) {
+	r := verifyTestRelation(t)
+	res, err := Discover(context.Background(), r, WithMemoryBudget(0), withoutPostVerify())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Degraded {
+		t.Error("zero budget should degrade")
+	}
+	if res.Stats.Counters["postverify_checked"] != 0 {
+		t.Errorf("verifier ran despite withoutPostVerify: %v", res.Stats.Counters)
+	}
+}
