@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt test race bench chaos fuzz-smoke check
+.PHONY: all build vet fmt test race bench bench-smoke chaos fuzz-smoke check
 
 all: check
 
@@ -23,8 +23,24 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Full benchmark pass: the partition kernels and the discovery paths,
+# folded into BENCH_pr3.json against the pre-PR baselines recorded in
+# results/. Same flags as the baseline capture, for comparability.
 bench:
-	$(GO) test -bench BenchmarkDiscover -benchtime 1x ./
+	$(GO) test -run '^$$' -bench 'Single100k|Refine100k|Intersect100k|RefineVsIntersect' -benchmem ./internal/partition/ | tee results/bench_partition.txt
+	$(GO) test -run '^$$' -bench 'DiscoverWeather|DiscoverDiabetic|TANELattice|DiscoverCached' -benchtime 3x -benchmem . | tee results/bench_discover.txt
+	$(GO) run ./cmd/benchjson \
+		-baseline results/bench_baseline_pr3_partition.txt \
+		-baseline results/bench_baseline_pr3_discover.txt \
+		-current results/bench_partition.txt \
+		-current results/bench_discover.txt \
+		-o BENCH_pr3.json
+
+# One iteration of the key benchmarks — catches bit-rot without the cost
+# of a full measurement run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'Intersect100k' -benchtime 1x ./internal/partition/
+	$(GO) test -run '^$$' -bench 'BenchmarkDiscoverWeather|DiscoverCached' -benchtime 1x ./
 
 # The fault-injection matrix — every site × every plan × every algorithm —
 # under the race detector.
@@ -39,5 +55,5 @@ fuzz-smoke:
 
 # The default verify path: build, vet, formatting, then the full suite
 # under the race detector (which includes the chaos matrix), then the
-# fuzz smoke pass.
-check: build vet fmt race fuzz-smoke
+# fuzz and benchmark smoke passes.
+check: build vet fmt race fuzz-smoke bench-smoke

@@ -126,6 +126,54 @@ func BenchmarkDiscoverNCVoter(b *testing.B)  { discoveryBench(b, "ncvoter", 1000
 func BenchmarkDiscoverWeather(b *testing.B)  { discoveryBench(b, "weather", 2000, 18) }
 func BenchmarkDiscoverDiabetic(b *testing.B) { discoveryBench(b, "diabetic", 800, 20) }
 
+// BenchmarkDiscoverCached measures the shared PLI cache end to end: the
+// same discovery run with caching off and on. The realized hit rate is
+// reported as a custom metric (hits per lookup); DFD's random walks
+// revisit lattice nodes constantly and profit most, while for the
+// lattice/hybrid algorithms the cache mainly serves cross-subsystem reuse.
+func BenchmarkDiscoverCached(b *testing.B) {
+	cases := []struct {
+		dataset    string
+		rows, cols int
+		algo       dhyfd.Algorithm
+	}{
+		{"weather", 2000, 18, dhyfd.TANE},
+		{"weather", 2000, 18, dhyfd.DHyFD},
+		{"bridges", 108, 13, dhyfd.DFD},
+	}
+	for _, c := range cases {
+		bm, err := dataset.ByName(c.dataset)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := bm.Generate(c.rows, c.cols)
+		for _, cacheBytes := range []int64{0, 64 << 20} {
+			state := "off"
+			if cacheBytes > 0 {
+				state = "on"
+			}
+			b.Run(fmt.Sprintf("%s-%v/cache=%s", c.dataset, c.algo, state), func(b *testing.B) {
+				var hits, lookups int64
+				for i := 0; i < b.N; i++ {
+					opts := []dhyfd.Option{dhyfd.WithAlgorithm(c.algo)}
+					if cacheBytes > 0 {
+						opts = append(opts, dhyfd.WithPartitionCache(cacheBytes))
+					}
+					res, err := dhyfd.Discover(context.Background(), r, opts...)
+					if err != nil {
+						b.Fatal(err)
+					}
+					hits += res.Stats.CacheHits
+					lookups += res.Stats.CacheHits + res.Stats.CacheMisses
+				}
+				if lookups > 0 {
+					b.ReportMetric(float64(hits)/float64(lookups), "hit-rate")
+				}
+			})
+		}
+	}
+}
+
 // --- ablations ---------------------------------------------------------------
 
 // BenchmarkAblationInduction compares classic per-attribute induction on

@@ -1,0 +1,166 @@
+// Command benchjson folds the text output of `go test -bench -benchmem`
+// into a machine-readable comparison file. It parses one or more current
+// benchmark logs and, optionally, one or more baseline logs (an earlier
+// commit's run of the same benchmarks), and emits a single JSON document
+// with ns/op, B/op, allocs/op and any custom metrics (e.g. hit-rate) per
+// benchmark, plus speedup and allocation ratios wherever a benchmark
+// appears in both sets.
+//
+// Usage:
+//
+//	benchjson -current run1.txt -current run2.txt \
+//	          -baseline old1.txt -baseline old2.txt -o BENCH.json
+//
+// The Makefile's bench target uses it to produce BENCH_pr3.json.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Ratio compares one benchmark across the two runs. Values above 1 mean
+// the current run improved.
+type Ratio struct {
+	Speedup    float64 `json:"speedup"`               // baseline ns/op ÷ current ns/op
+	AllocRatio float64 `json:"alloc_ratio,omitempty"` // baseline allocs/op ÷ current allocs/op
+	BytesRatio float64 `json:"bytes_ratio,omitempty"` // baseline B/op ÷ current B/op
+}
+
+type fileList []string
+
+func (f *fileList) String() string     { return strings.Join(*f, ",") }
+func (f *fileList) Set(s string) error { *f = append(*f, s); return nil }
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+var metric = regexp.MustCompile(`([\d.]+) (\S+)`)
+
+func parseFile(path string, into map[string]Result) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := Result{Iterations: iters, NsPerOp: ns}
+		for _, mm := range metric.FindAllStringSubmatch(m[4], -1) {
+			v, _ := strconv.ParseFloat(mm[1], 64)
+			switch mm[2] {
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			case "MB/s":
+				// throughput is derivable from ns/op; skip
+			default:
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[mm[2]] = v
+			}
+		}
+		into[strings.TrimPrefix(m[1], "Benchmark")] = r
+	}
+	return sc.Err()
+}
+
+func main() {
+	var current, baseline fileList
+	flag.Var(&current, "current", "benchmark log of the current tree (repeatable)")
+	flag.Var(&baseline, "baseline", "benchmark log of the comparison point (repeatable)")
+	out := flag.String("o", "", "output JSON path (default stdout)")
+	flag.Parse()
+	if len(current) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: at least one -current log is required")
+		os.Exit(2)
+	}
+
+	cur, base := map[string]Result{}, map[string]Result{}
+	for _, p := range current {
+		if err := parseFile(p, cur); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+	for _, p := range baseline {
+		if err := parseFile(p, base); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+
+	ratios := map[string]Ratio{}
+	for name, c := range cur {
+		b, ok := base[name]
+		if !ok || c.NsPerOp == 0 {
+			continue
+		}
+		r := Ratio{Speedup: b.NsPerOp / c.NsPerOp}
+		if c.AllocsPerOp > 0 {
+			r.AllocRatio = b.AllocsPerOp / c.AllocsPerOp
+		}
+		if c.BytesPerOp > 0 {
+			r.BytesRatio = b.BytesPerOp / c.BytesPerOp
+		}
+		ratios[name] = r
+	}
+
+	doc := map[string]any{"current": cur}
+	if len(base) > 0 {
+		doc["baseline"] = base
+		doc["comparison"] = ratios
+		names := make([]string, 0, len(ratios))
+		for n := range ratios {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		summary := make([]string, 0, len(names))
+		for _, n := range names {
+			r := ratios[n]
+			s := fmt.Sprintf("%s: %.2fx faster", n, r.Speedup)
+			if r.AllocRatio > 0 {
+				s += fmt.Sprintf(", %.1fx fewer allocs", r.AllocRatio)
+			}
+			summary = append(summary, s)
+		}
+		doc["summary"] = summary
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -40,9 +40,10 @@ func main() {
 	limit := flag.Duration("limit", 60*time.Second, "per-run time limit (prints TL like the paper)")
 	quick := flag.Bool("quick", false, "representative subset of data sets only")
 	asJSON := flag.Bool("json", false, "emit structured results as JSON instead of tables")
+	pliCache := flag.Int64("pli-cache", 0, "route each run's partition lookups through an LRU cache of this many bytes; hit/miss counters land in the run reports (0 = disabled)")
 	flag.Parse()
 
-	p := bench.Params{Scale: *scale, TimeLimit: *limit, Quick: *quick}
+	p := bench.Params{Scale: *scale, TimeLimit: *limit, Quick: *quick, CacheBytes: *pliCache}
 	w := io.Writer(os.Stdout)
 	if *asJSON {
 		w = io.Discard // suppress tables; only JSON goes to stdout

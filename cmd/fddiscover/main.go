@@ -14,9 +14,11 @@
 //
 // -mem-budget and -max-partitions bound the run's partition footprint;
 // when a budget is exhausted the run finishes early with a sound partial
-// cover and a warning on stderr. Exit codes: 0 success (including
-// degraded-with-warning), 1 runtime failure or interrupted/partial run,
-// 2 usage error.
+// cover and a warning on stderr. -pli-cache shares stripped partitions
+// across the run's subsystems through a size-bounded LRU cache; hit and
+// miss counts show up in the -stats report. Exit codes: 0 success
+// (including degraded-with-warning), 1 runtime failure or
+// interrupted/partial run, 2 usage error.
 package main
 
 import (
@@ -43,6 +45,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort discovery after this long (0 = no limit)")
 	memBudget := flag.Int64("mem-budget", -1, "approximate partition-memory budget in bytes; on exhaustion the run degrades to a sound partial result (-1 = unlimited)")
 	maxParts := flag.Int("max-partitions", -1, "cap on partitions materialized; on exhaustion the run degrades to a sound partial result (-1 = unlimited)")
+	pliCache := flag.Int64("pli-cache", 0, "share stripped partitions through an LRU cache of this many bytes (0 = disabled)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: fddiscover [flags] file.csv\n")
 		flag.PrintDefaults()
@@ -88,6 +91,9 @@ func main() {
 	}
 	if *maxParts >= 0 {
 		discoverOpts = append(discoverOpts, dhyfd.WithMaxPartitions(*maxParts))
+	}
+	if *pliCache > 0 {
+		discoverOpts = append(discoverOpts, dhyfd.WithPartitionCache(*pliCache))
 	}
 
 	res, err := dhyfd.Discover(ctx, rel, discoverOpts...)

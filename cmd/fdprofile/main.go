@@ -25,6 +25,7 @@ func main() {
 	nullSem := flag.String("null", "eq", "null semantics: eq or neq")
 	maxKeys := flag.Int("keys", 64, "bound on minimal-key enumeration")
 	workers := flag.Int("workers", 0, "parallel validation workers (0 = serial)")
+	pliCache := flag.Int64("pli-cache", 0, "share stripped partitions through an LRU cache of this many bytes (0 = disabled)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: fdprofile [flags] file.csv\n")
 		flag.PrintDefaults()
@@ -48,7 +49,7 @@ func main() {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
-	rep, err := profile.ProfileCtx(ctx, rel, profile.Options{MaxKeys: *maxKeys, Workers: *workers})
+	rep, err := profile.ProfileCtx(ctx, rel, profile.Options{MaxKeys: *maxKeys, Workers: *workers, CacheBytes: *pliCache})
 	if err != nil {
 		var perr *dhyfd.PanicError
 		if errors.Is(err, context.Canceled) && rep.Run != nil {

@@ -29,6 +29,7 @@ func main() {
 	top := flag.Int("top", 25, "print only the top N FDs (0 = all)")
 	column := flag.String("column", "", "fix a column and list its minimal LHSs")
 	nullSem := flag.String("null", "eq", "null semantics: eq or neq")
+	pliCache := flag.Int64("pli-cache", 0, "share stripped partitions through an LRU cache of this many bytes (0 = disabled)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: fdrank [flags] file.csv\n")
 		flag.PrintDefaults()
@@ -53,7 +54,11 @@ func main() {
 	defer cancel()
 
 	start := time.Now()
-	res, err := dhyfd.Discover(ctx, rel)
+	var discoverOpts []dhyfd.Option
+	if *pliCache > 0 {
+		discoverOpts = append(discoverOpts, dhyfd.WithPartitionCache(*pliCache))
+	}
+	res, err := dhyfd.Discover(ctx, rel, discoverOpts...)
 	if err != nil {
 		var perr *dhyfd.PanicError
 		if errors.Is(err, context.Canceled) {

@@ -193,14 +193,15 @@ type Result struct {
 type Option func(*discoverConfig)
 
 type discoverConfig struct {
-	algorithm Algorithm
-	workers   int
-	ratio     float64
-	deadline  time.Time
-	hyfd      hyfd.Config
-	memBudget int64 // bytes; < 0 = unlimited
-	maxParts  int64 // partitions; < 0 = unlimited
-	noVerify  bool
+	algorithm  Algorithm
+	workers    int
+	ratio      float64
+	deadline   time.Time
+	hyfd       hyfd.Config
+	memBudget  int64 // bytes; < 0 = unlimited
+	maxParts   int64 // partitions; < 0 = unlimited
+	cacheBytes int64 // PLI cache capacity; <= 0 = disabled
+	noVerify   bool
 }
 
 // WithAlgorithm selects the discovery algorithm (default DHyFD).
@@ -258,6 +259,21 @@ func WithMaxPartitions(n int) Option {
 	}
 }
 
+// WithPartitionCache bounds a shared PLI cache at the given byte capacity
+// and routes the run's partition lookups through it: single-attribute
+// partitions, TANE's lattice joins, DFD's node partitions, DHyFD's DDM
+// refreshes and the post-run soundness verifier all consult the cache
+// before building, and publish what they build. Entries are evicted LRU
+// at the capacity bound; under a WithMemoryBudget the cache additionally
+// yields to the run — it sheds entries (or rejects inserts) rather than
+// consuming headroom the run itself needs, so caching never degrades a
+// run that would otherwise finish. Cache traffic is reported in
+// Result.Stats (CacheHits / CacheMisses / CacheEvictions). Zero or
+// negative disables caching (the default).
+func WithPartitionCache(bytes int64) Option {
+	return func(c *discoverConfig) { c.cacheBytes = bytes }
+}
+
 // withoutPostVerify disables the post-run soundness verifier, for tests
 // that inspect raw degraded output.
 func withoutPostVerify() Option {
@@ -290,6 +306,7 @@ func Discover(ctx context.Context, r *Relation, opts ...Option) (res *Result, er
 	if cfg.memBudget >= 0 || cfg.maxParts >= 0 {
 		budget = partition.NewBudget(cfg.memBudget, cfg.maxParts)
 	}
+	cache := partition.NewCache(cfg.cacheBytes, budget)
 
 	res = &Result{Algorithm: cfg.algorithm}
 	// Backstop: the drivers recover their own panics into typed errors
@@ -308,16 +325,17 @@ func Discover(ctx context.Context, r *Relation, opts ...Option) (res *Result, er
 	)
 	switch cfg.algorithm {
 	case DHyFD:
-		fds, rs, err = core.DiscoverRun(ctx, r, core.Config{Ratio: cfg.ratio, Workers: cfg.workers, Budget: budget})
+		fds, rs, err = core.DiscoverRun(ctx, r, core.Config{Ratio: cfg.ratio, Workers: cfg.workers, Budget: budget, Cache: cache})
 	case HyFD:
 		hcfg := cfg.hyfd
 		if cfg.workers > hcfg.Workers {
 			hcfg.Workers = cfg.workers
 		}
 		hcfg.Budget = budget
+		hcfg.Cache = cache
 		fds, rs, err = hyfd.DiscoverRun(ctx, r, hcfg)
 	case TANE:
-		fds, rs, err = tane.Run(ctx, r, tane.Config{Workers: cfg.workers, Budget: budget})
+		fds, rs, err = tane.Run(ctx, r, tane.Config{Workers: cfg.workers, Budget: budget, Cache: cache})
 	case FDEP:
 		fds, rs, err = fdep.DiscoverRun(ctx, r, fdep.Classic)
 	case FDEP1:
@@ -327,7 +345,7 @@ func Discover(ctx context.Context, r *Relation, opts ...Option) (res *Result, er
 	case FastFDs:
 		fds, rs, err = fastfds.DiscoverRun(ctx, r)
 	case DFD:
-		fds, rs, err = dfd.Run(ctx, r, dfd.Config{Budget: budget})
+		fds, rs, err = dfd.Run(ctx, r, dfd.Config{Budget: budget, Cache: cache})
 	default:
 		return nil, fmt.Errorf("dhyfd: unknown algorithm %v", cfg.algorithm)
 	}
@@ -337,7 +355,7 @@ func Discover(ctx context.Context, r *Relation, opts ...Option) (res *Result, er
 		res.Stats = *rs
 	}
 	if (err != nil || res.Stats.Degraded) && !cfg.noVerify {
-		verifySoundness(r, res)
+		verifySoundness(r, res, cache)
 	}
 	return res, err
 }
@@ -345,13 +363,20 @@ func Discover(ctx context.Context, r *Relation, opts ...Option) (res *Result, er
 // verifySoundness re-validates a partial cover against the relation and
 // drops any FD that does not hold, recording the outcome in the run
 // report's counters (postverify_checked / postverify_dropped /
-// postverify_sampled). Clean complete runs skip it: their cover is exact
+// postverify_sampled). The run's PLI cache, when enabled, supplies the
+// LHS partitions the run already built; the extra cache traffic is folded
+// into the run report. Clean complete runs skip it: their cover is exact
 // by construction and continuously cross-checked in the test suite.
-func verifySoundness(r *Relation, res *Result) {
+func verifySoundness(r *Relation, res *Result, cache *partition.Cache) {
 	if r == nil || len(res.FDs) == 0 {
 		return
 	}
-	rep := check.VerifyCover(r, res.FDs, check.VerifyOptions{})
+	cache0 := cache.Stats()
+	rep := check.VerifyCover(r, res.FDs, check.VerifyOptions{Cache: cache})
+	delta := cache.Stats().Delta(cache0)
+	res.Stats.CacheHits += delta.Hits
+	res.Stats.CacheMisses += delta.Misses
+	res.Stats.CacheEvictions += delta.Evictions
 	res.FDs = rep.Sound
 	res.Stats.FDs = int64(len(rep.Sound))
 	res.Stats.Count("postverify_checked", int64(rep.Checked))

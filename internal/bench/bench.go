@@ -26,6 +26,7 @@ import (
 	"repro/internal/fastfds"
 	"repro/internal/fdep"
 	"repro/internal/hyfd"
+	"repro/internal/partition"
 	"repro/internal/relation"
 	"repro/internal/tane"
 )
@@ -41,6 +42,11 @@ type Params struct {
 	// Quick restricts table experiments to a representative subset of data
 	// sets, for smoke tests.
 	Quick bool
+	// CacheBytes routes each run's partition lookups through a
+	// size-bounded PLI cache (fresh per run, so algorithms stay
+	// comparable); the hit/miss/eviction counters land in the run report.
+	// 0 disables caching.
+	CacheBytes int64
 }
 
 func (p *Params) fillDefaults() {
@@ -91,11 +97,11 @@ func (r RunResult) Time() string {
 // or an error (with the partial report) when cancelled.
 type runFunc func(ctx context.Context, r *relation.Relation) (int, *engine.RunStats, error)
 
-func algorithmFunc(name string) runFunc {
+func algorithmFunc(name string, cache *partition.Cache) runFunc {
 	switch name {
 	case "TANE":
 		return func(ctx context.Context, r *relation.Relation) (int, *engine.RunStats, error) {
-			fds, rs, err := tane.DiscoverRun(ctx, r, 1)
+			fds, rs, err := tane.Run(ctx, r, tane.Config{Cache: cache})
 			return len(fds), rs, err
 		}
 	case "FDEP":
@@ -106,12 +112,16 @@ func algorithmFunc(name string) runFunc {
 		return fdepFunc(fdep.Sorted)
 	case "HyFD":
 		return func(ctx context.Context, r *relation.Relation) (int, *engine.RunStats, error) {
-			fds, rs, err := hyfd.DiscoverRun(ctx, r, hyfd.DefaultConfig())
+			cfg := hyfd.DefaultConfig()
+			cfg.Cache = cache
+			fds, rs, err := hyfd.DiscoverRun(ctx, r, cfg)
 			return len(fds), rs, err
 		}
 	case "DHyFD":
 		return func(ctx context.Context, r *relation.Relation) (int, *engine.RunStats, error) {
-			fds, rs, err := core.DiscoverRun(ctx, r, core.DefaultConfig())
+			cfg := core.DefaultConfig()
+			cfg.Cache = cache
+			fds, rs, err := core.DiscoverRun(ctx, r, cfg)
 			return len(fds), rs, err
 		}
 	case "FastFDs":
@@ -121,7 +131,7 @@ func algorithmFunc(name string) runFunc {
 		}
 	case "DFD":
 		return func(ctx context.Context, r *relation.Relation) (int, *engine.RunStats, error) {
-			fds, rs, err := dfd.DiscoverRun(ctx, r)
+			fds, rs, err := dfd.Run(ctx, r, dfd.Config{Cache: cache})
 			return len(fds), rs, err
 		}
 	}
@@ -140,12 +150,20 @@ func fdepFunc(v fdep.Variant) runFunc {
 // cancelled cooperatively — the paper's TL entries — and their work is
 // reclaimed before Run returns.
 func Run(name string, r *relation.Relation, limit time.Duration) RunResult {
+	return RunCached(name, r, limit, 0)
+}
+
+// RunCached is Run with a PLI cache of the given byte capacity routed
+// through the algorithms that hold partitions (TANE, HyFD, DHyFD, DFD).
+// The cache is fresh per call so algorithms stay comparable; its traffic
+// is reported in the result's Stats. 0 bytes disables caching.
+func RunCached(name string, r *relation.Relation, limit time.Duration, cacheBytes int64) RunResult {
 	res := RunResult{
 		Algorithm: name,
 		Rows:      r.NumRows(),
 		Cols:      r.NumCols(),
 	}
-	f := algorithmFunc(name)
+	f := algorithmFunc(name, partition.NewCache(cacheBytes, nil))
 
 	runtime.GC()
 	var before runtime.MemStats

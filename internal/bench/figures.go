@@ -166,7 +166,7 @@ func Fig8(w io.Writer, p Params) []Fig8Cell {
 				cell := Fig8Cell{Dataset: name, Rows: rows, Cols: cols, Times: map[string]RunResult{}}
 				bestTime := time.Duration(1<<62 - 1)
 				for _, a := range Fig8Algorithms {
-					res := Run(a, r, p.TimeLimit)
+					res := RunCached(a, r, p.TimeLimit, p.CacheBytes)
 					cell.Times[a] = res
 					if !res.TimedOut && res.Elapsed < bestTime {
 						bestTime = res.Elapsed
@@ -207,7 +207,7 @@ func Fig9(w io.Writer, p Params) []Fig9Point {
 		r := weather.Generate(rows, weather.DefaultCols)
 		pt := Fig9Point{Dataset: "weather", Rows: rows, Cols: r.NumCols(), Times: map[string]RunResult{}}
 		for _, a := range Fig8Algorithms {
-			res := Run(a, r, p.TimeLimit)
+			res := RunCached(a, r, p.TimeLimit, p.CacheBytes)
 			pt.Times[a] = res
 			if !res.TimedOut && res.FDs > pt.FDs {
 				pt.FDs = res.FDs
@@ -229,7 +229,7 @@ func Fig9(w io.Writer, p Params) []Fig9Point {
 		r := diabetic.Generate(rows, cols)
 		pt := Fig9Point{Dataset: "diabetic", Rows: rows, Cols: cols, Times: map[string]RunResult{}}
 		for _, a := range Fig8Algorithms {
-			res := Run(a, r, p.TimeLimit)
+			res := RunCached(a, r, p.TimeLimit, p.CacheBytes)
 			pt.Times[a] = res
 			if !res.TimedOut && res.FDs > pt.FDs {
 				pt.FDs = res.FDs

@@ -55,7 +55,7 @@ func Table2(w io.Writer, p Params, sem relation.NullSemantics) []Table2Row {
 		r := b.GenerateSemantics(rows, b.DefaultCols, sem)
 		row := Table2Row{Dataset: b.Name, Rows: r.NumRows(), Cols: r.NumCols(), Times: map[string]RunResult{}}
 		for _, a := range AlgorithmNames {
-			res := Run(a, r, p.TimeLimit)
+			res := RunCached(a, r, p.TimeLimit, p.CacheBytes)
 			res.Dataset = b.Name
 			row.Times[a] = res
 			if !res.TimedOut && res.FDs > row.FDs {
@@ -94,7 +94,7 @@ func Table2Null(w io.Writer, p Params) []Table2Row {
 		r := b.GenerateSemantics(p.rows(b.DefaultRows), b.DefaultCols, relation.NullNeqNull)
 		row := Table2Row{Dataset: b.Name, Rows: r.NumRows(), Cols: r.NumCols(), Times: map[string]RunResult{}}
 		for _, a := range AlgorithmNames {
-			res := Run(a, r, p.TimeLimit)
+			res := RunCached(a, r, p.TimeLimit, p.CacheBytes)
 			row.Times[a] = res
 			if !res.TimedOut && res.FDs > row.FDs {
 				row.FDs = res.FDs

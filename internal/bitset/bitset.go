@@ -274,22 +274,34 @@ func (s Set) Max() int {
 
 // Attrs returns the attributes in ascending order.
 func (s Set) Attrs() []int {
-	out := make([]int, 0, s.Count())
+	return s.AppendAttrs(make([]int, 0, s.Count()))
+}
+
+// AppendAttrs appends the attributes in ascending order to dst and returns
+// it — the allocation-free form of Attrs for callers with a scratch slice.
+func (s Set) AppendAttrs(dst []int) []int {
 	for a := s.Next(0); a >= 0; a = s.Next(a + 1) {
-		out = append(out, a)
+		dst = append(dst, a)
 	}
-	return out
+	return dst
 }
 
 // Key returns the set contents as a compact string usable as a map key.
 func (s Set) Key() string {
-	b := make([]byte, len(s)*8)
-	for i, w := range s {
-		for j := 0; j < 8; j++ {
-			b[i*8+j] = byte(w >> uint(8*j))
-		}
+	return string(s.AppendKey(nil))
+}
+
+// AppendKey appends the set's map-key bytes (the Key encoding) to dst and
+// returns it. Callers that probe a map repeatedly keep one buffer alive
+// and look up with string(buf) — the compiler elides that conversion's
+// allocation for map reads.
+func (s Set) AppendKey(dst []byte) []byte {
+	for _, w := range s {
+		dst = append(dst,
+			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
 	}
-	return string(b)
+	return dst
 }
 
 // CompareSizeLex orders sets by descending cardinality, breaking ties by

@@ -21,8 +21,16 @@ type Violation struct {
 // FD returns up to limit violations of f on r (0 = all). An empty result
 // means the FD holds.
 func FD(r *relation.Relation, f dep.FD, limit int) []Violation {
+	return fdViolations(r, f, limit, nil)
+}
+
+// fdViolations is FD with an optional PLI cache supplying (or receiving)
+// the LHS partition. The cache must have been filled from the same
+// relation r — VerifyCover guarantees that by dropping the cache when it
+// verifies a row sample.
+func fdViolations(r *relation.Relation, f dep.FD, limit int, cache *partition.Cache) []Violation {
 	var out []Violation
-	p := partition.ForAttrs(f.LHS, r.Cols, r.Cards)
+	p := partition.ForAttrsCached(cache, f.LHS, r.Cols, r.Cards)
 	for _, cluster := range p.Clusters {
 		// Within a cluster all rows agree on the LHS; group by each RHS
 		// attribute and report one witness per differing row.
@@ -67,6 +75,12 @@ type VerifyOptions struct {
 	// hiding in the tail). 0 applies DefaultSampleRows; negative
 	// verifies every row.
 	SampleRows int
+	// Cache optionally supplies LHS partitions already built by the
+	// discovery run (and receives the ones verification builds). It is
+	// ignored whenever verification runs on a row sample: the sample is
+	// a different relation, so cached full-relation partitions would be
+	// wrong there.
+	Cache *partition.Cache
 }
 
 // DefaultSampleRows is the row-sample bound the post-run verifier uses
@@ -87,9 +101,12 @@ type VerifyReport struct {
 // VerifyCover re-validates every FD of a cover directly against the
 // relation and splits the sound ones from the violated ones — the
 // soundness gate a cancelled, degraded, or errored discovery run passes
-// its partial cover through before anyone acts on it. It shares no state
-// with the run that produced the cover: each FD is checked from its own
-// freshly built partition.
+// its partial cover through before anyone acts on it. It shares no
+// mutable state with the run that produced the cover: each FD is checked
+// from a partition built fresh or taken read-only from opts.Cache (the
+// partitions there are immutable, so a buggy run cannot have corrupted
+// them — at worst the cache holds a partition for a set the run never
+// built, which is still a correct partition of the data).
 func VerifyCover(r *relation.Relation, fds []dep.FD, opts VerifyOptions) VerifyReport {
 	rep := VerifyReport{Checked: len(fds)}
 	if len(fds) == 0 {
@@ -104,9 +121,15 @@ func VerifyCover(r *relation.Relation, fds []dep.FD, opts VerifyOptions) VerifyR
 		target = r.Head(limit)
 		rep.Sampled = true
 	}
+	cache := opts.Cache
+	if rep.Sampled {
+		// The sample is a different relation: full-relation partitions
+		// must neither serve nor enter the cache here.
+		cache = nil
+	}
 	rep.Sound = make([]dep.FD, 0, len(fds))
 	for _, f := range fds {
-		if Holds(target, f) {
+		if len(fdViolations(target, f, 1, cache)) == 0 {
 			rep.Sound = append(rep.Sound, f)
 		} else {
 			rep.Violated++

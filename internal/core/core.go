@@ -61,6 +61,12 @@ type Config struct {
 	// partitions, which keeps the cover complete and sound) and flags
 	// the run report Degraded. Nil means unlimited.
 	Budget *partition.Budget
+	// Cache optionally shares stripped partitions across the run (and
+	// across runs over the same relation): the DDM publishes its
+	// refreshed partitions and starts refreshes from the smallest-error
+	// cached subset when a node has no consistent slot. Nil disables
+	// caching.
+	Cache *partition.Cache
 }
 
 // DefaultConfig returns the paper's tuned configuration.
@@ -102,6 +108,7 @@ type ddm struct {
 	epoch   int
 	slots   []dynPartition
 	budget  *partition.Budget
+	cache   *partition.Cache
 }
 
 type dynPartition struct {
@@ -109,19 +116,29 @@ type dynPartition struct {
 	attrs bitset.Set
 }
 
-func newDDM(r *relation.Relation, budget *partition.Budget) *ddm {
+func newDDM(r *relation.Relation, budget *partition.Budget, cache *partition.Cache) (*ddm, int) {
 	n := r.NumCols()
 	m := &ddm{
 		r:       r,
 		singles: make([]*partition.Partition, n),
 		epoch:   1,
 		budget:  budget,
+		cache:   cache,
 	}
+	built := 0
 	for c := 0; c < n; c++ {
+		key := bitset.FromAttrs(n, c)
+		if p := cache.Get(key); p != nil {
+			m.singles[c] = p
+			budget.ChargeBytes(partition.Cost(p))
+			continue
+		}
 		m.singles[c] = partition.Single(r.Cols[c], r.Cards[c])
 		budget.Charge(m.singles[c])
+		cache.Put(key, m.singles[c])
+		built++
 	}
-	return m
+	return m, built
 }
 
 // partitionFor returns a stripped partition π_X′ with X′ ⊆ lhs for the
@@ -176,8 +193,14 @@ func (m *ddm) update(ctx context.Context, workers int, reusables []*fdtree.Node)
 			}
 		}
 		if p == nil {
-			a := node.Attr
-			p, attrs = m.singles[a], bitset.FromAttrs(n, a)
+			// No consistent slot: prefer the smallest-error cached
+			// subset of the path over restarting from a single.
+			if cp, cattrs := m.cache.BestSubset(lhs); cp != nil {
+				p, attrs = cp, cattrs
+			} else {
+				a := node.Attr
+				p, attrs = m.singles[a], bitset.FromAttrs(n, a)
+			}
 		}
 		job := partition.RefineJob{Part: p}
 		for b := lhs.Next(0); b >= 0; b = lhs.Next(b + 1) {
@@ -201,6 +224,7 @@ func (m *ddm) update(ctx context.Context, workers int, reusables []*fdtree.Node)
 		newSlots = append(newSlots, dynPartition{part: parts[k], attrs: lhss[k]})
 		fdtree.PropagateID(node)
 		m.budget.Charge(parts[k])
+		m.cache.Put(lhss[k], parts[k])
 	}
 	// The replaced epoch's partitions are garbage now; return their bytes.
 	// A reused (unrefined) slot aliases its old partition, so the charge
@@ -271,9 +295,16 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 		rs.Finish(err)
 		return nil, stats, rs, err
 	}
+	cache0 := cfg.Cache.Stats()
+	defer func() {
+		delta := cfg.Cache.Stats().Delta(cache0)
+		rs.CacheHits = delta.Hits
+		rs.CacheMisses = delta.Misses
+		rs.CacheEvictions = delta.Evictions
+	}()
 	stop := rs.Phase("sample")
-	m := newDDM(r, cfg.Budget)
-	rs.PartitionsBuilt += int64(n)
+	m, built := newDDM(r, cfg.Budget, cfg.Cache)
+	rs.PartitionsBuilt += int64(built)
 	if cfg.Budget.Exhausted() {
 		rs.Degrade(cfg.Budget.Reason() + "; DDM refreshes disabled")
 	}

@@ -49,6 +49,11 @@ type Config struct {
 	// attributes fully walked so far (sound, since each was individually
 	// verified) flagged Degraded. Nil means unlimited.
 	Budget *partition.Budget
+	// Cache optionally keeps the partitions of visited lattice nodes
+	// alive across walk steps: an error query for X first looks up π_X,
+	// then refines from the smallest-error cached subset of X instead of
+	// restarting from single-attribute partitions. Nil disables caching.
+	Cache *partition.Cache
 }
 
 // DiscoverRun is DiscoverCtx emitting the algorithm-agnostic run report.
@@ -76,7 +81,13 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 		errs:   map[string]int{},
 		rng:    rand.New(rand.NewSource(0x0dfd)),
 		budget: cfg.Budget,
+		cache:  cfg.Cache,
 	}
+	cache0 := cfg.Cache.Stats()
+	defer func() {
+		delta := cfg.Cache.Stats().Delta(cache0)
+		rs.CacheHits, rs.CacheMisses, rs.CacheEvictions = delta.Hits, delta.Misses, delta.Evictions
+	}()
 	stop := rs.Phase("walk")
 	defer stop()
 	for a := 0; a < n; a++ {
@@ -116,17 +127,21 @@ type dfd struct {
 	errs   map[string]int // partition error cache, keyed by attribute set
 	rng    *rand.Rand
 	budget *partition.Budget
+	cache  *partition.Cache
 }
 
 // errorOf returns e(X) = ‖π_X‖ − |π_X|, cached. Each miss materializes a
-// partition transiently; the budget counts it against the partition cap
-// (the byte charge is returned immediately, since only the error is kept).
+// partition — through the shared PLI cache when one is attached, so the
+// walk's neighbouring nodes refine each other's partitions instead of
+// restarting from singles; the budget counts it against the partition cap
+// (the byte charge is returned immediately, since only the error is kept
+// here — the PLI cache owns what it retains).
 func (d *dfd) errorOf(x bitset.Set) int {
 	k := x.Key()
 	if e, ok := d.errs[k]; ok {
 		return e
 	}
-	p := partition.ForAttrs(x, d.r.Cols, d.r.Cards)
+	p := partition.ForAttrsCached(d.cache, x, d.r.Cols, d.r.Cards)
 	d.budget.Charge(p)
 	d.budget.Release(p)
 	e := p.Error()

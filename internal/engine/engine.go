@@ -233,6 +233,13 @@ type RunStats struct {
 	// Counters holds algorithm-specific extras ("ddm_refreshes",
 	// "sampling_rounds", ...). Nil until the first Count call.
 	Counters map[string]int64
+	// CacheHits / CacheMisses / CacheEvictions report the shared PLI
+	// cache's traffic during the run (all zero when no cache is
+	// attached): a hit reused a cached partition — exactly, or as the
+	// refinement parent of a superset request — a miss built one from
+	// scratch, an eviction shed a least-recently-used partition to
+	// respect the cache's byte bound.
+	CacheHits, CacheMisses, CacheEvictions int64
 	// Cancelled reports that the run stopped early on context
 	// cancellation; the other fields then describe the partial run.
 	Cancelled bool
@@ -342,6 +349,10 @@ func (s *RunStats) String() string {
 		s.CandidatesValidated, s.Invalidated, s.NonFDs, s.Levels)
 	fmt.Fprintf(&b, "  partitions: %d built, %d cluster refinements; %d rows scanned\n",
 		s.PartitionsBuilt, s.PartitionsRefined, s.RowsScanned)
+	if s.CacheHits+s.CacheMisses+s.CacheEvictions > 0 {
+		fmt.Fprintf(&b, "  pli-cache: %d hits, %d misses, %d evictions\n",
+			s.CacheHits, s.CacheMisses, s.CacheEvictions)
+	}
 	if len(s.Phases) > 0 {
 		b.WriteString("  phases:")
 		for _, p := range s.Phases {

@@ -152,6 +152,23 @@ type Tree struct {
 	// ever inserted. Specialization removal for a new FD at depth d can be
 	// skipped entirely when d >= maxFDDepth: no strictly deeper FD exists.
 	maxFDDepth int
+
+	// Induction scratch. The tree is single-writer (induction is serial
+	// in every algorithm), so these are reused across calls: attrsBuf by
+	// CoveredRHS/RemoveSpecializations, xAttrs by Induct's outer walk —
+	// which is live while the former run — and the sets by AddMinimalFD
+	// and specialize.
+	attrsBuf, xAttrs                     []int
+	covBuf, candBuf                      bitset.Set
+	outsideBuf, lhsBuf, restBuf, pathBuf bitset.Set
+}
+
+// scratchSet returns *buf sized to the schema, allocating it on first use.
+func (t *Tree) scratchSet(buf *bitset.Set) bitset.Set {
+	if *buf == nil {
+		*buf = make(bitset.Set, t.words)
+	}
+	return *buf
 }
 
 // New returns an extended FD-tree containing no FDs.
@@ -272,11 +289,15 @@ func (t *Tree) AddRHS(n *Node, a int) {
 // and specializations of the inserted FDs are removed. It returns the
 // number of FDs actually inserted.
 func (t *Tree) AddMinimalFD(lhs, rhs bitset.Set) int {
-	cand := rhs.Difference(lhs) // non-trivial only
+	cand := t.scratchSet(&t.candBuf)
+	copy(cand, rhs)
+	cand.DifferenceWith(lhs) // non-trivial only
 	if cand.IsEmpty() {
 		return 0
 	}
-	covered := t.CoveredRHS(lhs, cand)
+	covered := t.scratchSet(&t.covBuf)
+	covered.Clear()
+	t.coveredRHSInto(lhs, cand, covered)
 	cand.DifferenceWith(covered)
 	if cand.IsEmpty() {
 		return 0
@@ -302,8 +323,15 @@ func (t *Tree) AddMinimalFD(lhs, rhs bitset.Set) int {
 // tree with Z ⊆ lhs (Z = lhs included).
 func (t *Tree) CoveredRHS(lhs, cand bitset.Set) bitset.Set {
 	acc := t.newRHS()
-	t.coveredRec(t.root, lhs.Attrs(), 0, cand, acc)
+	t.coveredRHSInto(lhs, cand, acc)
 	return acc
+}
+
+// coveredRHSInto accumulates the covered subset of cand into acc, reusing
+// the tree's attribute scratch.
+func (t *Tree) coveredRHSInto(lhs, cand, acc bitset.Set) {
+	t.attrsBuf = lhs.AppendAttrs(t.attrsBuf[:0])
+	t.coveredRec(t.root, t.attrsBuf, 0, cand, acc)
 }
 
 func (t *Tree) coveredRec(cur *Node, lhsAttrs []int, i int, cand, acc bitset.Set) bool {
@@ -339,7 +367,8 @@ func (t *Tree) ContainsGeneralization(lhs bitset.Set, a int) bool {
 // from the tree (the FD at W = lhs itself included; callers insert the new
 // FD afterwards, so clearing an equal node first is harmless).
 func (t *Tree) RemoveSpecializations(lhs, rhs bitset.Set) {
-	t.removeSpecRec(t.root, lhs.Attrs(), 0, rhs)
+	t.attrsBuf = lhs.AppendAttrs(t.attrsBuf[:0])
+	t.removeSpecRec(t.root, t.attrsBuf, 0, rhs)
 }
 
 func (t *Tree) removeSpecRec(cur *Node, remaining []int, i int, rhs bitset.Set) {
@@ -384,7 +413,10 @@ func (t *Tree) clearSubtree(cur *Node, rhs bitset.Set) {
 // are inserted. It returns the number of FDs removed.
 func (t *Tree) Induct(x, y bitset.Set) int {
 	removedTotal := 0
-	t.inductRec(t.root, x.Attrs(), 0, x, y, bitset.New(t.numAttrs), &removedTotal)
+	t.xAttrs = x.AppendAttrs(t.xAttrs[:0])
+	path := t.scratchSet(&t.pathBuf)
+	path.Clear()
+	t.inductRec(t.root, t.xAttrs, 0, x, y, path, &removedTotal)
 	return removedTotal
 }
 
@@ -415,9 +447,12 @@ func (t *Tree) inductRec(cur *Node, xAttrs []int, i int, x, y, path bitset.Set, 
 // Algorithm 2.
 func (t *Tree) specialize(path, x, removed bitset.Set) {
 	// Rule 1: extend the LHS with an attribute outside x ∪ removed.
-	outside := t.full.Difference(x)
+	outside := t.scratchSet(&t.outsideBuf)
+	copy(outside, t.full)
+	outside.DifferenceWith(x)
 	outside.DifferenceWith(removed)
-	lhs := path.Clone()
+	lhs := t.scratchSet(&t.lhsBuf)
+	copy(lhs, path)
 	for a := outside.Next(0); a >= 0; a = outside.Next(a + 1) {
 		if path.Contains(a) {
 			continue
@@ -428,9 +463,10 @@ func (t *Tree) specialize(path, x, removed bitset.Set) {
 	}
 	// Rule 2: move one removed attribute onto the LHS.
 	if removed.Count() > 1 {
+		rest := t.scratchSet(&t.restBuf)
 		for a := removed.Next(0); a >= 0; a = removed.Next(a + 1) {
 			lhs.Add(a)
-			rest := removed.Clone()
+			copy(rest, removed)
 			rest.Remove(a)
 			t.AddMinimalFD(lhs, rest)
 			lhs.Remove(a)

@@ -48,6 +48,10 @@ type Config struct {
 	// behaviour — the run is flagged Degraded to tell the caller the
 	// budget could not be honoured. Nil means unlimited.
 	Budget *partition.Budget
+	// Cache optionally shares stripped partitions across runs over the
+	// same relation; HyFD reads and publishes only the single-attribute
+	// partitions. Nil disables caching.
+	Cache *partition.Cache
 }
 
 // DefaultConfig returns the configuration used in the experiments.
@@ -223,13 +227,27 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 		rs.Finish(err)
 		return nil, stats, rs, err
 	}
+	cache0 := cfg.Cache.Stats()
+	defer func() {
+		delta := cfg.Cache.Stats().Delta(cache0)
+		rs.CacheHits = delta.Hits
+		rs.CacheMisses = delta.Misses
+		rs.CacheEvictions = delta.Evictions
+	}()
 	stop := rs.Phase("sample")
 	plis := make([]*partition.Partition, n)
 	for c := 0; c < n; c++ {
+		key := bitset.FromAttrs(n, c)
+		if p := cfg.Cache.Get(key); p != nil {
+			plis[c] = p
+			cfg.Budget.ChargeBytes(partition.Cost(p))
+			continue
+		}
 		plis[c] = partition.Single(r.Cols[c], r.Cards[c])
 		cfg.Budget.Charge(plis[c])
+		cfg.Cache.Put(key, plis[c])
+		rs.PartitionsBuilt++
 	}
-	rs.PartitionsBuilt += int64(n)
 	if cfg.Budget.Exhausted() {
 		rs.Degrade(cfg.Budget.Reason())
 	}

@@ -6,9 +6,9 @@ import (
 	"repro/internal/engine"
 )
 
-// IntersectJob is one PLI product π_Left ∩ π_Right. The probe table of
-// Right is built inside the worker so that its construction parallelizes
-// with the intersections.
+// IntersectJob is one PLI product π_Left ∩ π_Right. The probe table is
+// built inside the worker so that its construction parallelizes with the
+// intersections.
 type IntersectJob struct {
 	Left, Right *Partition
 }
@@ -16,12 +16,33 @@ type IntersectJob struct {
 // IntersectBatch computes every job's intersection on up to workers
 // goroutines and returns the results in job order. It is the batched
 // form of Intersect that TANE's level generation feeds whole prefix-block
-// joins through. On cancellation the partial results are returned with
-// ctx's error; unprocessed entries are nil.
+// joins through. Each worker owns one ProbeTable buffer and one
+// Intersector for the whole batch: the probe indexes the Left side, so
+// runs of jobs sharing Left (TANE's prefix blocks are generated that way)
+// reuse the probe as built, and other jobs at worst refill the same
+// NRows-sized buffer instead of allocating a fresh one. On cancellation
+// the partial results are returned with ctx's error; unprocessed entries
+// are nil.
 func IntersectBatch(ctx context.Context, workers int, jobs []IntersectJob) ([]*Partition, error) {
-	return engine.Map(ctx, workers, jobs, func(w int, j IntersectJob) *Partition {
-		return Intersect(j.Left, NewProbeTable(j.Right))
+	pool := engine.NewPool(workers)
+	probes := make([]ProbeTable, pool.Workers())
+	probedLeft := make([]*Partition, pool.Workers())
+	ixs := make([]*Intersector, pool.Workers())
+	for w := range ixs {
+		ixs[w] = NewIntersector()
+	}
+	out := make([]*Partition, len(jobs))
+	err := pool.Run(ctx, len(jobs), func(w, i int) {
+		j := jobs[i]
+		if probedLeft[w] != j.Left {
+			probes[w] = probes[w].Fill(j.Left)
+			probedLeft[w] = j.Left
+		}
+		// Intersection is symmetric: probing Left and iterating Right
+		// yields the same clusters as the converse.
+		out[i] = ixs[w].Intersect(j.Right, probes[w])
 	})
+	return out, err
 }
 
 // RefineJob refines Part by the listed columns in order. Cols[k] must be

@@ -66,3 +66,37 @@ func BenchmarkRefineVsIntersect(b *testing.B) {
 		}
 	})
 }
+
+// TestIntersectorAllocsPerRun pins the allocation profile of the reused
+// intersection kernel: after warm-up, one Intersect costs only its output
+// (partition struct, backing, offsets, cluster views — plus bounded
+// offsets growth), never a map or a per-call probe table.
+func TestIntersectorAllocsPerRun(t *testing.T) {
+	a := randomColumn(20_000, 50, 1)
+	c := randomColumn(20_000, 50, 2)
+	pa, pc := Single(a, 50), Single(c, 50)
+	ix := NewIntersector()
+	probe := NewProbeTable(pc)
+	ix.Intersect(pa, probe) // warm scratch
+	if got := testing.AllocsPerRun(10, func() { ix.Intersect(pa, probe) }); got > 4 {
+		t.Errorf("Intersect allocs/run = %.0f, want <= 4", got)
+	}
+}
+
+// TestProbeTableFillReuses: refilling an adequately sized probe table
+// allocates nothing — the per-level reuse IntersectBatch relies on.
+func TestProbeTableFillReuses(t *testing.T) {
+	a := randomColumn(20_000, 50, 1)
+	c := randomColumn(20_000, 50, 2)
+	pa, pc := Single(a, 50), Single(c, 50)
+	probe := NewProbeTable(pa)
+	if got := testing.AllocsPerRun(10, func() { probe = probe.Fill(pc) }); got != 0 {
+		t.Errorf("Fill allocs/run = %.0f, want 0", got)
+	}
+	want := NewProbeTable(pc)
+	for i := range want {
+		if probe[i] != want[i] {
+			t.Fatalf("refilled probe differs at row %d", i)
+		}
+	}
+}

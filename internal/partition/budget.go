@@ -2,6 +2,7 @@ package partition
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
 )
 
@@ -95,6 +96,21 @@ func (b *Budget) ReleaseBytes(n int64) {
 		return
 	}
 	b.bytes.Add(-n)
+}
+
+// Headroom returns how many more bytes fit under the memory limit before
+// it trips — never negative — or math.MaxInt64 when the budget is nil or
+// unlimited. Cooperative spenders (the PLI cache) probe it to shed load
+// instead of latching the run into the degraded state.
+func (b *Budget) Headroom() int64 {
+	if b == nil || b.maxBytes < 0 {
+		return math.MaxInt64
+	}
+	h := b.maxBytes - b.bytes.Load()
+	if h < 0 {
+		return 0
+	}
+	return h
 }
 
 func (b *Budget) exhaust(reason string) {

@@ -1,0 +1,332 @@
+package partition
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitset"
+)
+
+// Cache is a size-bounded LRU of stripped partitions keyed by attribute
+// set, shared by every subsystem of one discovery run (and by repeated
+// runs over the same relation): TANE level joins, DFD lattice walks, DDM
+// refreshes and post-run cover verification all consult it before
+// rebuilding π_X from scratch. Cached partitions are shared and must be
+// treated read-only.
+//
+// The cache holds at most maxBytes of partition memory (Cost accounting);
+// inserting past the bound evicts least-recently-used entries. When a
+// Budget is attached the cache additionally charges its resident bytes to
+// it — but never past the budget's headroom: rather than tripping the
+// run's memory limit, the cache evicts (or rejects the insert), so a
+// cache-only configuration can never degrade a run.
+//
+// All methods are safe for concurrent use and safe on a nil *Cache, which
+// behaves as an always-miss cache, so call sites need no guards. Keys are
+// attribute sets of one fixed relation; the first Put pins the relation's
+// row count and inserts for a different row count are rejected, so a
+// cache can never serve a partition of the wrong relation shape.
+type Cache struct {
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+
+	mu       sync.Mutex
+	max      int64
+	budget   *Budget
+	entries  map[string]*cacheEntry
+	mru, lru *cacheEntry // doubly-linked recency list
+	bytes    int64
+	nrows    int // pinned by the first Put; -1 until then
+}
+
+type cacheEntry struct {
+	key        string
+	attrs      bitset.Set
+	part       *Partition
+	cost       int64
+	prev, next *cacheEntry // prev = more recent
+}
+
+// CacheStats is a point-in-time snapshot of a cache's counters.
+type CacheStats struct {
+	Hits, Misses, Evictions int64
+	Entries                 int
+	Bytes                   int64
+}
+
+// Delta returns the counter movement since an earlier snapshot (gauges
+// Entries and Bytes keep their current values).
+func (s CacheStats) Delta(prev CacheStats) CacheStats {
+	return CacheStats{
+		Hits:      s.Hits - prev.Hits,
+		Misses:    s.Misses - prev.Misses,
+		Evictions: s.Evictions - prev.Evictions,
+		Entries:   s.Entries,
+		Bytes:     s.Bytes,
+	}
+}
+
+// NewCache returns a cache bounded by maxBytes of partition memory.
+// budget, when non-nil, is additionally charged for the cache's resident
+// bytes (never past its headroom). maxBytes <= 0 returns nil — a valid,
+// always-miss cache.
+func NewCache(maxBytes int64, budget *Budget) *Cache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	return &Cache{
+		max:     maxBytes,
+		budget:  budget,
+		entries: make(map[string]*cacheEntry),
+		nrows:   -1,
+	}
+}
+
+// Stats snapshots the cache counters. Safe on nil (all zero).
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	entries, bytes := len(c.entries), c.bytes
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   entries,
+		Bytes:     bytes,
+	}
+}
+
+// Get returns the cached π_X for the exact attribute set x, or nil on a
+// miss. A hit refreshes the entry's recency. The returned partition is
+// shared: callers must not mutate it.
+func (c *Cache) Get(x bitset.Set) *Partition {
+	if c == nil {
+		return nil
+	}
+	p := c.lookup(x)
+	if p == nil {
+		c.misses.Add(1)
+		return nil
+	}
+	c.hits.Add(1)
+	return p
+}
+
+// lookup is Get without the hit/miss accounting, for paths that fall back
+// to BestSubset and count the consultation as a whole.
+func (c *Cache) lookup(x bitset.Set) *Partition {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[x.Key()]
+	if !ok {
+		return nil
+	}
+	c.moveToFront(e)
+	return e.part
+}
+
+// BestSubset returns the cached partition over the largest-progress parent
+// of x — an entry whose attribute set is a strict-or-equal subset of x,
+// chosen by smallest partition error (the refinement that starts nearest
+// to done). It returns (nil, nil) when no subset is cached. The scan is
+// linear in the cache's entries; entries stay small relative to the
+// partitions they index, so the scan is cheap next to one refinement.
+// Finding a usable parent counts as a hit (the cache saved most of a
+// build), finding none as a miss.
+func (c *Cache) BestSubset(x bitset.Set) (*Partition, bitset.Set) {
+	if c == nil {
+		return nil, nil
+	}
+	c.mu.Lock()
+	var best *cacheEntry
+	bestErr := math.MaxInt64
+	for e := c.mru; e != nil; e = e.next {
+		if !e.attrs.IsSubsetOf(x) {
+			continue
+		}
+		if err := e.part.Error(); err < bestErr {
+			best, bestErr = e, err
+		}
+	}
+	if best != nil {
+		c.moveToFront(best)
+	}
+	c.mu.Unlock()
+	if best == nil {
+		c.misses.Add(1)
+		return nil, nil
+	}
+	c.hits.Add(1)
+	return best.part, best.attrs
+}
+
+// Put inserts π_X under the attribute set x, evicting LRU entries as
+// needed to respect the byte bound and the attached budget's headroom. A
+// partition too large for the bound (or for what the budget allows) is
+// simply not cached. Re-putting an existing key refreshes its recency and
+// replaces the partition.
+func (c *Cache) Put(x bitset.Set, p *Partition) {
+	if c == nil || p == nil {
+		return
+	}
+	cost := Cost(p)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.nrows < 0 {
+		c.nrows = p.NRows
+	} else if c.nrows != p.NRows {
+		return // partition of a different relation shape
+	}
+	key := x.Key()
+	if old, ok := c.entries[key]; ok {
+		c.remove(old)
+	}
+	if cost > c.max {
+		return
+	}
+	// Evict until the entry fits the byte bound; then make sure the
+	// budget's headroom covers it, evicting further if cache bytes can
+	// still be returned, rejecting otherwise.
+	for c.bytes+cost > c.max && c.lru != nil {
+		c.remove(c.lru)
+		c.evictions.Add(1)
+	}
+	for cost > c.budget.Headroom() && c.lru != nil {
+		c.remove(c.lru)
+		c.evictions.Add(1)
+	}
+	if cost > c.budget.Headroom() {
+		return
+	}
+	e := &cacheEntry{key: key, attrs: x.Clone(), part: p, cost: cost}
+	c.entries[key] = e
+	c.bytes += cost
+	c.budget.ChargeBytes(cost)
+	c.pushFront(e)
+}
+
+// Len returns the number of cached partitions.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Bytes returns the resident partition bytes (Cost accounting).
+func (c *Cache) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// remove unlinks e and returns its bytes (to the budget too). Callers hold mu.
+func (c *Cache) remove(e *cacheEntry) {
+	delete(c.entries, e.key)
+	c.bytes -= e.cost
+	c.budget.ReleaseBytes(e.cost)
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.mru = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.lru = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// pushFront links e as the most recent entry. Callers hold mu.
+func (c *Cache) pushFront(e *cacheEntry) {
+	e.prev, e.next = nil, c.mru
+	if c.mru != nil {
+		c.mru.prev = e
+	}
+	c.mru = e
+	if c.lru == nil {
+		c.lru = e
+	}
+}
+
+// moveToFront refreshes e's recency. Callers hold mu.
+func (c *Cache) moveToFront(e *cacheEntry) {
+	if c.mru == e {
+		return
+	}
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.lru = e.prev
+	}
+	e.prev, e.next = nil, c.mru
+	if c.mru != nil {
+		c.mru.prev = e
+	}
+	c.mru = e
+}
+
+// ForAttrsCached computes π_X through the cache: an exact hit returns the
+// cached partition; otherwise refinement starts from the smallest-error
+// cached subset of X (BestSubset) — or, with none cached, from the
+// smallest-error single-attribute partition as ForAttrs does — and the
+// result is cached before returning. With a nil cache it is exactly
+// ForAttrs. The returned partition may be shared: treat it as read-only.
+func ForAttrsCached(c *Cache, x bitset.Set, cols [][]int32, cards []int) *Partition {
+	if c == nil {
+		return ForAttrs(x, cols, cards)
+	}
+	if p := c.lookup(x); p != nil {
+		c.hits.Add(1)
+		return p
+	}
+	nrows := 0
+	if len(cols) > 0 {
+		nrows = len(cols[0])
+	}
+	attrs := x.Attrs()
+	if len(attrs) == 0 {
+		return fullPartition(nrows)
+	}
+	parent, pattrs := c.BestSubset(x)
+	var p *Partition
+	var remaining []int
+	if parent != nil {
+		p = parent
+		for _, a := range attrs {
+			if !pattrs.Contains(a) {
+				remaining = append(remaining, a)
+			}
+		}
+		orderForRefine(remaining, cards, nrows)
+	} else {
+		orderForRefine(attrs, cards, nrows)
+		p = Single(cols[attrs[0]], cards[attrs[0]])
+		remaining = attrs[1:]
+	}
+	if len(remaining) > 0 {
+		rf := NewRefiner(maxCard(cards))
+		for _, a := range remaining {
+			if len(p.Clusters) == 0 {
+				break
+			}
+			p = rf.Refine(p, cols[a], cards[a])
+		}
+	}
+	c.Put(x, p)
+	return p
+}

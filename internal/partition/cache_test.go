@@ -1,0 +1,250 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+// testPart builds a compact partition with the given clusters, for cache
+// tests that need precise Cost and Error values.
+func testPart(nrows int, clusters ...[]int32) *Partition {
+	p := &Partition{NRows: nrows, Clusters: clusters}
+	return p.Clone()
+}
+
+func TestCacheNilSafety(t *testing.T) {
+	if NewCache(0, nil) != nil || NewCache(-1, nil) != nil {
+		t.Fatal("non-positive capacity must return the nil always-miss cache")
+	}
+	var c *Cache
+	x := bitset.FromAttrs(4, 1)
+	if c.Get(x) != nil {
+		t.Error("nil cache Get should miss")
+	}
+	c.Put(x, testPart(4, []int32{0, 1}))
+	if p, a := c.BestSubset(x); p != nil || a != nil {
+		t.Error("nil cache BestSubset should return nothing")
+	}
+	if s := c.Stats(); s != (CacheStats{}) {
+		t.Errorf("nil cache stats = %+v", s)
+	}
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Error("nil cache should be empty")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// Each entry: one 2-row cluster = 24 + 8 = 32 bytes. Room for 3.
+	c := NewCache(96, nil)
+	keys := make([]bitset.Set, 4)
+	for i := range keys {
+		keys[i] = bitset.FromAttrs(8, i)
+	}
+	for i := 0; i < 3; i++ {
+		c.Put(keys[i], testPart(10, []int32{int32(2 * i), int32(2*i + 1)}))
+	}
+	if c.Len() != 3 || c.Bytes() != 96 {
+		t.Fatalf("len=%d bytes=%d after 3 puts", c.Len(), c.Bytes())
+	}
+	// Refresh key 0; key 1 becomes least recently used.
+	if c.Get(keys[0]) == nil {
+		t.Fatal("expected hit on key 0")
+	}
+	c.Put(keys[3], testPart(10, []int32{6, 7}))
+	if c.Get(keys[1]) != nil {
+		t.Error("key 1 should have been evicted as LRU")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if c.Get(keys[i]) == nil {
+			t.Errorf("key %d should still be cached", i)
+		}
+	}
+	s := c.Stats()
+	if s.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", s.Evictions)
+	}
+	if s.Hits != 4 || s.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 4/1", s.Hits, s.Misses)
+	}
+}
+
+func TestCacheRejectsOversizedPartition(t *testing.T) {
+	c := NewCache(40, nil)
+	big := testPart(100, []int32{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}) // 24 + 40 bytes
+	c.Put(bitset.FromAttrs(4, 0), big)
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Errorf("oversized partition cached: len=%d bytes=%d", c.Len(), c.Bytes())
+	}
+}
+
+func TestCacheRePutReplaces(t *testing.T) {
+	c := NewCache(1<<10, nil)
+	x := bitset.FromAttrs(4, 0)
+	c.Put(x, testPart(10, []int32{0, 1}))
+	repl := testPart(10, []int32{2, 3}, []int32{4, 5})
+	c.Put(x, repl)
+	if c.Len() != 1 {
+		t.Fatalf("len = %d after re-put", c.Len())
+	}
+	if got := c.Get(x); got != repl {
+		t.Error("re-put did not replace the partition")
+	}
+	if c.Bytes() != Cost(repl) {
+		t.Errorf("bytes = %d, want %d", c.Bytes(), Cost(repl))
+	}
+}
+
+func TestCachePinsRowCount(t *testing.T) {
+	c := NewCache(1<<10, nil)
+	c.Put(bitset.FromAttrs(4, 0), testPart(6, []int32{0, 1}))
+	other := bitset.FromAttrs(4, 1)
+	c.Put(other, testPart(8, []int32{0, 1})) // different relation shape
+	if c.Get(other) != nil {
+		t.Error("partition of a different row count must not be cached")
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheYieldsToBudgetHeadroom(t *testing.T) {
+	// The run holds 40 of 100 bytes; headroom is 60. Entries cost 32.
+	budget := NewBudget(100, -1)
+	budget.ChargeBytes(40)
+	c := NewCache(1<<20, budget)
+	c.Put(bitset.FromAttrs(8, 0), testPart(10, []int32{0, 1}))
+	if c.Len() != 1 || budget.LiveBytes() != 72 {
+		t.Fatalf("len=%d live=%d after first put", c.Len(), budget.LiveBytes())
+	}
+	// A second 32-byte entry exceeds the 28-byte headroom: the cache must
+	// evict its own entry rather than trip the budget.
+	c.Put(bitset.FromAttrs(8, 1), testPart(10, []int32{2, 3}))
+	if c.Len() != 1 {
+		t.Errorf("len = %d, want 1 (evict-to-fit)", c.Len())
+	}
+	if s := c.Stats(); s.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", s.Evictions)
+	}
+	if budget.Exhausted() {
+		t.Error("cache charging must never exhaust the budget")
+	}
+
+	// With nothing left to evict and no headroom, inserts are rejected.
+	tight := NewBudget(50, -1)
+	tight.ChargeBytes(40)
+	c2 := NewCache(1<<20, tight)
+	c2.Put(bitset.FromAttrs(8, 0), testPart(10, []int32{0, 1}))
+	if c2.Len() != 0 {
+		t.Errorf("len = %d, want 0 (reject when over headroom)", c2.Len())
+	}
+	if tight.Exhausted() {
+		t.Error("rejected insert must not exhaust the budget")
+	}
+}
+
+func TestCacheEvictionReturnsBudgetBytes(t *testing.T) {
+	budget := NewBudget(-1, -1)
+	c := NewCache(64, budget) // room for two 32-byte entries
+	for i := 0; i < 3; i++ {
+		c.Put(bitset.FromAttrs(8, i), testPart(10, []int32{int32(2 * i), int32(2*i + 1)}))
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	if budget.LiveBytes() != c.Bytes() {
+		t.Errorf("budget live bytes %d != cache bytes %d", budget.LiveBytes(), c.Bytes())
+	}
+}
+
+func TestCacheBestSubset(t *testing.T) {
+	c := NewCache(1<<10, nil)
+	// π_{0}: error 4; π_{0,1}: error 1; π_{2}: error 2.
+	p0 := testPart(10, []int32{0, 1, 2, 3, 4})
+	p01 := testPart(10, []int32{0, 1})
+	p2 := testPart(10, []int32{5, 6, 7})
+	c.Put(bitset.FromAttrs(4, 0), p0)
+	c.Put(bitset.FromAttrs(4, 0, 1), p01)
+	c.Put(bitset.FromAttrs(4, 2), p2)
+
+	got, attrs := c.BestSubset(bitset.FromAttrs(4, 0, 1, 3))
+	if got != p01 || !attrs.Equal(bitset.FromAttrs(4, 0, 1)) {
+		t.Errorf("BestSubset picked %v (err %d), want the {0,1} entry", attrs, got.Error())
+	}
+	// An exact subset key also qualifies.
+	got, attrs = c.BestSubset(bitset.FromAttrs(4, 0))
+	if got != p0 || !attrs.Equal(bitset.FromAttrs(4, 0)) {
+		t.Errorf("BestSubset(0) = %v, want the {0} entry", attrs)
+	}
+	if got, _ := c.BestSubset(bitset.FromAttrs(4, 3)); got != nil {
+		t.Errorf("BestSubset with no cached subset = %v, want nil", got)
+	}
+	// Partial reuse is a hit; a fruitless subset scan is a miss.
+	if s := c.Stats(); s.Hits != 2 || s.Misses != 1 {
+		t.Errorf("BestSubset counters = %+v, want 2 hits / 1 miss", s)
+	}
+}
+
+func TestForAttrsCachedMatchesForAttrs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	nrows, ncols := 200, 5
+	cols := make([][]int32, ncols)
+	cards := make([]int, ncols)
+	for c := range cols {
+		card := 1 + rng.Intn(20)
+		col := make([]int32, nrows)
+		maxv := int32(0)
+		for i := range col {
+			col[i] = int32(rng.Intn(card))
+			if col[i] > maxv {
+				maxv = col[i]
+			}
+		}
+		cols[c], cards[c] = col, int(maxv)+1
+	}
+	cache := NewCache(1<<20, nil)
+	for trial := 0; trial < 60; trial++ {
+		x := bitset.New(ncols)
+		for a := 0; a < ncols; a++ {
+			if rng.Intn(2) == 0 {
+				x.Add(a)
+			}
+		}
+		want := ForAttrs(x, cols, cards)
+		got := ForAttrsCached(cache, x, cols, cards)
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: cached π_%v differs from ForAttrs", trial, x.Attrs())
+		}
+	}
+	s := cache.Stats()
+	if s.Hits == 0 {
+		t.Error("repeated random sets should produce exact-key hits")
+	}
+	// Under a tiny bound the cache thrashes but results stay correct.
+	tiny := NewCache(64, nil)
+	for trial := 0; trial < 30; trial++ {
+		x := bitset.New(ncols)
+		x.Add(rng.Intn(ncols))
+		x.Add(rng.Intn(ncols))
+		want := ForAttrs(x, cols, cards)
+		if got := ForAttrsCached(tiny, x, cols, cards); !got.Equal(want) {
+			t.Fatalf("tiny cache trial %d: π_%v differs", trial, x.Attrs())
+		}
+	}
+}
+
+// TestOrderForRefine pins the start-attribute heuristic: the attribute
+// whose single partition has the smallest error e(π_A) = nrows − card(A)
+// comes first, i.e. largest cardinality first, ties broken by index.
+func TestOrderForRefine(t *testing.T) {
+	cards := []int{3, 9, 9, 1, 5}
+	attrs := []int{0, 1, 2, 3, 4}
+	orderForRefine(attrs, cards, 10)
+	want := []int{1, 2, 4, 0, 3}
+	for i := range want {
+		if attrs[i] != want[i] {
+			t.Fatalf("order = %v, want %v", attrs, want)
+		}
+	}
+}

@@ -15,6 +15,15 @@
 //     a time (Algorithm 5), used by the DDM and by FD validation,
 //   - Intersect: classic PLI intersection π_X ∩ π_Y ⇒ π_XY via probe
 //     tables, used by TANE's level-wise prefix-block joins.
+//
+// Partitions produced by Single, Refine and Intersect are in compact form:
+// all cluster rows live in one backing array and Clusters are zero-copy
+// views into it, so a partition costs three allocations regardless of its
+// cluster count. Intersector carries the flat probe scratch of the
+// intersection kernel across calls, the same sets-array-plus-touched-list
+// trick Refiner uses, so TANE levels intersect without a map allocation
+// per call. Cache (cache.go) keeps refined partitions alive across
+// candidate evaluations under an LRU byte bound.
 package partition
 
 import (
@@ -27,10 +36,32 @@ import (
 // Partition is a stripped partition: clusters of row indexes, each of size
 // at least two. The zero value is the empty partition.
 type Partition struct {
-	// Clusters holds row-index clusters, each with len >= 2.
+	// Clusters holds row-index clusters, each with len >= 2. In compact
+	// form every cluster is a zero-copy view into one backing array.
 	Clusters [][]int32
 	// NRows is the number of rows of the underlying relation.
 	NRows int
+
+	// backing and offsets are the compact form: cluster i is
+	// backing[offsets[i]:offsets[i+1]] and Clusters aliases those ranges.
+	// Nil for partitions assembled cluster by cluster.
+	backing []int32
+	offsets []int32
+}
+
+// IsCompact reports whether the partition is in compact form: one backing
+// array holding every cluster row, Clusters aliasing it.
+func (p *Partition) IsCompact() bool { return p.offsets != nil }
+
+// setCompact installs backing/offsets and builds the zero-copy cluster
+// views. offsets must have one more entry than there are clusters, with
+// offsets[0] == 0 and offsets[len-1] == len(backing).
+func (p *Partition) setCompact(backing, offsets []int32) {
+	p.backing, p.offsets = backing, offsets
+	p.Clusters = make([][]int32, len(offsets)-1)
+	for i := range p.Clusters {
+		p.Clusters[i] = backing[offsets[i]:offsets[i+1]:offsets[i+1]]
+	}
 }
 
 // Card returns |π|, the number of clusters.
@@ -38,6 +69,9 @@ func (p *Partition) Card() int { return len(p.Clusters) }
 
 // Size returns ‖π‖, the total number of rows inside clusters.
 func (p *Partition) Size() int {
+	if p.backing != nil {
+		return len(p.backing)
+	}
 	n := 0
 	for _, c := range p.Clusters {
 		n += len(c)
@@ -53,17 +87,22 @@ func (p *Partition) Error() int { return p.Size() - p.Card() }
 // partitioning attribute set is a key (all classes are singletons).
 func (p *Partition) IsUnique() bool { return len(p.Clusters) == 0 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy (in compact form).
 func (p *Partition) Clone() *Partition {
-	c := &Partition{NRows: p.NRows, Clusters: make([][]int32, len(p.Clusters))}
-	for i, cl := range p.Clusters {
-		c.Clusters[i] = append([]int32(nil), cl...)
+	c := &Partition{NRows: p.NRows}
+	backing := make([]int32, 0, p.Size())
+	offsets := make([]int32, 1, len(p.Clusters)+1)
+	for _, cl := range p.Clusters {
+		backing = append(backing, cl...)
+		offsets = append(offsets, int32(len(backing)))
 	}
+	c.setCompact(backing, offsets)
 	return c
 }
 
 // Single builds the stripped partition of one dictionary-encoded column.
 // card must be at least 1 + max(col); rows with unique codes are stripped.
+// The result is in compact form.
 func Single(col []int32, card int) *Partition {
 	faults.Check(faults.PartitionBuild)
 	if card < 1 {
@@ -74,32 +113,34 @@ func Single(col []int32, card int) *Partition {
 		counts[v]++
 	}
 	// Lay all non-singleton clusters out in one backing array.
-	offsets := make([]int32, card)
+	starts := make([]int32, card)
 	total := int32(0)
 	nclusters := 0
 	for v, n := range counts {
 		if n >= 2 {
-			offsets[v] = total
+			starts[v] = total
 			total += n
 			nclusters++
 		} else {
-			offsets[v] = -1
+			starts[v] = -1
 		}
 	}
 	backing := make([]int32, total)
 	fill := make([]int32, card)
 	for row, v := range col {
-		if off := offsets[v]; off >= 0 {
+		if off := starts[v]; off >= 0 {
 			backing[off+fill[v]] = int32(row)
 			fill[v]++
 		}
 	}
-	p := &Partition{NRows: len(col), Clusters: make([][]int32, 0, nclusters)}
+	offsets := make([]int32, 1, nclusters+1)
 	for v := 0; v < card; v++ {
-		if off := offsets[v]; off >= 0 {
-			p.Clusters = append(p.Clusters, backing[off:off+counts[v]])
+		if off := starts[v]; off >= 0 {
+			offsets = append(offsets, off+counts[v])
 		}
 	}
+	p := &Partition{NRows: len(col)}
+	p.setCompact(backing, offsets)
 	return p
 }
 
@@ -150,12 +191,59 @@ func (rf *Refiner) RefineCluster(cluster []int32, col []int32, card int, dst [][
 	return dst
 }
 
-// Refine computes π_XA from π_X by splitting every cluster on column col.
-func (rf *Refiner) Refine(p *Partition, col []int32, card int) *Partition {
-	out := &Partition{NRows: p.NRows}
-	for _, cluster := range p.Clusters {
-		out.Clusters = rf.RefineCluster(cluster, col, card, out.Clusters)
+// RefineClusterInto is RefineCluster with caller-owned backing storage:
+// surviving sub-cluster rows are appended to arena and dst receives views
+// into it, so a warm caller pays zero allocations per cluster. If arena
+// grows mid-call, views appended earlier keep pointing into the previous
+// backing — their contents are complete and never mutated, so they stay
+// valid. Returns the (possibly grown) arena and dst.
+func (rf *Refiner) RefineClusterInto(cluster []int32, col []int32, card int, arena []int32, dst [][]int32) ([]int32, [][]int32) {
+	rf.grow(card)
+	for _, row := range cluster {
+		v := col[row]
+		if len(rf.buckets[v]) == 0 {
+			rf.touched = append(rf.touched, v)
+		}
+		rf.buckets[v] = append(rf.buckets[v], row)
 	}
+	for _, v := range rf.touched {
+		if b := rf.buckets[v]; len(b) >= 2 {
+			at := len(arena)
+			arena = append(arena, b...)
+			dst = append(dst, arena[at:len(arena):len(arena)])
+		}
+		rf.buckets[v] = rf.buckets[v][:0]
+	}
+	rf.touched = rf.touched[:0]
+	return arena, dst
+}
+
+// Refine computes π_XA from π_X by splitting every cluster on column col.
+// The result is in compact form: sub-clusters are laid into one backing
+// array instead of being copied out one allocation each.
+func (rf *Refiner) Refine(p *Partition, col []int32, card int) *Partition {
+	rf.grow(card)
+	out := &Partition{NRows: p.NRows}
+	backing := make([]int32, 0, p.Size())
+	offsets := make([]int32, 1, len(p.Clusters)*2+1)
+	for _, cluster := range p.Clusters {
+		for _, row := range cluster {
+			v := col[row]
+			if len(rf.buckets[v]) == 0 {
+				rf.touched = append(rf.touched, v)
+			}
+			rf.buckets[v] = append(rf.buckets[v], row)
+		}
+		for _, v := range rf.touched {
+			if len(rf.buckets[v]) >= 2 {
+				backing = append(backing, rf.buckets[v]...)
+				offsets = append(offsets, int32(len(backing)))
+			}
+			rf.buckets[v] = rf.buckets[v][:0]
+		}
+		rf.touched = rf.touched[:0]
+	}
+	out.setCompact(backing, offsets)
 	return out
 }
 
@@ -171,7 +259,18 @@ type ProbeTable []int32
 
 // NewProbeTable builds the inverted index of p.
 func NewProbeTable(p *Partition) ProbeTable {
-	t := make(ProbeTable, p.NRows)
+	return ProbeTable(nil).Fill(p)
+}
+
+// Fill rebuilds t as the inverted index of p, reusing t's storage when it
+// is large enough, and returns the (possibly grown) table. Workers that
+// probe many partitions of the same relation keep one table alive instead
+// of allocating NRows int32s per intersection.
+func (t ProbeTable) Fill(p *Partition) ProbeTable {
+	if cap(t) < p.NRows {
+		t = make(ProbeTable, p.NRows)
+	}
+	t = t[:p.NRows]
 	for i := range t {
 		t[i] = -1
 	}
@@ -183,35 +282,124 @@ func NewProbeTable(p *Partition) ProbeTable {
 	return t
 }
 
-// Intersect computes π_XY from π_X and a probe table of π_Y, the standard
-// PLI product used by TANE: rows of each X-cluster are grouped by their
-// Y-cluster id; rows singleton in Y (probe -1) are dropped immediately.
-func Intersect(p *Partition, probe ProbeTable) *Partition {
+// Intersector computes PLI intersections with flat reusable scratch: a
+// counts array indexed by probe-side cluster id plus a touched-id list
+// (the trick Refiner uses for dictionary codes), so one intersection costs
+// three output allocations and no map. One Intersector serves one
+// goroutine; TANE keeps one per worker for a whole level.
+type Intersector struct {
+	counts  []int32 // per probe-side cluster id: rows of the current cluster
+	starts  []int32 // per probe-side cluster id: write cursor, -1 = stripped
+	touched []int32 // ids used by the current cluster
+	offsets []int32 // scratch for the output offsets, copied out exact-size
+}
+
+// NewIntersector returns an empty intersector; scratch grows on demand.
+func NewIntersector() *Intersector { return &Intersector{} }
+
+func (ix *Intersector) growID(id int32) {
+	if int(id) < len(ix.counts) {
+		return
+	}
+	n := len(ix.counts) * 2
+	if n <= int(id) {
+		n = int(id) + 1
+	}
+	counts := make([]int32, n)
+	copy(counts, ix.counts)
+	ix.counts = counts
+	starts := make([]int32, n)
+	copy(starts, ix.starts)
+	ix.starts = starts
+}
+
+// Intersect computes π_XY from π_X and a probe table of π_Y: rows of each
+// X-cluster are grouped by their Y-cluster id, dropping rows singleton in
+// Y (probe -1) and groups of fewer than two rows. The result is in compact
+// form. Each cluster is processed in two passes — count per Y-id, then
+// place rows at the precomputed group offsets — touching only the ids the
+// cluster actually uses.
+func (ix *Intersector) Intersect(p *Partition, probe ProbeTable) *Partition {
 	faults.Check(faults.PartitionIntersect)
 	out := &Partition{NRows: p.NRows}
-	groups := make(map[int32][]int32)
+	backing := make([]int32, 0, p.Size())
+	offsets := append(ix.offsets[:0], 0)
 	for _, cluster := range p.Clusters {
 		for _, row := range cluster {
 			id := probe[row]
 			if id < 0 {
 				continue
 			}
-			groups[id] = append(groups[id], row)
-		}
-		for id, g := range groups {
-			if len(g) >= 2 {
-				out.Clusters = append(out.Clusters, g)
+			ix.growID(id)
+			if ix.counts[id] == 0 {
+				ix.touched = append(ix.touched, id)
 			}
-			delete(groups, id)
+			ix.counts[id]++
 		}
+		// Reserve one contiguous range per surviving group.
+		base := int32(len(backing))
+		total := int32(0)
+		for _, id := range ix.touched {
+			if ix.counts[id] >= 2 {
+				ix.starts[id] = base + total
+				total += ix.counts[id]
+				offsets = append(offsets, base+total)
+			} else {
+				ix.starts[id] = -1
+			}
+		}
+		backing = backing[:int(base+total)]
+		for _, row := range cluster {
+			id := probe[row]
+			if id < 0 {
+				continue
+			}
+			if s := ix.starts[id]; s >= 0 {
+				backing[s] = row
+				ix.starts[id] = s + 1
+			}
+		}
+		for _, id := range ix.touched {
+			ix.counts[id] = 0
+		}
+		ix.touched = ix.touched[:0]
 	}
+	// The offsets scratch is reused next call; the partition keeps an
+	// exact-size copy, so per-call growth amortizes away entirely.
+	ix.offsets = offsets
+	out.setCompact(backing, append([]int32(nil), offsets...))
 	return out
 }
 
-// ForAttrs computes π_X for an attribute set by refining the smallest
-// single-attribute partition with the remaining attributes. cols and cards
-// describe the full relation. Returns the full-relation partition (one
-// cluster of all rows) when X is empty.
+// Intersect is the one-shot form of Intersector.Intersect; batch callers
+// keep an Intersector per worker instead.
+func Intersect(p *Partition, probe ProbeTable) *Partition {
+	return NewIntersector().Intersect(p, probe)
+}
+
+// orderForRefine sorts attrs so that the attribute whose single-column
+// partition has the smallest error e(π_A) comes first. With exact
+// active-domain cardinalities (relation.Relation guarantees them),
+// e(π_A) = ‖π_A‖ − |π_A| = nrows − card(A): every one of the card(A)
+// value classes loses exactly one representative. Smallest error means
+// the cheapest refinement start — the fewest rows survive inside
+// clusters. Ties break on the attribute index, keeping the order
+// deterministic.
+func orderForRefine(attrs []int, cards []int, nrows int) {
+	sort.Slice(attrs, func(i, j int) bool {
+		ei, ej := nrows-cards[attrs[i]], nrows-cards[attrs[j]]
+		if ei != ej {
+			return ei < ej
+		}
+		return attrs[i] < attrs[j]
+	})
+}
+
+// ForAttrs computes π_X for an attribute set by refining the
+// smallest-error single-attribute partition (e(π_A) = nrows − card(A))
+// with the remaining attributes. cols and cards describe the full
+// relation. Returns the full-relation partition (one cluster of all rows)
+// when X is empty.
 func ForAttrs(x bitset.Set, cols [][]int32, cards []int) *Partition {
 	nrows := 0
 	if len(cols) > 0 {
@@ -219,17 +407,9 @@ func ForAttrs(x bitset.Set, cols [][]int32, cards []int) *Partition {
 	}
 	attrs := x.Attrs()
 	if len(attrs) == 0 {
-		if nrows < 2 {
-			return &Partition{NRows: nrows}
-		}
-		all := make([]int32, nrows)
-		for i := range all {
-			all[i] = int32(i)
-		}
-		return &Partition{NRows: nrows, Clusters: [][]int32{all}}
+		return fullPartition(nrows)
 	}
-	// Start from the attribute with the smallest partition size.
-	sort.Slice(attrs, func(i, j int) bool { return cards[attrs[i]] > cards[attrs[j]] })
+	orderForRefine(attrs, cards, nrows)
 	p := Single(cols[attrs[0]], cards[attrs[0]])
 	rf := NewRefiner(maxCard(cards))
 	for _, a := range attrs[1:] {
@@ -238,6 +418,20 @@ func ForAttrs(x bitset.Set, cols [][]int32, cards []int) *Partition {
 		}
 		p = rf.Refine(p, cols[a], cards[a])
 	}
+	return p
+}
+
+// fullPartition returns π_∅: one cluster of all rows (empty under 2 rows).
+func fullPartition(nrows int) *Partition {
+	if nrows < 2 {
+		return &Partition{NRows: nrows}
+	}
+	all := make([]int32, nrows)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	p := &Partition{NRows: nrows}
+	p.setCompact(all, []int32{0, int32(nrows)})
 	return p
 }
 
@@ -252,8 +446,17 @@ func maxCard(cards []int) int {
 }
 
 // SortClusters orders clusters by ascending first row, and rows within each
-// cluster ascending. Useful for deterministic comparisons in tests.
+// cluster ascending. Useful for deterministic comparisons in tests. It
+// copies compact clusters out of their shared backing first, so sorting
+// never mutates a partition aliased elsewhere (a cache, another view).
 func (p *Partition) SortClusters() {
+	if p.backing != nil {
+		clusters := make([][]int32, len(p.Clusters))
+		for i, c := range p.Clusters {
+			clusters[i] = append([]int32(nil), c...)
+		}
+		p.Clusters, p.backing, p.offsets = clusters, nil, nil
+	}
 	for _, c := range p.Clusters {
 		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
 	}

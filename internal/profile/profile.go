@@ -17,6 +17,7 @@ import (
 	"repro/internal/dep"
 	"repro/internal/engine"
 	"repro/internal/normalize"
+	"repro/internal/partition"
 	"repro/internal/ranking"
 	"repro/internal/relation"
 )
@@ -76,6 +77,9 @@ type Options struct {
 	TopValues int
 	// Workers parallelizes discovery (default serial).
 	Workers int
+	// CacheBytes bounds a shared PLI cache routed through discovery
+	// (0 = disabled).
+	CacheBytes int64
 }
 
 func (o *Options) fillDefaults() {
@@ -106,7 +110,8 @@ func ProfileCtx(ctx context.Context, r *relation.Relation, opts Options) (*Repor
 
 	// Discovery, cover, ranking.
 	dstart := time.Now()
-	lr, rs, err := core.DiscoverRun(ctx, r, core.Config{Workers: opts.Workers})
+	cache := partition.NewCache(opts.CacheBytes, nil)
+	lr, rs, err := core.DiscoverRun(ctx, r, core.Config{Workers: opts.Workers, Cache: cache})
 	rep.DiscoveryTime = time.Since(dstart)
 	rep.Run = rs
 	if err != nil {

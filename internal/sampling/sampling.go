@@ -11,6 +11,7 @@ package sampling
 
 import (
 	"context"
+	"slices"
 	"sort"
 
 	"repro/internal/bitset"
@@ -40,6 +41,7 @@ type NonFDSet struct {
 	n    int
 	seen map[string]struct{}
 	sets []bitset.Set
+	key  []byte // scratch for duplicate probes
 }
 
 // NewNonFDSet returns an empty accumulator for a schema of n attributes.
@@ -54,11 +56,11 @@ func (s *NonFDSet) Add(x bitset.Set) bool {
 	if x.Count() == s.n {
 		return false
 	}
-	k := x.Key()
-	if _, ok := s.seen[k]; ok {
+	s.key = x.AppendKey(s.key[:0])
+	if _, ok := s.seen[string(s.key)]; ok {
 		return false
 	}
-	s.seen[k] = struct{}{}
+	s.seen[string(s.key)] = struct{}{}
 	s.sets = append(s.sets, x.Clone())
 	return true
 }
@@ -178,15 +180,13 @@ func ClusterNeighborSample(r *relation.Relation, p *partition.Partition, distanc
 func sortedCluster(r *relation.Relation, cluster []int32) []int32 {
 	sorted := append([]int32(nil), cluster...)
 	ncols := r.NumCols()
-	sort.Slice(sorted, func(x, y int) bool {
-		a, b := sorted[x], sorted[y]
+	slices.SortFunc(sorted, func(a, b int32) int {
 		for c := 0; c < ncols; c++ {
-			va, vb := r.Cols[c][a], r.Cols[c][b]
-			if va != vb {
-				return va < vb
+			if va, vb := r.Cols[c][a], r.Cols[c][b]; va != vb {
+				return int(va) - int(vb)
 			}
 		}
-		return a < b
+		return int(a) - int(b)
 	})
 	return sorted
 }

@@ -64,6 +64,11 @@ type Config struct {
 	// individually valid, so the partial cover is sound) flagged
 	// Degraded. Nil means unlimited.
 	Budget *partition.Budget
+	// Cache optionally shares stripped partitions across the run (and
+	// across runs over the same relation): singles and level partitions
+	// are looked up before being built and published after. Nil disables
+	// caching.
+	Cache *partition.Cache
 }
 
 // DiscoverRun runs TANE with the given worker-pool width for its PLI
@@ -81,9 +86,15 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 		workers = 1
 	}
 	rs := engine.NewRunStats("tane", workers)
+	cache0 := cfg.Cache.Stats()
+	flushCacheStats := func() {
+		d := cfg.Cache.Stats().Delta(cache0)
+		rs.CacheHits, rs.CacheMisses, rs.CacheEvictions = d.Hits, d.Misses, d.Evictions
+	}
 	defer func() {
 		if rec := recover(); rec != nil {
 			perr := engine.NewPanicError("tane", rec)
+			flushCacheStats()
 			rs.Finish(perr)
 			retFDs, retRS, retErr = nil, rs, perr
 		}
@@ -119,21 +130,31 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 	level := make([]*candidate, 0, n)
 	cfg.Budget.Charge(emptyPart)
 	for a := 0; a < n; a++ {
-		p := partition.Single(r.Cols[a], r.Cards[a])
-		cfg.Budget.Charge(p)
+		key := bitset.FromAttrs(n, a)
+		p := cfg.Cache.Get(key)
+		if p == nil {
+			p = partition.Single(r.Cols[a], r.Cards[a])
+			cfg.Budget.Charge(p)
+			cfg.Cache.Put(key, p)
+			rs.PartitionsBuilt++
+		} else {
+			// A cached partition's bytes are owned by the cache; count
+			// them live for this run too, without a materialization.
+			cfg.Budget.ChargeBytes(partition.Cost(p))
+		}
 		level = append(level, &candidate{
-			set:   bitset.FromAttrs(n, a),
+			set:   key,
 			attrs: []int{a},
 			part:  p,
 			err:   p.Error(),
 			cplus: full.Clone(),
 		})
 	}
-	rs.PartitionsBuilt += int64(n)
 	stop()
 
 	fail := func(err error) ([]dep.FD, *engine.RunStats, error) {
 		rs.FDs = int64(len(out))
+		flushCacheStats()
 		rs.Finish(err)
 		return nil, rs, err
 	}
@@ -210,7 +231,7 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 		}
 
 		stop = rs.Phase("generate")
-		next, err := nextLevel(ctx, workers, level, curCPlus, n, rs, cfg.Budget)
+		next, err := nextLevel(ctx, workers, level, curCPlus, n, rs, &cfg)
 		stop()
 		if err != nil {
 			return fail(err)
@@ -227,6 +248,7 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 	}
 	dep.Sort(out)
 	rs.FDs = int64(len(out))
+	flushCacheStats()
 	rs.Finish(nil)
 	return out, rs, nil
 }
@@ -263,8 +285,10 @@ func keyFDMinimal(r *relation.Relation, c *candidate, a int, prevErr map[string]
 // ℓ+1 subsets survive; C+ is the intersection of the subsets' C+ sets, and
 // the partition the product of the parents'. The pair scan is cheap and
 // serial; the PLI products — the level's hot path — run as one
-// partition.IntersectBatch over the worker pool.
-func nextLevel(ctx context.Context, workers int, level []*candidate, curCPlus map[string]bitset.Set, n int, rs *engine.RunStats, budget *partition.Budget) ([]*candidate, error) {
+// partition.IntersectBatch over the worker pool. Candidates whose π_X the
+// shared cache already holds skip the product entirely; fresh products are
+// published to the cache for later levels, verification and other runs.
+func nextLevel(ctx context.Context, workers int, level []*candidate, curCPlus map[string]bitset.Set, n int, rs *engine.RunStats, cfg *Config) ([]*candidate, error) {
 	alive := level[:0:0]
 	for _, c := range level {
 		if !c.dead {
@@ -284,6 +308,7 @@ func nextLevel(ctx context.Context, workers int, level []*candidate, curCPlus ma
 
 	var next []*candidate
 	var jobs []partition.IntersectJob
+	var jobFor []int // jobs[k] fills next[jobFor[k]]
 	for i := 0; i < len(alive); i++ {
 		if i%64 == 0 {
 			if err := ctx.Err(); err != nil {
@@ -300,23 +325,33 @@ func nextLevel(ctx context.Context, workers int, level []*candidate, curCPlus ma
 			if cplus == nil {
 				continue // some subset pruned: no minimal FD can come from here
 			}
-			jobs = append(jobs, partition.IntersectJob{Left: a.part, Right: b.part})
-			next = append(next, &candidate{
+			c := &candidate{
 				set:   union,
 				attrs: union.Attrs(),
 				cplus: cplus,
-			})
+			}
+			if p := cfg.Cache.Get(union); p != nil {
+				c.part = p
+				c.err = p.Error()
+				cfg.Budget.ChargeBytes(partition.Cost(p))
+			} else {
+				jobs = append(jobs, partition.IntersectJob{Left: a.part, Right: b.part})
+				jobFor = append(jobFor, len(next))
+			}
+			next = append(next, c)
 		}
 	}
 	parts, err := partition.IntersectBatch(ctx, workers, jobs)
 	if err != nil {
 		return nil, err
 	}
-	for k, c := range next {
-		c.part = parts[k]
-		c.err = parts[k].Error()
+	for k, p := range parts {
+		c := next[jobFor[k]]
+		c.part = p
+		c.err = p.Error()
 		rs.RowsScanned += int64(jobs[k].Left.Size())
-		budget.Charge(parts[k])
+		cfg.Budget.Charge(p)
+		cfg.Cache.Put(c.set, p)
 	}
 	rs.PartitionsBuilt += int64(len(jobs))
 	return next, nil

@@ -23,6 +23,11 @@ type Validator struct {
 	r  *relation.Relation
 	rf *partition.Refiner
 	ag bitset.Set
+	// Refinement scratch, reused across FD calls: cluster views ping-pong
+	// between scratch and next, their rows between the two arenas.
+	scratch, next  [][]int32
+	arenaA, arenaB []int32
+	attrs          []int
 	// Validations counts validated (node, RHS attribute) pairs;
 	// Invalidated counts how many of those failed.
 	Validations int
@@ -55,22 +60,35 @@ func New(r *relation.Relation) *Validator {
 func (v *Validator) FD(lhs, rhs bitset.Set, start *partition.Partition, startAttrs bitset.Set, nonFDs *sampling.NonFDSet) bitset.Set {
 	valid := rhs.Clone()
 	v.Validations += rhs.Count()
-	remaining := lhs.Difference(startAttrs).Attrs()
+	v.attrs = v.attrs[:0]
+	for a := lhs.Next(0); a >= 0; a = lhs.Next(a + 1) {
+		if !startAttrs.Contains(a) {
+			v.attrs = append(v.attrs, a)
+		}
+	}
+	remaining := v.attrs
 	cols := v.r.Cols
 
-	var scratch, next [][]int32
+	scratch, next := v.scratch, v.next
+	arena, spare := v.arenaA, v.arenaB
+	defer func() {
+		v.scratch, v.next = scratch[:0], next[:0]
+		v.arenaA, v.arenaB = arena, spare
+	}()
 	for _, cluster := range start.Clusters {
 		v.RowsScanned += len(cluster)
 		scratch = scratch[:0]
 		scratch = append(scratch, cluster)
 		for _, a := range remaining {
 			next = next[:0]
+			spare = spare[:0]
 			for _, s := range scratch {
 				v.ClustersRefined++
 				v.RowsScanned += len(s)
-				next = v.rf.RefineCluster(s, cols[a], v.r.Cards[a], next)
+				spare, next = v.rf.RefineClusterInto(s, cols[a], v.r.Cards[a], spare, next)
 			}
 			scratch, next = next, scratch
+			arena, spare = spare, arena
 			if len(scratch) == 0 {
 				break
 			}
