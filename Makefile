@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt test race bench bench-smoke chaos fuzz-smoke check
+.PHONY: all build vet fmt test race bench bench-pr3 bench-pr4 bench-smoke chaos fuzz-smoke check
 
 all: check
 
@@ -26,7 +26,9 @@ race:
 # Full benchmark pass: the partition kernels and the discovery paths,
 # folded into BENCH_pr3.json against the pre-PR baselines recorded in
 # results/. Same flags as the baseline capture, for comparability.
-bench:
+bench: bench-pr3 bench-pr4
+
+bench-pr3:
 	$(GO) test -run '^$$' -bench 'Single100k|Refine100k|Intersect100k|RefineVsIntersect' -benchmem ./internal/partition/ | tee results/bench_partition.txt
 	$(GO) test -run '^$$' -bench 'DiscoverWeather|DiscoverDiabetic|TANELattice|DiscoverCached' -benchtime 3x -benchmem . | tee results/bench_discover.txt
 	$(GO) run ./cmd/benchjson \
@@ -36,11 +38,25 @@ bench:
 		-current results/bench_discover.txt \
 		-o BENCH_pr3.json
 
+# The ranking and sampling kernels, folded into BENCH_pr4.json against the
+# seed baselines in results/bench_baseline_pr4_*.txt (captured at the
+# pre-PR commit with the same flags).
+bench-pr4:
+	$(GO) test -run '^$$' -bench 'RankCover|TotalsCover|Histogram' -benchtime 5x -benchmem ./internal/ranking/ | tee results/bench_ranking.txt
+	$(GO) test -run '^$$' -bench 'SortedCluster|ClusterNeighborSample|NonRedundant' -benchtime 10x -benchmem ./internal/sampling/ | tee results/bench_sampling.txt
+	$(GO) run ./cmd/benchjson \
+		-baseline results/bench_baseline_pr4_ranking.txt \
+		-baseline results/bench_baseline_pr4_sampling.txt \
+		-current results/bench_ranking.txt \
+		-current results/bench_sampling.txt \
+		-o BENCH_pr4.json
+
 # One iteration of the key benchmarks — catches bit-rot without the cost
 # of a full measurement run.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'Intersect100k' -benchtime 1x ./internal/partition/
 	$(GO) test -run '^$$' -bench 'BenchmarkDiscoverWeather|DiscoverCached' -benchtime 1x ./
+	$(GO) test -run '^$$' -bench 'RankCover/hepatitis' -benchtime 1x ./internal/ranking/
 
 # The fault-injection matrix — every site × every plan × every algorithm —
 # under the race detector.

@@ -3,12 +3,17 @@
 //
 // Usage:
 //
-//	fdrank [-top 25] [-column name] [-null eq|neq] file.csv
+//	fdrank [-top 25] [-column name] [-null eq|neq] [-workers N] [-pli-cache BYTES] [-stats] file.csv
 //
 // Without -column the canonical cover is ranked globally: highest-impact
 // FDs first, each with its #red+0 / #red / #red-0 counts. With -column the
 // per-column view of Section VI-B is printed: the minimal LHSs determining
 // that column and the redundancy each causes in it.
+//
+// -workers fans the ranking kernels (and discovery's validation hot path)
+// out over a worker pool. -pli-cache shares one stripped-partition cache
+// across discovery and ranking, so ranking reuses the partitions discovery
+// built. -stats prints the ranking run report to stderr.
 package main
 
 import (
@@ -29,7 +34,9 @@ func main() {
 	top := flag.Int("top", 25, "print only the top N FDs (0 = all)")
 	column := flag.String("column", "", "fix a column and list its minimal LHSs")
 	nullSem := flag.String("null", "eq", "null semantics: eq or neq")
-	pliCache := flag.Int64("pli-cache", 0, "share stripped partitions through an LRU cache of this many bytes (0 = disabled)")
+	pliCache := flag.Int64("pli-cache", 0, "share stripped partitions through an LRU cache of this many bytes, spanning discovery and ranking (0 = ranking-private cache only)")
+	workers := flag.Int("workers", 1, "worker-pool width for discovery validation and ranking")
+	stats := flag.Bool("stats", false, "print the ranking run report to stderr")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: fdrank [flags] file.csv\n")
 		flag.PrintDefaults()
@@ -54,9 +61,13 @@ func main() {
 	defer cancel()
 
 	start := time.Now()
-	var discoverOpts []dhyfd.Option
+	rankCfg := dhyfd.RankConfig{Workers: *workers}
+	discoverOpts := []dhyfd.Option{dhyfd.WithWorkers(*workers)}
 	if *pliCache > 0 {
-		discoverOpts = append(discoverOpts, dhyfd.WithPartitionCache(*pliCache))
+		// One cache spans discovery and ranking: ranking reuses the
+		// partitions the discovery run built.
+		rankCfg.Cache = dhyfd.NewPLICache(*pliCache)
+		discoverOpts = append(discoverOpts, dhyfd.WithCache(rankCfg.Cache))
 	}
 	res, err := dhyfd.Discover(ctx, rel, discoverOpts...)
 	if err != nil {
@@ -92,15 +103,35 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown column %q (have %v)\n", *column, rel.Names)
 			os.Exit(2)
 		}
+		views, rstats, rerr := dhyfd.RankForColumnWith(ctx, rel, can, col, rankCfg)
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, "fdrank:", rerr)
+			os.Exit(1)
+		}
+		if *stats {
+			fmt.Fprint(os.Stderr, rstats.String())
+		}
 		fmt.Fprintf(tw, "minimal LHSs for %s\t#red\t#red-0\n", *column)
-		for _, v := range dhyfd.RankForColumn(rel, can, col) {
+		for _, v := range views {
 			fmt.Fprintf(tw, "%s\t%d\t%d\n", v.LHS.Names(rel.Names), v.Red, v.RedNoNN)
 		}
 		return
 	}
 
-	ranked := dhyfd.Rank(rel, can)
-	tot := dhyfd.TotalRedundancy(rel, can)
+	ranked, rstats, rerr := dhyfd.RankWith(ctx, rel, can, rankCfg)
+	if rerr != nil {
+		fmt.Fprintln(os.Stderr, "fdrank:", rerr)
+		os.Exit(1)
+	}
+	tot, tstats, terr := dhyfd.TotalRedundancyWith(ctx, rel, can, rankCfg)
+	if terr != nil {
+		fmt.Fprintln(os.Stderr, "fdrank:", terr)
+		os.Exit(1)
+	}
+	if *stats {
+		fmt.Fprint(os.Stderr, rstats.String())
+		fmt.Fprint(os.Stderr, tstats.String())
+	}
 	fmt.Fprintf(os.Stderr, "dataset redundancy: %d of %d values (%.2f%%), %d incl. nulls (%.2f%%)\n",
 		tot.Red, tot.Values, tot.PercentRed(), tot.RedWithNulls, tot.PercentRedWithNulls())
 

@@ -51,6 +51,7 @@ import (
 	"repro/internal/fdep"
 	"repro/internal/hyfd"
 	"repro/internal/partition"
+	"repro/internal/ranking"
 	"repro/internal/relation"
 	"repro/internal/tane"
 )
@@ -201,6 +202,7 @@ type discoverConfig struct {
 	memBudget  int64 // bytes; < 0 = unlimited
 	maxParts   int64 // partitions; < 0 = unlimited
 	cacheBytes int64 // PLI cache capacity; <= 0 = disabled
+	cache      *PLICache
 	noVerify   bool
 }
 
@@ -280,6 +282,52 @@ func withoutPostVerify() Option {
 	return func(c *discoverConfig) { c.noVerify = true }
 }
 
+// PLICache is a caller-owned, size-bounded LRU cache of stripped
+// partitions that a whole discover→rank pipeline shares: pass it to
+// Discover via WithCache and to RankWith / TotalRedundancyWith via
+// RankConfig, and the partitions discovery builds are reused by ranking
+// (and by later runs over the same relation) instead of being rebuilt.
+// A PLICache is safe for concurrent use; it serves partitions of one
+// relation shape — the first run pins the row count.
+type PLICache struct {
+	c *partition.Cache
+}
+
+// NewPLICache returns a cache bounded by maxBytes of partition memory
+// (values <= 0 use a 64 MiB default). Entries are evicted least recently
+// used at the bound.
+func NewPLICache(maxBytes int64) *PLICache {
+	if maxBytes <= 0 {
+		maxBytes = ranking.DefaultCacheBytes
+	}
+	return &PLICache{c: partition.NewCache(maxBytes, nil)}
+}
+
+// Len returns the number of cached partitions.
+func (pc *PLICache) Len() int {
+	if pc == nil {
+		return 0
+	}
+	return pc.c.Len()
+}
+
+// Bytes returns the resident partition bytes.
+func (pc *PLICache) Bytes() int64 {
+	if pc == nil {
+		return 0
+	}
+	return pc.c.Bytes()
+}
+
+// WithCache routes the run's partition lookups through the caller-owned
+// cache, so a single cache spans Discover and the ranking calls that
+// follow. It supersedes WithPartitionCache (which creates a run-private
+// cache of the given capacity); a nil pc leaves caching as otherwise
+// configured.
+func WithCache(pc *PLICache) Option {
+	return func(c *discoverConfig) { c.cache = pc }
+}
+
 // Discover computes the left-reduced cover of the FDs holding on r. With
 // no options it runs DHyFD with the paper's tuning. The context cancels
 // the run cooperatively: on cancellation Discover returns ctx's error and
@@ -307,6 +355,9 @@ func Discover(ctx context.Context, r *Relation, opts ...Option) (res *Result, er
 		budget = partition.NewBudget(cfg.memBudget, cfg.maxParts)
 	}
 	cache := partition.NewCache(cfg.cacheBytes, budget)
+	if cfg.cache != nil {
+		cache = cfg.cache.c
+	}
 
 	res = &Result{Algorithm: cfg.algorithm}
 	// Backstop: the drivers recover their own panics into typed errors

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -245,12 +246,13 @@ func Fig9(w io.Writer, p Params) []Fig9Point {
 }
 
 // Fig10Result is one chart of Figure 10: the redundancy histogram of a
-// data set's canonical cover, plus the ranking time.
+// data set's canonical cover, plus the ranking time and run report.
 type Fig10Result struct {
 	Dataset  string
 	Buckets  []ranking.Bucket
 	Elapsed  time.Duration
 	CoverFDs int
+	Stats    ranking.Stats
 }
 
 // Fig10Datasets are the bigger incomplete data sets the paper charts.
@@ -272,7 +274,10 @@ func Fig10(w io.Writer, p Params) []Fig10Result {
 		can := cover.Canonical(r.NumCols(), CoverOf(r))
 
 		start := time.Now()
-		ranked := ranking.Rank(r, can)
+		ranked, rstats, err := ranking.RankCtx(context.Background(), r, can, ranking.Config{})
+		if err != nil {
+			panic(err)
+		}
 		counts := make([]int, len(ranked))
 		for i, rr := range ranked {
 			counts[i] = rr.Counts.WithNulls
@@ -280,7 +285,7 @@ func Fig10(w io.Writer, p Params) []Fig10Result {
 		buckets := ranking.Histogram(counts)
 		elapsed := time.Since(start)
 
-		res := Fig10Result{Dataset: name, Buckets: buckets, Elapsed: elapsed, CoverFDs: len(can)}
+		res := Fig10Result{Dataset: name, Buckets: buckets, Elapsed: elapsed, CoverFDs: len(can), Stats: rstats}
 		tw := newTable(w)
 		fmt.Fprintf(tw, "%s (%d FDs, %.3fs)\tmax red\tFDs\n", name, len(can), elapsed.Seconds())
 		for _, bk := range buckets {

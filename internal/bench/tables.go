@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -157,11 +158,14 @@ func Table3(w io.Writer, p Params) []Table3Row {
 	return out
 }
 
-// Table4Row is one row of Table IV: dataset-level data redundancy.
+// Table4Row is one row of Table IV: dataset-level data redundancy, plus
+// the ranking run report (partitions built/reused, cache traffic, wall
+// time) the JSON output surfaces.
 type Table4Row struct {
 	Dataset    string
 	Incomplete bool
 	Totals     ranking.DatasetTotals
+	Stats      ranking.Stats
 }
 
 // Table4 reproduces Table IV: the number and percentage of redundant data
@@ -176,8 +180,11 @@ func Table4(w io.Writer, p Params) []Table4Row {
 	for _, b := range p.benchmarks() {
 		r := b.Generate(p.rows(b.DefaultRows), b.DefaultCols)
 		can := cover.Canonical(r.NumCols(), CoverOf(r))
-		tot := ranking.Totals(r, can)
-		row := Table4Row{Dataset: b.Name, Incomplete: b.Incomplete, Totals: tot}
+		tot, rstats, err := ranking.TotalsCtx(context.Background(), r, can, ranking.Config{})
+		if err != nil {
+			panic(err)
+		}
+		row := Table4Row{Dataset: b.Name, Incomplete: b.Incomplete, Totals: tot, Stats: rstats}
 		if b.Incomplete {
 			fmt.Fprintf(w, "%-12s %10d %10d %7.2f %10d %7.2f\n",
 				b.Name, tot.Values, tot.Red, tot.PercentRed(), tot.RedWithNulls, tot.PercentRedWithNulls())

@@ -1,0 +1,102 @@
+package bitset
+
+import "math/bits"
+
+// Bitmap is a word-packed bitmap over row indexes 0..n-1, the row-space
+// sibling of Set (which packs attribute indexes). Ranking kernels use it
+// for null masks and partition-membership marks: counting the non-null
+// rows of a cluster set or marking every redundant occurrence of a column
+// becomes a word-wise And/AndNot plus popcount instead of a per-row
+// branch.
+//
+// A nil Bitmap is a valid empty bitmap for the read-only operations (Get,
+// Count, the binary kernels); writers must allocate with NewBitmap.
+type Bitmap []uint64
+
+// NewBitmap returns an all-zero bitmap able to hold rows 0..n-1.
+func NewBitmap(n int) Bitmap {
+	return make(Bitmap, WordsFor(n))
+}
+
+// BitmapFromBools packs a []bool mask. A nil mask packs to a nil bitmap,
+// preserving the "nil = no bits" convention of relation null masks.
+func BitmapFromBools(mask []bool) Bitmap {
+	if mask == nil {
+		return nil
+	}
+	b := NewBitmap(len(mask))
+	for i, set := range mask {
+		if set {
+			b[i/wordBits] |= 1 << uint(i%wordBits)
+		}
+	}
+	return b
+}
+
+// Set marks row i.
+func (b Bitmap) Set(i int) {
+	b[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Get reports whether row i is marked. Safe on nil and short bitmaps.
+func (b Bitmap) Get(i int) bool {
+	w := i / wordBits
+	if w >= len(b) {
+		return false
+	}
+	return b[w]&(1<<uint(i%wordBits)) != 0
+}
+
+// Count returns the number of marked rows (popcount). Safe on nil.
+func (b Bitmap) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Clear unmarks every row.
+func (b Bitmap) Clear() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// OrWith marks every row marked in o (b |= o). o may be nil or shorter.
+func (b Bitmap) OrWith(o Bitmap) {
+	n := len(o)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		b[i] |= o[i]
+	}
+}
+
+// AndCount returns |b ∧ o|, the number of rows marked in both. A nil o
+// counts zero.
+func (b Bitmap) AndCount(o Bitmap) int {
+	n := len(b)
+	if len(o) < n {
+		n = len(o)
+	}
+	c := 0
+	for i := 0; i < n; i++ {
+		c += bits.OnesCount64(b[i] & o[i])
+	}
+	return c
+}
+
+// AndNotCount returns |b ∧ ¬o|, the rows marked in b but not in o. A nil
+// o leaves every mark counted.
+func (b Bitmap) AndNotCount(o Bitmap) int {
+	c := 0
+	for i, w := range b {
+		if i < len(o) {
+			w &^= o[i]
+		}
+		c += bits.OnesCount64(w)
+	}
+	return c
+}

@@ -1,0 +1,102 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBitmapSetGetCount(t *testing.T) {
+	b := NewBitmap(130)
+	for _, i := range []int{0, 63, 64, 129} {
+		b.Set(i)
+	}
+	for _, i := range []int{0, 63, 64, 129} {
+		if !b.Get(i) {
+			t.Errorf("Get(%d) = false", i)
+		}
+	}
+	if b.Get(1) || b.Get(128) {
+		t.Error("unset rows report marked")
+	}
+	if b.Count() != 4 {
+		t.Errorf("Count = %d, want 4", b.Count())
+	}
+	b.Clear()
+	if b.Count() != 0 {
+		t.Error("Clear left marks")
+	}
+}
+
+func TestBitmapNilSafety(t *testing.T) {
+	var nilB Bitmap
+	if nilB.Get(5) || nilB.Count() != 0 {
+		t.Error("nil bitmap not empty")
+	}
+	b := NewBitmap(70)
+	b.Set(3)
+	b.Set(69)
+	if got := b.AndCount(nil); got != 0 {
+		t.Errorf("AndCount(nil) = %d", got)
+	}
+	if got := b.AndNotCount(nil); got != 2 {
+		t.Errorf("AndNotCount(nil) = %d, want 2", got)
+	}
+	b.OrWith(nil) // must not panic
+	if b.Count() != 2 {
+		t.Error("OrWith(nil) changed the bitmap")
+	}
+}
+
+func TestBitmapFromBools(t *testing.T) {
+	if BitmapFromBools(nil) != nil {
+		t.Error("nil mask should pack to nil")
+	}
+	mask := make([]bool, 100)
+	mask[0], mask[64], mask[99] = true, true, true
+	b := BitmapFromBools(mask)
+	if b.Count() != 3 || !b.Get(64) || b.Get(65) {
+		t.Errorf("packed bitmap wrong: count=%d", b.Count())
+	}
+}
+
+// TestBitmapKernelsAgainstBools cross-checks the word kernels against the
+// per-row []bool definitions on random masks, including ragged widths.
+func TestBitmapKernelsAgainstBools(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		ma, mb := make([]bool, n), make([]bool, n)
+		for i := 0; i < n; i++ {
+			ma[i] = rng.Intn(3) == 0
+			mb[i] = rng.Intn(2) == 0
+		}
+		a, b := BitmapFromBools(ma), BitmapFromBools(mb)
+		and, andNot := 0, 0
+		for i := 0; i < n; i++ {
+			if ma[i] && mb[i] {
+				and++
+			}
+			if ma[i] && !mb[i] {
+				andNot++
+			}
+		}
+		if got := a.AndCount(b); got != and {
+			t.Fatalf("trial %d: AndCount = %d, want %d", trial, got, and)
+		}
+		if got := a.AndNotCount(b); got != andNot {
+			t.Fatalf("trial %d: AndNotCount = %d, want %d", trial, got, andNot)
+		}
+		c := NewBitmap(n)
+		c.OrWith(a)
+		c.OrWith(b)
+		union := 0
+		for i := 0; i < n; i++ {
+			if ma[i] || mb[i] {
+				union++
+			}
+		}
+		if c.Count() != union {
+			t.Fatalf("trial %d: union count = %d, want %d", trial, c.Count(), union)
+		}
+	}
+}

@@ -44,12 +44,15 @@ const (
 	// SamplingRun fires in sampling.ClusterNeighborSample, the
 	// sorted-neighborhood pass of the hybrid algorithms.
 	SamplingRun Site = "sampling.run"
+	// RankingRun fires once per LHS group inside the redundancy-ranking
+	// kernels (ranking.RankCtx / TotalsCtx), usually on a pool worker.
+	RankingRun Site = "ranking.run"
 )
 
 // Sites lists the runtime's instrumented sites in a stable order, the set
 // the chaos suite iterates.
 func Sites() []Site {
-	return []Site{PartitionBuild, PartitionIntersect, DDMRefresh, EngineWorker, SamplingRun}
+	return []Site{PartitionBuild, PartitionIntersect, DDMRefresh, EngineWorker, SamplingRun, RankingRun}
 }
 
 // Kind selects what an armed plan injects.

@@ -118,7 +118,7 @@ func TestConcurrentHitsFireExactlyOnce(t *testing.T) {
 
 func TestSitesStable(t *testing.T) {
 	s := Sites()
-	if len(s) != 5 || s[0] != PartitionBuild || s[4] != SamplingRun {
+	if len(s) != 6 || s[0] != PartitionBuild || s[5] != RankingRun {
 		t.Fatalf("Sites() = %v", s)
 	}
 }

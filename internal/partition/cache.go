@@ -117,6 +117,17 @@ func (c *Cache) Get(x bitset.Set) *Partition {
 	return p
 }
 
+// Peek is Get without the hit/miss accounting, for probe loops — like
+// ranking's prefix-chain walk — that issue several speculative lookups per
+// logical consultation and would otherwise distort the counters. A found
+// entry still has its recency refreshed.
+func (c *Cache) Peek(x bitset.Set) *Partition {
+	if c == nil {
+		return nil
+	}
+	return c.lookup(x)
+}
+
 // lookup is Get without the hit/miss accounting, for paths that fall back
 // to BestSubset and count the consultation as a whole.
 func (c *Cache) lookup(x bitset.Set) *Partition {
@@ -287,12 +298,20 @@ func (c *Cache) moveToFront(e *cacheEntry) {
 // result is cached before returning. With a nil cache it is exactly
 // ForAttrs. The returned partition may be shared: treat it as read-only.
 func ForAttrsCached(c *Cache, x bitset.Set, cols [][]int32, cards []int) *Partition {
+	p, _ := ForAttrsCachedStats(c, x, cols, cards)
+	return p
+}
+
+// ForAttrsCachedStats is ForAttrsCached additionally reporting whether the
+// partition was served whole from the cache (an exact hit) rather than
+// built or refined from a parent — the built/reused split ranking reports.
+func ForAttrsCachedStats(c *Cache, x bitset.Set, cols [][]int32, cards []int) (*Partition, bool) {
 	if c == nil {
-		return ForAttrs(x, cols, cards)
+		return ForAttrs(x, cols, cards), false
 	}
 	if p := c.lookup(x); p != nil {
 		c.hits.Add(1)
-		return p
+		return p, true
 	}
 	nrows := 0
 	if len(cols) > 0 {
@@ -300,7 +319,7 @@ func ForAttrsCached(c *Cache, x bitset.Set, cols [][]int32, cards []int) *Partit
 	}
 	attrs := x.Attrs()
 	if len(attrs) == 0 {
-		return fullPartition(nrows)
+		return fullPartition(nrows), false
 	}
 	parent, pattrs := c.BestSubset(x)
 	var p *Partition
@@ -328,5 +347,5 @@ func ForAttrsCached(c *Cache, x bitset.Set, cols [][]int32, cards []int) *Partit
 		}
 	}
 	c.Put(x, p)
-	return p
+	return p, false
 }

@@ -377,6 +377,34 @@ func Intersect(p *Partition, probe ProbeTable) *Partition {
 	return NewIntersector().Intersect(p, probe)
 }
 
+// Members marks every row lying inside a cluster of p into dst, a row
+// bitmap, and returns it (cleared and grown as needed, so one scratch
+// bitmap serves many partitions). The result is the characteristic
+// function of ‖π‖: ranking counts null occurrences per attribute with one
+// word-And/popcount against it, and marks redundant occurrences with one
+// word-Or of it — per partition, not per row.
+func (p *Partition) Members(dst bitset.Bitmap) bitset.Bitmap {
+	words := bitset.WordsFor(p.NRows)
+	if cap(dst) < words {
+		dst = make(bitset.Bitmap, words)
+	} else {
+		dst = dst[:words]
+		dst.Clear()
+	}
+	if p.backing != nil {
+		for _, row := range p.backing {
+			dst.Set(int(row))
+		}
+		return dst
+	}
+	for _, cluster := range p.Clusters {
+		for _, row := range cluster {
+			dst.Set(int(row))
+		}
+	}
+	return dst
+}
+
 // orderForRefine sorts attrs so that the attribute whose single-column
 // partition has the smallest error e(π_A) comes first. With exact
 // active-domain cardinalities (relation.Relation guarantees them),

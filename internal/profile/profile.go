@@ -121,8 +121,26 @@ func ProfileCtx(ctx context.Context, r *relation.Relation, opts Options) (*Repor
 	can := cover.Canonical(n, lr)
 	rep.LeftReducedFDs = len(lr)
 	rep.CanonicalFDs = len(can)
-	rep.Ranked = ranking.Rank(r, can)
-	rep.Totals = ranking.Totals(r, can)
+	// Ranking shares the discovery run's PLI cache and worker width, and
+	// its counters fold into the run report.
+	rcfg := ranking.Config{Workers: opts.Workers, Cache: cache}
+	var rkStats ranking.Stats
+	rep.Ranked, rkStats, err = ranking.RankCtx(ctx, r, can, rcfg)
+	if err == nil {
+		var totStats ranking.Stats
+		rep.Totals, totStats, err = ranking.TotalsCtx(ctx, r, can, rcfg)
+		rkStats.PartitionsBuilt += totStats.PartitionsBuilt
+		rkStats.PartitionsReused += totStats.PartitionsReused
+		rkStats.RowsScanned += totStats.RowsScanned
+		rkStats.CacheHits += totStats.CacheHits
+		rkStats.CacheMisses += totStats.CacheMisses
+		rkStats.CacheEvictions += totStats.CacheEvictions
+	}
+	rkStats.AddToRunStats(rep.Run)
+	if err != nil {
+		rep.TotalTime = time.Since(start)
+		return rep, err
+	}
 
 	// Minimal keys of the data = candidate keys of the valid-FD cover.
 	rep.Keys = normalize.CandidateKeys(n, can, opts.MaxKeys)
@@ -130,7 +148,7 @@ func ProfileCtx(ctx context.Context, r *relation.Relation, opts Options) (*Repor
 
 	// Per-column statistics.
 	perColRedundancy := make([]int, n)
-	rk := ranking.New(r)
+	rk := ranking.NewWith(r, ranking.Config{Cache: cache})
 	for _, f := range can {
 		for a := f.RHS.Next(0); a >= 0; a = f.RHS.Next(a + 1) {
 			rhs := bitset.New(n)

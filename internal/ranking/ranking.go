@@ -19,13 +19,34 @@
 //     null-free on the LHS — clusters are re-formed over tuples whose LHS
 //     values are all present, so a pattern "supported" only by nulls
 //     counts nothing.
+//
+// The package is built around three kernels so that ranking a cover of
+// thousands of FDs costs no more than the partition layer it sits on:
+//
+//   - π_X comes from the shared partition.Cache of the discovery run when
+//     one is supplied (refining from the best cached subset on a miss), or
+//     from a private bounded cache otherwise, so related LHSs never
+//     rebuild from single columns.
+//   - Null counting is word-parallel: each partition's cluster rows are
+//     marked once into a membership bitmap, and #red per RHS attribute is
+//     one AndNot/popcount against the relation's packed null masks.
+//   - The cover's FDs are grouped by LHS and the groups are fanned out
+//     over engine.Pool workers with context cancellation and panic
+//     recovery; Totals marks occurrences by word-Or of membership bitmaps
+//     into per-column marks and popcounts per column.
 package ranking
 
 import (
+	"context"
+	"fmt"
 	"sort"
+	"strings"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/dep"
+	"repro/internal/engine"
+	"repro/internal/faults"
 	"repro/internal/partition"
 	"repro/internal/relation"
 )
@@ -47,104 +68,358 @@ type Ranked struct {
 	Counts Counts
 }
 
-// Ranker computes redundancy counts over one relation, caching partitions
-// by LHS so that ranking a canonical cover visits each LHS once.
-type Ranker struct {
-	r     *relation.Relation
-	cache map[string]*partition.Partition
+// DefaultCacheBytes bounds the private PLI cache a ranking run creates
+// when no shared cache is supplied, sized so that covers with thousands
+// of related LHSs refine from cached parents instead of single columns.
+const DefaultCacheBytes = 64 << 20
+
+// Config tunes a ranking run. The zero value is the serial default with a
+// private partition cache.
+type Config struct {
+	// Workers is the LHS-group fan-out width; values below 2 keep the
+	// serial path (still with context checks and panic recovery).
+	Workers int
+	// Cache is a shared PLI cache, typically the one the discovery run
+	// filled, so partitions computed during discovery are reused and
+	// misses refine from the best cached subset. Nil gives the run a
+	// private cache of DefaultCacheBytes.
+	Cache *partition.Cache
+	// Budget, when non-nil, is attached to the private cache so resident
+	// partitions charge the run's memory budget — never past its headroom:
+	// the cache sheds entries rather than degrading the run. Ignored when
+	// Cache is supplied (a shared cache carries its own attachment).
+	Budget *partition.Budget
 }
 
-// New returns a ranker for r.
-func New(r *relation.Relation) *Ranker {
-	return &Ranker{r: r, cache: make(map[string]*partition.Partition)}
-}
-
-// partitionFor returns π_X, cached.
-func (rk *Ranker) partitionFor(lhs bitset.Set) *partition.Partition {
-	k := lhs.Key()
-	if p, ok := rk.cache[k]; ok {
-		return p
+func (cfg Config) cache() *partition.Cache {
+	if cfg.Cache != nil {
+		return cfg.Cache
 	}
-	p := partition.ForAttrs(lhs, rk.r.Cols, rk.r.Cards)
-	rk.cache[k] = p
-	return p
+	return partition.NewCache(DefaultCacheBytes, cfg.Budget)
 }
 
-// FD computes the redundancy counts of one FD (set-valued RHS: counts sum
-// over the RHS attributes).
-func (rk *Ranker) FD(f dep.FD) Counts {
-	var c Counts
-	p := rk.partitionFor(f.LHS)
-	lhsAttrs := f.LHS.Attrs()
+// Stats reports what one ranking run did: how partitions were obtained,
+// how much row data the per-row fallback paths touched, and the traffic
+// the run drove through its PLI cache.
+type Stats struct {
+	// FDs is the number of FDs scored; Groups the number of distinct LHSs
+	// (each LHS builds its partition and membership bitmap once).
+	FDs, Groups int
+	// Workers is the pool width the run used (>= 1).
+	Workers int
+	// PartitionsBuilt counts LHS partitions built or refined from a cached
+	// parent; PartitionsReused counts those served whole from the cache.
+	PartitionsBuilt, PartitionsReused int64
+	// RowsScanned counts cluster rows fed through the kernels: membership
+	// marking plus the per-row null-LHS recluster fallback.
+	RowsScanned int64
+	// CacheHits / CacheMisses / CacheEvictions are the PLI cache's counter
+	// movement during the run (a BestSubset parent reuse counts as a hit).
+	CacheHits, CacheMisses, CacheEvictions int64
+	// Elapsed is the run's wall time.
+	Elapsed time.Duration
+}
 
-	for a := f.RHS.Next(0); a >= 0; a = f.RHS.Next(a + 1) {
-		mask := rk.r.Nulls[a]
-		for _, cluster := range p.Clusters {
-			c.WithNulls += len(cluster)
-			if mask == nil {
-				c.NoNullRHS += len(cluster)
-			} else {
-				for _, row := range cluster {
-					if !mask[row] {
-						c.NoNullRHS++
-					}
-				}
+// String renders a one-line human-readable summary, the form fdrank
+// -stats prints to stderr.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ranking: %d FDs over %d LHS groups in %v (workers=%d)\n",
+		s.FDs, s.Groups, s.Elapsed.Round(time.Microsecond), s.Workers)
+	fmt.Fprintf(&b, "  partitions: %d built, %d reused; %d rows scanned\n",
+		s.PartitionsBuilt, s.PartitionsReused, s.RowsScanned)
+	if s.CacheHits+s.CacheMisses+s.CacheEvictions > 0 {
+		fmt.Fprintf(&b, "  pli-cache: %d hits, %d misses, %d evictions\n",
+			s.CacheHits, s.CacheMisses, s.CacheEvictions)
+	}
+	return b.String()
+}
+
+// AddToRunStats folds the ranking run's counters into a discovery run
+// report, so one RunStats can describe a discover→rank pipeline.
+func (s Stats) AddToRunStats(rs *engine.RunStats) {
+	if rs == nil {
+		return
+	}
+	rs.RowsScanned += s.RowsScanned
+	rs.PartitionsBuilt += s.PartitionsBuilt
+	rs.CacheHits += s.CacheHits
+	rs.CacheMisses += s.CacheMisses
+	rs.CacheEvictions += s.CacheEvictions
+	rs.Count("rank_fds", int64(s.FDs))
+	rs.Count("rank_lhs_groups", int64(s.Groups))
+	rs.Count("rank_partitions_reused", s.PartitionsReused)
+}
+
+// lhsGroup is one unit of ranking work: a distinct LHS and the positions
+// of the FDs sharing it.
+type lhsGroup struct {
+	lhs  bitset.Set
+	idxs []int
+}
+
+// groupByLHS groups FDs by LHS in first-seen order (deterministic, so
+// serial and parallel runs score the same groups).
+func groupByLHS(fds []dep.FD) []lhsGroup {
+	byKey := make(map[string]int, len(fds))
+	var groups []lhsGroup
+	var key []byte
+	for i, f := range fds {
+		key = f.LHS.AppendKey(key[:0])
+		gi, ok := byKey[string(key)]
+		if !ok {
+			gi = len(groups)
+			byKey[string(key)] = gi
+			groups = append(groups, lhsGroup{lhs: f.LHS})
+		}
+		groups[gi].idxs = append(groups[gi].idxs, i)
+	}
+	return groups
+}
+
+// scratch is the per-worker reusable state of a ranking run.
+type scratch struct {
+	members bitset.Bitmap // membership bitmap of the current partition
+	lhsNull bitset.Bitmap // union of the current LHS's null masks
+	attrs   []int         // LHS attribute scratch
+	prefix  bitset.Set    // prefix-chain scratch of partitionFor
+	rf      *partition.Refiner
+
+	built, reused, rows int64
+}
+
+// partitionFor returns π_X through the cache; the second result reports an
+// exact cache hit. On a miss the partition is built by refining from X's
+// longest cached attribute prefix, and every intermediate prefix partition
+// is published: the LHSs of a canonical cover share long prefixes, so
+// ranking builds each distinct prefix once — O(1) lookups per step —
+// instead of each LHS from its single columns (or from a linear BestSubset
+// scan of the whole cache, which is quadratic over thousands of groups).
+func (sc *scratch) partitionFor(c *partition.Cache, x bitset.Set, r *relation.Relation) (*partition.Partition, bool) {
+	if p := c.Get(x); p != nil {
+		return p, true
+	}
+	sc.attrs = x.AppendAttrs(sc.attrs[:0])
+	attrs := sc.attrs
+	if c == nil || len(attrs) == 0 {
+		return partition.ForAttrs(x, r.Cols, r.Cards), false
+	}
+	if sc.prefix == nil {
+		sc.prefix = bitset.New(r.NumCols())
+		maxCard := 1
+		for _, card := range r.Cards {
+			if card > maxCard {
+				maxCard = card
 			}
 		}
+		sc.rf = partition.NewRefiner(maxCard)
 	}
-
-	// NoNulls: reform clusters over tuples with fully non-null LHSs.
-	anyLHSNulls := false
-	for _, b := range lhsAttrs {
-		if rk.r.Nulls[b] != nil {
-			anyLHSNulls = true
+	prefix := sc.prefix
+	prefix.Clear()
+	// Walk the ascending-attribute chain upward, remembering the longest
+	// cached strict prefix.
+	var p *partition.Partition
+	k := 0
+	for j := 0; j < len(attrs)-1; j++ {
+		prefix.Add(attrs[j])
+		q := c.Peek(prefix)
+		if q == nil {
 			break
 		}
+		p, k = q, j+1
 	}
-	if !anyLHSNulls {
+	prefix.Clear()
+	if k == 0 {
+		p = partition.Single(r.Cols[attrs[0]], r.Cards[attrs[0]])
+		prefix.Add(attrs[0])
+		c.Put(prefix, p)
+		k = 1
+	} else {
+		for j := 0; j < k; j++ {
+			prefix.Add(attrs[j])
+		}
+	}
+	for j := k; j < len(attrs); j++ {
+		prefix.Add(attrs[j])
+		if len(p.Clusters) > 0 {
+			p = sc.rf.Refine(p, r.Cols[attrs[j]], r.Cards[attrs[j]])
+			sc.rows += int64(p.Size())
+		}
+		c.Put(prefix, p)
+	}
+	return p, false
+}
+
+// lhsNullBitmap fills sc.lhsNull with the union of the LHS attributes'
+// null masks and reports whether any LHS column is incomplete.
+func (sc *scratch) lhsNullBitmap(r *relation.Relation, lhs bitset.Set) bool {
+	any := false
+	words := bitset.WordsFor(r.NumRows())
+	if cap(sc.lhsNull) < words {
+		sc.lhsNull = make(bitset.Bitmap, words)
+	} else {
+		sc.lhsNull = sc.lhsNull[:words]
+		sc.lhsNull.Clear()
+	}
+	sc.attrs = lhs.AppendAttrs(sc.attrs[:0])
+	for _, b := range sc.attrs {
+		if nb := r.NullBitmap(b); nb != nil {
+			sc.lhsNull.OrWith(nb)
+			any = true
+		}
+	}
+	return any
+}
+
+// countsFor computes one FD's counts from π_X and its membership bitmap.
+// lhsHasNulls and sc.lhsNull must describe f's LHS (lhsNullBitmap).
+func countsFor(r *relation.Relation, f dep.FD, p *partition.Partition, sc *scratch, lhsHasNulls bool) Counts {
+	var c Counts
+	size := p.Size()
+	for a := f.RHS.Next(0); a >= 0; a = f.RHS.Next(a + 1) {
+		c.WithNulls += size
+		if nb := r.NullBitmap(a); nb == nil {
+			c.NoNullRHS += size
+		} else {
+			c.NoNullRHS += sc.members.AndNotCount(nb)
+		}
+	}
+	if !lhsHasNulls {
 		// Clusters unchanged; only RHS nulls are excluded.
 		c.NoNulls = c.NoNullRHS
 		return c
 	}
+	// NoNulls: reform clusters over tuples with fully non-null LHSs. This
+	// is the one per-row path left, taken only when the LHS itself is
+	// incomplete; each row costs two bitmap tests.
 	for a := f.RHS.Next(0); a >= 0; a = f.RHS.Next(a + 1) {
-		mask := rk.r.Nulls[a]
+		nb := r.NullBitmap(a)
 		for _, cluster := range p.Clusters {
 			survivors := 0
 			nonNullA := 0
 			for _, row := range cluster {
-				if rowHasNullLHS(rk.r, lhsAttrs, row) {
+				if sc.lhsNull.Get(int(row)) {
 					continue
 				}
 				survivors++
-				if mask == nil || !mask[row] {
+				if !nb.Get(int(row)) {
 					nonNullA++
 				}
 			}
 			if survivors >= 2 {
 				c.NoNulls += nonNullA
 			}
+			sc.rows += int64(len(cluster))
 		}
 	}
 	return c
 }
 
-func rowHasNullLHS(r *relation.Relation, lhsAttrs []int, row int32) bool {
-	for _, b := range lhsAttrs {
-		if m := r.Nulls[b]; m != nil && m[row] {
-			return true
+// scoreGroups computes counts for every FD, fanning the LHS groups out
+// over the pool. It is the shared core of RankCtx and ForColumnCtx.
+func scoreGroups(ctx context.Context, r *relation.Relation, fds []dep.FD, cfg Config) ([]Counts, Stats, error) {
+	start := time.Now()
+	cache := cfg.cache()
+	cache0 := cache.Stats()
+	groups := groupByLHS(fds)
+	out := make([]Counts, len(fds))
+	pool := engine.NewPool(cfg.Workers)
+	ws := make([]scratch, pool.Workers())
+	err := pool.Run(ctx, len(groups), func(w, gi int) {
+		faults.Check(faults.RankingRun)
+		g := groups[gi]
+		sc := &ws[w]
+		p, reused := sc.partitionFor(cache, g.lhs, r)
+		if reused {
+			sc.reused++
+		} else {
+			sc.built++
 		}
-	}
-	return false
+		sc.members = p.Members(sc.members)
+		sc.rows += int64(p.Size())
+		lhsHasNulls := sc.lhsNullBitmap(r, g.lhs)
+		for _, i := range g.idxs {
+			out[i] = countsFor(r, fds[i], p, sc, lhsHasNulls)
+		}
+	})
+	stats := mergeStats(ws, len(fds), len(groups), pool.Workers(), cache, cache0)
+	stats.Elapsed = time.Since(start)
+	return out, stats, err
 }
 
-// Rank computes counts for every FD and returns them sorted by descending
-// WithNulls count (ties: by the FD ordering of dep.Sort).
-func Rank(r *relation.Relation, fds []dep.FD) []Ranked {
-	rk := New(r)
-	out := make([]Ranked, len(fds))
-	for i, f := range fds {
-		out[i] = Ranked{FD: f, Counts: rk.FD(f)}
+func mergeStats(ws []scratch, fds, groups, workers int, cache *partition.Cache, cache0 partition.CacheStats) Stats {
+	s := Stats{FDs: fds, Groups: groups, Workers: workers}
+	for i := range ws {
+		s.PartitionsBuilt += ws[i].built
+		s.PartitionsReused += ws[i].reused
+		s.RowsScanned += ws[i].rows
 	}
+	delta := cache.Stats().Delta(cache0)
+	s.CacheHits, s.CacheMisses, s.CacheEvictions = delta.Hits, delta.Misses, delta.Evictions
+	return s
+}
+
+// Ranker computes redundancy counts over one relation for callers that
+// score FDs one at a time (profiling loops, per-column views). Partitions
+// are shared through the configured PLI cache; the membership bitmap of
+// the most recent LHS is kept warm, so consecutive FDs with one LHS —
+// the common per-column iteration — pay for it once. A Ranker is not safe
+// for concurrent use; RankCtx fans out internally instead.
+type Ranker struct {
+	r   *relation.Relation
+	cfg Config
+
+	cache       *partition.Cache
+	sc          scratch
+	cur         *partition.Partition
+	curKey      string
+	curLHSNulls bool
+	stats       Stats
+}
+
+// New returns a serial ranker with a private partition cache.
+func New(r *relation.Relation) *Ranker { return NewWith(r, Config{}) }
+
+// NewWith returns a ranker using the given cache/budget configuration
+// (Workers is ignored: a Ranker is serial by construction).
+func NewWith(r *relation.Relation, cfg Config) *Ranker {
+	return &Ranker{r: r, cfg: cfg, cache: cfg.cache()}
+}
+
+// FD computes the redundancy counts of one FD (set-valued RHS: counts sum
+// over the RHS attributes).
+func (rk *Ranker) FD(f dep.FD) Counts {
+	key := f.LHS.Key()
+	if rk.cur == nil || key != rk.curKey {
+		p, reused := rk.sc.partitionFor(rk.cache, f.LHS, rk.r)
+		if reused {
+			rk.stats.PartitionsReused++
+		} else {
+			rk.stats.PartitionsBuilt++
+		}
+		rk.cur, rk.curKey = p, key
+		rk.sc.members = p.Members(rk.sc.members)
+		rk.sc.rows += int64(p.Size())
+		rk.curLHSNulls = rk.sc.lhsNullBitmap(rk.r, f.LHS)
+		rk.stats.Groups++
+	}
+	rk.stats.FDs++
+	return countsFor(rk.r, f, rk.cur, &rk.sc, rk.curLHSNulls)
+}
+
+// Stats reports the ranker's accumulated counters.
+func (rk *Ranker) Stats() Stats {
+	s := rk.stats
+	s.Workers = 1
+	s.RowsScanned = rk.sc.rows
+	delta := rk.cache.Stats()
+	s.CacheHits, s.CacheMisses, s.CacheEvictions = delta.Hits, delta.Misses, delta.Evictions
+	return s
+}
+
+// sortRanked orders by descending WithNulls count (ties: smaller LHS
+// first, then lexicographic; stable for identical LHSs).
+func sortRanked(out []Ranked) {
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Counts.WithNulls != out[j].Counts.WithNulls {
 			return out[i].Counts.WithNulls > out[j].Counts.WithNulls
@@ -155,6 +430,31 @@ func Rank(r *relation.Relation, fds []dep.FD) []Ranked {
 		}
 		return bitset.CompareLex(out[i].FD.LHS, out[j].FD.LHS) < 0
 	})
+}
+
+// RankCtx computes counts for every FD and returns them sorted by
+// descending WithNulls count (ties: by the FD ordering of dep.Sort),
+// fanning LHS groups out over cfg.Workers pool workers. On cancellation
+// or an internal panic the partial, still-sorted result is returned
+// alongside the error (engine.PanicError for panics).
+func RankCtx(ctx context.Context, r *relation.Relation, fds []dep.FD, cfg Config) ([]Ranked, Stats, error) {
+	counts, stats, err := scoreGroups(ctx, r, fds, cfg)
+	out := make([]Ranked, len(fds))
+	for i, f := range fds {
+		out[i] = Ranked{FD: f, Counts: counts[i]}
+	}
+	sortRanked(out)
+	return out, stats, err
+}
+
+// Rank computes counts for every FD and returns them sorted by descending
+// WithNulls count, serially with a private partition cache. A panic
+// inside the kernels is re-raised, matching direct-call semantics.
+func Rank(r *relation.Relation, fds []dep.FD) []Ranked {
+	out, _, err := RankCtx(context.Background(), r, fds, Config{})
+	if err != nil {
+		panic(err)
+	}
 	return out
 }
 
@@ -185,40 +485,81 @@ func (t DatasetTotals) PercentRedWithNulls() float64 {
 	return 100 * float64(t.RedWithNulls) / float64(t.Values)
 }
 
-// Totals computes the dataset-level redundancy of Table IV: occurrences
+// TotalsCtx computes the dataset-level redundancy of Table IV: occurrences
 // are marked per FD of the cover and counted once, so overlapping FDs do
 // not double-count. Because tuples that agree on an FD's LHS agree on its
 // closure, marking along any cover of the valid FDs marks exactly the
 // occurrences redundant with respect to the full FD set.
-func Totals(r *relation.Relation, fds []dep.FD) DatasetTotals {
+//
+// Marking is word-parallel: each LHS group Ors its membership bitmap into
+// the marked bitmap of every RHS column, and the totals are popcounts per
+// column against the packed null masks. Groups fan out over cfg.Workers
+// with per-worker mark sets merged by word-Or.
+func TotalsCtx(ctx context.Context, r *relation.Relation, fds []dep.FD, cfg Config) (DatasetTotals, Stats, error) {
+	start := time.Now()
 	rows, cols := r.NumRows(), r.NumCols()
-	marked := make([]bool, rows*cols)
-	rk := New(r)
-	for _, f := range fds {
-		p := rk.partitionFor(f.LHS)
-		for a := f.RHS.Next(0); a >= 0; a = f.RHS.Next(a + 1) {
-			base := a * rows
-			for _, cluster := range p.Clusters {
-				for _, row := range cluster {
-					marked[base+int(row)] = true
+	cache := cfg.cache()
+	cache0 := cache.Stats()
+	groups := groupByLHS(fds)
+	pool := engine.NewPool(cfg.Workers)
+	ws := make([]scratch, pool.Workers())
+	marked := make([][]bitset.Bitmap, pool.Workers()) // [worker][col]
+	for w := range marked {
+		marked[w] = make([]bitset.Bitmap, cols)
+	}
+	err := pool.Run(ctx, len(groups), func(w, gi int) {
+		faults.Check(faults.RankingRun)
+		g := groups[gi]
+		sc := &ws[w]
+		p, reused := sc.partitionFor(cache, g.lhs, r)
+		if reused {
+			sc.reused++
+		} else {
+			sc.built++
+		}
+		sc.members = p.Members(sc.members)
+		sc.rows += int64(p.Size())
+		for _, i := range g.idxs {
+			f := fds[i]
+			for a := f.RHS.Next(0); a >= 0; a = f.RHS.Next(a + 1) {
+				if marked[w][a] == nil {
+					marked[w][a] = bitset.NewBitmap(rows)
 				}
+				marked[w][a].OrWith(sc.members)
 			}
 		}
-	}
+	})
+	// Merge the per-worker marks and popcount per column.
 	var t DatasetTotals
 	t.Values = rows * cols
 	for a := 0; a < cols; a++ {
-		mask := r.Nulls[a]
-		base := a * rows
-		for row := 0; row < rows; row++ {
-			if !marked[base+row] {
+		var m bitset.Bitmap
+		for w := range marked {
+			if marked[w][a] == nil {
 				continue
 			}
-			t.RedWithNulls++
-			if mask == nil || !mask[row] {
-				t.Red++
+			if m == nil {
+				m = marked[w][a]
+			} else {
+				m.OrWith(marked[w][a])
 			}
 		}
+		if m == nil {
+			continue
+		}
+		t.RedWithNulls += m.Count()
+		t.Red += m.AndNotCount(r.NullBitmap(a))
+	}
+	stats := mergeStats(ws, len(fds), len(groups), pool.Workers(), cache, cache0)
+	stats.Elapsed = time.Since(start)
+	return t, stats, err
+}
+
+// Totals is TotalsCtx serially with a private partition cache.
+func Totals(r *relation.Relation, fds []dep.FD) DatasetTotals {
+	t, _, err := TotalsCtx(context.Background(), r, fds, Config{})
+	if err != nil {
+		panic(err)
 	}
 	return t
 }
@@ -236,7 +577,12 @@ type Bucket struct {
 }
 
 // Histogram buckets per-FD redundancy counts at the paper's thresholds.
-// counts may be in any order.
+// counts may be in any order: each count is placed directly into the first
+// bucket whose limit covers it — a single pass with a binary search over
+// the ten limits, instead of rescanning every count per bucket. Because
+// the limits are non-decreasing, "first bucket with limit ≥ c" is exactly
+// the (prev, limit] assignment of the definitional sweep (a bucket whose
+// limit repeats an earlier one stays empty).
 func Histogram(counts []int) []Bucket {
 	maxCount := 0
 	for _, c := range counts {
@@ -245,20 +591,16 @@ func Histogram(counts []int) []Bucket {
 		}
 	}
 	buckets := make([]Bucket, len(HistogramThresholds))
-	prev := -1
+	limits := make([]int, len(HistogramThresholds))
 	for i, frac := range HistogramThresholds {
-		limit := int(frac * float64(maxCount))
+		limits[i] = int(frac * float64(maxCount))
 		if i == len(HistogramThresholds)-1 {
-			limit = maxCount
+			limits[i] = maxCount
 		}
-		n := 0
-		for _, c := range counts {
-			if c > prev && c <= limit {
-				n++
-			}
-		}
-		buckets[i] = Bucket{Max: limit, FDs: n, Frac: frac}
-		prev = limit
+		buckets[i] = Bucket{Max: limits[i], Frac: frac}
+	}
+	for _, c := range counts {
+		buckets[sort.SearchInts(limits, c)].FDs++
 	}
 	return buckets
 }
@@ -272,19 +614,22 @@ type ColumnView struct {
 	RedNoNN int // #red-0: null-free LHS and RHS
 }
 
-// ForColumn lists the minimal LHSs in the cover that determine column col,
-// with per-column redundancy counts, sorted by descending Red.
-func ForColumn(r *relation.Relation, fds []dep.FD, col int) []ColumnView {
-	rk := New(r)
-	var out []ColumnView
+// ForColumnCtx lists the minimal LHSs in the cover that determine column
+// col, with per-column redundancy counts, sorted by descending Red. The
+// scoring fans out like RankCtx.
+func ForColumnCtx(ctx context.Context, r *relation.Relation, fds []dep.FD, col int, cfg Config) ([]ColumnView, Stats, error) {
 	rhs := bitset.New(r.NumCols())
 	rhs.Add(col)
+	var sub []dep.FD
 	for _, f := range fds {
-		if !f.RHS.Contains(col) {
-			continue
+		if f.RHS.Contains(col) {
+			sub = append(sub, dep.FD{LHS: f.LHS, RHS: rhs})
 		}
-		c := rk.FD(dep.FD{LHS: f.LHS, RHS: rhs})
-		out = append(out, ColumnView{LHS: f.LHS, Red: c.NoNullRHS, RedNoNN: c.NoNulls})
+	}
+	counts, stats, err := scoreGroups(ctx, r, sub, cfg)
+	out := make([]ColumnView, len(sub))
+	for i, f := range sub {
+		out[i] = ColumnView{LHS: f.LHS, Red: counts[i].NoNullRHS, RedNoNN: counts[i].NoNulls}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Red != out[j].Red {
@@ -292,5 +637,14 @@ func ForColumn(r *relation.Relation, fds []dep.FD, col int) []ColumnView {
 		}
 		return bitset.CompareLex(out[i].LHS, out[j].LHS) < 0
 	})
+	return out, stats, err
+}
+
+// ForColumn is ForColumnCtx serially with a private partition cache.
+func ForColumn(r *relation.Relation, fds []dep.FD, col int) []ColumnView {
+	out, _, err := ForColumnCtx(context.Background(), r, fds, col, Config{})
+	if err != nil {
+		panic(err)
+	}
 	return out
 }

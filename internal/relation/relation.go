@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"repro/internal/bitset"
 )
 
 // NullSemantics selects how missing values compare.
@@ -53,6 +55,12 @@ type Relation struct {
 	// Nulls marks missing occurrences: Nulls[c] is nil when column c is
 	// complete, otherwise Nulls[c][r] reports whether row r is missing.
 	Nulls [][]bool
+	// NullBits carries the same masks word-packed: NullBits[c] is nil when
+	// column c is complete, otherwise a bitmap of the missing rows. Every
+	// constructor keeps it in sync with Nulls; the ranking kernels count
+	// null occurrences with word-And/popcount over it instead of per-row
+	// branches.
+	NullBits []bitset.Bitmap
 	// Semantics records the null interpretation used during encoding.
 	Semantics NullSemantics
 	// Dicts optionally retains the decoded values: Dicts[c][code] is the
@@ -74,6 +82,25 @@ func (r *Relation) NumCols() int { return len(r.Cols) }
 func (r *Relation) IsNull(col, row int) bool {
 	m := r.Nulls[col]
 	return m != nil && m[row]
+}
+
+// NullBitmap returns the packed null mask of column c, nil when the
+// column is complete. Relations built through the package constructors
+// carry the packed form in NullBits; a hand-assembled Relation without it
+// gets the mask packed on the fly.
+func (r *Relation) NullBitmap(c int) bitset.Bitmap {
+	if r.NullBits != nil {
+		return r.NullBits[c]
+	}
+	return bitset.BitmapFromBools(r.Nulls[c])
+}
+
+// packNulls derives NullBits from Nulls, one bitmap per incomplete column.
+func (r *Relation) packNulls() {
+	r.NullBits = make([]bitset.Bitmap, len(r.Nulls))
+	for c, mask := range r.Nulls {
+		r.NullBits[c] = bitset.BitmapFromBools(mask)
+	}
 }
 
 // HasNulls reports whether any column contains a missing value.
@@ -284,6 +311,7 @@ func (e *encoder) finish(names []string) *Relation {
 			rel.Dicts[c] = ce.values
 		}
 	}
+	rel.packNulls()
 	return rel
 }
 
@@ -325,6 +353,7 @@ func FromCodes(names []string, cols [][]int32, nulls [][]bool, sem NullSemantics
 		}
 		rel.Cards[c] = int(maxCode) + 1
 	}
+	rel.packNulls()
 	return rel
 }
 
@@ -397,11 +426,13 @@ func (r *Relation) Project(cols []int) *Relation {
 	if r.Dicts != nil {
 		p.Dicts = make([][]string, len(cols))
 	}
+	p.NullBits = make([]bitset.Bitmap, len(cols))
 	for i, c := range cols {
 		p.Names[i] = r.Names[c]
 		p.Cols[i] = r.Cols[c]
 		p.Cards[i] = r.Cards[c]
 		p.Nulls[i] = r.Nulls[c]
+		p.NullBits[i] = r.NullBitmap(c)
 		if r.Dicts != nil {
 			p.Dicts[i] = r.Dicts[c]
 		}
@@ -437,6 +468,9 @@ func (r *Relation) Head(n int) *Relation {
 		}
 		h.Cards[c] = int(maxCode) + 1
 	}
+	// Word-packed masks cannot share storage across a row cut (the tail of
+	// the last word would leak marks past row n), so repack.
+	h.packNulls()
 	return h
 }
 

@@ -209,3 +209,58 @@ func TestDuplicateRowsKeepCodes(t *testing.T) {
 		t.Error("duplicate rows should have equal codes")
 	}
 }
+
+func TestNullBitsMatchMasks(t *testing.T) {
+	// Every constructor must keep the packed null bitmaps consistent with
+	// the per-row masks, including through Project (shared storage) and
+	// Head (repacked: a row cut can't share word-packed masks).
+	csv := "a,b,c\n?,1,x\n2,?,x\n3,3,x\n?,4,x\n5,?,x\n"
+	r, err := ReadCSVString(csv, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkNullBits := func(t *testing.T, r *Relation) {
+		t.Helper()
+		for c := 0; c < r.NumCols(); c++ {
+			nb := r.NullBitmap(c)
+			mask := r.Nulls[c]
+			if mask == nil {
+				if nb != nil {
+					t.Errorf("col %d: complete column has non-nil bitmap", c)
+				}
+				continue
+			}
+			if nb == nil {
+				t.Fatalf("col %d: incomplete column has nil bitmap", c)
+			}
+			for row, isNull := range mask {
+				if nb.Get(row) != isNull {
+					t.Errorf("col %d row %d: bitmap %v, mask %v", c, row, nb.Get(row), isNull)
+				}
+			}
+			if got, want := nb.Count(), countTrue(mask); got != want {
+				t.Errorf("col %d: bitmap count %d, mask count %d", c, got, want)
+			}
+		}
+	}
+	checkNullBits(t, r)
+	checkNullBits(t, r.Project([]int{2, 0, 1}))
+	checkNullBits(t, r.Head(3))
+	checkNullBits(t, r.Head(100))
+
+	// FromCodes with explicit masks packs them too.
+	fc := FromCodes([]string{"x", "y"},
+		[][]int32{{0, 1, 0}, {2, 2, 2}},
+		[][]bool{{true, false, true}, nil}, NullEqNull)
+	checkNullBits(t, fc)
+}
+
+func countTrue(mask []bool) int {
+	n := 0
+	for _, b := range mask {
+		if b {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,64 @@
+package sampling
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/dataset"
+	"repro/internal/partition"
+)
+
+// BenchmarkSortedCluster sorts one large cluster by full code tuples — the
+// sorted-neighborhood kernel of the hybrid samplers.
+func BenchmarkSortedCluster(b *testing.B) {
+	rng := rand.New(rand.NewSource(71))
+	r := dataset.Random(rng, 5000, 20, 8)
+	cluster := make([]int32, r.NumRows())
+	for i := range cluster {
+		cluster[i] = int32(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sortedCluster(r, cluster)
+	}
+}
+
+// BenchmarkClusterNeighborSample runs the full sorted-neighborhood pass
+// over the clusters of a low-cardinality column.
+func BenchmarkClusterNeighborSample(b *testing.B) {
+	rng := rand.New(rand.NewSource(72))
+	r := dataset.Random(rng, 4000, 16, 6)
+	p := partition.Single(r.Cols[0], r.Cards[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst := NewNonFDSet(r.NumCols())
+		ClusterNeighborSample(r, p, 1, dst)
+	}
+}
+
+// BenchmarkNonRedundant reduces a large agree-set collection to its
+// non-redundant cover, the FDEP1 preprocessing step.
+func BenchmarkNonRedundant(b *testing.B) {
+	const n = 30
+	rng := rand.New(rand.NewSource(73))
+	base := make([]bitset.Set, 0, 1500)
+	seen := map[string]bool{}
+	for len(base) < cap(base) {
+		s := bitset.New(n)
+		for a := 0; a < n; a++ {
+			if rng.Intn(3) != 0 {
+				s.Add(a)
+			}
+		}
+		if k := s.Key(); !seen[k] && s.Count() < n {
+			seen[k] = true
+			base = append(base, s)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := &NonFDSet{n: n, sets: append([]bitset.Set(nil), base...)}
+		s.NonRedundant()
+	}
+}

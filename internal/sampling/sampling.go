@@ -11,6 +11,7 @@ package sampling
 
 import (
 	"context"
+	"math/bits"
 	"slices"
 	"sort"
 
@@ -98,14 +99,21 @@ func SortSetsDescending(sets []bitset.Set) {
 // attribute. The result is sorted descending.
 func (s *NonFDSet) NonRedundant() {
 	s.SortDescending()
+	sizes := make([]int, len(s.sets))
+	for i, x := range s.sets {
+		sizes[i] = x.Count()
+	}
 	kept := s.sets[:0:0]
 	for i, x := range s.sets {
-		// Union of R−X' over supersets X' ⊋ X. Descending size order means
-		// all strict supersets precede x, but scan everything for clarity
-		// about equal-size ties (strict superset cannot have equal size).
+		// Union of R−X' over supersets X' ⊋ X. A strict superset is
+		// strictly larger, and sizes are non-increasing, so only the
+		// prefix of strictly-larger earlier entries can qualify —
+		// equal-size entries are distinct sets, never strict supersets
+		// (TestNonRedundantEqualSizeTies pins that reasoning).
 		coveredOutside := bitset.New(s.n)
-		for j, sup := range s.sets {
-			if j == i || !x.IsSubsetOf(sup) {
+		for j := 0; j < i && sizes[j] > sizes[i]; j++ {
+			sup := s.sets[j]
+			if !x.IsSubsetOf(sup) {
 				continue
 			}
 			comp := bitset.Full(s.n)
@@ -176,18 +184,83 @@ func ClusterNeighborSample(r *relation.Relation, p *partition.Partition, distanc
 }
 
 // sortedCluster returns the cluster rows ordered by their code tuples so
-// that similar rows become neighbors.
+// that similar rows become neighbors. The rows' key tuples are gathered
+// once before sorting instead of striding across every column array per
+// comparison: when the per-column code widths sum to at most 64 bits the
+// whole tuple is bit-packed into one machine word per row — gathered
+// column by column, so each column array is read once, sequentially — and
+// the sort compares single integers. Wider schemas fall back to row-major
+// gathered key tuples (two contiguous reads per comparison).
 func sortedCluster(r *relation.Relation, cluster []int32) []int32 {
-	sorted := append([]int32(nil), cluster...)
 	ncols := r.NumCols()
-	slices.SortFunc(sorted, func(a, b int32) int {
+	totalBits := 0
+	for _, card := range r.Cards {
+		totalBits += bits.Len(uint(max(card, 1) - 1))
+	}
+	if totalBits <= 64 {
+		return sortedClusterPacked(r, cluster)
+	}
+	keys := make([]int32, len(cluster)*ncols)
+	for i, row := range cluster {
+		k := keys[i*ncols : (i+1)*ncols]
 		for c := 0; c < ncols; c++ {
-			if va, vb := r.Cols[c][a], r.Cols[c][b]; va != vb {
-				return int(va) - int(vb)
-			}
+			k[c] = r.Cols[c][row]
 		}
-		return int(a) - int(b)
+	}
+	idx := make([]int32, len(cluster))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	slices.SortFunc(idx, func(a, b int32) int {
+		ka := keys[int(a)*ncols : (int(a)+1)*ncols]
+		kb := keys[int(b)*ncols : (int(b)+1)*ncols]
+		if c := slices.Compare(ka, kb); c != 0 {
+			return c
+		}
+		return int(cluster[a]) - int(cluster[b])
 	})
+	sorted := make([]int32, len(cluster))
+	for i, j := range idx {
+		sorted[i] = cluster[j]
+	}
+	return sorted
+}
+
+// sortedClusterPacked is the narrow-schema fast path: codes concatenated
+// at fixed per-column widths compare exactly like the lexicographic code
+// tuple, so the sort key is one uint64 per row.
+func sortedClusterPacked(r *relation.Relation, cluster []int32) []int32 {
+	type keyed struct {
+		key uint64
+		row int32
+	}
+	ks := make([]keyed, len(cluster))
+	for i, row := range cluster {
+		ks[i].row = row
+	}
+	for c := 0; c < r.NumCols(); c++ {
+		w := bits.Len(uint(max(r.Cards[c], 1) - 1))
+		if w == 0 {
+			continue // constant column: contributes nothing to the order
+		}
+		col := r.Cols[c]
+		for i := range ks {
+			ks[i].key = ks[i].key<<w | uint64(col[ks[i].row])
+		}
+	}
+	slices.SortFunc(ks, func(a, b keyed) int {
+		if a.key != b.key {
+			if a.key < b.key {
+				return -1
+			}
+			return 1
+		}
+		return int(a.row) - int(b.row)
+	})
+	sorted := make([]int32, len(cluster))
+	for i, k := range ks {
+		sorted[i] = k.row
+	}
 	return sorted
 }
 

@@ -1,9 +1,13 @@
 package sampling
 
 import (
+	"math/rand"
+	"slices"
+	"sort"
 	"testing"
 
 	"repro/internal/bitset"
+	"repro/internal/dataset"
 	"repro/internal/partition"
 	"repro/internal/relation"
 )
@@ -129,6 +133,74 @@ func TestNonRedundantDropsCovered(t *testing.T) {
 	}
 }
 
+func TestNonRedundantEqualSizeTies(t *testing.T) {
+	// Equal-size sets can never be strict supersets of each other, so the
+	// bounded inner scan (earlier, strictly-larger entries only) must not
+	// let one equal-size set "cover" another. With only size-2 sets every
+	// entry is its own maximal witness and all must survive.
+	s := NewNonFDSet(4)
+	s.Add(bitset.FromAttrs(4, 0, 1))
+	s.Add(bitset.FromAttrs(4, 0, 2))
+	s.Add(bitset.FromAttrs(4, 1, 2))
+	s.Add(bitset.FromAttrs(4, 2, 3))
+	s.NonRedundant()
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want all 4 equal-size sets kept: %v", s.Len(), s.Sets())
+	}
+}
+
+func TestNonRedundantMatchesFullScan(t *testing.T) {
+	// Cross-check the bounded scan against the definitional full scan on a
+	// randomized collection.
+	rng := uint64(42)
+	next := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int((rng >> 33) % uint64(n))
+	}
+	const n = 12
+	s := NewNonFDSet(n)
+	for k := 0; k < 200; k++ {
+		x := bitset.New(n)
+		for b := 0; b < 1+next(n-1); b++ {
+			x.Add(next(n))
+		}
+		s.Add(x)
+	}
+	// Definitional full scan over all pairs.
+	ref := append([]bitset.Set(nil), s.Sets()...)
+	SortSetsDescending(ref)
+	var want []string
+	for i, x := range ref {
+		covered := bitset.New(n)
+		for j, sup := range ref {
+			if j == i || !x.IsSubsetOf(sup) || x.Count() == sup.Count() {
+				continue
+			}
+			comp := bitset.Full(n)
+			comp.DifferenceWith(sup)
+			covered.UnionWith(comp)
+		}
+		outside := bitset.Full(n)
+		outside.DifferenceWith(x)
+		if !outside.IsSubsetOf(covered) {
+			want = append(want, x.String())
+		}
+	}
+	s.NonRedundant()
+	var got []string
+	for _, x := range s.Sets() {
+		got = append(got, x.String())
+	}
+	if len(got) != len(want) {
+		t.Fatalf("kept %d sets, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("set %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
 func TestSortDescending(t *testing.T) {
 	s := NewNonFDSet(4)
 	s.Add(bitset.FromAttrs(4, 1))
@@ -203,5 +275,53 @@ func TestInitialSampleCoversAllColumns(t *testing.T) {
 	}
 	if !found0 || !found1 {
 		t.Errorf("expected both singleton agree sets, got %v", s.Sets())
+	}
+}
+
+// referenceSortedCluster is the specification sortedCluster must match: an
+// in-place comparator sort over the full code tuples, ties broken by row id.
+func referenceSortedCluster(r *relation.Relation, cluster []int32) []int32 {
+	sorted := append([]int32(nil), cluster...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		for c := 0; c < r.NumCols(); c++ {
+			if va, vb := r.Cols[c][a], r.Cols[c][b]; va != vb {
+				return va < vb
+			}
+		}
+		return a < b
+	})
+	return sorted
+}
+
+// TestSortedClusterMatchesReference exercises both sortedCluster paths —
+// the packed single-word fast path (narrow codes) and the gathered-tuple
+// fallback (wide codes) — against the reference comparator sort, including
+// duplicate rows (tie-break by row id) and unsorted cluster input.
+func TestSortedClusterMatchesReference(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		cols, card int
+	}{
+		{"packed", 20, 8},     // 20 × 3 bits = 60 ≤ 64
+		{"fallback", 12, 900}, // 12 × 10 bits = 120 > 64
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(91))
+			r := dataset.Random(rng, 400, tc.cols, tc.card)
+			// Duplicate some rows so tuple ties exist.
+			for c := range r.Cols {
+				copy(r.Cols[c][200:220], r.Cols[c][100:120])
+			}
+			cluster := make([]int32, 0, 300)
+			for i := 0; i < 300; i++ {
+				cluster = append(cluster, int32(rng.Intn(r.NumRows())))
+			}
+			got := sortedCluster(r, cluster)
+			want := referenceSortedCluster(r, cluster)
+			if !slices.Equal(got, want) {
+				t.Fatalf("sortedCluster diverges from reference\ngot:  %v\nwant: %v", got, want)
+			}
+		})
 	}
 }

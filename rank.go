@@ -1,6 +1,8 @@
 package dhyfd
 
 import (
+	"context"
+
 	"repro/internal/ranking"
 )
 
@@ -53,4 +55,49 @@ type ColumnLHSView = ranking.ColumnView
 // column, each with the redundancy it causes in that column alone.
 func RankForColumn(r *Relation, fds []FD, col int) []ColumnLHSView {
 	return ranking.ForColumn(r, fds, col)
+}
+
+// RankStats reports what one ranking run did: FDs and distinct LHS groups
+// scored, partitions built versus reused from the cache, rows scanned, the
+// PLI cache's counter movement and the wall time.
+type RankStats = ranking.Stats
+
+// RankConfig tunes the configurable ranking entry points. The zero value
+// ranks serially with a run-private partition cache.
+type RankConfig struct {
+	// Workers fans the cover's LHS groups out over a worker pool; values
+	// below 2 keep the serial path.
+	Workers int
+	// Cache is a shared PLI cache (NewPLICache), typically the one a
+	// WithCache discovery filled, so ranking reuses the partitions
+	// discovery already built. Nil gives the run a private cache.
+	Cache *PLICache
+}
+
+func (rc RankConfig) internal() ranking.Config {
+	cfg := ranking.Config{Workers: rc.Workers}
+	if rc.Cache != nil {
+		cfg.Cache = rc.Cache.c
+	}
+	return cfg
+}
+
+// RankWith is Rank with explicit tuning, cooperative cancellation and a
+// run report. On cancellation (or an internal panic, surfaced as a
+// *PanicError) the partial, still-sorted result is returned alongside the
+// error.
+func RankWith(ctx context.Context, r *Relation, fds []FD, cfg RankConfig) ([]RankedFD, RankStats, error) {
+	return ranking.RankCtx(ctx, r, fds, cfg.internal())
+}
+
+// TotalRedundancyWith is TotalRedundancy with explicit tuning,
+// cooperative cancellation and a run report.
+func TotalRedundancyWith(ctx context.Context, r *Relation, fds []FD, cfg RankConfig) (DatasetRedundancy, RankStats, error) {
+	return ranking.TotalsCtx(ctx, r, fds, cfg.internal())
+}
+
+// RankForColumnWith is RankForColumn with explicit tuning, cooperative
+// cancellation and a run report.
+func RankForColumnWith(ctx context.Context, r *Relation, fds []FD, col int, cfg RankConfig) ([]ColumnLHSView, RankStats, error) {
+	return ranking.ForColumnCtx(ctx, r, fds, col, cfg.internal())
 }
