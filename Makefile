@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt test race bench bench-pr3 bench-pr4 bench-smoke chaos fuzz-smoke check
+.PHONY: all build vet fmt lint test race bench bench-pr3 bench-pr4 bench-smoke chaos fuzz-smoke check
 
 all: check
 
@@ -16,6 +16,13 @@ fmt:
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# The repo's own invariant analyzers (internal/lint): context threading,
+# fault-site registration, hot-path allocation discipline, counter merge
+# paths, lock safety, exhaustive enum switches. JSON output lands on
+# stdout for CI consumption; exit 1 means findings.
+lint:
+	$(GO) run ./cmd/fdvet -json .
 
 test:
 	$(GO) test ./...
@@ -69,7 +76,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime 5s -run '^$$' ./internal/relation/
 	$(GO) test -fuzz=FuzzDiscoverSmall -fuzztime 5s -run '^$$' ./internal/integration/
 
-# The default verify path: build, vet, formatting, then the full suite
-# under the race detector (which includes the chaos matrix), then the
-# fuzz and benchmark smoke passes.
-check: build vet fmt race fuzz-smoke bench-smoke
+# The default verify path: build, vet, formatting and the invariant
+# analyzers, then the full suite under the race detector (which includes
+# the chaos matrix), then the fuzz and benchmark smoke passes.
+check: build vet fmt lint race fuzz-smoke bench-smoke

@@ -38,67 +38,67 @@ func benchParams() bench.Params {
 
 func BenchmarkTable2Runtimes(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		bench.Table2(io.Discard, benchParams(), relation.NullEqNull)
+		bench.Table2(context.Background(), io.Discard, benchParams(), relation.NullEqNull)
 	}
 }
 
 func BenchmarkTable2NullSemantics(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		bench.Table2Null(io.Discard, benchParams())
+		bench.Table2Null(context.Background(), io.Discard, benchParams())
 	}
 }
 
 func BenchmarkTable3Canonical(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		bench.Table3(io.Discard, benchParams())
+		bench.Table3(context.Background(), io.Discard, benchParams())
 	}
 }
 
 func BenchmarkTable4Redundancy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		bench.Table4(io.Discard, benchParams())
+		bench.Table4(context.Background(), io.Discard, benchParams())
 	}
 }
 
 func BenchmarkFig6RatioSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		bench.Fig6(io.Discard, benchParams())
+		bench.Fig6(context.Background(), io.Discard, benchParams())
 	}
 }
 
 func BenchmarkFig7Memory(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		bench.Fig7(io.Discard, benchParams())
+		bench.Fig7(context.Background(), io.Discard, benchParams())
 	}
 }
 
 func BenchmarkFig8BestPerformer(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		bench.Fig8(io.Discard, benchParams())
+		bench.Fig8(context.Background(), io.Discard, benchParams())
 	}
 }
 
 func BenchmarkFig9Scalability(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		bench.Fig9(io.Discard, benchParams())
+		bench.Fig9(context.Background(), io.Discard, benchParams())
 	}
 }
 
 func BenchmarkFig10Histogram(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		bench.Fig10(io.Discard, benchParams())
+		bench.Fig10(context.Background(), io.Discard, benchParams())
 	}
 }
 
 func BenchmarkFig11NCVoterFragments(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		bench.Fig11(io.Discard, benchParams())
+		bench.Fig11(context.Background(), io.Discard, benchParams())
 	}
 }
 
 func BenchmarkCityColumnView(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		bench.CityView(io.Discard, benchParams())
+		bench.CityView(context.Background(), io.Discard, benchParams())
 	}
 }
 
@@ -113,7 +113,7 @@ func discoveryBench(b *testing.B, name string, rows, cols int) {
 	for _, algo := range []string{"TANE", "FDEP2", "HyFD", "DHyFD"} {
 		b.Run(algo, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res := bench.Run(algo, r, time.Minute)
+				res := bench.Run(context.Background(), algo, r, time.Minute)
 				if res.TimedOut {
 					b.Fatalf("%s timed out", algo)
 				}
@@ -360,7 +360,7 @@ func BenchmarkExtensionBaselines(b *testing.B) {
 	for _, algo := range []string{"FastFDs", "DFD"} {
 		b.Run(algo, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res := bench.Run(algo, r, time.Minute)
+				res := bench.Run(context.Background(), algo, r, time.Minute)
 				if res.TimedOut {
 					b.Fatal("timed out")
 				}

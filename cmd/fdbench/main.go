@@ -23,11 +23,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/bench"
@@ -43,6 +45,9 @@ func main() {
 	pliCache := flag.Int64("pli-cache", 0, "route each run's partition lookups through an LRU cache of this many bytes; hit/miss counters land in the run reports (0 = disabled)")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	p := bench.Params{Scale: *scale, TimeLimit: *limit, Quick: *quick, CacheBytes: *pliCache}
 	w := io.Writer(os.Stdout)
 	if *asJSON {
@@ -50,17 +55,17 @@ func main() {
 	}
 
 	runs := map[string]func() any{
-		"table2":     func() any { return bench.Table2(w, p, relation.NullEqNull) },
-		"table2null": func() any { return bench.Table2Null(w, p) },
-		"table3":     func() any { return bench.Table3(w, p) },
-		"table4":     func() any { return bench.Table4(w, p) },
-		"fig6":       func() any { return bench.Fig6(w, p) },
-		"fig7":       func() any { return bench.Fig7(w, p) },
-		"fig8":       func() any { return bench.Fig8(w, p) },
-		"fig9":       func() any { return bench.Fig9(w, p) },
-		"fig10":      func() any { return bench.Fig10(w, p) },
-		"fig11":      func() any { return bench.Fig11(w, p) },
-		"city":       func() any { return bench.CityView(w, p) },
+		"table2":     func() any { return bench.Table2(ctx, w, p, relation.NullEqNull) },
+		"table2null": func() any { return bench.Table2Null(ctx, w, p) },
+		"table3":     func() any { return bench.Table3(ctx, w, p) },
+		"table4":     func() any { return bench.Table4(ctx, w, p) },
+		"fig6":       func() any { return bench.Fig6(ctx, w, p) },
+		"fig7":       func() any { return bench.Fig7(ctx, w, p) },
+		"fig8":       func() any { return bench.Fig8(ctx, w, p) },
+		"fig9":       func() any { return bench.Fig9(ctx, w, p) },
+		"fig10":      func() any { return bench.Fig10(ctx, w, p) },
+		"fig11":      func() any { return bench.Fig11(ctx, w, p) },
+		"city":       func() any { return bench.CityView(ctx, w, p) },
 	}
 	order := []string{"table2", "table2null", "table3", "table4",
 		"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "city"}

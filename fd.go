@@ -457,6 +457,7 @@ type DiscoverOptions struct {
 // Deprecated: use Discover with WithAlgorithm / WithWorkers / WithRatio;
 // it also reports run statistics and honours a context.
 func DiscoverWith(r *Relation, opts DiscoverOptions) []FD {
+	//fdvet:ignore ctxflow compat shim for the pre-context API
 	res, err := Discover(context.Background(), r,
 		WithAlgorithm(opts.Algorithm),
 		WithWorkers(opts.Workers),

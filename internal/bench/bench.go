@@ -148,16 +148,16 @@ func fdepFunc(v fdep.Variant) runFunc {
 // Run executes one named algorithm on r under the time limit, measuring
 // elapsed time and bytes allocated. Runs that exceed the limit are
 // cancelled cooperatively — the paper's TL entries — and their work is
-// reclaimed before Run returns.
-func Run(name string, r *relation.Relation, limit time.Duration) RunResult {
-	return RunCached(name, r, limit, 0)
+// reclaimed before Run returns. Cancelling ctx aborts the run early.
+func Run(ctx context.Context, name string, r *relation.Relation, limit time.Duration) RunResult {
+	return RunCached(ctx, name, r, limit, 0)
 }
 
 // RunCached is Run with a PLI cache of the given byte capacity routed
 // through the algorithms that hold partitions (TANE, HyFD, DHyFD, DFD).
 // The cache is fresh per call so algorithms stay comparable; its traffic
 // is reported in the result's Stats. 0 bytes disables caching.
-func RunCached(name string, r *relation.Relation, limit time.Duration, cacheBytes int64) RunResult {
+func RunCached(ctx context.Context, name string, r *relation.Relation, limit time.Duration, cacheBytes int64) RunResult {
 	res := RunResult{
 		Algorithm: name,
 		Rows:      r.NumRows(),
@@ -169,7 +169,7 @@ func RunCached(name string, r *relation.Relation, limit time.Duration, cacheByte
 	var before runtime.MemStats
 	runtime.ReadMemStats(&before)
 
-	ctx, cancel := context.WithTimeout(context.Background(), limit)
+	ctx, cancel := context.WithTimeout(ctx, limit)
 	defer cancel()
 
 	start := time.Now()
@@ -192,9 +192,10 @@ func RunCached(name string, r *relation.Relation, limit time.Duration, cacheByte
 }
 
 // CoverOf runs DHyFD and returns the left-reduced cover — the input of the
-// cover and ranking experiments.
-func CoverOf(r *relation.Relation) []dep.FD {
-	return core.Discover(r)
+// cover and ranking experiments. Cancellation yields the partial cover.
+func CoverOf(ctx context.Context, r *relation.Relation) []dep.FD {
+	fds, _, _ := core.DiscoverRun(ctx, r, core.DefaultConfig())
+	return fds
 }
 
 // newTable returns a tabwriter for aligned console tables.

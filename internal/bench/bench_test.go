@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -19,7 +20,7 @@ func TestRunSingle(t *testing.T) {
 	b, _ := dataset.ByName("iris")
 	r := b.Generate(100, 5)
 	for _, a := range AlgorithmNames {
-		res := Run(a, r, 20*time.Second)
+		res := Run(context.Background(), a, r, 20*time.Second)
 		if res.TimedOut {
 			t.Errorf("%s timed out on iris", a)
 		}
@@ -35,7 +36,7 @@ func TestRunSingle(t *testing.T) {
 func TestRunTimeout(t *testing.T) {
 	b, _ := dataset.ByName("flight")
 	r := b.Generate(400, 30)
-	res := Run("TANE", r, time.Millisecond)
+	res := Run(context.Background(), "TANE", r, time.Millisecond)
 	if !res.TimedOut {
 		t.Skip("TANE finished within 1ms; environment too fast to test timeouts")
 	}
@@ -46,7 +47,7 @@ func TestRunTimeout(t *testing.T) {
 
 func TestTable2AllAgree(t *testing.T) {
 	var buf bytes.Buffer
-	rows := Table2(&buf, tiny(), relation.NullEqNull)
+	rows := Table2(context.Background(), &buf, tiny(), relation.NullEqNull)
 	if len(rows) == 0 {
 		t.Fatal("no rows")
 	}
@@ -66,7 +67,7 @@ func TestTable2AllAgree(t *testing.T) {
 
 func TestTable2Null(t *testing.T) {
 	var buf bytes.Buffer
-	rows := Table2Null(&buf, tiny())
+	rows := Table2Null(context.Background(), &buf, tiny())
 	if len(rows) == 0 {
 		t.Fatal("no incomplete data sets ran")
 	}
@@ -82,7 +83,7 @@ func TestTable2Null(t *testing.T) {
 
 func TestTable3CanonicalNeverLarger(t *testing.T) {
 	var buf bytes.Buffer
-	rows := Table3(&buf, tiny())
+	rows := Table3(context.Background(), &buf, tiny())
 	for _, row := range rows {
 		if row.CanCount > row.LrCount {
 			t.Errorf("%s: |Can| %d > |L-r| %d", row.Dataset, row.CanCount, row.LrCount)
@@ -98,7 +99,7 @@ func TestTable3CanonicalNeverLarger(t *testing.T) {
 
 func TestTable4Bounds(t *testing.T) {
 	var buf bytes.Buffer
-	rows := Table4(&buf, tiny())
+	rows := Table4(context.Background(), &buf, tiny())
 	for _, row := range rows {
 		tot := row.Totals
 		if tot.Red > tot.RedWithNulls || tot.RedWithNulls > tot.Values {
@@ -109,7 +110,7 @@ func TestTable4Bounds(t *testing.T) {
 
 func TestFig6SameFDsAllRatios(t *testing.T) {
 	var buf bytes.Buffer
-	pts := Fig6(&buf, tiny())
+	pts := Fig6(context.Background(), &buf, tiny())
 	if len(pts) != 2*len(Fig6Ratios) {
 		t.Fatalf("points = %d", len(pts))
 	}
@@ -124,7 +125,7 @@ func TestFig6SameFDsAllRatios(t *testing.T) {
 
 func TestFig7Monotonicity(t *testing.T) {
 	var buf bytes.Buffer
-	pts := Fig7(&buf, tiny())
+	pts := Fig7(context.Background(), &buf, tiny())
 	if len(pts) == 0 {
 		t.Fatal("no points")
 	}
@@ -137,7 +138,7 @@ func TestFig7Monotonicity(t *testing.T) {
 
 func TestFig8WinnersExist(t *testing.T) {
 	var buf bytes.Buffer
-	cells := Fig8(&buf, tiny())
+	cells := Fig8(context.Background(), &buf, tiny())
 	for _, c := range cells {
 		if c.Winner == "" {
 			t.Errorf("fragment %s %dx%d: no algorithm finished", c.Dataset, c.Rows, c.Cols)
@@ -147,7 +148,7 @@ func TestFig8WinnersExist(t *testing.T) {
 
 func TestFig9SeriesComplete(t *testing.T) {
 	var buf bytes.Buffer
-	pts := Fig9(&buf, tiny())
+	pts := Fig9(context.Background(), &buf, tiny())
 	if len(pts) < 5 {
 		t.Fatalf("points = %d", len(pts))
 	}
@@ -160,7 +161,7 @@ func TestFig9SeriesComplete(t *testing.T) {
 
 func TestFig10BucketsCoverAllFDs(t *testing.T) {
 	var buf bytes.Buffer
-	results := Fig10(&buf, tiny())
+	results := Fig10(context.Background(), &buf, tiny())
 	for _, res := range results {
 		total := 0
 		for _, b := range res.Buckets {
@@ -174,7 +175,7 @@ func TestFig10BucketsCoverAllFDs(t *testing.T) {
 
 func TestFig11NullShift(t *testing.T) {
 	var buf bytes.Buffer
-	results := Fig11(&buf, tiny())
+	results := Fig11(context.Background(), &buf, tiny())
 	for _, res := range results {
 		withTotal, withoutTotal := 0, 0
 		for i := range res.WithNulls {
@@ -195,7 +196,7 @@ func TestFig11NullShift(t *testing.T) {
 
 func TestCityView(t *testing.T) {
 	var buf bytes.Buffer
-	views := CityView(&buf, tiny())
+	views := CityView(context.Background(), &buf, tiny())
 	if len(views) == 0 {
 		t.Fatal("no minimal LHSs for city")
 	}

@@ -31,7 +31,7 @@ var Fig6Ratios = []float64{0.5, 1, 1.5, 2, 2.5, 3, 4, 5, 8}
 // Fig6 reproduces Figure 6: DHyFD discovery time on the weather-like and
 // uniprot-like shapes across efficiency–inefficiency ratios. The paper's
 // finding: ~3 is a robust choice.
-func Fig6(w io.Writer, p Params) []Fig6Point {
+func Fig6(ctx context.Context, w io.Writer, p Params) []Fig6Point {
 	p.fillDefaults()
 	fmt.Fprintln(w, "Figure 6 — DHyFD time vs efficiency–inefficiency ratio")
 	var out []Fig6Point
@@ -71,7 +71,7 @@ type Fig7Point struct {
 // Fig7 reproduces Figure 7: memory used by HyFD and DHyFD on weather
 // fragments with growing rows (left) and diabetic fragments with growing
 // columns (right). DHyFD trades memory for time where the ratio fires.
-func Fig7(w io.Writer, p Params) []Fig7Point {
+func Fig7(ctx context.Context, w io.Writer, p Params) []Fig7Point {
 	p.fillDefaults()
 	fmt.Fprintln(w, "Figure 7 — memory vs rows (weather) and vs columns (diabetic)")
 	var out []Fig7Point
@@ -83,7 +83,7 @@ func Fig7(w io.Writer, p Params) []Fig7Point {
 	for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
 		rows := int(float64(baseRows) * frac)
 		r := weather.Generate(rows, weather.DefaultCols)
-		out = append(out, fig7Point(tw, "weather", r))
+		out = append(out, fig7Point(ctx, tw, "weather", r))
 	}
 	tw.Flush()
 
@@ -93,13 +93,13 @@ func Fig7(w io.Writer, p Params) []Fig7Point {
 	fmt.Fprintf(tw, "diabetic\tcols\tHyFD MB\tDHyFD MB\tHyFD s\tDHyFD s\tdyn part rows\n")
 	for cols := 10; cols <= diabetic.DefaultCols; cols += 5 {
 		r := diabetic.Generate(rows, cols)
-		out = append(out, fig7Point(tw, "diabetic", r))
+		out = append(out, fig7Point(ctx, tw, "diabetic", r))
 	}
 	tw.Flush()
 	return out
 }
 
-func fig7Point(tw io.Writer, name string, r *relation.Relation) Fig7Point {
+func fig7Point(ctx context.Context, tw io.Writer, name string, r *relation.Relation) Fig7Point {
 	pt := Fig7Point{Dataset: name, Rows: r.NumRows(), Cols: r.NumCols()}
 
 	alloc := func(f func()) float64 {
@@ -147,7 +147,7 @@ var Fig8Algorithms = []string{"TANE", "FDEP2", "HyFD", "DHyFD"}
 // Fig8 reproduces Figure 8: the best performer per (rows × columns)
 // fragment of weather and diabetic. Expected shape: FDEP wins at few rows
 // and many columns, TANE only at few columns, DHyFD as both grow.
-func Fig8(w io.Writer, p Params) []Fig8Cell {
+func Fig8(ctx context.Context, w io.Writer, p Params) []Fig8Cell {
 	p.fillDefaults()
 	fmt.Fprintln(w, "Figure 8 — best performer per fragment (rows x cols)")
 	var out []Fig8Cell
@@ -167,7 +167,7 @@ func Fig8(w io.Writer, p Params) []Fig8Cell {
 				cell := Fig8Cell{Dataset: name, Rows: rows, Cols: cols, Times: map[string]RunResult{}}
 				bestTime := time.Duration(1<<62 - 1)
 				for _, a := range Fig8Algorithms {
-					res := RunCached(a, r, p.TimeLimit, p.CacheBytes)
+					res := RunCached(ctx, a, r, p.TimeLimit, p.CacheBytes)
 					cell.Times[a] = res
 					if !res.TimedOut && res.Elapsed < bestTime {
 						bestTime = res.Elapsed
@@ -194,7 +194,7 @@ type Fig9Point struct {
 // Fig9 reproduces Figure 9: row scalability on weather (left) and column
 // scalability on diabetic fragments (right), with the number of valid FDs
 // as the second axis of the column chart.
-func Fig9(w io.Writer, p Params) []Fig9Point {
+func Fig9(ctx context.Context, w io.Writer, p Params) []Fig9Point {
 	p.fillDefaults()
 	var out []Fig9Point
 
@@ -208,7 +208,7 @@ func Fig9(w io.Writer, p Params) []Fig9Point {
 		r := weather.Generate(rows, weather.DefaultCols)
 		pt := Fig9Point{Dataset: "weather", Rows: rows, Cols: r.NumCols(), Times: map[string]RunResult{}}
 		for _, a := range Fig8Algorithms {
-			res := RunCached(a, r, p.TimeLimit, p.CacheBytes)
+			res := RunCached(ctx, a, r, p.TimeLimit, p.CacheBytes)
 			pt.Times[a] = res
 			if !res.TimedOut && res.FDs > pt.FDs {
 				pt.FDs = res.FDs
@@ -230,7 +230,7 @@ func Fig9(w io.Writer, p Params) []Fig9Point {
 		r := diabetic.Generate(rows, cols)
 		pt := Fig9Point{Dataset: "diabetic", Rows: rows, Cols: cols, Times: map[string]RunResult{}}
 		for _, a := range Fig8Algorithms {
-			res := RunCached(a, r, p.TimeLimit, p.CacheBytes)
+			res := RunCached(ctx, a, r, p.TimeLimit, p.CacheBytes)
 			pt.Times[a] = res
 			if !res.TimedOut && res.FDs > pt.FDs {
 				pt.FDs = res.FDs
@@ -260,7 +260,7 @@ var Fig10Datasets = []string{"ncvoter", "hepatitis", "horse", "plista", "flight"
 
 // Fig10 reproduces Figure 10: how many FDs cause how much redundancy, and
 // the time to compute all redundant occurrences from the canonical cover.
-func Fig10(w io.Writer, p Params) []Fig10Result {
+func Fig10(ctx context.Context, w io.Writer, p Params) []Fig10Result {
 	p.fillDefaults()
 	fmt.Fprintln(w, "Figure 10 — FDs per redundancy bucket (canonical covers)")
 	names := Fig10Datasets
@@ -271,10 +271,10 @@ func Fig10(w io.Writer, p Params) []Fig10Result {
 	for _, name := range names {
 		b, _ := dataset.ByName(name)
 		r := b.Generate(p.rows(b.DefaultRows), b.DefaultCols)
-		can := cover.Canonical(r.NumCols(), CoverOf(r))
+		can := cover.Canonical(r.NumCols(), CoverOf(ctx, r))
 
 		start := time.Now()
-		ranked, rstats, err := ranking.RankCtx(context.Background(), r, can, ranking.Config{})
+		ranked, rstats, err := ranking.RankCtx(ctx, r, can, ranking.Config{})
 		if err != nil {
 			panic(err)
 		}
@@ -313,7 +313,7 @@ type Fig11Result struct {
 // (orange) nulls across growing ncvoter fragments. The paper's observation:
 // the distributions stay stable, and many low-redundancy FDs shift to zero
 // once nulls are excluded.
-func Fig11(w io.Writer, p Params) []Fig11Result {
+func Fig11(ctx context.Context, w io.Writer, p Params) []Fig11Result {
 	p.fillDefaults()
 	fmt.Fprintln(w, "Figure 11 — ncvoter fragments: redundancy with vs without nulls")
 	b, _ := dataset.ByName("ncvoter")
@@ -325,7 +325,7 @@ func Fig11(w io.Writer, p Params) []Fig11Result {
 	for _, frac := range fracs {
 		rows := int(float64(p.rows(b.DefaultRows)) * frac)
 		r := b.Generate(rows, b.DefaultCols)
-		can := cover.Canonical(r.NumCols(), CoverOf(r))
+		can := cover.Canonical(r.NumCols(), CoverOf(ctx, r))
 		rk := ranking.New(r)
 
 		var withN, withoutN []int
@@ -366,13 +366,16 @@ func Fig11(w io.Writer, p Params) []Fig11Result {
 
 // CityView reproduces the Section VI-B qualitative table: minimal LHSs
 // determining the city column of ncvoter, with #red and #red-0.
-func CityView(w io.Writer, p Params) []ranking.ColumnView {
+func CityView(ctx context.Context, w io.Writer, p Params) []ranking.ColumnView {
 	p.fillDefaults()
 	b, _ := dataset.ByName("ncvoter")
 	r := b.Generate(p.rows(b.DefaultRows), b.DefaultCols)
-	can := cover.Canonical(r.NumCols(), CoverOf(r))
+	can := cover.Canonical(r.NumCols(), CoverOf(ctx, r))
 	const cityCol = 6
-	views := ranking.ForColumn(r, can, cityCol)
+	views, _, err := ranking.ForColumnCtx(ctx, r, can, cityCol, ranking.Config{})
+	if err != nil {
+		panic(err)
+	}
 	fmt.Fprintln(w, "Section VI-B — minimal LHSs for city (ncvoter)")
 	tw := newTable(w)
 	fmt.Fprintf(tw, "minimal LHS for city\t#red\t#red-0\n")

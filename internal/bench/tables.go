@@ -44,7 +44,7 @@ type Table2Row struct {
 
 // Table2 reproduces Table II: running time per algorithm under the given
 // null semantics, and memory use of HyFD and DHyFD.
-func Table2(w io.Writer, p Params, sem relation.NullSemantics) []Table2Row {
+func Table2(ctx context.Context, w io.Writer, p Params, sem relation.NullSemantics) []Table2Row {
 	p.fillDefaults()
 	fmt.Fprintf(w, "Table II — running time (s) under %v semantics, memory (MB allocated)\n", sem)
 	fmt.Fprintf(w, "%-12s %8s %4s %8s | %9s %9s %9s %9s %9s %9s | %8s %9s\n",
@@ -56,7 +56,7 @@ func Table2(w io.Writer, p Params, sem relation.NullSemantics) []Table2Row {
 		r := b.GenerateSemantics(rows, b.DefaultCols, sem)
 		row := Table2Row{Dataset: b.Name, Rows: r.NumRows(), Cols: r.NumCols(), Times: map[string]RunResult{}}
 		for _, a := range AlgorithmNames {
-			res := RunCached(a, r, p.TimeLimit, p.CacheBytes)
+			res := RunCached(ctx, a, r, p.TimeLimit, p.CacheBytes)
 			res.Dataset = b.Name
 			row.Times[a] = res
 			if !res.TimedOut && res.FDs > row.FDs {
@@ -76,7 +76,7 @@ func Table2(w io.Writer, p Params, sem relation.NullSemantics) []Table2Row {
 
 // Table2Null reproduces the null ≠ null experiment of Section V-B on the
 // incomplete data sets.
-func Table2Null(w io.Writer, p Params) []Table2Row {
+func Table2Null(ctx context.Context, w io.Writer, p Params) []Table2Row {
 	p.fillDefaults()
 	fmt.Fprintln(w, "Section V-B — incomplete data sets under null ≠ null:")
 	var rows []Table2Row
@@ -95,7 +95,7 @@ func Table2Null(w io.Writer, p Params) []Table2Row {
 		r := b.GenerateSemantics(p.rows(b.DefaultRows), b.DefaultCols, relation.NullNeqNull)
 		row := Table2Row{Dataset: b.Name, Rows: r.NumRows(), Cols: r.NumCols(), Times: map[string]RunResult{}}
 		for _, a := range AlgorithmNames {
-			res := RunCached(a, r, p.TimeLimit, p.CacheBytes)
+			res := RunCached(ctx, a, r, p.TimeLimit, p.CacheBytes)
 			row.Times[a] = res
 			if !res.TimedOut && res.FDs > row.FDs {
 				row.FDs = res.FDs
@@ -122,7 +122,7 @@ type Table3Row struct {
 
 // Table3 reproduces Table III: the size of canonical covers relative to
 // left-reduced covers, and the conversion time.
-func Table3(w io.Writer, p Params) []Table3Row {
+func Table3(ctx context.Context, w io.Writer, p Params) []Table3Row {
 	p.fillDefaults()
 	fmt.Fprintln(w, "Table III — left-reduced vs canonical covers")
 	fmt.Fprintf(w, "%-12s %9s %10s %9s %10s %5s %5s %9s\n",
@@ -131,7 +131,7 @@ func Table3(w io.Writer, p Params) []Table3Row {
 	var out []Table3Row
 	for _, b := range p.benchmarks() {
 		r := b.Generate(p.rows(b.DefaultRows), b.DefaultCols)
-		lr := CoverOf(r)
+		lr := CoverOf(ctx, r)
 		start := time.Now()
 		can := cover.Canonical(r.NumCols(), lr)
 		elapsed := time.Since(start)
@@ -170,7 +170,7 @@ type Table4Row struct {
 
 // Table4 reproduces Table IV: the number and percentage of redundant data
 // value occurrences per data set, with and without nulls.
-func Table4(w io.Writer, p Params) []Table4Row {
+func Table4(ctx context.Context, w io.Writer, p Params) []Table4Row {
 	p.fillDefaults()
 	fmt.Fprintln(w, "Table IV — data redundancy in numbers and percentages")
 	fmt.Fprintf(w, "%-12s %10s %10s %7s %10s %7s\n",
@@ -179,8 +179,8 @@ func Table4(w io.Writer, p Params) []Table4Row {
 	var out []Table4Row
 	for _, b := range p.benchmarks() {
 		r := b.Generate(p.rows(b.DefaultRows), b.DefaultCols)
-		can := cover.Canonical(r.NumCols(), CoverOf(r))
-		tot, rstats, err := ranking.TotalsCtx(context.Background(), r, can, ranking.Config{})
+		can := cover.Canonical(r.NumCols(), CoverOf(ctx, r))
+		tot, rstats, err := ranking.TotalsCtx(ctx, r, can, ranking.Config{})
 		if err != nil {
 			panic(err)
 		}

@@ -159,7 +159,7 @@ func Generate(spec Spec) *relation.Relation {
 				data[i] = int32((perm / int64(radixStride)) % int64(card))
 			}
 			radixStride *= card
-		default: // Categorical
+		case Categorical:
 			card := col.Card
 			if card < 1 {
 				card = 2
@@ -167,6 +167,8 @@ func Generate(spec Spec) *relation.Relation {
 			for i := range data {
 				data[i] = int32(rng.Intn(card))
 			}
+		default:
+			panic(fmt.Sprintf("dataset: unknown column kind %d in %s", col.Kind, spec.Name))
 		}
 		cols[c] = data
 

@@ -29,6 +29,7 @@ import (
 // Discover returns the left-reduced cover (singleton RHSs) of the FDs
 // holding on r.
 func Discover(r *relation.Relation) []dep.FD {
+	//fdvet:ignore ctxflow ctx-less convenience wrapper; DiscoverCtx is the primary API
 	fds, _ := DiscoverCtx(context.Background(), r)
 	return fds
 }

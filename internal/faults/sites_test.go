@@ -1,0 +1,76 @@
+package faults
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// TestSitesListsEveryDeclaredSite cross-checks the Sites() registry
+// against the Site constants this file's source actually declares — the
+// same invariant fdvet's faultsite analyzer enforces module-wide, pinned
+// here as a unit test so it fails even when only `go test ./...` runs.
+func TestSitesListsEveryDeclaredSite(t *testing.T) {
+	declared := declaredSiteConstNames(t)
+	if len(declared) == 0 {
+		t.Fatal("parsed no Site constants from faults.go")
+	}
+	listed := make(map[Site]bool)
+	for _, s := range Sites() {
+		listed[s] = true
+	}
+	if len(listed) != len(Sites()) {
+		t.Errorf("Sites() repeats an entry: %v", Sites())
+	}
+	if len(declared) != len(listed) {
+		t.Errorf("declared %d Site constants, Sites() lists %d", len(declared), len(listed))
+	}
+	// Every declared constant's value must appear in the list. The
+	// constants are strings, so compare by value through a fresh eval of
+	// the declaration order.
+	for name, value := range declared {
+		if !listed[Site(value)] {
+			t.Errorf("Site constant %s (%q) is declared but missing from Sites()", name, value)
+		}
+	}
+}
+
+// declaredSiteConstNames parses faults.go and returns name → string
+// value for every constant declared with type Site.
+func declaredSiteConstNames(t *testing.T) map[string]string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "faults.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]string)
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			id, ok := vs.Type.(*ast.Ident)
+			if !ok || id.Name != "Site" {
+				continue
+			}
+			for i, name := range vs.Names {
+				if i >= len(vs.Values) {
+					continue
+				}
+				lit, ok := vs.Values[i].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				out[name.Name] = lit.Value[1 : len(lit.Value)-1]
+			}
+		}
+	}
+	return out
+}

@@ -18,6 +18,7 @@ package fdep
 
 import (
 	"context"
+	"fmt"
 	"strings"
 
 	"repro/internal/bitset"
@@ -47,14 +48,17 @@ func (v Variant) String() string {
 		return "FDEP"
 	case NonRedundant:
 		return "FDEP1"
-	default:
+	case Sorted:
 		return "FDEP2"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
 	}
 }
 
 // Discover returns the left-reduced cover (singleton RHSs) of the FDs that
 // hold on r, using the given variant.
 func Discover(r *relation.Relation, variant Variant) []dep.FD {
+	//fdvet:ignore ctxflow ctx-less convenience wrapper; DiscoverCtx is the primary API
 	fds, _ := DiscoverCtx(context.Background(), r, variant)
 	return fds
 }
@@ -122,8 +126,10 @@ func DiscoverRun(ctx context.Context, r *relation.Relation, variant Variant) (re
 		return done(dep.SplitRHS(tree.FDs()))
 	case NonRedundant:
 		neg.NonRedundant()
-	default:
+	case Sorted:
 		neg.SortDescending()
+	default:
+		return fail(fmt.Errorf("fdep: unknown variant %v", variant))
 	}
 
 	tree := fdtree.NewWithFullRHS(n)

@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces the runtime's cancellation contract: library code never
+// conjures its own context, and a function handed a ctx forwards it to
+// every callee that accepts one. Both rules keep Discover's promise —
+// cancel the ctx and every fan-out (engine pool, batch kernels, ranking
+// groups) stops within one batch — from being silently broken by a new
+// call path that pins context.Background underneath the caller's ctx.
+//
+// Rule 1: no context.Background()/context.TODO() outside package main
+// (commands and examples own their root context; the library does not).
+//
+// Rule 2: a function with a context.Context parameter that calls a callee
+// accepting a context must pass its own ctx (or a context derived from
+// it) to at least one such callee — a ctx parameter that never reaches
+// the ctx-accepting callees is an unforwarded context.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "library code must thread the caller's ctx, never context.Background/TODO",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	for _, pkg := range pass.Module.Pkgs {
+		if pkg.IsMain() {
+			continue
+		}
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name := backgroundOrTODO(info, call); name != "" {
+					pass.Reportf(call.Pos(), "context.%s() in library code: accept and forward the caller's ctx", name)
+				}
+				return true
+			})
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if ok && fd.Body != nil {
+					checkCtxForwarding(pass, pkg, fd)
+				}
+			}
+		}
+	}
+}
+
+// backgroundOrTODO returns "Background" or "TODO" when the call is
+// context.Background() / context.TODO(), else "".
+func backgroundOrTODO(info *types.Info, call *ast.CallExpr) string {
+	obj := calleeFuncObj(info, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+		return ""
+	}
+	if n := obj.Name(); n == "Background" || n == "TODO" {
+		return n
+	}
+	return ""
+}
+
+// checkCtxForwarding applies rule 2 to one declared function: every
+// ctx-accepting callee must receive the parameter's ctx (or a context
+// derived from it).
+func checkCtxForwarding(pass *Pass, pkg *Package, fd *ast.FuncDecl) {
+	ctxParam := contextParam(pkg.Info, fd)
+	if ctxParam == nil {
+		return
+	}
+	derived := derivedContexts(pkg.Info, fd.Body, ctxParam)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sig := calleeSignature(pkg.Info, call)
+		if sig == nil || !acceptsContext(sig) {
+			return true
+		}
+		if callForwards(pkg.Info, call, derived) {
+			return true
+		}
+		// A Background/TODO argument is already rule 1's finding.
+		for _, arg := range call.Args {
+			if c, ok := ast.Unparen(arg).(*ast.CallExpr); ok && backgroundOrTODO(pkg.Info, c) != "" {
+				return true
+			}
+		}
+		pass.Reportf(call.Pos(), "%s receives ctx but calls %s without forwarding it",
+			fd.Name.Name, funcName(pkg.Info, call))
+		return true
+	})
+}
+
+// contextParam returns the function's context.Context parameter object,
+// or nil (also for the blank identifier: an explicitly discarded ctx is a
+// deliberate signature-compatibility choice).
+func contextParam(info *types.Info, fd *ast.FuncDecl) *types.Var {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj, ok := info.Defs[name].(*types.Var)
+			if ok && isContextType(obj.Type()) {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// derivedContexts computes the set of objects carrying the parameter's
+// context: the parameter itself plus every context-typed variable whose
+// defining or assigning expression mentions one (ctx2, cancel :=
+// context.WithTimeout(ctx, ...) and friends), to a fixpoint.
+func derivedContexts(info *types.Info, body *ast.BlockStmt, param *types.Var) map[types.Object]bool {
+	derived := map[types.Object]bool{param: true}
+	for {
+		grew := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			mentions := false
+			for _, rhs := range as.Rhs {
+				if exprMentions(info, rhs, derived) {
+					mentions = true
+					break
+				}
+			}
+			if !mentions {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if v, ok := obj.(*types.Var); ok && isContextType(v.Type()) && !derived[v] {
+					derived[v] = true
+					grew = true
+				}
+			}
+			return true
+		})
+		if !grew {
+			return derived
+		}
+	}
+}
+
+// acceptsContext reports whether any parameter of sig is a
+// context.Context.
+func acceptsContext(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// callForwards reports whether any argument of the call mentions a
+// derived context object.
+func callForwards(info *types.Info, call *ast.CallExpr, derived map[types.Object]bool) bool {
+	for _, arg := range call.Args {
+		if exprMentions(info, arg, derived) {
+			return true
+		}
+	}
+	return false
+}
+
+// exprMentions reports whether the expression references any object in
+// the set.
+func exprMentions(info *types.Info, e ast.Expr, set map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && set[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Exhaustive checks every switch over one of the module's enum-like types
+// — a named integer type with at least two declared constants, such as
+// dhyfd.Algorithm or faults.Kind. Adding a ninth Algorithm or a fourth
+// fault Kind must not silently fall through a forgotten switch: each such
+// switch either covers every declared constant or carries a default
+// clause that fails loudly (returns, panics, or exits).
+var Exhaustive = &Analyzer{
+	Name: "exhaustive",
+	Doc:  "switches over module enum types must cover every constant or fail in default",
+	Run:  runExhaustive,
+}
+
+func runExhaustive(pass *Pass) {
+	enums := moduleEnums(pass.Module)
+	for _, pkg := range pass.Module.Pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok || sw.Tag == nil {
+					return true
+				}
+				tv, ok := info.Types[sw.Tag]
+				if !ok {
+					return true
+				}
+				named, ok := types.Unalias(tv.Type).(*types.Named)
+				if !ok {
+					return true
+				}
+				consts, isEnum := enums[named.Obj()]
+				if !isEnum {
+					return true
+				}
+				checkSwitch(pass, pkg, sw, named, consts)
+				return true
+			})
+		}
+	}
+}
+
+// moduleEnums maps each module-declared named integer type with >= 2
+// constants to those constants.
+func moduleEnums(m *Module) map[*types.TypeName][]*types.Const {
+	out := make(map[*types.TypeName][]*types.Const)
+	for _, pkg := range m.Pkgs {
+		scope := pkg.Types.Scope()
+		byType := make(map[*types.TypeName][]*types.Const)
+		for _, name := range scope.Names() {
+			c, ok := scope.Lookup(name).(*types.Const)
+			if !ok {
+				continue
+			}
+			named, ok := types.Unalias(c.Type()).(*types.Named)
+			if !ok || named.Obj().Pkg() != pkg.Types {
+				continue
+			}
+			if b, ok := named.Underlying().(*types.Basic); !ok || b.Info()&types.IsInteger == 0 {
+				continue
+			}
+			byType[named.Obj()] = append(byType[named.Obj()], c)
+		}
+		for tn, consts := range byType {
+			if len(consts) >= 2 {
+				sort.Slice(consts, func(i, j int) bool { return consts[i].Pos() < consts[j].Pos() })
+				out[tn] = consts
+			}
+		}
+	}
+	return out
+}
+
+func checkSwitch(pass *Pass, pkg *Package, sw *ast.SwitchStmt, named *types.Named, consts []*types.Const) {
+	covered := make(map[string]bool)
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, e := range cc.List {
+			if tv, ok := pkg.Info.Types[e]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+	var missing []string
+	for _, c := range consts {
+		if !covered[c.Val().ExactString()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	typeName := named.Obj().Pkg().Name() + "." + named.Obj().Name()
+	if defaultClause == nil {
+		pass.Reportf(sw.Pos(), "switch over %s misses %s and has no default",
+			typeName, strings.Join(missing, ", "))
+		return
+	}
+	if !defaultFails(pkg.Info, defaultClause) {
+		pass.Reportf(defaultClause.Pos(),
+			"switch over %s misses %s and its default does not return an error, panic or exit",
+			typeName, strings.Join(missing, ", "))
+	}
+}
+
+// defaultFails reports whether the default clause ends the happy path:
+// it returns, panics, or calls an exiting function (os.Exit, log.Fatal*,
+// testing fatals).
+func defaultFails(info *types.Info, cc *ast.CaseClause) bool {
+	fails := false
+	for _, stmt := range cc.Body {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if fails {
+				return false
+			}
+			switch x := n.(type) {
+			case *ast.ReturnStmt, *ast.BranchStmt:
+				// A return ends the path; goto/break to error handling is
+				// beyond this analysis, accept it as deliberate.
+				fails = true
+			case *ast.CallExpr:
+				switch name := calleeName(x); name {
+				case "panic":
+					if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+						if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+							fails = true
+						}
+					}
+				case "Exit", "Fatal", "Fatalf", "Fatalln", "Goexit":
+					fails = true
+				}
+			}
+			return !fails
+		})
+		if fails {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FaultSite keeps the fault-injection registry honest. The chaos suite
+// iterates faults.Sites() and arms each site against every algorithm; an
+// injection point that passes a typo'd ad-hoc Site, or a declared site
+// that never reaches Sites() (or is never hit by the runtime), silently
+// drops out of that matrix and its recovery path goes untested.
+//
+// Three checks, anchored on any module package named "faults" that
+// declares `type Site`:
+//
+//  1. every Site-typed argument handed to the faults API from runtime
+//     code is one of the declared Site constants;
+//  2. every declared Site constant appears in the Sites() list (and the
+//     list holds nothing but declared constants);
+//  3. every declared Site constant is hit — passed to faults.Hit or
+//     faults.Check — somewhere in non-test runtime code.
+var FaultSite = &Analyzer{
+	Name: "faultsite",
+	Doc:  "fault sites must be declared faults.Site constants, listed in Sites() and hit in the runtime",
+	Run:  runFaultSite,
+}
+
+func runFaultSite(pass *Pass) {
+	for _, pkg := range pass.Module.Pkgs {
+		if pkg.Name == "faults" {
+			if site := lookupSiteType(pkg); site != nil {
+				checkFaultsPackage(pass, pkg, site)
+			}
+		}
+	}
+}
+
+// lookupSiteType returns the package's named Site type, or nil.
+func lookupSiteType(pkg *Package) types.Type {
+	obj, ok := pkg.Types.Scope().Lookup("Site").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	return obj.Type()
+}
+
+func checkFaultsPackage(pass *Pass, faultsPkg *Package, siteType types.Type) {
+	declared := declaredSites(faultsPkg, siteType)
+
+	checkSitesList(pass, faultsPkg, siteType, declared)
+
+	// Scan the rest of the module for faults API calls.
+	hit := make(map[types.Object]bool)
+	for _, pkg := range pass.Module.Pkgs {
+		if pkg == faultsPkg {
+			continue
+		}
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFuncObj(info, call)
+				if callee == nil || callee.Pkg() == nil || callee.Pkg() != faultsPkg.Types {
+					return true
+				}
+				sig, _ := callee.Type().(*types.Signature)
+				if sig == nil {
+					return true
+				}
+				params := sig.Params()
+				for i := 0; i < params.Len() && i < len(call.Args); i++ {
+					if !types.Identical(params.At(i).Type(), siteType) {
+						continue
+					}
+					arg := ast.Unparen(call.Args[i])
+					obj := siteConstOf(info, arg)
+					if obj == nil || obj.Pkg() != faultsPkg.Types {
+						pass.Reportf(arg.Pos(),
+							"argument to faults.%s must be a declared faults.Site constant, not %s",
+							callee.Name(), exprString(arg))
+						continue
+					}
+					if callee.Name() == "Hit" || callee.Name() == "Check" {
+						hit[obj] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	for _, c := range declared {
+		if !hit[c] {
+			pass.Reportf(c.Pos(),
+				"fault site %s is declared but never hit (faults.Hit/Check) in runtime code", c.Name())
+		}
+	}
+}
+
+// declaredSites lists the faults package's Site constants in declaration
+// order.
+func declaredSites(pkg *Package, siteType types.Type) []*types.Const {
+	var out []*types.Const
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					c, ok := pkg.Info.Defs[name].(*types.Const)
+					if ok && types.Identical(c.Type(), siteType) {
+						out = append(out, c)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkSitesList verifies the Sites() composite literal against the
+// declared constants.
+func checkSitesList(pass *Pass, pkg *Package, siteType types.Type, declared []*types.Const) {
+	var list *ast.CompositeLit
+	var sitesDecl *ast.FuncDecl
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Recv == nil && fd.Name.Name == "Sites" {
+				sitesDecl = fd
+			}
+		}
+	}
+	if sitesDecl == nil || sitesDecl.Body == nil {
+		return // nothing to cross-check against
+	}
+	ast.Inspect(sitesDecl.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok || list != nil {
+			return true
+		}
+		tv, ok := pkg.Info.Types[lit]
+		if !ok {
+			return true
+		}
+		if sl, ok := tv.Type.Underlying().(*types.Slice); ok && types.Identical(sl.Elem(), siteType) {
+			list = lit
+		}
+		return true
+	})
+	if list == nil {
+		return
+	}
+	listed := make(map[types.Object]bool)
+	for _, elem := range list.Elts {
+		obj := siteConstOf(pkg.Info, ast.Unparen(elem))
+		if obj == nil {
+			pass.Reportf(elem.Pos(), "Sites() element %s is not a declared Site constant", exprString(elem))
+			continue
+		}
+		listed[obj] = true
+	}
+	for _, c := range declared {
+		if !listed[c] {
+			pass.Reportf(c.Pos(), "fault site %s is declared but missing from Sites()", c.Name())
+		}
+	}
+}
+
+// siteConstOf resolves an expression to the Site constant it references,
+// or nil.
+func siteConstOf(info *types.Info, e ast.Expr) *types.Const {
+	var id *ast.Ident
+	switch x := e.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	c, _ := info.Uses[id].(*types.Const)
+	return c
+}

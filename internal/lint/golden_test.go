@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the fixture golden files")
+
+// fixtureAnalyzers maps each testdata fixture module to the analyzers it
+// exercises. The ignore fixture reuses ctxflow to drive the suppression
+// machinery.
+var fixtureAnalyzers = map[string]string{
+	"ctxflow":    "ctxflow",
+	"faultsite":  "faultsite",
+	"hotalloc":   "hotalloc",
+	"statsmerge": "statsmerge",
+	"locksafe":   "locksafe",
+	"exhaustive": "exhaustive",
+	"ignore":     "ctxflow",
+}
+
+// TestGoldenFixtures loads every fixture module under testdata, runs its
+// analyzer, and compares the diagnostics against the fixture's
+// golden.txt. Each fixture holds true positives (Bad*) and near-miss
+// negatives (Good*/Cold*); the golden file pins exactly which fire.
+// Regenerate with: go test ./internal/lint -run Golden -update
+func TestGoldenFixtures(t *testing.T) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		spec, ok := fixtureAnalyzers[name]
+		if !ok {
+			t.Errorf("fixture %s has no entry in fixtureAnalyzers", name)
+			continue
+		}
+		seen++
+		t.Run(name, func(t *testing.T) {
+			analyzers, err := ByName(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := filepath.Join("testdata", name)
+			absDir, err := filepath.Abs(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags, err := Run(dir, analyzers)
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			var b strings.Builder
+			for _, d := range diags {
+				rel, err := filepath.Rel(absDir, d.File)
+				if err != nil {
+					t.Fatal(err)
+				}
+				d.File = filepath.ToSlash(rel)
+				b.WriteString(d.String())
+				b.WriteByte('\n')
+			}
+			got := b.String()
+			goldenPath := filepath.Join(dir, "golden.txt")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics differ from %s\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+			}
+			if !*update && got == "" {
+				t.Error("fixture produced no diagnostics; every fixture must hold at least one true positive")
+			}
+		})
+	}
+	if seen != len(fixtureAnalyzers) {
+		t.Errorf("found %d fixtures, mapped %d", seen, len(fixtureAnalyzers))
+	}
+}
+
+// TestByNameRejectsUnknown pins the CLI error path for -run typos.
+func TestByNameRejectsUnknown(t *testing.T) {
+	if _, err := ByName("ctxflow,nonsense"); err == nil {
+		t.Fatal("expected an error for an unknown analyzer name")
+	}
+	all, err := ByName("")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v", len(all), err)
+	}
+}

@@ -1,0 +1,288 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module.
+type Package struct {
+	// Path is the import path ("repro/internal/partition").
+	Path string
+	// Name is the package name; "main" marks the cmd and example binaries.
+	Name string
+	// Dir is the absolute directory.
+	Dir string
+	// Files are the parsed non-test files, with comments.
+	Files []*ast.File
+	// Types and Info are the go/types results.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// IsMain reports whether the package is a command (package main).
+func (p *Package) IsMain() bool { return p.Name == "main" }
+
+// Module is the loaded module: every non-test package under the root,
+// parsed and type-checked against one shared FileSet.
+type Module struct {
+	// Root is the absolute module root (the directory holding go.mod).
+	Root string
+	// Path is the module path declared in go.mod.
+	Path string
+	// Fset positions every file of every package (and of the source-
+	// imported standard library).
+	Fset *token.FileSet
+	// Pkgs lists the module's packages sorted by import path.
+	Pkgs []*Package
+
+	dirs    map[string]string // import path -> dir
+	byPath  map[string]*Package
+	loading map[string]bool
+	std     types.Importer
+}
+
+// Lookup returns the loaded package with the given import path, or nil.
+func (m *Module) Lookup(path string) *Package { return m.byPath[path] }
+
+// PackageOf returns the module package that declares obj, or nil when obj
+// is universe-scoped or from outside the module.
+func (m *Module) PackageOf(obj types.Object) *Package {
+	if obj == nil || obj.Pkg() == nil {
+		return nil
+	}
+	return m.byPath[obj.Pkg().Path()]
+}
+
+// Load parses and type-checks every non-test package under the module
+// rooted at dir (the directory containing go.mod). Directories named
+// testdata or vendor, and those starting with "." or "_", are skipped,
+// matching the go tool. Loading uses only the standard library: module
+// imports resolve recursively within the tree, all other imports through
+// go/importer's source importer.
+func Load(dir string) (*Module, error) {
+	root, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	m := &Module{
+		Root:    root,
+		Path:    modPath,
+		Fset:    fset,
+		dirs:    make(map[string]string),
+		byPath:  make(map[string]*Package),
+		loading: make(map[string]bool),
+		std:     importer.ForCompiler(fset, "source", nil),
+	}
+	if err := m.scan(); err != nil {
+		return nil, err
+	}
+	paths := make([]string, 0, len(m.dirs))
+	for p := range m.dirs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if _, err := m.load(p); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(m.Pkgs, func(i, j int) bool { return m.Pkgs[i].Path < m.Pkgs[j].Path })
+	return m, nil
+}
+
+// modulePath extracts the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: not a module root: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			if p := strings.TrimSpace(rest); p != "" {
+				return strings.Trim(p, `"`), nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module declaration in %s", gomod)
+}
+
+// scan maps every package directory under the root to its import path.
+func (m *Module) scan() error {
+	return filepath.WalkDir(m.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != m.Root {
+			if name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+		}
+		if !hasGoFiles(path) {
+			return nil
+		}
+		rel, err := filepath.Rel(m.Root, path)
+		if err != nil {
+			return err
+		}
+		imp := m.Path
+		if rel != "." {
+			imp = m.Path + "/" + filepath.ToSlash(rel)
+		}
+		m.dirs[imp] = path
+		return nil
+	})
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if name := e.Name(); !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Import implements types.Importer: module packages load recursively from
+// source, everything else (the standard library) through the source
+// importer.
+func (m *Module) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == m.Path || strings.HasPrefix(path, m.Path+"/") {
+		pkg, err := m.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return m.std.Import(path)
+}
+
+// load parses and type-checks one module package (memoized).
+func (m *Module) load(path string) (*Package, error) {
+	if pkg, ok := m.byPath[path]; ok {
+		return pkg, nil
+	}
+	if m.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	m.loading[path] = true
+	defer delete(m.loading, path)
+
+	dir, ok := m.dirs[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: package %s not found under %s", path, m.Root)
+	}
+	files, name, err := m.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrs []error
+	cfg := types.Config{
+		Importer: m,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := cfg.Check(path, m.Fset, files, info)
+	if len(typeErrs) > 0 {
+		msgs := make([]string, 0, len(typeErrs))
+		for i, e := range typeErrs {
+			if i == 8 {
+				msgs = append(msgs, fmt.Sprintf("... and %d more", len(typeErrs)-i))
+				break
+			}
+			msgs = append(msgs, e.Error())
+		}
+		return nil, fmt.Errorf("lint: type-checking %s:\n  %s", path, strings.Join(msgs, "\n  "))
+	}
+	pkg := &Package{Path: path, Name: name, Dir: dir, Files: files, Types: tpkg, Info: info}
+	m.byPath[path] = pkg
+	m.Pkgs = append(m.Pkgs, pkg)
+	return pkg, nil
+}
+
+// parseDir parses the directory's non-test files and returns them with
+// the package name. Files excluded by a //go:build ignore constraint are
+// skipped.
+func (m *Module) parseDir(dir string) ([]*ast.File, string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	var files []*ast.File
+	name := ""
+	for _, e := range entries {
+		fn := e.Name()
+		if e.IsDir() || !strings.HasSuffix(fn, ".go") || strings.HasSuffix(fn, "_test.go") {
+			continue
+		}
+		full := filepath.Join(dir, fn)
+		f, err := parser.ParseFile(m.Fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, "", err
+		}
+		if buildIgnored(f) {
+			continue
+		}
+		if name == "" {
+			name = f.Name.Name
+		} else if f.Name.Name != name {
+			return nil, "", fmt.Errorf("lint: %s: package %s and %s in one directory", dir, name, f.Name.Name)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, "", fmt.Errorf("lint: no buildable Go files in %s", dir)
+	}
+	return files, name, nil
+}
+
+// buildIgnored reports whether the file opts out of the build with a
+// "//go:build ignore"-style constraint before the package clause.
+func buildIgnored(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if strings.HasPrefix(text, "//go:build") && strings.Contains(text, "ignore") {
+				return true
+			}
+			if strings.HasPrefix(text, "// +build") && strings.Contains(text, "ignore") {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockSafe keeps the runtime's mutexes — partition.Cache's above all —
+// from deadlocking or stalling the pool: while a sync.Mutex / RWMutex is
+// held, a function must not send on or receive from a channel, and must
+// not invoke a user-supplied callback (a call through a func-typed
+// variable, field or parameter). Either one runs arbitrary foreign code
+// under the lock; with the cache shared by every worker of a run, one
+// blocked callback serializes the whole pool, and a callback that
+// re-enters the cache deadlocks it.
+//
+// The analysis is a per-function lock-span scan: Lock/RLock opens a span
+// on its receiver, the matching Unlock/RUnlock closes it (a deferred
+// unlock holds to function end), and channel operations or func-value
+// calls inside any open span are reported.
+var LockSafe = &Analyzer{
+	Name: "locksafe",
+	Doc:  "no channel ops or user-callback calls while holding a mutex",
+	Run:  runLockSafe,
+}
+
+func runLockSafe(pass *Pass) {
+	for _, pkg := range pass.Module.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if ok && fd.Body != nil {
+					checkLockSpans(pass, pkg, fd)
+				}
+			}
+		}
+	}
+}
+
+type lockEvent struct {
+	pos      token.Pos
+	key      string // receiver chain, e.g. "c.mu"
+	lock     bool   // Lock/RLock vs Unlock/RUnlock
+	deferred bool
+}
+
+func checkLockSpans(pass *Pass, pkg *Package, fd *ast.FuncDecl) {
+	info := pkg.Info
+	var events []lockEvent
+	// Inspect visits a DeferStmt and then its child CallExpr; remember the
+	// deferred call so it is not re-recorded as an inline unlock.
+	deferredCalls := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.DeferStmt:
+			if ev, ok := mutexEvent(info, st.Call); ok {
+				ev.deferred = true
+				events = append(events, ev)
+				deferredCalls[st.Call] = true
+			}
+			return true
+		case *ast.CallExpr:
+			if deferredCalls[st] {
+				return true
+			}
+			if ev, ok := mutexEvent(info, st); ok {
+				events = append(events, ev)
+			}
+		}
+		return true
+	})
+	if len(events) == 0 {
+		return
+	}
+
+	// Pair lock events with their unlocks per receiver key, in source
+	// order: an inline unlock closes the most recent open span, a
+	// deferred unlock (and an unmatched lock) holds to function end.
+	type span struct{ from, to token.Pos }
+	var spans []span
+	open := make(map[string][]token.Pos)
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	for _, ev := range events {
+		if ev.lock {
+			open[ev.key] = append(open[ev.key], ev.pos)
+			continue
+		}
+		if ev.deferred {
+			continue // closes at function end; leave the span open
+		}
+		if stack := open[ev.key]; len(stack) > 0 {
+			spans = append(spans, span{from: stack[len(stack)-1], to: ev.pos})
+			open[ev.key] = stack[:len(stack)-1]
+		}
+	}
+	for _, stack := range open {
+		for _, p := range stack {
+			spans = append(spans, span{from: p, to: fd.Body.End()})
+		}
+	}
+	if len(spans) == 0 {
+		return
+	}
+	held := func(p token.Pos) bool {
+		for _, s := range spans {
+			if p > s.from && p < s.to {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			if held(x.Pos()) {
+				pass.Reportf(x.Pos(), "%s sends on a channel while holding a mutex", fd.Name.Name)
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && held(x.Pos()) {
+				pass.Reportf(x.Pos(), "%s receives from a channel while holding a mutex", fd.Name.Name)
+			}
+		case *ast.CallExpr:
+			if held(x.Pos()) && isFuncValueCall(info, x) {
+				pass.Reportf(x.Pos(), "%s calls the callback %s while holding a mutex",
+					fd.Name.Name, exprString(x.Fun))
+			}
+		}
+		return true
+	})
+}
+
+// mutexEvent classifies a call as a Lock/Unlock on a sync mutex and
+// returns the event with its receiver key.
+func mutexEvent(info *types.Info, call *ast.CallExpr) (lockEvent, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	var lock bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		lock = true
+	case "Unlock", "RUnlock":
+		lock = false
+	default:
+		return lockEvent{}, false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || !isSyncMutex(tv.Type) {
+		return lockEvent{}, false
+	}
+	return lockEvent{pos: call.Pos(), key: exprString(sel.X), lock: lock}, true
+}
+
+func isSyncMutex(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// isFuncValueCall reports whether the call goes through a func-typed
+// variable, parameter or struct field — a user-supplied callback — as
+// opposed to a declared function or method.
+func isFuncValueCall(info *types.Info, call *ast.CallExpr) bool {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return false // conversion
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj := info.Uses[fun]
+		if v, ok := obj.(*types.Var); ok {
+			_, isFunc := v.Type().Underlying().(*types.Signature)
+			return isFunc
+		}
+		return false
+	case *ast.SelectorExpr:
+		if s := info.Selections[fun]; s != nil {
+			if s.Kind() == types.FieldVal {
+				_, isFunc := s.Obj().Type().Underlying().(*types.Signature)
+				return isFunc
+			}
+			return false // method call
+		}
+		// Package-qualified function: declared, not a callback.
+		if _, ok := info.Uses[fun.Sel].(*types.Var); ok {
+			_, isFunc := info.Uses[fun.Sel].Type().Underlying().(*types.Signature)
+			return isFunc
+		}
+		return false
+	case *ast.CallExpr:
+		// f()() — calling the result of a call: a func value.
+		return true
+	}
+	return false
+}

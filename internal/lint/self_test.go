@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestModuleIsClean is the meta-test: it loads this repository's own
+// module and requires every analyzer to come back empty, so a change
+// that breaks an invariant fails `go test` even before `make lint`
+// runs. Skipped under -short: the full load type-checks every package.
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("module-wide analysis skipped in -short mode")
+	}
+	root, err := moduleRootFromWD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(root, All())
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	for _, d := range diags {
+		rel, rerr := filepath.Rel(root, d.File)
+		if rerr == nil {
+			d.File = rel
+		}
+		t.Errorf("%s", d.String())
+	}
+}
+
+// moduleRootFromWD walks up from the working directory (internal/lint
+// during go test) to the nearest go.mod.
+func moduleRootFromWD() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

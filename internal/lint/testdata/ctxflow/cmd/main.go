@@ -1,0 +1,13 @@
+// Command main shows the rule 1 near-miss: package main owns the root
+// context, so Background here is fine.
+package main
+
+import (
+	"context"
+
+	lib "ctxfix"
+)
+
+func main() {
+	_ = lib.GoodForward(context.Background())
+}

@@ -1,0 +1,59 @@
+// Package lib exercises the ctxflow analyzer: rule 1 (no
+// context.Background/TODO in library code) and rule 2 (a received ctx
+// must reach every ctx-accepting callee).
+package lib
+
+import "context"
+
+func helper(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return n
+}
+
+func sink(n int) int { return n }
+
+// Bad conjures its own root context: rule 1 true positive.
+func Bad() int {
+	return helper(context.Background(), 1)
+}
+
+// BadTODO hides behind TODO: rule 1 true positive.
+func BadTODO() int {
+	return helper(context.TODO(), 2)
+}
+
+// BadForward receives a ctx but drops it on the floor when calling a
+// ctx-accepting callee: rule 2 true positive.
+func BadForward(ctx context.Context) int {
+	if ctx == nil {
+		return 0
+	}
+	return helper(nil, 3)
+}
+
+// GoodForward forwards its ctx directly: near-miss negative.
+func GoodForward(ctx context.Context) int {
+	return helper(ctx, 4)
+}
+
+// GoodDerived forwards a context derived from its ctx: near-miss
+// negative for the derivation fixpoint.
+func GoodDerived(ctx context.Context) int {
+	c, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return helper(c, 5)
+}
+
+// GoodPlain has a ctx but only calls ctx-less callees: negative.
+func GoodPlain(ctx context.Context) int {
+	_ = ctx
+	return sink(6)
+}
+
+// GoodBlank discards its ctx explicitly — a deliberate signature
+// compatibility choice the analyzer accepts: near-miss negative.
+func GoodBlank(_ context.Context) int {
+	return sink(7)
+}

@@ -1,0 +1,74 @@
+// Package enum exercises the exhaustive analyzer on a three-constant
+// enum type and a one-constant non-enum.
+package enum
+
+// Kind is an enum: a named integer type with three constants.
+type Kind int
+
+const (
+	A Kind = iota
+	B
+	C
+)
+
+// Flag has a single constant, below the enum threshold: its switches
+// are not checked.
+type Flag int
+
+// FOn is Flag's only constant.
+const FOn Flag = 1
+
+// BadNoDefault misses C and has no default: true positive.
+func BadNoDefault(k Kind) int {
+	switch k {
+	case A:
+		return 1
+	case B:
+		return 2
+	}
+	return 0
+}
+
+// BadSoftDefault misses B and C behind a default that carries on as if
+// nothing happened: true positive.
+func BadSoftDefault(k Kind) int {
+	r := 0
+	switch k {
+	case A:
+		r = 1
+	default:
+		r = -1
+	}
+	return r
+}
+
+// GoodCovered names every constant: near-miss negative.
+func GoodCovered(k Kind) int {
+	switch k {
+	case A, B:
+		return 1
+	case C:
+		return 2
+	}
+	return 0
+}
+
+// GoodFailingDefault misses constants but fails loudly: near-miss
+// negative.
+func GoodFailingDefault(k Kind) int {
+	switch k {
+	case A, B:
+		return 1
+	default:
+		panic("enum: unknown kind")
+	}
+}
+
+// GoodSingle switches over the sub-threshold type: negative.
+func GoodSingle(f Flag) bool {
+	switch f {
+	case FOn:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,35 @@
+// Package faults is a miniature fault registry with a deliberate hole:
+// SiteC is declared but missing from Sites() and never hit anywhere.
+package faults
+
+// Site names one injection point.
+type Site string
+
+const (
+	// SiteA is listed and hit: fully wired, a negative.
+	SiteA Site = "a"
+	// SiteB is listed and hit through Hit: a negative.
+	SiteB Site = "b"
+	// SiteC is declared but neither listed nor hit: two true positives.
+	SiteC Site = "c"
+)
+
+// Sites lists the registered sites — except SiteC, the bug.
+func Sites() []Site {
+	return []Site{SiteA, SiteB}
+}
+
+// Check consults the registry at a site.
+func Check(s Site) {
+	_ = s
+}
+
+// Hit consults the registry at a site, returning whether a fault fired.
+func Hit(s Site) bool {
+	return s == ""
+}
+
+// Arm plans an injection at a site.
+func Arm(s Site, after int) {
+	_, _ = s, after
+}

@@ -1,0 +1,20 @@
+// Package run is the runtime side of the faultsite fixture.
+package run
+
+import "faultfix/faults"
+
+// local is a Site constant declared outside the faults package — handing
+// it to the API is a true positive.
+const local faults.Site = "rogue"
+
+// Work hits the two wired sites (negatives) and commits both argument
+// crimes: an ad-hoc conversion and a foreign constant.
+func Work(n int) int {
+	faults.Check(faults.SiteA)
+	if faults.Hit(faults.SiteB) {
+		return 0
+	}
+	faults.Arm(faults.Site("adhoc"), n)
+	faults.Check(local)
+	return n
+}

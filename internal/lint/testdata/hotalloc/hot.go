@@ -1,0 +1,85 @@
+// Package hot exercises the hotalloc analyzer: every //fd:hotpath
+// function below either violates the allocation discipline (Bad*) or
+// sits exactly on the edge of it (Good*).
+package hot
+
+import "fmt"
+
+type scratch struct {
+	buf []int
+}
+
+// BadFmt formats inside a hot kernel: true positive.
+//
+//fd:hotpath
+func BadFmt(n int) string {
+	return fmt.Sprintf("%d", n)
+}
+
+// BadAppend grows a plain unsized local per call: true positive.
+//
+//fd:hotpath
+func BadAppend(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// BadClosure allocates a closure per call: true positive.
+//
+//fd:hotpath
+func BadClosure(n int) func() int {
+	return func() int { return n }
+}
+
+// BadMap allocates a map per call, size notwithstanding: true positive.
+//
+//fd:hotpath
+func BadMap(n int) int {
+	m := make(map[int]int, n)
+	m[n] = n
+	return len(m)
+}
+
+// BadBox converts to an interface type per call: true positive.
+//
+//fd:hotpath
+func BadBox(n int) any {
+	return any(n)
+}
+
+// GoodSized appends to a local preallocated with an explicit capacity:
+// near-miss negative.
+//
+//fd:hotpath
+func GoodSized(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// GoodParam appends to a caller-owned destination: near-miss negative.
+//
+//fd:hotpath
+func GoodParam(dst, xs []int) []int {
+	for _, x := range xs {
+		dst = append(dst, x)
+	}
+	return dst
+}
+
+// GoodScratch appends to a reused scratch field: near-miss negative.
+//
+//fd:hotpath
+func (s *scratch) GoodScratch(x int) {
+	s.buf = append(s.buf, x)
+}
+
+// ColdFmt has the same body as BadFmt but no annotation: negative.
+func ColdFmt(n int) string {
+	return fmt.Sprintf("%d", n)
+}

@@ -1,0 +1,3 @@
+module ignfix
+
+go 1.22

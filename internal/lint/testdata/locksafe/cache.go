@@ -1,0 +1,52 @@
+// Package cache exercises the locksafe analyzer: no callback calls or
+// channel operations while a mutex is held.
+package cache
+
+import "sync"
+
+type Cache struct {
+	mu      sync.Mutex
+	onEvict func(int)
+	ch      chan int
+	n       int
+}
+
+// BadEvict runs a user callback under the lock: true positive.
+func (c *Cache) BadEvict(k int) {
+	c.mu.Lock()
+	c.onEvict(k)
+	c.mu.Unlock()
+}
+
+// BadNotify sends on a channel under a deferred unlock: true positive.
+func (c *Cache) BadNotify(k int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ch <- k
+}
+
+// BadWait receives from a channel while holding the lock: true positive.
+func (c *Cache) BadWait() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return <-c.ch
+}
+
+// GoodEvict snapshots the callback under the lock and invokes it after
+// the unlock: near-miss negative.
+func (c *Cache) GoodEvict(k int) {
+	c.mu.Lock()
+	f := c.onEvict
+	c.mu.Unlock()
+	f(k)
+}
+
+// GoodMethod calls a declared method under the lock — methods are this
+// package's own code, not foreign callbacks: near-miss negative.
+func (c *Cache) GoodMethod() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size()
+}
+
+func (c *Cache) size() int { return c.n }

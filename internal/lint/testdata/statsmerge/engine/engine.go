@@ -1,0 +1,19 @@
+// Package engine exercises the statsmerge RunStats rule: every exported
+// integer counter must be rendered by String.
+package engine
+
+import "fmt"
+
+// RunStats mirrors the runtime's run report shape.
+type RunStats struct {
+	// Shown reaches String: near-miss negative.
+	Shown int64
+	// Hidden never reaches String: true positive.
+	Hidden int64
+	// note is unexported and not an integer counter: negative.
+	note string
+}
+
+func (rs *RunStats) String() string {
+	return fmt.Sprintf("shown=%d%s", rs.Shown, rs.note)
+}

@@ -1,0 +1,27 @@
+// Package pool is a miniature worker pool with the engine's fan-out
+// shape: Run hands each task a worker id the caller indexes scratch by.
+package pool
+
+// Pool fans tasks out over a fixed worker count.
+type Pool struct {
+	n int
+}
+
+// New returns a pool of n workers.
+func New(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	return &Pool{n: n}
+}
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return p.n }
+
+// Run invokes fn(worker, i) for every i in [0, n). This fixture runs
+// serially; the shape is what the analyzer keys on.
+func (p *Pool) Run(n int, fn func(w, i int)) {
+	for i := 0; i < n; i++ {
+		fn(i%p.n, i)
+	}
+}

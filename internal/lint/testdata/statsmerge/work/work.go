@@ -1,0 +1,26 @@
+// Package work exercises the statsmerge worker-scratch rule: counters
+// accumulated per worker must be read again after the fan-out.
+package work
+
+import "mergefix/pool"
+
+type scratch struct {
+	Merged  int64
+	Dropped int64
+}
+
+// Sum accumulates two counters per worker but only merges Merged;
+// Dropped is the true positive, Merged the near-miss negative.
+func Sum(items []int) int64 {
+	p := pool.New(4)
+	ws := make([]scratch, p.Workers())
+	p.Run(len(items), func(w, i int) {
+		ws[w].Merged++
+		ws[w].Dropped++
+	})
+	var total int64
+	for i := range ws {
+		total += ws[i].Merged
+	}
+	return total
+}

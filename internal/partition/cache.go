@@ -305,6 +305,8 @@ func ForAttrsCached(c *Cache, x bitset.Set, cols [][]int32, cards []int) *Partit
 // ForAttrsCachedStats is ForAttrsCached additionally reporting whether the
 // partition was served whole from the cache (an exact hit) rather than
 // built or refined from a parent — the built/reused split ranking reports.
+//
+//fd:hotpath
 func ForAttrsCachedStats(c *Cache, x bitset.Set, cols [][]int32, cards []int) (*Partition, bool) {
 	if c == nil {
 		return ForAttrs(x, cols, cards), false
@@ -326,6 +328,7 @@ func ForAttrsCachedStats(c *Cache, x bitset.Set, cols [][]int32, cards []int) (*
 	var remaining []int
 	if parent != nil {
 		p = parent
+		remaining = make([]int, 0, len(attrs))
 		for _, a := range attrs {
 			if !pattrs.Contains(a) {
 				remaining = append(remaining, a)

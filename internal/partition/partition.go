@@ -103,6 +103,8 @@ func (p *Partition) Clone() *Partition {
 // Single builds the stripped partition of one dictionary-encoded column.
 // card must be at least 1 + max(col); rows with unique codes are stripped.
 // The result is in compact form.
+//
+//fd:hotpath
 func Single(col []int32, card int) *Partition {
 	faults.Check(faults.PartitionBuild)
 	if card < 1 {
@@ -197,6 +199,8 @@ func (rf *Refiner) RefineCluster(cluster []int32, col []int32, card int, dst [][
 // grows mid-call, views appended earlier keep pointing into the previous
 // backing — their contents are complete and never mutated, so they stay
 // valid. Returns the (possibly grown) arena and dst.
+//
+//fd:hotpath
 func (rf *Refiner) RefineClusterInto(cluster []int32, col []int32, card int, arena []int32, dst [][]int32) ([]int32, [][]int32) {
 	rf.grow(card)
 	for _, row := range cluster {
@@ -221,6 +225,8 @@ func (rf *Refiner) RefineClusterInto(cluster []int32, col []int32, card int, are
 // Refine computes π_XA from π_X by splitting every cluster on column col.
 // The result is in compact form: sub-clusters are laid into one backing
 // array instead of being copied out one allocation each.
+//
+//fd:hotpath
 func (rf *Refiner) Refine(p *Partition, col []int32, card int) *Partition {
 	rf.grow(card)
 	out := &Partition{NRows: p.NRows}
@@ -266,6 +272,8 @@ func NewProbeTable(p *Partition) ProbeTable {
 // is large enough, and returns the (possibly grown) table. Workers that
 // probe many partitions of the same relation keep one table alive instead
 // of allocating NRows int32s per intersection.
+//
+//fd:hotpath
 func (t ProbeTable) Fill(p *Partition) ProbeTable {
 	if cap(t) < p.NRows {
 		t = make(ProbeTable, p.NRows)
@@ -319,11 +327,13 @@ func (ix *Intersector) growID(id int32) {
 // form. Each cluster is processed in two passes — count per Y-id, then
 // place rows at the precomputed group offsets — touching only the ids the
 // cluster actually uses.
+//
+//fd:hotpath
 func (ix *Intersector) Intersect(p *Partition, probe ProbeTable) *Partition {
 	faults.Check(faults.PartitionIntersect)
 	out := &Partition{NRows: p.NRows}
 	backing := make([]int32, 0, p.Size())
-	offsets := append(ix.offsets[:0], 0)
+	ix.offsets = append(ix.offsets[:0], 0)
 	for _, cluster := range p.Clusters {
 		for _, row := range cluster {
 			id := probe[row]
@@ -343,7 +353,7 @@ func (ix *Intersector) Intersect(p *Partition, probe ProbeTable) *Partition {
 			if ix.counts[id] >= 2 {
 				ix.starts[id] = base + total
 				total += ix.counts[id]
-				offsets = append(offsets, base+total)
+				ix.offsets = append(ix.offsets, base+total)
 			} else {
 				ix.starts[id] = -1
 			}
@@ -366,8 +376,7 @@ func (ix *Intersector) Intersect(p *Partition, probe ProbeTable) *Partition {
 	}
 	// The offsets scratch is reused next call; the partition keeps an
 	// exact-size copy, so per-call growth amortizes away entirely.
-	ix.offsets = offsets
-	out.setCompact(backing, append([]int32(nil), offsets...))
+	out.setCompact(backing, append([]int32(nil), ix.offsets...))
 	return out
 }
 
@@ -383,6 +392,8 @@ func Intersect(p *Partition, probe ProbeTable) *Partition {
 // function of ‖π‖: ranking counts null occurrences per attribute with one
 // word-And/popcount against it, and marks redundant occurrences with one
 // word-Or of it — per partition, not per row.
+//
+//fd:hotpath
 func (p *Partition) Members(dst bitset.Bitmap) bitset.Bitmap {
 	words := bitset.WordsFor(p.NRows)
 	if cap(dst) < words {

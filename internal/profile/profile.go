@@ -93,6 +93,7 @@ func (o *Options) fillDefaults() {
 
 // Profile computes the full report for a relation.
 func Profile(r *relation.Relation, opts Options) *Report {
+	//fdvet:ignore ctxflow ctx-less convenience wrapper; ProfileCtx is the primary API
 	rep, _ := ProfileCtx(context.Background(), r, opts)
 	return rep
 }

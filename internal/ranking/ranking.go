@@ -252,6 +252,8 @@ func (sc *scratch) partitionFor(c *partition.Cache, x bitset.Set, r *relation.Re
 
 // lhsNullBitmap fills sc.lhsNull with the union of the LHS attributes'
 // null masks and reports whether any LHS column is incomplete.
+//
+//fd:hotpath
 func (sc *scratch) lhsNullBitmap(r *relation.Relation, lhs bitset.Set) bool {
 	any := false
 	words := bitset.WordsFor(r.NumRows())
@@ -273,6 +275,8 @@ func (sc *scratch) lhsNullBitmap(r *relation.Relation, lhs bitset.Set) bool {
 
 // countsFor computes one FD's counts from π_X and its membership bitmap.
 // lhsHasNulls and sc.lhsNull must describe f's LHS (lhsNullBitmap).
+//
+//fd:hotpath
 func countsFor(r *relation.Relation, f dep.FD, p *partition.Partition, sc *scratch, lhsHasNulls bool) Counts {
 	var c Counts
 	size := p.Size()
@@ -451,6 +455,7 @@ func RankCtx(ctx context.Context, r *relation.Relation, fds []dep.FD, cfg Config
 // WithNulls count, serially with a private partition cache. A panic
 // inside the kernels is re-raised, matching direct-call semantics.
 func Rank(r *relation.Relation, fds []dep.FD) []Ranked {
+	//fdvet:ignore ctxflow ctx-less convenience wrapper; RankCtx is the primary API
 	out, _, err := RankCtx(context.Background(), r, fds, Config{})
 	if err != nil {
 		panic(err)
@@ -557,6 +562,7 @@ func TotalsCtx(ctx context.Context, r *relation.Relation, fds []dep.FD, cfg Conf
 
 // Totals is TotalsCtx serially with a private partition cache.
 func Totals(r *relation.Relation, fds []dep.FD) DatasetTotals {
+	//fdvet:ignore ctxflow ctx-less convenience wrapper; TotalsCtx is the primary API
 	t, _, err := TotalsCtx(context.Background(), r, fds, Config{})
 	if err != nil {
 		panic(err)
@@ -642,6 +648,7 @@ func ForColumnCtx(ctx context.Context, r *relation.Relation, fds []dep.FD, col i
 
 // ForColumn is ForColumnCtx serially with a private partition cache.
 func ForColumn(r *relation.Relation, fds []dep.FD, col int) []ColumnView {
+	//fdvet:ignore ctxflow ctx-less convenience wrapper; ForColumnCtx is the primary API
 	out, _, err := ForColumnCtx(context.Background(), r, fds, col, Config{})
 	if err != nil {
 		panic(err)
