@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt lint test race bench bench-pr3 bench-pr4 bench-smoke chaos fuzz-smoke check
+.PHONY: all build vet fmt lint test race bench bench-pr3 bench-pr4 bench-pr6 bench-smoke chaos fuzz-smoke check
 
 all: check
 
@@ -33,7 +33,7 @@ race:
 # Full benchmark pass: the partition kernels and the discovery paths,
 # folded into BENCH_pr3.json against the pre-PR baselines recorded in
 # results/. Same flags as the baseline capture, for comparability.
-bench: bench-pr3 bench-pr4
+bench: bench-pr3 bench-pr4 bench-pr6
 
 bench-pr3:
 	$(GO) test -run '^$$' -bench 'Single100k|Refine100k|Intersect100k|RefineVsIntersect' -benchmem ./internal/partition/ | tee results/bench_partition.txt
@@ -58,12 +58,20 @@ bench-pr4:
 		-current results/bench_sampling.txt \
 		-o BENCH_pr4.json
 
+# The fused top-k search against the two-phase discover→rank→truncate
+# pipeline, exact and at eps = 0.01, with equivalence checked on every
+# cell. Unlike pr3/pr4 this is a paired A/B harness, so it emits the JSON
+# itself instead of going through benchjson.
+bench-pr6:
+	$(GO) run ./cmd/benchpr6 -o BENCH_pr6.json
+
 # One iteration of the key benchmarks — catches bit-rot without the cost
 # of a full measurement run.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'Intersect100k' -benchtime 1x ./internal/partition/
 	$(GO) test -run '^$$' -bench 'BenchmarkDiscoverWeather|DiscoverCached' -benchtime 1x ./
 	$(GO) test -run '^$$' -bench 'RankCover/hepatitis' -benchtime 1x ./internal/ranking/
+	$(GO) run ./cmd/benchpr6 -smoke -o /dev/null
 
 # The fault-injection matrix — every site × every plan × every algorithm —
 # under the race detector.

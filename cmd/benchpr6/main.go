@@ -1,0 +1,197 @@
+// Command benchpr6 measures the fused top-k search against the
+// two-phase pipeline it replaces: discover the full cover, rank it,
+// truncate to k. For each configuration it times both paths — exact and
+// g3-approximate (eps = 0.01) — verifies that the fused result is
+// byte-identical to the truncated full ranking, and writes the paired
+// timings plus the pruning counters to a JSON report (BENCH_pr6.json at
+// the repo root via `make bench-pr6`).
+//
+// Timings are the minimum over -iters runs, the usual guard against a
+// cold cache or a background hiccup inflating one sample. The -smoke
+// flag shrinks the matrix to one small configuration at one iteration so
+// `make check` can catch bit-rot without paying for the full pass.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	dhyfd "repro"
+	"repro/internal/dataset"
+)
+
+// config is one benchmark cell: a relation shape, an algorithm and an
+// error budget (eps = 0 means exact).
+type config struct {
+	Dataset string
+	Rows    int
+	Cols    int
+	Algo    dhyfd.Algorithm
+	Eps     float64
+}
+
+func (c config) key() string {
+	mode := "exact"
+	if c.Eps > 0 {
+		mode = fmt.Sprintf("eps%g", c.Eps)
+	}
+	return fmt.Sprintf("%v/%s-%dx%d/%s", c.Algo, c.Dataset, c.Rows, c.Cols, mode)
+}
+
+// cell is the measured outcome of one configuration.
+type cell struct {
+	FullNs     int64   `json:"full_ns"`     // discover full cover + rank + truncate
+	DiscoverNs int64   `json:"discover_ns"` // discovery share of the full path
+	FusedNs    int64   `json:"fused_ns"`    // Discover(..., WithTopK(10))
+	Speedup    float64 `json:"speedup"`     // full ÷ fused
+	CoverFDs   int     `json:"cover_fds"`   // size of the full cover the fused path avoids
+	Pruned     int64   `json:"pruned_branches"`
+	Admitted   int64   `json:"heap_admitted"`
+	Match      bool    `json:"match"` // fused == rank(full)[:k], including order
+}
+
+type report struct {
+	Harness    string          `json:"harness"`
+	TopK       int             `json:"top_k"`
+	Iterations int             `json:"iterations"`
+	Runs       map[string]cell `json:"runs"`
+}
+
+const topK = 10
+
+var fullMatrix = []config{
+	{"flight", 500, 20, dhyfd.TANE, 0},
+	{"flight", 500, 22, dhyfd.TANE, 0},
+	{"diabetic", 1000, 18, dhyfd.TANE, 0},
+	{"flight", 500, 18, dhyfd.TANE, 0.01},
+	{"diabetic", 1000, 18, dhyfd.TANE, 0.01},
+	{"diabetic", 1000, 15, dhyfd.DHyFD, 0},
+}
+
+var smokeMatrix = []config{
+	{"flight", 300, 12, dhyfd.TANE, 0},
+}
+
+func main() {
+	iters := flag.Int("iters", 3, "iterations per measurement; the minimum is reported")
+	out := flag.String("o", "", "write the JSON report here (stdout when empty)")
+	smoke := flag.Bool("smoke", false, "one small configuration at one iteration")
+	flag.Parse()
+
+	matrix := fullMatrix
+	if *smoke {
+		matrix = smokeMatrix
+		*iters = 1
+	}
+
+	rep := report{Harness: "benchpr6", TopK: topK, Iterations: *iters, Runs: map[string]cell{}}
+	ctx := context.Background()
+	failed := false
+	for _, c := range matrix {
+		cl, err := measure(ctx, c, *iters)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchpr6: %s: %v\n", c.key(), err)
+			os.Exit(1)
+		}
+		rep.Runs[c.key()] = cl
+		status := "ok"
+		if !cl.Match {
+			status = "MISMATCH"
+			failed = true
+		}
+		fmt.Fprintf(os.Stderr, "%-36s full=%-8v fused=%-8v speedup=%.1fx cover=%d pruned=%d %s\n",
+			c.key(), time.Duration(cl.FullNs).Round(time.Millisecond),
+			time.Duration(cl.FusedNs).Round(time.Millisecond), cl.Speedup, cl.CoverFDs, cl.Pruned, status)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchpr6:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchpr6:", err)
+		os.Exit(1)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchpr6: fused top-k diverged from the full ranking")
+		os.Exit(1)
+	}
+}
+
+// measure times both paths for one configuration and checks that the
+// fused top-k reproduces the truncated full ranking.
+func measure(ctx context.Context, c config, iters int) (cell, error) {
+	b, err := dataset.ByName(c.Dataset)
+	if err != nil {
+		return cell{}, err
+	}
+	r := b.Generate(c.Rows, c.Cols)
+
+	base := []dhyfd.Option{dhyfd.WithAlgorithm(c.Algo)}
+	if c.Eps > 0 {
+		base = append(base, dhyfd.WithMaxError(c.Eps))
+	}
+
+	var out cell
+	var reference []dhyfd.RankedFD
+	for i := 0; i < iters; i++ {
+		t0 := time.Now()
+		res, err := dhyfd.Discover(ctx, r, base...)
+		if err != nil {
+			return cell{}, err
+		}
+		disc := time.Since(t0)
+		ranked, _, err := dhyfd.Rank(ctx, r, res.FDs)
+		if err != nil {
+			return cell{}, err
+		}
+		full := time.Since(t0)
+		if len(ranked) > topK {
+			ranked = ranked[:topK]
+		}
+		if out.FullNs == 0 || int64(full) < out.FullNs {
+			out.FullNs = int64(full)
+			out.DiscoverNs = int64(disc)
+		}
+		out.CoverFDs = len(res.FDs)
+		reference = ranked
+	}
+	for i := 0; i < iters; i++ {
+		t0 := time.Now()
+		res, err := dhyfd.Discover(ctx, r, append(base[:len(base):len(base)], dhyfd.WithTopK(topK))...)
+		if err != nil {
+			return cell{}, err
+		}
+		fused := time.Since(t0)
+		if out.FusedNs == 0 || int64(fused) < out.FusedNs {
+			out.FusedNs = int64(fused)
+		}
+		out.Pruned = res.Stats.Counters["topk_pruned_branches"]
+		out.Admitted = res.Stats.Counters["topk_admitted"]
+		out.Match = equivalent(res.Ranked, reference)
+	}
+	out.Speedup = round2(float64(out.FullNs) / float64(out.FusedNs))
+	return out, nil
+}
+
+func equivalent(got, want []dhyfd.RankedFD) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range want {
+		if !got[i].FD.LHS.Equal(want[i].FD.LHS) || !got[i].FD.RHS.Equal(want[i].FD.RHS) || got[i].Counts != want[i].Counts {
+			return false
+		}
+	}
+	return true
+}
+
+func round2(f float64) float64 { return float64(int64(f*100+0.5)) / 100 }

@@ -2,15 +2,20 @@
 //
 // Usage:
 //
-//	fddiscover [-algo dhyfd] [-workers 1] [-null eq|neq] [-canonical] [-ratio 3.0] file.csv
+//	fddiscover [-algo dhyfd] [-workers 1] [-null eq|neq] [-canonical] [-ratio 3.0] [-topk 0] [-max-error 0] file.csv
 //
 // Algorithms: dhyfd (default), hyfd, tane, fdep, fdep1, fdep2, fastfds, dfd.
 //
 // The file must have a header row. Output is one FD per line using column
 // names, preceded by a summary. With -canonical the left-reduced cover is
-// shrunk to a canonical cover before printing. Interrupting the run
-// (Ctrl-C) cancels discovery promptly and prints the statistics of the
-// phases completed so far.
+// shrunk to a canonical cover before printing. With -topk N only the N FDs
+// causing the most redundant data values are discovered (the search prunes
+// lattice branches that cannot reach the top N) and printed most relevant
+// first with their redundancy counts; -canonical is ignored there. With
+// -max-error EPS validity is relaxed to approximate FDs whose g3 error
+// stays within EPS of the row count (lattice algorithms only).
+// Interrupting the run (Ctrl-C) cancels discovery promptly and prints the
+// statistics of the phases completed so far.
 //
 // -mem-budget and -max-partitions bound the run's partition footprint;
 // when a budget is exhausted the run finishes early with a sound partial
@@ -46,6 +51,8 @@ func main() {
 	memBudget := flag.Int64("mem-budget", -1, "approximate partition-memory budget in bytes; on exhaustion the run degrades to a sound partial result (-1 = unlimited)")
 	maxParts := flag.Int("max-partitions", -1, "cap on partitions materialized; on exhaustion the run degrades to a sound partial result (-1 = unlimited)")
 	pliCache := flag.Int64("pli-cache", 0, "share stripped partitions through an LRU cache of this many bytes (0 = disabled)")
+	topK := flag.Int("topk", 0, "discover only the N most relevant FDs, pre-ranked by redundancy (0 = full cover)")
+	maxError := flag.Float64("max-error", 0, "accept approximate FDs with g3 error up to this fraction of rows, in [0,1) (0 = exact)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: fddiscover [flags] file.csv\n")
 		flag.PrintDefaults()
@@ -59,6 +66,14 @@ func main() {
 	a, err := dhyfd.ParseAlgorithm(*algo)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *topK < 0 {
+		fmt.Fprintf(os.Stderr, "fddiscover: -topk %d: must be >= 0\n", *topK)
+		os.Exit(2)
+	}
+	if *maxError < 0 || *maxError >= 1 {
+		fmt.Fprintf(os.Stderr, "fddiscover: -max-error %v: must be in [0, 1)\n", *maxError)
 		os.Exit(2)
 	}
 	opts := dhyfd.Options{}
@@ -95,6 +110,12 @@ func main() {
 	if *pliCache > 0 {
 		discoverOpts = append(discoverOpts, dhyfd.WithPartitionCache(*pliCache))
 	}
+	if *topK > 0 {
+		discoverOpts = append(discoverOpts, dhyfd.WithTopK(*topK))
+	}
+	if *maxError > 0 {
+		discoverOpts = append(discoverOpts, dhyfd.WithMaxError(*maxError))
+	}
 
 	res, err := dhyfd.Discover(ctx, rel, discoverOpts...)
 	if err != nil {
@@ -118,6 +139,18 @@ func main() {
 	}
 	if *stats {
 		fmt.Fprintln(os.Stderr, res.Stats.String())
+	}
+
+	if *topK > 0 {
+		if *canonical {
+			fmt.Fprintln(os.Stderr, "fddiscover: -canonical is ignored under -topk (the top-k cover is already minimal and ranked)")
+		}
+		fmt.Fprintf(os.Stderr, "%s: %d rows, %d columns; top-%d FDs by redundancy (%v, %v)\n",
+			flag.Arg(0), rel.NumRows(), rel.NumCols(), *topK, a, res.Stats.Elapsed)
+		for _, r := range res.Ranked {
+			fmt.Printf("%8d  %s\n", r.Counts.WithNulls, r.FD.Format(rel.Names))
+		}
+		return
 	}
 
 	fds := res.FDs

@@ -3,17 +3,21 @@
 //
 // Usage:
 //
-//	fdrank [-top 25] [-column name] [-null eq|neq] [-workers N] [-pli-cache BYTES] [-stats] file.csv
+//	fdrank [-top 25] [-topk 0] [-column name] [-null eq|neq] [-workers N] [-pli-cache BYTES] [-stats] file.csv
 //
 // Without -column the canonical cover is ranked globally: highest-impact
 // FDs first, each with its #red+0 / #red / #red-0 counts. With -column the
 // per-column view of Section VI-B is printed: the minimal LHSs determining
 // that column and the redundancy each causes in it.
 //
-// -workers fans the ranking kernels (and discovery's validation hot path)
-// out over a worker pool. -pli-cache shares one stripped-partition cache
-// across discovery and ranking, so ranking reuses the partitions discovery
-// built. -stats prints the ranking run report to stderr.
+// -topk N takes the fused fast path: discovery itself keeps only the N
+// most relevant FDs and prunes lattice regions that cannot reach the top
+// N, skipping the full discover-then-rank pipeline (and the canonical
+// cover and dataset totals, which need the whole cover). -workers fans the
+// ranking kernels (and discovery's validation hot path) out over a worker
+// pool. -pli-cache shares one stripped-partition cache across discovery
+// and ranking, so ranking reuses the partitions discovery built. -stats
+// prints the ranking run report to stderr.
 package main
 
 import (
@@ -32,6 +36,7 @@ import (
 
 func main() {
 	top := flag.Int("top", 25, "print only the top N FDs (0 = all)")
+	topK := flag.Int("topk", 0, "fused fast path: discover only the N most relevant FDs, pruning the rest of the search (0 = full pipeline)")
 	column := flag.String("column", "", "fix a column and list its minimal LHSs")
 	nullSem := flag.String("null", "eq", "null semantics: eq or neq")
 	pliCache := flag.Int64("pli-cache", 0, "share stripped partitions through an LRU cache of this many bytes, spanning discovery and ranking (0 = ranking-private cache only)")
@@ -44,6 +49,10 @@ func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *topK < 0 {
+		fmt.Fprintf(os.Stderr, "fdrank: -topk %d: must be >= 0\n", *topK)
 		os.Exit(2)
 	}
 
@@ -61,25 +70,45 @@ func main() {
 	defer cancel()
 
 	start := time.Now()
-	rankCfg := dhyfd.RankConfig{Workers: *workers}
-	discoverOpts := []dhyfd.Option{dhyfd.WithWorkers(*workers)}
+	// shared holds the options every stage of the pipeline honours; one
+	// cache spans discovery and ranking, so ranking reuses the partitions
+	// the discovery run built.
+	shared := []dhyfd.Option{dhyfd.WithWorkers(*workers)}
 	if *pliCache > 0 {
-		// One cache spans discovery and ranking: ranking reuses the
-		// partitions the discovery run built.
-		rankCfg.Cache = dhyfd.NewPLICache(*pliCache)
-		discoverOpts = append(discoverOpts, dhyfd.WithCache(rankCfg.Cache))
+		shared = append(shared, dhyfd.WithCache(dhyfd.NewPLICache(*pliCache)))
 	}
-	res, err := dhyfd.Discover(ctx, rel, discoverOpts...)
-	if err != nil {
-		var perr *dhyfd.PanicError
-		if errors.Is(err, context.Canceled) {
-			fmt.Fprintln(os.Stderr, "fdrank: interrupted; partial run report:")
-			fmt.Fprintln(os.Stderr, res.Stats.String())
-		} else if errors.As(err, &perr) {
-			fmt.Fprintf(os.Stderr, "fdrank: internal panic at %s: %v\n%s\n", perr.Site, perr.Value, perr.Stack)
-		} else {
-			fmt.Fprintln(os.Stderr, err)
+
+	if *topK > 0 && *column == "" {
+		// Fused fast path: the run itself keeps the top-k heap and prunes
+		// branches that cannot enter it; Result.Ranked is the answer.
+		res, err := dhyfd.Discover(ctx, rel, append(shared, dhyfd.WithTopK(*topK))...)
+		if err != nil {
+			reportDiscoverError(err, res)
+			os.Exit(1)
 		}
+		if res.Stats.Degraded {
+			fmt.Fprintf(os.Stderr, "fdrank: warning: degraded run (%s); the top-k below is sound but may be incomplete\n", res.Stats.DegradedReason)
+		}
+		if *stats {
+			fmt.Fprintln(os.Stderr, res.Stats.String())
+		}
+		fmt.Fprintf(os.Stderr, "top %d FDs by redundancy (%v)\n", len(res.Ranked), time.Since(start))
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		defer tw.Flush()
+		fmt.Fprintf(tw, "#red+0\t#red\t#red-0\tFD\n")
+		for _, r := range res.Ranked {
+			fmt.Fprintf(tw, "%d\t%d\t%d\t%s\n",
+				r.Counts.WithNulls, r.Counts.NoNullRHS, r.Counts.NoNulls, r.FD.Format(rel.Names))
+		}
+		return
+	}
+	if *topK > 0 {
+		fmt.Fprintln(os.Stderr, "fdrank: -topk is ignored with -column (the per-column view ranks every minimal LHS)")
+	}
+
+	res, err := dhyfd.Discover(ctx, rel, shared...)
+	if err != nil {
+		reportDiscoverError(err, res)
 		os.Exit(1)
 	}
 	if res.Stats.Degraded {
@@ -103,7 +132,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown column %q (have %v)\n", *column, rel.Names)
 			os.Exit(2)
 		}
-		views, rstats, rerr := dhyfd.RankForColumnWith(ctx, rel, can, col, rankCfg)
+		views, rstats, rerr := dhyfd.RankForColumn(ctx, rel, can, col, shared...)
 		if rerr != nil {
 			fmt.Fprintln(os.Stderr, "fdrank:", rerr)
 			os.Exit(1)
@@ -118,12 +147,12 @@ func main() {
 		return
 	}
 
-	ranked, rstats, rerr := dhyfd.RankWith(ctx, rel, can, rankCfg)
+	ranked, rstats, rerr := dhyfd.Rank(ctx, rel, can, shared...)
 	if rerr != nil {
 		fmt.Fprintln(os.Stderr, "fdrank:", rerr)
 		os.Exit(1)
 	}
-	tot, tstats, terr := dhyfd.TotalRedundancyWith(ctx, rel, can, rankCfg)
+	tot, tstats, terr := dhyfd.TotalRedundancy(ctx, rel, can, shared...)
 	if terr != nil {
 		fmt.Fprintln(os.Stderr, "fdrank:", terr)
 		os.Exit(1)
@@ -143,5 +172,18 @@ func main() {
 		}
 		fmt.Fprintf(tw, "%d\t%d\t%d\t%s\n",
 			r.Counts.WithNulls, r.Counts.NoNullRHS, r.Counts.NoNulls, r.FD.Format(rel.Names))
+	}
+}
+
+// reportDiscoverError explains a failed discovery run on stderr.
+func reportDiscoverError(err error, res *dhyfd.Result) {
+	var perr *dhyfd.PanicError
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "fdrank: interrupted; partial run report:")
+		fmt.Fprintln(os.Stderr, res.Stats.String())
+	} else if errors.As(err, &perr) {
+		fmt.Fprintf(os.Stderr, "fdrank: internal panic at %s: %v\n%s\n", perr.Site, perr.Value, perr.Stack)
+	} else {
+		fmt.Fprintln(os.Stderr, err)
 	}
 }

@@ -55,7 +55,8 @@ func ExampleRank() {
 	rel, _ := dhyfd.ReadCSV(strings.NewReader(exampleCSV), dhyfd.Options{})
 	res, _ := dhyfd.Discover(context.Background(), rel)
 	can := dhyfd.CanonicalCover(rel.NumCols(), res.FDs)
-	for _, r := range dhyfd.Rank(rel, can) {
+	ranked, _, _ := dhyfd.Rank(context.Background(), rel, can)
+	for _, r := range ranked {
 		fmt.Printf("%d  %s\n", r.Counts.WithNulls, r.FD.Format(rel.Names))
 	}
 	// Output:
@@ -63,6 +64,18 @@ func ExampleRank() {
 	// 4  city -> zip
 	// 4  zip -> city
 	// 0  id -> zip
+}
+
+func ExampleWithTopK() {
+	rel, _ := dhyfd.ReadCSV(strings.NewReader(exampleCSV), dhyfd.Options{})
+	// Fused top-k: discover only the 2 most relevant FDs, pre-ranked.
+	res, _ := dhyfd.Discover(context.Background(), rel, dhyfd.WithTopK(2))
+	for _, r := range res.Ranked {
+		fmt.Printf("%d  %s\n", r.Counts.WithNulls, r.FD.Format(rel.Names))
+	}
+	// Output:
+	// 5  ∅ -> state
+	// 4  city -> zip
 }
 
 func ExampleCandidateKeys() {

@@ -40,7 +40,10 @@ func main() {
 		panic(err)
 	}
 	can := dhyfd.CanonicalCover(rel.NumCols(), res.FDs)
-	ranked := dhyfd.Rank(rel, can)
+	ranked, _, err := dhyfd.Rank(context.Background(), rel, can)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("canonical cover: %d FDs\n\n", len(can))
 
 	// Signal 1: near-keys. A single-column LHS with tiny but non-zero

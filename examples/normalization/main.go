@@ -30,7 +30,10 @@ func main() {
 		panic(err)
 	}
 	can := dhyfd.CanonicalCover(n, res.FDs)
-	ranked := dhyfd.Rank(rel, can)
+	ranked, _, err := dhyfd.Rank(context.Background(), rel, can)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("canonical cover: %d FDs\n", len(can))
 
 	// Candidate keys (Lucchesi–Osborn over the cover).
@@ -86,7 +89,10 @@ func main() {
 
 	// Quantify the win: total redundancy before vs after (the fragments
 	// individually hold the same data without the repeated values).
-	tot := dhyfd.TotalRedundancy(rel, can)
+	tot, _, err := dhyfd.TotalRedundancy(context.Background(), rel, can)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("\noriginal table pins %d of %d stored values (%.1f%%) via FDs —\n"+
 		"the redundancy normalization exists to remove.\n",
 		tot.RedWithNulls, tot.Values, tot.PercentRedWithNulls())

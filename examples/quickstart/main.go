@@ -56,7 +56,10 @@ func main() {
 	// 4. Rank by the redundancy each FD causes: the most relevant patterns
 	// first. #red+0 counts nulls, #red-0 requires null-free evidence.
 	fmt.Println("top FDs by data redundancy (#red+0 / #red / #red-0):")
-	ranked := dhyfd.Rank(rel, can)
+	ranked, _, err := dhyfd.Rank(context.Background(), rel, can)
+	if err != nil {
+		panic(err)
+	}
 	for i, r := range ranked {
 		if i == 10 {
 			fmt.Printf("  … %d more\n", len(ranked)-i)

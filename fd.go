@@ -11,9 +11,9 @@
 // Quick start:
 //
 //	rel, err := dhyfd.ReadCSVFile("voters.csv", dhyfd.Options{})
-//	res, err := dhyfd.Discover(context.Background(), rel)
-//	can := dhyfd.CanonicalCover(rel.NumCols(), res.FDs)  // much smaller cover
-//	for _, r := range dhyfd.Rank(rel, can) {             // most relevant first
+//	ctx := context.Background()
+//	res, err := dhyfd.Discover(ctx, rel, dhyfd.WithTopK(10))
+//	for _, r := range res.Ranked {                       // most relevant first
 //		fmt.Printf("%6d  %s\n", r.Counts.WithNulls, r.FD.Format(rel.Names))
 //	}
 //	fmt.Println(res.Stats.String())                      // where the time went
@@ -28,10 +28,19 @@
 //		dhyfd.WithWorkers(4),
 //		dhyfd.WithDeadline(time.Now().Add(30*time.Second)))
 //
-// Cancel ctx (or let the deadline pass) and Discover returns promptly with
-// the context's error and a partial Result whose Stats record the phases
-// completed so far. CanonicalCover shrinks the cover to a non-redundant one
-// with unique left-hand sides, and Rank orders FDs by relevance.
+// WithTopK(k) fuses the paper's ranking into the search: the run keeps
+// only the k FDs causing the most redundant data values (Section VI) and
+// prunes lattice branches that provably cannot reach the top k, returning
+// them pre-ranked in Result.Ranked. WithMaxError(eps) relaxes validity to
+// approximate FDs whose g3 violation count stays within eps of the row
+// count. Cancel ctx (or let the deadline pass) and Discover returns
+// promptly with the context's error and a partial Result whose Stats
+// record the phases completed so far. CanonicalCover shrinks the cover to
+// a non-redundant one with unique left-hand sides, and Rank orders any
+// cover by relevance after the fact:
+//
+//	can := dhyfd.CanonicalCover(rel.NumCols(), res.FDs)  // much smaller cover
+//	ranked, _, err := dhyfd.Rank(ctx, rel, can)
 package dhyfd
 
 import (
@@ -54,6 +63,7 @@ import (
 	"repro/internal/ranking"
 	"repro/internal/relation"
 	"repro/internal/tane"
+	"repro/internal/topk"
 )
 
 // FD is a functional dependency over column indexes of a Relation. The
@@ -182,7 +192,12 @@ type PanicError = engine.PanicError
 // context's error.
 type Result struct {
 	// FDs is the left-reduced cover: every minimal FD with a singleton RHS.
+	// Under WithTopK it holds the k best FDs in ranked order.
 	FDs []FD
+	// Ranked pairs each FD with its redundancy counts, sorted most relevant
+	// first. Populated only under WithTopK; otherwise nil (rank a full
+	// cover with Rank).
+	Ranked []RankedFD
 	// Algorithm is the algorithm that produced the cover.
 	Algorithm Algorithm
 	// Stats reports what the run did and where the time went.
@@ -198,12 +213,14 @@ type discoverConfig struct {
 	workers    int
 	ratio      float64
 	deadline   time.Time
-	hyfd       hyfd.Config
 	memBudget  int64 // bytes; < 0 = unlimited
 	maxParts   int64 // partitions; < 0 = unlimited
 	cacheBytes int64 // PLI cache capacity; <= 0 = disabled
 	cache      *PLICache
 	noVerify   bool
+	topK       int     // > 0 enables the fused top-k search
+	maxErr     float64 // g3 error bound in [0, 1); 0 = exact
+	optErr     error   // first invalid option, reported by Discover
 }
 
 // WithAlgorithm selects the discovery algorithm (default DHyFD).
@@ -328,6 +345,50 @@ func WithCache(pc *PLICache) Option {
 	return func(c *discoverConfig) { c.cache = pc }
 }
 
+// WithTopK restricts discovery to the k most relevant FDs — the ones
+// causing the most redundant data values (the ranking of Section VI) —
+// returned pre-ranked in Result.Ranked with their redundancy counts, and
+// mirrored in Result.FDs. For the lattice algorithms (DHyFD, HyFD, TANE,
+// DFD) the limit is fused into the search: the run maintains a concurrent
+// top-k heap scored by ‖π_LHS‖ (exactly the #red+0 count of a valid FD)
+// and abandons branches whose redundancy upper bound cannot enter the
+// heap, so low-relevance regions of the lattice are never validated. The
+// result is identical to discovering the full cover, ranking it and
+// truncating — just cheaper. The row-based algorithms (FDEP variants,
+// FastFDs) have no lattice to prune and fall back to exactly that
+// rank-and-truncate. Heap traffic and abandoned branches are reported in
+// Stats under topk_admitted / topk_rejected / topk_pruned_branches.
+// k of 0 disables the limit (the default); negative k is an error.
+func WithTopK(k int) Option {
+	return func(c *discoverConfig) {
+		if k < 0 {
+			c.optErr = fmt.Errorf("dhyfd: WithTopK(%d): k must be >= 0", k)
+			return
+		}
+		c.topK = k
+	}
+}
+
+// WithMaxError relaxes discovery to approximate FDs: X → A is accepted
+// while its g3 error — the fraction of rows to delete for it to hold
+// exactly — stays at or below eps. The bound applies per candidate during
+// the search (row sampling is disabled for the hybrids: an exact
+// counterexample pair no longer refutes a candidate), and the returned
+// cover is re-verified against the relation before Discover returns, so
+// every reported FD genuinely satisfies the bound. eps of 0 keeps exact
+// discovery (the default); eps outside [0, 1) is an error, as is
+// combining a non-zero eps with the row-based algorithms (FDEP variants,
+// FastFDs), which derive covers from exact difference sets.
+func WithMaxError(eps float64) Option {
+	return func(c *discoverConfig) {
+		if eps < 0 || eps >= 1 {
+			c.optErr = fmt.Errorf("dhyfd: WithMaxError(%v): eps must be in [0, 1)", eps)
+			return
+		}
+		c.maxErr = eps
+	}
+}
+
 // Discover computes the left-reduced cover of the FDs holding on r. With
 // no options it runs DHyFD with the paper's tuning. The context cancels
 // the run cooperatively: on cancellation Discover returns ctx's error and
@@ -344,6 +405,32 @@ func Discover(ctx context.Context, r *Relation, opts ...Option) (res *Result, er
 	cfg := discoverConfig{memBudget: -1, maxParts: -1}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.optErr != nil {
+		return &Result{Algorithm: cfg.algorithm}, cfg.optErr
+	}
+	// The lattice algorithms support the fused top-k heap and approximate
+	// validation; the row-based ones derive covers from exact difference
+	// sets, so they reject WithMaxError and satisfy WithTopK by ranking
+	// and truncating their full cover (see attachTopK).
+	lattice := false
+	switch cfg.algorithm {
+	case DHyFD, HyFD, TANE, DFD:
+		lattice = true
+	case FDEP, FDEP1, FDEP2, FastFDs:
+	default:
+	}
+	maxViol := 0
+	if cfg.maxErr > 0 {
+		if !lattice {
+			return &Result{Algorithm: cfg.algorithm},
+				fmt.Errorf("dhyfd: WithMaxError is not supported by the row-based %v; use DHyFD, HyFD, TANE or DFD", cfg.algorithm)
+		}
+		maxViol = int(cfg.maxErr * float64(r.NumRows()))
+	}
+	var collector *topk.Collector
+	if cfg.topK > 0 && lattice {
+		collector = topk.New(cfg.topK)
 	}
 	if !cfg.deadline.IsZero() {
 		var cancel context.CancelFunc
@@ -376,17 +463,20 @@ func Discover(ctx context.Context, r *Relation, opts ...Option) (res *Result, er
 	)
 	switch cfg.algorithm {
 	case DHyFD:
-		fds, rs, err = core.DiscoverRun(ctx, r, core.Config{Ratio: cfg.ratio, Workers: cfg.workers, Budget: budget, Cache: cache})
+		fds, rs, err = core.DiscoverRun(ctx, r, core.Config{
+			Ratio: cfg.ratio, Workers: cfg.workers, Budget: budget, Cache: cache,
+			TopK: collector, MaxViolations: maxViol,
+		})
 	case HyFD:
-		hcfg := cfg.hyfd
-		if cfg.workers > hcfg.Workers {
-			hcfg.Workers = cfg.workers
-		}
-		hcfg.Budget = budget
-		hcfg.Cache = cache
-		fds, rs, err = hyfd.DiscoverRun(ctx, r, hcfg)
+		fds, rs, err = hyfd.DiscoverRun(ctx, r, hyfd.Config{
+			Workers: cfg.workers, Budget: budget, Cache: cache,
+			TopK: collector, MaxViolations: maxViol,
+		})
 	case TANE:
-		fds, rs, err = tane.Run(ctx, r, tane.Config{Workers: cfg.workers, Budget: budget, Cache: cache})
+		fds, rs, err = tane.Run(ctx, r, tane.Config{
+			Workers: cfg.workers, Budget: budget, Cache: cache,
+			TopK: collector, MaxViolations: maxViol,
+		})
 	case FDEP:
 		fds, rs, err = fdep.DiscoverRun(ctx, r, fdep.Classic)
 	case FDEP1:
@@ -396,7 +486,10 @@ func Discover(ctx context.Context, r *Relation, opts ...Option) (res *Result, er
 	case FastFDs:
 		fds, rs, err = fastfds.DiscoverRun(ctx, r)
 	case DFD:
-		fds, rs, err = dfd.Run(ctx, r, dfd.Config{Budget: budget, Cache: cache})
+		fds, rs, err = dfd.Run(ctx, r, dfd.Config{
+			Budget: budget, Cache: cache,
+			TopK: collector, MaxViolations: maxViol,
+		})
 	default:
 		return nil, fmt.Errorf("dhyfd: unknown algorithm %v", cfg.algorithm)
 	}
@@ -405,25 +498,56 @@ func Discover(ctx context.Context, r *Relation, opts ...Option) (res *Result, er
 	if rs != nil {
 		res.Stats = *rs
 	}
-	if (err != nil || res.Stats.Degraded) && !cfg.noVerify {
-		verifySoundness(r, res, cache)
+	if (err != nil || res.Stats.Degraded || maxViol > 0) && !cfg.noVerify {
+		verifySoundness(r, res, cache, maxViol)
+	}
+	if cfg.topK > 0 {
+		if rerr := attachTopK(ctx, r, res, &cfg, cache); err == nil {
+			err = rerr
+		}
 	}
 	return res, err
+}
+
+// attachTopK ranks the cover with the redundancy kernels, truncates it to
+// the k most relevant FDs and publishes them as Result.Ranked (mirrored
+// in Result.FDs). Under the fused search the cover is already the heap's
+// at-most-k admissions — ranking them attaches the full redundancy counts
+// to the in-search ‖π_LHS‖ scores and costs k partition lookups against
+// the run's cache. For the row-based algorithms, which expose no in-search
+// pruning hook, this is the fallback that makes WithTopK behave uniformly
+// across WithAlgorithm.
+func attachTopK(ctx context.Context, r *Relation, res *Result, cfg *discoverConfig, cache *partition.Cache) error {
+	ranked, rstats, err := ranking.RankCtx(ctx, r, res.FDs, ranking.Config{Workers: cfg.workers, Cache: cache})
+	rstats.AddToRunStats(&res.Stats)
+	if len(ranked) > cfg.topK {
+		ranked = ranked[:cfg.topK:cfg.topK]
+	}
+	res.Ranked = ranked
+	fds := make([]FD, len(ranked))
+	for i, rf := range ranked {
+		fds[i] = rf.FD
+	}
+	res.FDs = fds
+	res.Stats.FDs = int64(len(fds))
+	return err
 }
 
 // verifySoundness re-validates a partial cover against the relation and
 // drops any FD that does not hold, recording the outcome in the run
 // report's counters (postverify_checked / postverify_dropped /
-// postverify_sampled). The run's PLI cache, when enabled, supplies the
-// LHS partitions the run already built; the extra cache traffic is folded
-// into the run report. Clean complete runs skip it: their cover is exact
-// by construction and continuously cross-checked in the test suite.
-func verifySoundness(r *Relation, res *Result, cache *partition.Cache) {
+// postverify_sampled). With maxViol > 0 it verifies the g3 bound of
+// approximate covers instead of exact validity. The run's PLI cache, when
+// enabled, supplies the LHS partitions the run already built; the extra
+// cache traffic is folded into the run report. Clean complete exact runs
+// skip it: their cover is exact by construction and continuously
+// cross-checked in the test suite.
+func verifySoundness(r *Relation, res *Result, cache *partition.Cache, maxViol int) {
 	if r == nil || len(res.FDs) == 0 {
 		return
 	}
 	cache0 := cache.Stats()
-	rep := check.VerifyCover(r, res.FDs, check.VerifyOptions{Cache: cache})
+	rep := check.VerifyCover(r, res.FDs, check.VerifyOptions{Cache: cache, MaxViolations: maxViol})
 	delta := cache.Stats().Delta(cache0)
 	res.Stats.CacheHits += delta.Hits
 	res.Stats.CacheMisses += delta.Misses
@@ -435,55 +559,4 @@ func verifySoundness(r *Relation, res *Result, cache *partition.Cache) {
 	if rep.Sampled {
 		res.Stats.Count("postverify_sampled", 1)
 	}
-}
-
-// DiscoverOptions tunes discovery for the deprecated DiscoverWith.
-//
-// Deprecated: use Discover with Option values instead.
-type DiscoverOptions struct {
-	// Algorithm defaults to DHyFD.
-	Algorithm Algorithm
-	// Ratio is DHyFD's efficiency–inefficiency threshold (default 3.0).
-	Ratio float64
-	// Workers parallelizes the validation hot path (default serial).
-	Workers int
-	// HyFDConfig tunes the HyFD baseline's phase switching.
-	HyFDConfig hyfd.Config
-}
-
-// DiscoverWith computes the left-reduced cover with an explicit algorithm
-// and tuning.
-//
-// Deprecated: use Discover with WithAlgorithm / WithWorkers / WithRatio;
-// it also reports run statistics and honours a context.
-func DiscoverWith(r *Relation, opts DiscoverOptions) []FD {
-	//fdvet:ignore ctxflow compat shim for the pre-context API
-	res, err := Discover(context.Background(), r,
-		WithAlgorithm(opts.Algorithm),
-		WithWorkers(opts.Workers),
-		WithRatio(opts.Ratio),
-		withHyFDConfig(opts.HyFDConfig))
-	if err != nil {
-		return nil
-	}
-	return res.FDs
-}
-
-// withHyFDConfig threads the legacy HyFD tuning through the option path.
-func withHyFDConfig(cfg hyfd.Config) Option {
-	return func(c *discoverConfig) { c.hyfd = cfg }
-}
-
-// DHyFDStats re-exports the DHyFD-specific run statistics.
-//
-// Deprecated: use Result.Stats from Discover for the algorithm-agnostic
-// run report.
-type DHyFDStats = core.Stats
-
-// DiscoverDHyFDStats runs DHyFD and returns its run statistics.
-//
-// Deprecated: use Discover, whose Result carries RunStats for every
-// algorithm.
-func DiscoverDHyFDStats(r *Relation, ratio float64) ([]FD, DHyFDStats) {
-	return core.DiscoverWithConfig(r, core.Config{Ratio: ratio})
 }

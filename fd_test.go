@@ -62,8 +62,11 @@ func TestAllAlgorithmsAgree(t *testing.T) {
 	rel := loadVoters(t)
 	want := brute.MinimalFDs(rel)
 	for _, a := range dhyfd.Algorithms() {
-		got := dhyfd.DiscoverWith(rel, dhyfd.DiscoverOptions{Algorithm: a})
-		if !dep.Equal(got, want) {
+		res, err := dhyfd.Discover(context.Background(), rel, dhyfd.WithAlgorithm(a))
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		if !dep.Equal(res.FDs, want) {
 			t.Errorf("%v disagrees with brute force", a)
 		}
 	}
@@ -86,7 +89,10 @@ func TestCanonicalCoverShrinks(t *testing.T) {
 func TestRankPublicAPI(t *testing.T) {
 	rel := loadVoters(t)
 	can := dhyfd.CanonicalCover(rel.NumCols(), discoverDefault(t, rel))
-	ranked := dhyfd.Rank(rel, can)
+	ranked, _, err := dhyfd.Rank(context.Background(), rel, can)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ranked) == 0 {
 		t.Fatal("no ranked FDs")
 	}
@@ -112,7 +118,10 @@ func TestRankPublicAPI(t *testing.T) {
 func TestRankForColumn(t *testing.T) {
 	rel := loadVoters(t)
 	can := dhyfd.CanonicalCover(rel.NumCols(), discoverDefault(t, rel))
-	views := dhyfd.RankForColumn(rel, can, 2) // city
+	views, _, err := dhyfd.RankForColumn(context.Background(), rel, can, 2) // city
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(views) == 0 {
 		t.Fatal("no LHS determines city?")
 	}
@@ -204,18 +213,61 @@ func TestDiscoverDeadline(t *testing.T) {
 	}
 }
 
-func TestDiscoverDHyFDStats(t *testing.T) {
+func TestTopKOptionValidation(t *testing.T) {
 	rel := loadVoters(t)
-	fds, stats := dhyfd.DiscoverDHyFDStats(rel, 3.0)
-	if stats.FDs != len(fds) {
-		t.Errorf("stats.FDs=%d len=%d", stats.FDs, len(fds))
+	if _, err := dhyfd.Discover(context.Background(), rel, dhyfd.WithTopK(-1)); err == nil {
+		t.Error("WithTopK(-1) must error")
+	}
+	if _, err := dhyfd.Discover(context.Background(), rel, dhyfd.WithMaxError(1.5)); err == nil {
+		t.Error("WithMaxError(1.5) must error")
+	}
+	if _, err := dhyfd.Discover(context.Background(), rel, dhyfd.WithMaxError(-0.1)); err == nil {
+		t.Error("WithMaxError(-0.1) must error")
+	}
+	if _, err := dhyfd.Discover(context.Background(), rel,
+		dhyfd.WithAlgorithm(dhyfd.FDEP), dhyfd.WithMaxError(0.1)); err == nil {
+		t.Error("WithMaxError on a row-based algorithm must error")
+	}
+	// WithTopK(0) and WithMaxError(0) are the exact defaults.
+	res, err := dhyfd.Discover(context.Background(), rel, dhyfd.WithTopK(0), dhyfd.WithMaxError(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ranked != nil {
+		t.Error("WithTopK(0) must not rank")
+	}
+}
+
+func TestDiscoverTopK(t *testing.T) {
+	rel := loadVoters(t)
+	res, err := dhyfd.Discover(context.Background(), rel, dhyfd.WithTopK(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ranked) != 3 || len(res.FDs) != 3 {
+		t.Fatalf("top-3 returned %d ranked / %d FDs", len(res.Ranked), len(res.FDs))
+	}
+	for i := range res.Ranked {
+		if !res.Ranked[i].FD.LHS.Equal(res.FDs[i].LHS) || !res.Ranked[i].FD.RHS.Equal(res.FDs[i].RHS) {
+			t.Errorf("Ranked[%d] and FDs[%d] disagree", i, i)
+		}
+	}
+	// state is constant: the top FD must be ∅ -> state with 5 occurrences.
+	if res.Ranked[0].Counts.WithNulls != 5 {
+		t.Errorf("top redundancy = %d, want 5 (∅ -> state)", res.Ranked[0].Counts.WithNulls)
+	}
+	if res.Stats.FDs != 3 {
+		t.Errorf("Stats.FDs = %d, want 3", res.Stats.FDs)
 	}
 }
 
 func TestTotalRedundancy(t *testing.T) {
 	rel := loadVoters(t)
 	can := dhyfd.CanonicalCover(rel.NumCols(), discoverDefault(t, rel))
-	tot := dhyfd.TotalRedundancy(rel, can)
+	tot, _, err := dhyfd.TotalRedundancy(context.Background(), rel, can)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if tot.Values != 25 {
 		t.Errorf("values = %d", tot.Values)
 	}

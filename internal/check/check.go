@@ -81,6 +81,14 @@ type VerifyOptions struct {
 	// a different relation, so cached full-relation partitions would be
 	// wrong there.
 	Cache *partition.Cache
+	// MaxViolations verifies the cover approximately: an FD passes while
+	// its g3-style violation count — the rows to delete for it to hold
+	// exactly — stays at or below this bound. Deleting rows never raises
+	// the count, so on a row sample the measured count is a lower bound:
+	// sampled verification can refute an approximate FD but never
+	// wrongly confirm one beyond what full verification would. 0 keeps
+	// exact verification.
+	MaxViolations int
 }
 
 // DefaultSampleRows is the row-sample bound the post-run verifier uses
@@ -129,13 +137,34 @@ func VerifyCover(r *relation.Relation, fds []dep.FD, opts VerifyOptions) VerifyR
 	}
 	rep.Sound = make([]dep.FD, 0, len(fds))
 	for _, f := range fds {
-		if len(fdViolations(target, f, 1, cache)) == 0 {
+		sound := false
+		if opts.MaxViolations > 0 {
+			sound = fdG3Violations(target, f, opts.MaxViolations, cache) <= opts.MaxViolations
+		} else {
+			sound = len(fdViolations(target, f, 1, cache)) == 0
+		}
+		if sound {
 			rep.Sound = append(rep.Sound, f)
 		} else {
 			rep.Violated++
 		}
 	}
 	return rep
+}
+
+// fdG3Violations counts the g3 violations of f on r — the rows to delete
+// so f holds exactly — summed over f's RHS attributes (covers are
+// singleton-RHS in practice) and stopping early past limit.
+func fdG3Violations(r *relation.Relation, f dep.FD, limit int, cache *partition.Cache) int {
+	p := partition.ForAttrsCached(cache, f.LHS, r.Cols, r.Cards)
+	total := 0
+	for a := f.RHS.Next(0); a >= 0; a = f.RHS.Next(a + 1) {
+		total += partition.G3Violations(p, r.Cols[a], r.Cards[a], limit)
+		if total > limit {
+			return total
+		}
+	}
+	return total
 }
 
 // Keys verifies that an attribute set is unique on r, returning a

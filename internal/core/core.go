@@ -39,6 +39,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/relation"
 	"repro/internal/sampling"
+	"repro/internal/topk"
 	"repro/internal/validate"
 )
 
@@ -67,6 +68,21 @@ type Config struct {
 	// cached subset when a node has no consistent slot. Nil disables
 	// caching.
 	Cache *partition.Cache
+	// TopK, when non-nil, fuses redundancy-ranked top-k selection into
+	// validation: validated FDs are offered to the collector scored by
+	// ‖π_LHS‖ (the validator's LastSize) and candidate nodes whose best
+	// reachable score — the smallest single-attribute partition size over
+	// their LHS, an upper bound on ‖π_LHS‖ and on every specialization —
+	// cannot beat the admission threshold are skipped. The run returns
+	// the collector's FDs in ranking order instead of the full cover.
+	TopK *topk.Collector
+	// MaxViolations relaxes validation to the g3-style bound: lhs → A
+	// counts as valid while at most MaxViolations rows must be deleted
+	// for it to hold exactly. Positive values disable pair sampling
+	// (exact violating pairs must not refute approximately valid FDs);
+	// the search tree specializes from validation outcomes instead,
+	// which monotonicity makes sound. 0 keeps exact discovery.
+	MaxViolations int
 }
 
 // DefaultConfig returns the paper's tuned configuration.
@@ -278,11 +294,30 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 	cfg.fillDefaults()
 	var stats Stats
 	rs := engine.NewRunStats("dhyfd", cfg.Workers)
+	topkFlushed := false
+	flushTopK := func() {
+		if cfg.TopK == nil || topkFlushed {
+			return
+		}
+		topkFlushed = true
+		admitted, rejected, pruned := cfg.TopK.Counters()
+		rs.Count("topk_admitted", admitted)
+		rs.Count("topk_rejected", rejected)
+		rs.Count("topk_pruned_branches", pruned)
+	}
 	defer func() {
 		if rec := recover(); rec != nil {
 			perr := engine.NewPanicError("dhyfd", rec)
+			flushTopK()
 			rs.Finish(perr)
-			retFDs, retStats, retRS, retErr = nil, stats, rs, perr
+			var partial []dep.FD
+			if cfg.TopK != nil {
+				// Heap entries were each individually validated: a sound
+				// partial top-k even after a panic.
+				partial = cfg.TopK.FDs()
+				rs.FDs = int64(len(partial))
+			}
+			retFDs, retStats, retRS, retErr = partial, stats, rs, perr
 		}
 	}()
 	n := r.NumCols()
@@ -310,23 +345,49 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 		rs.Degrade(cfg.Budget.Reason() + "; DDM refreshes disabled")
 	}
 	v := validate.New(r)
+	v.MaxViolations = cfg.MaxViolations
+	approx := cfg.MaxViolations > 0
 	tree := fdtree.NewWithFullRHS(n)
 	tree.ControlledLevel = 1
 	full := bitset.Full(n)
 
 	// One-shot sampling plus root validation (Algorithm 6, lines 5–6).
+	// Approximate runs skip sampling entirely: one exact violating pair
+	// would refute an FD the g3 bound still admits, so the tree may only
+	// specialize from approximate validation outcomes.
 	nonFDs := sampling.NewNonFDSet(n)
-	for c := 0; c < n; c++ {
-		_, comps := sampling.ClusterNeighborSample(r, m.singles[c], 1, nonFDs)
-		stats.Comparisons += comps
+	rootWitness := nonFDs
+	if approx {
+		rootWitness = nil
+	} else {
+		for c := 0; c < n; c++ {
+			_, comps := sampling.ClusterNeighborSample(r, m.singles[c], 1, nonFDs)
+			stats.Comparisons += comps
+		}
+		rs.RowsScanned += 2 * int64(stats.Comparisons)
 	}
-	rs.RowsScanned += 2 * int64(stats.Comparisons)
-	v.EmptyLHS(full, nonFDs)
+	rootValid := v.EmptyLHS(full, rootWitness)
 	stats.InitialNonFDs = nonFDs.Len()
 	stop()
 	stop = rs.Phase("induct")
 	inductAll(tree, full, nonFDs.Sets())
+	if approx {
+		if invalid := full.Difference(rootValid); !invalid.IsEmpty() {
+			tree.Induct(bitset.New(n), invalid)
+		}
+	}
 	stop()
+	if cfg.TopK != nil {
+		rootScore := 0
+		if r.NumRows() >= 2 {
+			rootScore = r.NumRows()
+		}
+		for a := rootValid.Next(0); a >= 0; a = rootValid.Next(a + 1) {
+			rhs := bitset.New(n)
+			rhs.Add(a)
+			cfg.TopK.Admit(dep.FD{LHS: bitset.New(n), RHS: rhs}, rootScore)
+		}
+	}
 	processed := nonFDs.Len()
 
 	// The surviving root RHS attributes are the validated FDs ∅ → A.
@@ -347,7 +408,17 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 		rs.Count("ddm_refreshes", int64(stats.Refinements))
 		rs.Count("peak_dyn_partitions", int64(stats.PeakDynPartCount))
 		rs.Count("peak_dyn_rows", int64(stats.PeakDynPartRows))
+		flushTopK()
 		rs.Finish(err)
+		if cfg.TopK != nil {
+			// The heap's FDs were each individually validated and minimal
+			// on the data, so this stands as a sound (partial, under err)
+			// top-k in ranking order.
+			fds := cfg.TopK.FDs()
+			stats.FDs = len(fds)
+			rs.FDs = int64(stats.FDs)
+			return fds, stats, rs, err
+		}
 		return nil, stats, rs, err
 	}
 
@@ -360,25 +431,35 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 			total += node.RHSCount()
 		}
 		stop = rs.Phase("validate")
-		err := validateLevel(ctx, pool, r, m, candidates, v, nonFDs)
+		invalids, err := validateLevel(ctx, pool, r, m, candidates, v, nonFDs, &cfg)
 		stop()
 		if err != nil {
 			return finish(err)
 		}
 		stop = rs.Phase("induct")
 		inductAll(tree, full, nonFDs.Sets()[processed:])
+		// Approximate runs specialize from the validation outcomes instead
+		// of witness pairs: lhs → a failing the g3 bound fails for every
+		// generalization too (monotonicity), which is exactly Induct's
+		// removal semantics.
+		for _, li := range invalids {
+			tree.Induct(li.lhs, li.invalid)
+		}
 		stop()
 		processed = nonFDs.Len()
 
 		numNewFDs := 0
 		for _, node := range candidates {
+			if node.Pruned {
+				continue
+			}
 			numNewFDs += node.RHSCount()
 		}
 		numFDs += numNewFDs
 
 		var reusables []*fdtree.Node
 		for _, node := range candidates {
-			if node.HasLiveChildren() {
+			if !node.Pruned && node.HasLiveChildren() {
 				reusables = append(reusables, node)
 			}
 		}
@@ -416,6 +497,9 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 	if err := ctx.Err(); err != nil {
 		return finish(err)
 	}
+	if cfg.TopK != nil {
+		return finish(nil) // the collector's FDs, in ranking order
+	}
 	fds := dep.SplitRHS(tree.FDs())
 	dep.Sort(fds)
 	stats.FDs = len(fds)
@@ -436,32 +520,88 @@ func EfficiencyInefficiencyRatio(validFDs, totalFDs, reusableNodes, higherFDs in
 	return efficiency / inefficiency
 }
 
+// levelInvalid records one approximate invalidation: every RHS attribute
+// of invalid failed the g3 bound at lhs, refuting lhs → a and (by
+// monotonicity) every generalization.
+type levelInvalid struct {
+	lhs     bitset.Set
+	invalid bitset.Set
+}
+
+// validateNode validates one FD-node: the fused top-k bound check and
+// possible skip, the validator call, heap admissions of validated FDs,
+// and — on approximate runs — the invalid RHS set for post-level
+// induction. Safe to run concurrently for distinct nodes (the collector
+// is concurrent; the DDM is read-only during a level except for per-node
+// id resets).
+func validateNode(node *fdtree.Node, n int, m *ddm, v *validate.Validator, nonFDs *sampling.NonFDSet, cfg *Config) (levelInvalid, bool) {
+	lhs := node.Path(n)
+	if cfg.TopK != nil {
+		// ‖π_lhs‖ — and the score of every FD specializing lhs — is at
+		// most the smallest single-attribute partition size over lhs.
+		bound := -1
+		for a := lhs.Next(0); a >= 0; a = lhs.Next(a + 1) {
+			if s := m.singles[a].Size(); bound < 0 || s < bound {
+				bound = s
+			}
+		}
+		if bound >= 0 && cfg.TopK.Prunable(bound) {
+			node.Pruned = true
+			return levelInvalid{}, false
+		}
+	}
+	p, attrs := m.partitionFor(node, lhs)
+	valid := v.FD(lhs, node.RHS, p, attrs, nonFDs)
+	if cfg.TopK != nil && !valid.IsEmpty() {
+		score := v.LastSize
+		for a := valid.Next(0); a >= 0; a = valid.Next(a + 1) {
+			rhs := bitset.New(n)
+			rhs.Add(a)
+			cfg.TopK.Admit(dep.FD{LHS: lhs, RHS: rhs}, score)
+		}
+	}
+	if cfg.MaxViolations > 0 {
+		if inv := node.RHS.Difference(valid); !inv.IsEmpty() {
+			return levelInvalid{lhs: lhs, invalid: inv}, true
+		}
+	}
+	return levelInvalid{}, false
+}
+
 // validateLevel validates the FD-nodes among candidates against their DDM
-// partitions, collecting witness non-FDs. With a pool wider than one the
+// partitions, collecting witness non-FDs (exact runs) or per-node invalid
+// sets (approximate runs; returned in candidate order so induction stays
+// deterministic for any worker count). With a pool wider than one the
 // candidates fan out over engine.Pool workers: each worker owns a
 // validator and a local non-FD buffer, merged into v and nonFDs after the
 // level. The DDM is read-only during a level except for per-node id
 // resets, which are safe because every node is processed by exactly one
 // worker. Counters are merged even on cancellation so partial runs report
 // honestly.
-func validateLevel(ctx context.Context, pool *engine.Pool, r *relation.Relation, m *ddm, candidates []*fdtree.Node, v *validate.Validator, nonFDs *sampling.NonFDSet) error {
+func validateLevel(ctx context.Context, pool *engine.Pool, r *relation.Relation, m *ddm, candidates []*fdtree.Node, v *validate.Validator, nonFDs *sampling.NonFDSet, cfg *Config) ([]levelInvalid, error) {
 	n := r.NumCols()
+	approx := cfg.MaxViolations > 0
+	witness := nonFDs
+	if approx {
+		witness = nil
+	}
+	var invalids []levelInvalid
 	workers := pool.Workers()
 	if workers < 2 || len(candidates) < 4*workers {
 		for i, node := range candidates {
 			if i%64 == 0 {
 				if err := ctx.Err(); err != nil {
-					return err
+					return invalids, err
 				}
 			}
 			if !node.IsFDNode() {
 				continue
 			}
-			lhs := node.Path(n)
-			p, attrs := m.partitionFor(node, lhs)
-			v.FD(lhs, node.RHS, p, attrs, nonFDs)
+			if li, ok := validateNode(node, n, m, v, witness, cfg); ok {
+				invalids = append(invalids, li)
+			}
 		}
-		return nil
+		return invalids, nil
 	}
 
 	locals := make([]*sampling.NonFDSet, workers)
@@ -469,15 +609,20 @@ func validateLevel(ctx context.Context, pool *engine.Pool, r *relation.Relation,
 	for w := 0; w < workers; w++ {
 		locals[w] = sampling.NewNonFDSet(n)
 		validators[w] = validate.New(r)
+		validators[w].MaxViolations = cfg.MaxViolations
 	}
+	slots := make([]levelInvalid, len(candidates))
+	found := make([]bool, len(candidates))
 	err := pool.Run(ctx, len(candidates), func(w, i int) {
 		node := candidates[i]
 		if !node.IsFDNode() {
 			return
 		}
-		lhs := node.Path(n)
-		p, attrs := m.partitionFor(node, lhs)
-		validators[w].FD(lhs, node.RHS, p, attrs, locals[w])
+		local := locals[w]
+		if approx {
+			local = nil
+		}
+		slots[i], found[i] = validateNode(node, n, m, validators[w], local, cfg)
 	})
 	for w := 0; w < workers; w++ {
 		v.Validations += validators[w].Validations
@@ -488,7 +633,12 @@ func validateLevel(ctx context.Context, pool *engine.Pool, r *relation.Relation,
 			nonFDs.Add(x)
 		}
 	}
-	return err
+	for i, ok := range found {
+		if ok {
+			invalids = append(invalids, slots[i])
+		}
+	}
+	return invalids, err
 }
 
 // inductAll sorts agree sets descending by LHS size and inducts each

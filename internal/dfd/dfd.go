@@ -26,6 +26,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/partition"
 	"repro/internal/relation"
+	"repro/internal/topk"
 )
 
 // Discover returns the left-reduced cover (singleton RHSs) of the FDs
@@ -55,6 +56,19 @@ type Config struct {
 	// then refines from the smallest-error cached subset of X instead of
 	// restarting from single-attribute partitions. Nil disables caching.
 	Cache *partition.Cache
+	// TopK, when non-nil, fuses redundancy-ranked top-k selection into
+	// the walks: minimal FDs are offered to the collector scored by
+	// ‖π_LHS‖ and a whole RHS walk is skipped when no LHS over R∖{A} can
+	// beat the admission threshold (the bound is the largest single-
+	// attribute partition size — the best any non-empty LHS can score).
+	// Pruning inside a walk would be unsound: descending toward
+	// minimality increases the score. The run returns the collector's
+	// FDs in ranking order instead of the full cover.
+	TopK *topk.Collector
+	// MaxViolations relaxes X → A validity to the g3-style bound: valid
+	// when at most MaxViolations rows must be deleted for the FD to hold
+	// exactly. 0 keeps the exact e(X) = e(XA) test.
+	MaxViolations int
 }
 
 // DiscoverRun is DiscoverCtx emitting the algorithm-agnostic run report.
@@ -67,34 +81,76 @@ func DiscoverRun(ctx context.Context, r *relation.Relation) ([]dep.FD, *engine.R
 // Run is DiscoverRun with tuning, including a partition budget.
 func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD, retRS *engine.RunStats, retErr error) {
 	rs := engine.NewRunStats("dfd", 1)
+	flushTopK := func() {
+		if cfg.TopK == nil {
+			return
+		}
+		admitted, rejected, pruned := cfg.TopK.Counters()
+		rs.Count("topk_admitted", admitted)
+		rs.Count("topk_rejected", rejected)
+		rs.Count("topk_pruned_branches", pruned)
+	}
 	defer func() {
 		if rec := recover(); rec != nil {
 			perr := engine.NewPanicError("dfd", rec)
+			flushTopK()
 			rs.Finish(perr)
-			retFDs, retRS, retErr = nil, rs, perr
+			var partial []dep.FD
+			if cfg.TopK != nil {
+				// The heap's FDs were each individually verified: a sound
+				// partial top-k even after a panic.
+				partial = cfg.TopK.FDs()
+				rs.FDs = int64(len(partial))
+			}
+			retFDs, retRS, retErr = partial, rs, perr
 		}
 	}()
 	n := r.NumCols()
 	var out []dep.FD
 	d := &dfd{
-		r:      r,
-		n:      n,
-		errs:   map[string]int{},
-		rng:    rand.New(rand.NewSource(0x0dfd)),
-		budget: cfg.Budget,
-		cache:  cfg.Cache,
+		r:       r,
+		n:       n,
+		errs:    map[string]int{},
+		sizes:   map[string]int{},
+		rng:     rand.New(rand.NewSource(0x0dfd)),
+		budget:  cfg.Budget,
+		cache:   cfg.Cache,
+		maxViol: cfg.MaxViolations,
+	}
+	if cfg.MaxViolations > 0 {
+		d.g3c = partition.NewG3Counter(0)
 	}
 	cache0 := cfg.Cache.Stats()
 	defer func() {
 		delta := cfg.Cache.Stats().Delta(cache0)
 		rs.CacheHits, rs.CacheMisses, rs.CacheEvictions = delta.Hits, delta.Misses, delta.Evictions
 	}()
+	fail := func(err error) ([]dep.FD, *engine.RunStats, error) {
+		rs.CandidatesValidated = int64(len(d.errs))
+		rs.PartitionsBuilt = int64(len(d.errs))
+		flushTopK()
+		rs.Finish(err)
+		if cfg.TopK != nil {
+			partial := cfg.TopK.FDs()
+			rs.FDs = int64(len(partial))
+			return partial, rs, err
+		}
+		return nil, rs, err
+	}
+	var singleBound []int
+	if cfg.TopK != nil {
+		// The best score any non-empty LHS over R∖{A} can reach is the
+		// largest single-attribute partition size outside A.
+		singleBound = make([]int, n)
+		for b := 0; b < n; b++ {
+			singleBound[b] = d.sizeOf(bitset.FromAttrs(n, b))
+		}
+	}
 	stop := rs.Phase("walk")
 	defer stop()
 	for a := 0; a < n; a++ {
 		if err := ctx.Err(); err != nil {
-			rs.Finish(err)
-			return nil, rs, err
+			return fail(err)
 		}
 		// A walk decides one RHS attribute completely or not at all, so
 		// abandoning the remaining attributes on budget exhaustion leaves
@@ -103,32 +159,57 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 			rs.Degrade(d.budget.Reason() + "; remaining RHS walks abandoned")
 			break
 		}
+		if cfg.TopK != nil && !d.holdsRaw(bitset.New(n), a) {
+			// No ∅ → a, so every FD with RHS a scores at most the best
+			// outside single: skip the whole walk when that cannot enter
+			// the heap. (When ∅ → a holds the walk below finds exactly it.)
+			bound := 0
+			for b := 0; b < n; b++ {
+				if b != a && singleBound[b] > bound {
+					bound = singleBound[b]
+				}
+			}
+			if cfg.TopK.Prunable(bound) {
+				continue
+			}
+		}
 		minDeps, err := d.minimalLHSs(ctx, a)
 		if err != nil {
-			rs.Finish(err)
-			return nil, rs, err
+			return fail(err)
 		}
 		rhs := bitset.New(n)
 		rhs.Add(a)
 		for _, x := range minDeps {
-			out = append(out, dep.FD{LHS: x, RHS: rhs.Clone()})
+			if cfg.TopK != nil {
+				cfg.TopK.Admit(dep.FD{LHS: x, RHS: rhs}, d.sizeOf(x))
+			} else {
+				out = append(out, dep.FD{LHS: x, RHS: rhs.Clone()})
+			}
 		}
 	}
-	dep.Sort(out)
+	if cfg.TopK != nil {
+		out = cfg.TopK.FDs() // already in ranking order
+	} else {
+		dep.Sort(out)
+	}
 	rs.FDs = int64(len(out))
 	rs.CandidatesValidated = int64(len(d.errs))
 	rs.PartitionsBuilt = int64(len(d.errs))
+	flushTopK()
 	rs.Finish(nil)
 	return out, rs, nil
 }
 
 type dfd struct {
-	r      *relation.Relation
-	n      int
-	errs   map[string]int // partition error cache, keyed by attribute set
-	rng    *rand.Rand
-	budget *partition.Budget
-	cache  *partition.Cache
+	r       *relation.Relation
+	n       int
+	errs    map[string]int // partition error cache, keyed by attribute set
+	sizes   map[string]int // partition size cache (‖π_X‖), same keys
+	rng     *rand.Rand
+	budget  *partition.Budget
+	cache   *partition.Cache
+	maxViol int
+	g3c     *partition.G3Counter
 }
 
 // errorOf returns e(X) = ‖π_X‖ − |π_X|, cached. Each miss materializes a
@@ -142,16 +223,40 @@ func (d *dfd) errorOf(x bitset.Set) int {
 	if e, ok := d.errs[k]; ok {
 		return e
 	}
+	p := d.materialize(k, x)
+	return p.Error()
+}
+
+// sizeOf returns ‖π_X‖, the fused top-k score of any FD with LHS X,
+// cached alongside the errors.
+func (d *dfd) sizeOf(x bitset.Set) int {
+	k := x.Key()
+	if s, ok := d.sizes[k]; ok {
+		return s
+	}
+	p := d.materialize(k, x)
+	return p.Size()
+}
+
+// materialize builds π_X, charges it against the budget (returning the
+// bytes immediately — only the measures are kept here) and records both
+// measures under k.
+func (d *dfd) materialize(k string, x bitset.Set) *partition.Partition {
 	p := partition.ForAttrsCached(d.cache, x, d.r.Cols, d.r.Cards)
 	d.budget.Charge(p)
 	d.budget.Release(p)
-	e := p.Error()
-	d.errs[k] = e
-	return e
+	d.errs[k] = p.Error()
+	d.sizes[k] = p.Size()
+	return p
 }
 
-// holdsRaw decides X → a by the TANE error test.
+// holdsRaw decides X → a: the TANE error test, or the g3 bound when the
+// run is approximate.
 func (d *dfd) holdsRaw(x bitset.Set, a int) bool {
+	if d.maxViol > 0 {
+		p := d.materialize(x.Key(), x)
+		return d.g3c.Violations(p, d.r.Cols[a], d.r.Cards[a], d.maxViol) <= d.maxViol
+	}
 	xa := x.Clone()
 	xa.Add(a)
 	return d.errorOf(x) == d.errorOf(xa)

@@ -47,12 +47,16 @@ const (
 	// RankingRun fires once per LHS group inside the redundancy-ranking
 	// kernels (ranking.RankCtx / TotalsCtx), usually on a pool worker.
 	RankingRun Site = "ranking.run"
+	// TopKPrune fires on every fused top-k bound check
+	// (topk.Collector.Prunable), the branch-abandonment decision of
+	// WithTopK discovery, often on a validation worker.
+	TopKPrune Site = "topk.prune"
 )
 
 // Sites lists the runtime's instrumented sites in a stable order, the set
 // the chaos suite iterates.
 func Sites() []Site {
-	return []Site{PartitionBuild, PartitionIntersect, DDMRefresh, EngineWorker, SamplingRun, RankingRun}
+	return []Site{PartitionBuild, PartitionIntersect, DDMRefresh, EngineWorker, SamplingRun, RankingRun, TopKPrune}
 }
 
 // Kind selects what an armed plan injects.

@@ -41,6 +41,11 @@ type Node struct {
 	// RHS holds the FD's right-hand side when the node is an FD-node;
 	// empty or nil otherwise.
 	RHS bitset.Set
+	// Pruned marks a node a fused top-k run abandoned: no FD at or below
+	// it can still enter the heap, so validation skips it. Only the
+	// heap's admissions are reported, never the tree, so pruned nodes
+	// merely save work.
+	Pruned bool
 
 	parent   *Node
 	children []*Node // sorted ascending by Attr

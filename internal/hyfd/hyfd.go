@@ -28,6 +28,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/relation"
 	"repro/internal/sampling"
+	"repro/internal/topk"
 	"repro/internal/validate"
 )
 
@@ -52,6 +53,20 @@ type Config struct {
 	// same relation; HyFD reads and publishes only the single-attribute
 	// partitions. Nil disables caching.
 	Cache *partition.Cache
+	// TopK, when non-nil, fuses redundancy-ranked top-k selection into
+	// the validation phase: validated FDs are offered to the collector
+	// scored by ‖π_LHS‖ and candidate nodes whose best reachable score —
+	// the smallest single-attribute partition size over their LHS —
+	// cannot beat the admission threshold are skipped. The run returns
+	// the collector's FDs in ranking order instead of the full cover.
+	TopK *topk.Collector
+	// MaxViolations relaxes validation to the g3-style bound: lhs → A
+	// counts as valid while at most MaxViolations rows must be deleted
+	// for it to hold exactly. Positive values disable sampling (exact
+	// violating pairs must not refute approximately valid FDs); the
+	// search tree specializes from validation outcomes instead. 0 keeps
+	// exact discovery.
+	MaxViolations int
 }
 
 // DefaultConfig returns the configuration used in the experiments.
@@ -210,11 +225,30 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 	cfg.fillDefaults()
 	var stats Stats
 	rs := engine.NewRunStats("hyfd", cfg.Workers)
+	topkFlushed := false
+	flushTopK := func() {
+		if cfg.TopK == nil || topkFlushed {
+			return
+		}
+		topkFlushed = true
+		admitted, rejected, pruned := cfg.TopK.Counters()
+		rs.Count("topk_admitted", admitted)
+		rs.Count("topk_rejected", rejected)
+		rs.Count("topk_pruned_branches", pruned)
+	}
 	defer func() {
 		if rec := recover(); rec != nil {
 			perr := engine.NewPanicError("hyfd", rec)
+			flushTopK()
 			rs.Finish(perr)
-			retFDs, retStats, retRS, retErr = nil, stats, rs, perr
+			var partial []dep.FD
+			if cfg.TopK != nil {
+				// Heap entries were each individually validated: a sound
+				// partial top-k even after a panic.
+				partial = cfg.TopK.FDs()
+				rs.FDs = int64(len(partial))
+			}
+			retFDs, retStats, retRS, retErr = partial, stats, rs, perr
 		}
 	}()
 	n := r.NumCols()
@@ -253,26 +287,53 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 		rs.Degrade(cfg.Budget.Reason())
 	}
 	v := validate.New(r)
+	v.MaxViolations = cfg.MaxViolations
+	approx := cfg.MaxViolations > 0
 	nonFDs := sampling.NewNonFDSet(n)
 	tree := fdtree.NewWithFullRHS(n)
 	full := bitset.Full(n)
 	smp := newSampler(r, plis, cfg)
 
 	// Root validation finds the constant columns and seeds non-FDs.
-	v.EmptyLHS(full, nonFDs)
+	// Approximate runs skip sampling entirely: one exact violating pair
+	// would refute an FD the g3 bound still admits, so the tree may only
+	// specialize from approximate validation outcomes.
+	rootWitness := nonFDs
+	if approx {
+		rootWitness = nil
+	}
+	rootValid := v.EmptyLHS(full, rootWitness)
 
-	// Initial sampling: one distance-1 run per column.
-	for c := 0; c < n; c++ {
-		newN, comps := sampling.ClusterNeighborSample(r, plis[c], 1, nonFDs)
-		_ = newN
-		smp.runs[c].distance = 2
-		stats.SamplingRounds++
-		stats.Comparisons += comps
+	if !approx {
+		// Initial sampling: one distance-1 run per column.
+		for c := 0; c < n; c++ {
+			newN, comps := sampling.ClusterNeighborSample(r, plis[c], 1, nonFDs)
+			_ = newN
+			smp.runs[c].distance = 2
+			stats.SamplingRounds++
+			stats.Comparisons += comps
+		}
 	}
 	stop()
 	stop = rs.Phase("induct")
 	inductAll(tree, full, nonFDs.Sets())
+	if approx {
+		if invalid := full.Difference(rootValid); !invalid.IsEmpty() {
+			tree.Induct(bitset.New(n), invalid)
+		}
+	}
 	stop()
+	if cfg.TopK != nil {
+		rootScore := 0
+		if r.NumRows() >= 2 {
+			rootScore = r.NumRows()
+		}
+		for a := rootValid.Next(0); a >= 0; a = rootValid.Next(a + 1) {
+			rhs := bitset.New(n)
+			rhs.Add(a)
+			cfg.TopK.Admit(dep.FD{LHS: bitset.New(n), RHS: rhs}, rootScore)
+		}
+	}
 	processed := nonFDs.Len()
 
 	finish := func(err error) ([]dep.FD, Stats, *engine.RunStats, error) {
@@ -287,7 +348,17 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 		rs.Levels = int64(stats.Levels)
 		rs.Count("sampling_rounds", int64(stats.SamplingRounds))
 		rs.Count("sampling_comparisons", int64(stats.Comparisons))
+		flushTopK()
 		rs.Finish(err)
+		if cfg.TopK != nil {
+			// The heap's FDs were each individually validated and minimal
+			// on the data, so this stands as a sound (partial, under err)
+			// top-k in ranking order.
+			fds := cfg.TopK.FDs()
+			stats.FDs = len(fds)
+			rs.FDs = int64(stats.FDs)
+			return fds, stats, rs, err
+		}
 		return nil, stats, rs, err
 	}
 
@@ -295,7 +366,7 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 		candidates := tree.NodesAtLevel(vl)
 		stats.Levels++
 		stop = rs.Phase("validate")
-		validations, invalidated, err := validateLevel(ctx, pool, r, plis, candidates, v, nonFDs)
+		validations, invalidated, invalids, err := validateLevel(ctx, pool, r, plis, candidates, v, nonFDs, &cfg)
 		stop()
 		if err != nil {
 			return finish(err)
@@ -303,12 +374,19 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 
 		stop = rs.Phase("induct")
 		inductAll(tree, full, nonFDs.Sets()[processed:])
+		// Approximate runs specialize from the validation outcomes instead
+		// of witness pairs: lhs → a failing the g3 bound fails for every
+		// generalization too (monotonicity), which is exactly Induct's
+		// removal semantics.
+		for _, li := range invalids {
+			tree.Induct(li.lhs, li.invalid)
+		}
 		stop()
 		processed = nonFDs.Len()
 
 		// Switch to sampling when the level went badly and the sampler can
 		// still contribute; its non-FDs prune the deeper levels.
-		if validations > 0 &&
+		if !approx && validations > 0 &&
 			float64(invalidated) > cfg.InvalidSwitchRatio*float64(validations) &&
 			smp.alive() {
 			stop = rs.Phase("sample")
@@ -324,6 +402,9 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 	if err := ctx.Err(); err != nil {
 		return finish(err)
 	}
+	if cfg.TopK != nil {
+		return finish(nil) // the collector's FDs, in ranking order
+	}
 	fds := dep.SplitRHS(tree.FDs())
 	dep.Sort(fds)
 	stats.FDs = len(fds)
@@ -332,14 +413,63 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 	return fds, stats, rs, nil
 }
 
+// levelInvalid records one approximate invalidation: every RHS attribute
+// of invalid failed the g3 bound at lhs, refuting lhs → a and (by
+// monotonicity) every generalization.
+type levelInvalid struct {
+	lhs     bitset.Set
+	invalid bitset.Set
+}
+
+// validateNode validates one FD-node: the fused top-k bound check and
+// possible skip, the validator call, heap admissions of validated FDs,
+// and — on approximate runs — the invalid RHS set for post-level
+// induction. Safe to run concurrently for distinct nodes.
+func validateNode(node *fdtree.Node, n int, plis []*partition.Partition, v *validate.Validator, nonFDs *sampling.NonFDSet, cfg *Config) (levelInvalid, bool) {
+	lhs := node.Path(n)
+	a := cheapestAttr(lhs, plis)
+	if cfg.TopK != nil {
+		// ‖π_lhs‖ — and the score of every FD specializing lhs — is at
+		// most the smallest single-attribute partition size over lhs.
+		if cfg.TopK.Prunable(plis[a].Size()) {
+			node.Pruned = true
+			return levelInvalid{}, false
+		}
+	}
+	start := bitset.New(n)
+	start.Add(a)
+	valid := v.FD(lhs, node.RHS, plis[a], start, nonFDs)
+	if cfg.TopK != nil && !valid.IsEmpty() {
+		score := v.LastSize
+		for b := valid.Next(0); b >= 0; b = valid.Next(b + 1) {
+			rhs := bitset.New(n)
+			rhs.Add(b)
+			cfg.TopK.Admit(dep.FD{LHS: lhs, RHS: rhs}, score)
+		}
+	}
+	if cfg.MaxViolations > 0 {
+		if inv := node.RHS.Difference(valid); !inv.IsEmpty() {
+			return levelInvalid{lhs: lhs, invalid: inv}, true
+		}
+	}
+	return levelInvalid{}, false
+}
+
 // validateLevel validates one level's FD-nodes against refinements of the
 // single-attribute partitions, fanning out over the pool when it is wider
 // than one worker: each worker owns a validator and a local non-FD
 // buffer, merged into v and nonFDs afterwards (even on cancellation, so
 // partial runs report honestly). It returns the level's validation and
-// invalidation counts, the inputs of the phase-switching heuristic.
-func validateLevel(ctx context.Context, pool *engine.Pool, r *relation.Relation, plis []*partition.Partition, candidates []*fdtree.Node, v *validate.Validator, nonFDs *sampling.NonFDSet) (validations, invalidated int, err error) {
+// invalidation counts — the inputs of the phase-switching heuristic —
+// plus, on approximate runs, the per-node invalid sets in candidate order
+// so induction stays deterministic for any worker count.
+func validateLevel(ctx context.Context, pool *engine.Pool, r *relation.Relation, plis []*partition.Partition, candidates []*fdtree.Node, v *validate.Validator, nonFDs *sampling.NonFDSet, cfg *Config) (validations, invalidated int, invalids []levelInvalid, err error) {
 	n := r.NumCols()
+	approx := cfg.MaxViolations > 0
+	witness := nonFDs
+	if approx {
+		witness = nil
+	}
 	workers := pool.Workers()
 	if workers < 2 || len(candidates) < 4*workers {
 		snap := v.Snapshot()
@@ -347,20 +477,18 @@ func validateLevel(ctx context.Context, pool *engine.Pool, r *relation.Relation,
 			if i%64 == 0 {
 				if err := ctx.Err(); err != nil {
 					validations, invalidated = v.Since(snap)
-					return validations, invalidated, err
+					return validations, invalidated, invalids, err
 				}
 			}
 			if !node.IsFDNode() {
 				continue
 			}
-			lhs := node.Path(n)
-			a := cheapestAttr(lhs, plis)
-			start := bitset.New(n)
-			start.Add(a)
-			v.FD(lhs, node.RHS, plis[a], start, nonFDs)
+			if li, ok := validateNode(node, n, plis, v, witness, cfg); ok {
+				invalids = append(invalids, li)
+			}
 		}
 		validations, invalidated = v.Since(snap)
-		return validations, invalidated, nil
+		return validations, invalidated, invalids, nil
 	}
 
 	locals := make([]*sampling.NonFDSet, workers)
@@ -368,17 +496,20 @@ func validateLevel(ctx context.Context, pool *engine.Pool, r *relation.Relation,
 	for w := 0; w < workers; w++ {
 		locals[w] = sampling.NewNonFDSet(n)
 		validators[w] = validate.New(r)
+		validators[w].MaxViolations = cfg.MaxViolations
 	}
+	slots := make([]levelInvalid, len(candidates))
+	found := make([]bool, len(candidates))
 	err = pool.Run(ctx, len(candidates), func(w, i int) {
 		node := candidates[i]
 		if !node.IsFDNode() {
 			return
 		}
-		lhs := node.Path(n)
-		a := cheapestAttr(lhs, plis)
-		start := bitset.New(n)
-		start.Add(a)
-		validators[w].FD(lhs, node.RHS, plis[a], start, locals[w])
+		local := locals[w]
+		if approx {
+			local = nil
+		}
+		slots[i], found[i] = validateNode(node, n, plis, validators[w], local, cfg)
 	})
 	for w := 0; w < workers; w++ {
 		validations += validators[w].Validations
@@ -391,7 +522,12 @@ func validateLevel(ctx context.Context, pool *engine.Pool, r *relation.Relation,
 			nonFDs.Add(x)
 		}
 	}
-	return validations, invalidated, err
+	for i, ok := range found {
+		if ok {
+			invalids = append(invalids, slots[i])
+		}
+	}
+	return validations, invalidated, invalids, err
 }
 
 // inductAll sorts the given agree sets descending and inducts each.

@@ -103,6 +103,71 @@ func TestChaos(t *testing.T) {
 	}
 }
 
+// TestChaosTopK repeats the resilience contract with the fused top-k
+// search enabled, which adds the topk.prune fault site to the hot path:
+// every bound check passes through it, so small-N plans fire reliably.
+// A fired fault must surface typed; whatever partial top-k comes back
+// must be sound; unfired runs must match the fault-free top-k baseline.
+func TestChaosTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	r := dataset.Random(rng, 200, 6, 4)
+	ctx := context.Background()
+	const k = 5
+
+	topkAlgorithms := []dhyfd.Algorithm{dhyfd.DHyFD, dhyfd.HyFD, dhyfd.TANE, dhyfd.DFD}
+	baseline := map[dhyfd.Algorithm][]dep.FD{}
+	for _, a := range topkAlgorithms {
+		res, err := dhyfd.Discover(ctx, r, dhyfd.WithAlgorithm(a), dhyfd.WithWorkers(2), dhyfd.WithTopK(k))
+		if err != nil {
+			t.Fatalf("fault-free %v top-k run failed: %v", a, err)
+		}
+		baseline[a] = res.FDs
+	}
+
+	plans := []faults.Plan{
+		{Kind: faults.KindPanic, N: 1},
+		{Kind: faults.KindPanic, N: 3},
+		{Kind: faults.KindError, N: 1},
+		{Kind: faults.KindError, N: 3},
+	}
+	for _, plan := range plans {
+		for _, a := range topkAlgorithms {
+			name := fmt.Sprintf("%v@%d/%v", plan.Kind, plan.N, a)
+			t.Run(name, func(t *testing.T) {
+				defer faults.Reset()
+				faults.Arm(faults.TopKPrune, plan)
+				res, err := dhyfd.Discover(ctx, r, dhyfd.WithAlgorithm(a), dhyfd.WithWorkers(2), dhyfd.WithTopK(k))
+				if res == nil {
+					t.Fatal("Discover returned a nil result")
+				}
+				fired := !faults.Armed(faults.TopKPrune)
+				if err != nil {
+					if !fired {
+						t.Fatalf("error %v without the fault firing", err)
+					}
+					if !errors.Is(err, faults.ErrInjected) {
+						t.Fatalf("fired fault surfaced as untyped error %v", err)
+					}
+					var perr *dhyfd.PanicError
+					if !errors.As(err, &perr) {
+						t.Fatalf("injection surfaced as %T, want *PanicError", err)
+					}
+				} else if !fired && !dep.Equal(res.FDs, baseline[a]) {
+					t.Error("unfired fault changed the top-k cover")
+				}
+				if len(res.FDs) > k {
+					t.Errorf("top-%d result has %d FDs", k, len(res.FDs))
+				}
+				for _, f := range res.FDs {
+					if !check.Holds(r, f) {
+						t.Errorf("unsound FD emitted: %v", f.Format(r.Names))
+					}
+				}
+			})
+		}
+	}
+}
+
 // TestChaosDelayInjection exercises KindDelay: the run must simply take
 // the extra time and finish with the baseline cover.
 func TestChaosDelayInjection(t *testing.T) {

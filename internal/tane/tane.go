@@ -26,6 +26,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/partition"
 	"repro/internal/relation"
+	"repro/internal/topk"
 )
 
 type candidate struct {
@@ -70,6 +71,21 @@ type Config struct {
 	// are looked up before being built and published after. Nil disables
 	// caching.
 	Cache *partition.Cache
+	// TopK, when non-nil, fuses redundancy-ranked top-k selection into
+	// the traversal: valid FDs are offered to the collector scored by
+	// ‖π_LHS‖, and the PRUNE phase additionally kills candidates whose
+	// subtree cannot beat the collector's admission threshold (the bound
+	// is the largest co-atom partition size, an upper bound on any
+	// specializing FD's score). The run then returns the collector's FDs
+	// in ranking order instead of the full cover.
+	TopK *topk.Collector
+	// MaxViolations relaxes the validity test from e(X) == e(XA) to the
+	// g3-style bound: X → A counts as valid when at most MaxViolations
+	// rows must be deleted for it to hold exactly. 0 keeps exact
+	// discovery. Approximate runs keep only C+ removals justified by
+	// monotonicity (the R∖X removal rule relies on exact-FD transitivity
+	// and is skipped), trading extra validations for soundness.
+	MaxViolations int
 }
 
 // DiscoverRun runs TANE with the given worker-pool width for its PLI
@@ -92,12 +108,29 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 		d := cfg.Cache.Stats().Delta(cache0)
 		rs.CacheHits, rs.CacheMisses, rs.CacheEvictions = d.Hits, d.Misses, d.Evictions
 	}
+	flushTopK := func() {
+		if cfg.TopK == nil {
+			return
+		}
+		admitted, rejected, pruned := cfg.TopK.Counters()
+		rs.Count("topk_admitted", admitted)
+		rs.Count("topk_rejected", rejected)
+		rs.Count("topk_pruned_branches", pruned)
+	}
 	defer func() {
 		if rec := recover(); rec != nil {
 			perr := engine.NewPanicError("tane", rec)
+			flushTopK()
 			flushCacheStats()
 			rs.Finish(perr)
-			retFDs, retRS, retErr = nil, rs, perr
+			// Under top-k the heap holds individually validated FDs: a
+			// sound partial result even after a panic.
+			var partial []dep.FD
+			if cfg.TopK != nil {
+				partial = cfg.TopK.FDs()
+				rs.FDs = int64(len(partial))
+			}
+			retFDs, retRS, retErr = partial, rs, perr
 		}
 	}()
 	n := r.NumCols()
@@ -107,6 +140,11 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 		return out, rs, nil
 	}
 	nrows := r.NumRows()
+
+	var g3c *partition.G3Counter
+	if cfg.MaxViolations > 0 {
+		g3c = partition.NewG3Counter(0)
+	}
 
 	// e(∅): a single cluster of all rows (empty when fewer than 2 rows).
 	emptyErr := 0
@@ -154,9 +192,18 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 	stop()
 
 	fail := func(err error) ([]dep.FD, *engine.RunStats, error) {
+		if cfg.TopK != nil {
+			// The heap's FDs were each individually validated: return them
+			// as a sound partial top-k alongside the error.
+			out = cfg.TopK.FDs()
+		}
 		rs.FDs = int64(len(out))
+		flushTopK()
 		flushCacheStats()
 		rs.Finish(err)
+		if cfg.TopK != nil {
+			return out, rs, err
+		}
 		return nil, rs, err
 	}
 
@@ -183,18 +230,35 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 				}
 				rest := c.set.Clone()
 				rest.Remove(a)
-				restErr, ok := prevErr[rest.Key()]
+				restKey := rest.Key()
+				restErr, ok := prevErr[restKey]
 				if !ok {
 					continue // parent pruned: X∖A → A cannot be minimal
 				}
 				rs.CandidatesValidated++
-				if restErr == c.err {
+				valid := false
+				if cfg.MaxViolations > 0 {
+					pRest := prevPart[restKey]
+					rs.RowsScanned += int64(pRest.Size())
+					valid = g3c.Violations(pRest, r.Cols[a], r.Cards[a], cfg.MaxViolations) <= cfg.MaxViolations
+				} else {
+					valid = restErr == c.err
+				}
+				if valid {
 					rhs := bitset.New(n)
 					rhs.Add(a)
-					out = append(out, dep.FD{LHS: rest, RHS: rhs})
+					if cfg.TopK != nil {
+						cfg.TopK.Admit(dep.FD{LHS: rest, RHS: rhs}, prevPart[restKey].Size())
+					} else {
+						out = append(out, dep.FD{LHS: rest, RHS: rhs})
+					}
 					c.cplus.Remove(a)
-					// Remove all B ∈ R∖X from C+(X).
-					c.cplus.IntersectWith(c.set)
+					if cfg.MaxViolations == 0 {
+						// Remove all B ∈ R∖X from C+(X). The rule's proof
+						// needs exact-FD transitivity, so approximate runs
+						// keep only the Remove above.
+						c.cplus.IntersectWith(c.set)
+					}
 				} else {
 					rs.Invalidated++
 				}
@@ -207,16 +271,49 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 				c.dead = true
 				continue
 			}
-			if c.part.IsUnique() { // X is a (super)key
+			// Key pruning is exact-only: its completeness proof needs "a
+			// valid FD whose node contains a superkey has a superkey LHS",
+			// which holds for exact validity (π_Z = π_{Z∪{a}} forces Z
+			// unique when any subset is) but fails for the g3 bound — an
+			// approximate FD can live under a node containing an exact key.
+			// Approximate runs keep superkey nodes alive; their FDs surface
+			// through the ordinary C+-gated validation of child nodes.
+			if cfg.MaxViolations == 0 && c.part.IsUnique() { // X is a (super)key
 				outside := c.cplus.Difference(c.set)
 				for a := outside.Next(0); a >= 0; a = outside.Next(a + 1) {
 					if keyFDMinimal(r, c, a, prevErr, prevPart, rs) {
 						rhs := bitset.New(n)
 						rhs.Add(a)
-						out = append(out, dep.FD{LHS: c.set.Clone(), RHS: rhs})
+						if cfg.TopK != nil {
+							// Superkey LHSs pin no rows: ‖π_X‖ = 0.
+							cfg.TopK.Admit(dep.FD{LHS: c.set.Clone(), RHS: rhs}, c.part.Size())
+						} else {
+							out = append(out, dep.FD{LHS: c.set.Clone(), RHS: rhs})
+						}
 					}
 				}
 				c.dead = true
+			}
+			if cfg.TopK != nil && !c.dead {
+				// Any FD specializing X has an LHS containing X or one of
+				// its co-atoms, so its score is at most the largest co-atom
+				// partition size. All co-atoms are present in prevPart —
+				// nextLevel only joins candidates whose subsets all
+				// survived the previous level.
+				bound := 0
+				rest := c.set.Clone()
+				for _, b := range c.attrs {
+					rest.Remove(b)
+					if p, ok := prevPart[rest.Key()]; ok {
+						if s := p.Size(); s > bound {
+							bound = s
+						}
+					}
+					rest.Add(b)
+				}
+				if cfg.TopK.Prunable(bound) {
+					c.dead = true
+				}
 			}
 		}
 		stop()
@@ -247,8 +344,13 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 	if err := ctx.Err(); err != nil {
 		return fail(err)
 	}
-	dep.Sort(out)
+	if cfg.TopK != nil {
+		out = cfg.TopK.FDs() // already in ranking order
+	} else {
+		dep.Sort(out)
+	}
 	rs.FDs = int64(len(out))
+	flushTopK()
 	flushCacheStats()
 	rs.Finish(nil)
 	return out, rs, nil
@@ -258,7 +360,9 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 // X) is minimal. X → A is certainly valid; it is minimal iff no co-atom
 // X∖{B} determines A, which is checked directly by refining the parent
 // partition with A — the sibling C+ sets TANE's original certificate
-// consults may already be pruned from the lattice, losing FDs.
+// consults may already be pruned from the lattice, losing FDs. The
+// co-atom check covers arbitrary subsets by monotonicity. Only exact runs
+// call it: approximate runs disable the key rule.
 func keyFDMinimal(r *relation.Relation, c *candidate, a int, prevErr map[string]int, prevPart map[string]*partition.Partition, rs *engine.RunStats) bool {
 	rest := c.set.Clone()
 	for _, b := range c.attrs {

@@ -1,0 +1,186 @@
+// Package topk maintains the bounded best-FD heap that fuses redundancy
+// ranking into discovery.
+//
+// A Collector keeps the k best candidate FDs seen so far, ordered by the
+// ranking kernels' score for a singleton-RHS FD X → A: the #red+0 count
+// ‖π_X‖, the number of rows living in non-singleton clusters of the
+// stripped LHS partition. The score depends on the LHS only and is
+// antitone under specialization (Y ⊇ X ⇒ ‖π_Y‖ ≤ ‖π_X‖), which is what
+// lets the drivers turn the heap's admission threshold into a branch
+// pruning bound: once the heap is full, any lattice node whose best
+// reachable score is strictly below the current k-th best can never
+// contribute an FD to the result and its subtree is abandoned.
+//
+// Admission and pruning are safe under concurrent use by validation
+// workers; Ranked reproduces, by construction, the exact order the full
+// discover→Rank→truncate pipeline yields.
+package topk
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitset"
+	"repro/internal/dep"
+	"repro/internal/faults"
+)
+
+// Entry pairs a discovered FD with its redundancy score ‖π_LHS‖.
+type Entry struct {
+	FD    dep.FD
+	Score int
+}
+
+// Less reports whether a outranks b under the ranking total order:
+// higher score first, then smaller LHS, then lexicographic LHS, then
+// lexicographic RHS. This is exactly the order ranking.RankCtx produces —
+// its stable sort on (score desc, |LHS| asc, LHS lex asc) is fed input in
+// dep.Sort order, so RHS lex asc breaks the remaining ties — which makes
+// a fused top-k run byte-identical to the full pipeline's prefix.
+func Less(a, b Entry) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	ca, cb := a.FD.LHS.Count(), b.FD.LHS.Count()
+	if ca != cb {
+		return ca < cb
+	}
+	if c := bitset.CompareLex(a.FD.LHS, b.FD.LHS); c != 0 {
+		return c < 0
+	}
+	return bitset.CompareLex(a.FD.RHS, b.FD.RHS) < 0
+}
+
+// Collector is the concurrent bounded heap. The zero value is unusable;
+// construct with New. A nil *Collector is the documented "no top-k" state:
+// drivers guard every call site on c != nil.
+type Collector struct {
+	mu sync.Mutex
+	k  int
+	// heap is a binary min-heap under outranking: heap[0] is the entry
+	// every other kept entry outranks, i.e. the current k-th best.
+	heap []Entry
+
+	admitted atomic.Int64
+	rejected atomic.Int64
+	pruned   atomic.Int64
+}
+
+// New returns a collector keeping the k best FDs, k ≥ 1.
+func New(k int) *Collector {
+	if k < 1 {
+		panic("topk: k must be >= 1")
+	}
+	return &Collector{k: k, heap: make([]Entry, 0, k)}
+}
+
+// K returns the capacity the collector was built with.
+func (c *Collector) K() int { return c.k }
+
+// Admit offers a validated minimal FD with its score ‖π_LHS‖. The sets are
+// cloned, so callers may reuse their buffers. Entries that cannot displace
+// the current k-th best are counted as rejected.
+func (c *Collector) Admit(f dep.FD, score int) {
+	e := Entry{FD: f.Clone(), Score: score}
+	c.mu.Lock()
+	switch {
+	case len(c.heap) < c.k:
+		c.heap = append(c.heap, e)
+		c.up(len(c.heap) - 1)
+		c.mu.Unlock()
+		c.admitted.Add(1)
+	case Less(e, c.heap[0]):
+		c.heap[0] = e
+		c.down(0)
+		c.mu.Unlock()
+		c.admitted.Add(1)
+	default:
+		c.mu.Unlock()
+		c.rejected.Add(1)
+	}
+}
+
+// Threshold returns the score of the current k-th best entry and whether
+// the heap is full. While the heap is not full nothing may be pruned.
+func (c *Collector) Threshold() (score int, full bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.heap) < c.k {
+		return 0, false
+	}
+	return c.heap[0].Score, true
+}
+
+// Prunable reports whether a lattice branch whose FDs can score at most
+// bound is dead: the heap is full and bound is strictly below the k-th
+// best score. Score ties must stay alive — the lexicographic tie-break
+// can still admit them — hence the strict comparison.
+func (c *Collector) Prunable(bound int) bool {
+	faults.Check(faults.TopKPrune)
+	threshold, full := c.Threshold()
+	if !full || bound >= threshold {
+		return false
+	}
+	c.pruned.Add(1)
+	return true
+}
+
+// Ranked returns the kept entries in ranking order (best first).
+func (c *Collector) Ranked() []Entry {
+	c.mu.Lock()
+	out := make([]Entry, len(c.heap))
+	copy(out, c.heap)
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return Less(out[i], out[j]) })
+	return out
+}
+
+// FDs returns the kept FDs in ranking order (best first).
+func (c *Collector) FDs() []dep.FD {
+	ranked := c.Ranked()
+	out := make([]dep.FD, len(ranked))
+	for i, e := range ranked {
+		out[i] = e.FD
+	}
+	return out
+}
+
+// Counters returns how many offers entered the heap, how many were turned
+// away, and how many lattice branches Prunable killed.
+func (c *Collector) Counters() (admitted, rejected, pruned int64) {
+	return c.admitted.Load(), c.rejected.Load(), c.pruned.Load()
+}
+
+// worse orders the heap: the root is the entry outranked by all others.
+func (c *Collector) worse(i, j int) bool { return Less(c.heap[j], c.heap[i]) }
+
+func (c *Collector) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !c.worse(i, parent) {
+			return
+		}
+		c.heap[i], c.heap[parent] = c.heap[parent], c.heap[i]
+		i = parent
+	}
+}
+
+func (c *Collector) down(i int) {
+	n := len(c.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && c.worse(l, min) {
+			min = l
+		}
+		if r < n && c.worse(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		c.heap[i], c.heap[min] = c.heap[min], c.heap[i]
+		i = min
+	}
+}

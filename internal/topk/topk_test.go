@@ -1,0 +1,164 @@
+package topk
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/dep"
+)
+
+func fd(n int, rhs int, lhs ...int) dep.FD {
+	return dep.FD{LHS: bitset.FromAttrs(n, lhs...), RHS: bitset.FromAttrs(n, rhs)}
+}
+
+func TestLessTotalOrder(t *testing.T) {
+	a := Entry{FD: fd(4, 3, 0), Score: 10}
+	b := Entry{FD: fd(4, 3, 1), Score: 5}
+	if !Less(a, b) || Less(b, a) {
+		t.Error("higher score must outrank")
+	}
+	// Equal score: smaller LHS wins.
+	c := Entry{FD: fd(4, 3, 0, 1), Score: 5}
+	if !Less(b, c) || Less(c, b) {
+		t.Error("smaller LHS must outrank at equal score")
+	}
+	// Equal score and count: lexicographic LHS.
+	d := Entry{FD: fd(4, 3, 2), Score: 5}
+	if !Less(b, d) || Less(d, b) {
+		t.Error("lex-smaller LHS must outrank")
+	}
+	// Same LHS: lexicographic RHS.
+	e := Entry{FD: fd(4, 2, 1), Score: 5}
+	if !Less(e, b) || Less(b, e) {
+		t.Error("lex-smaller RHS must outrank")
+	}
+}
+
+func TestCollectorKeepsKBest(t *testing.T) {
+	c := New(3)
+	scores := []int{4, 9, 1, 7, 3, 8, 2}
+	for i, s := range scores {
+		c.Admit(fd(8, 7, i), s)
+	}
+	ranked := c.Ranked()
+	if len(ranked) != 3 {
+		t.Fatalf("kept %d entries, want 3", len(ranked))
+	}
+	want := []int{9, 8, 7}
+	for i, e := range ranked {
+		if e.Score != want[i] {
+			t.Errorf("ranked[%d].Score = %d, want %d", i, e.Score, want[i])
+		}
+	}
+	admitted, rejected, _ := c.Counters()
+	if admitted+rejected != int64(len(scores)) {
+		t.Errorf("admitted %d + rejected %d != %d offers", admitted, rejected, len(scores))
+	}
+	if rejected == 0 {
+		t.Error("some offers must have been rejected")
+	}
+}
+
+func TestRankedMatchesSortOfAll(t *testing.T) {
+	// The collector's output must equal sorting everything and truncating.
+	all := []Entry{}
+	c := New(4)
+	n := 10
+	for lhs := 0; lhs < n; lhs++ {
+		for rhs := 0; rhs < n; rhs++ {
+			if rhs == lhs {
+				continue
+			}
+			e := Entry{FD: fd(n, rhs, lhs), Score: (lhs*7 + rhs*3) % 11}
+			all = append(all, e)
+			c.Admit(e.FD, e.Score)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return Less(all[i], all[j]) })
+	got := c.Ranked()
+	for i := range got {
+		if !got[i].FD.LHS.Equal(all[i].FD.LHS) || !got[i].FD.RHS.Equal(all[i].FD.RHS) || got[i].Score != all[i].Score {
+			t.Fatalf("ranked[%d] = %+v, want %+v", i, got[i], all[i])
+		}
+	}
+}
+
+func TestThresholdAndPrunable(t *testing.T) {
+	c := New(2)
+	if c.Prunable(0) {
+		t.Error("nothing may be pruned while the heap is not full")
+	}
+	c.Admit(fd(4, 1, 0), 10)
+	if _, full := c.Threshold(); full {
+		t.Error("heap reported full early")
+	}
+	if c.Prunable(-1) {
+		t.Error("nothing may be pruned while the heap is not full")
+	}
+	c.Admit(fd(4, 2, 0), 6)
+	if th, full := c.Threshold(); !full || th != 6 {
+		t.Errorf("Threshold = %d,%v, want 6,true", th, full)
+	}
+	if !c.Prunable(5) {
+		t.Error("bound 5 < threshold 6 must prune")
+	}
+	// Ties must survive: the lexicographic tie-break can still admit them.
+	if c.Prunable(6) {
+		t.Error("bound equal to the threshold must not prune")
+	}
+	_, _, pruned := c.Counters()
+	if pruned != 1 {
+		t.Errorf("pruned counter = %d, want 1", pruned)
+	}
+}
+
+func TestAdmitClonesSets(t *testing.T) {
+	c := New(1)
+	lhs := bitset.FromAttrs(4, 0)
+	f := dep.FD{LHS: lhs, RHS: bitset.FromAttrs(4, 1)}
+	c.Admit(f, 5)
+	lhs.Add(3) // caller reuses its buffer
+	if got := c.Ranked()[0].FD.LHS; got.Contains(3) {
+		t.Error("Admit must clone the FD's sets")
+	}
+}
+
+func TestConcurrentAdmit(t *testing.T) {
+	c := New(8)
+	var wg sync.WaitGroup
+	n := 16
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.Admit(fd(n, (w+i)%n, i%n), i)
+				c.Prunable(i - 50)
+			}
+		}(w)
+	}
+	wg.Wait()
+	ranked := c.Ranked()
+	if len(ranked) != 8 {
+		t.Fatalf("kept %d entries, want 8", len(ranked))
+	}
+	for i := 1; i < len(ranked); i++ {
+		if Less(ranked[i], ranked[i-1]) {
+			t.Fatal("Ranked output out of order")
+		}
+	}
+	if ranked[len(ranked)-1].Score < 92 {
+		t.Errorf("k-th best score = %d, want >= 92", ranked[len(ranked)-1].Score)
+	}
+}
+
+func TestNewPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) must panic")
+		}
+	}()
+	New(0)
+}

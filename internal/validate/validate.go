@@ -28,6 +28,22 @@ type Validator struct {
 	scratch, next  [][]int32
 	arenaA, arenaB []int32
 	attrs          []int
+	// Approximate-validation scratch: a per-value-code counts table with a
+	// touched list (reset cost O(distinct values) per refined cluster) and
+	// the per-attribute violation budgets of the current FD call.
+	g3counts  []int32
+	g3touched []int32
+	viol      []int
+	// MaxViolations switches FD to g3-style approximate validation when
+	// positive: a RHS attribute stays valid while the rows that would have
+	// to be deleted for lhs → attr to hold exactly stay at or below this
+	// bound. Zero keeps the exact tuple-comparison path.
+	MaxViolations int
+	// LastSize records ‖π_lhs‖ — the fused top-k redundancy score — for
+	// the most recent FD call: the total rows inside the clusters the
+	// refinement produced. It is 0 when the call early-exited with every
+	// RHS attribute invalid; callers only read it for valid attributes.
+	LastSize int
 	// Validations counts validated (node, RHS attribute) pairs;
 	// Invalidated counts how many of those failed.
 	Validations int
@@ -56,10 +72,13 @@ func New(r *relation.Relation) *Validator {
 
 // FD validates lhs → rhs given a stripped partition over startAttrs ⊆ lhs.
 // It returns the RHS attributes that remain valid and records one non-FD
-// witness per invalidated attribute group into nonFDs.
+// witness per invalidated attribute group into nonFDs. With MaxViolations
+// set, validity is the g3 bound instead and no witnesses are recorded
+// (approximate runs must not refute by exact pairs).
 func (v *Validator) FD(lhs, rhs bitset.Set, start *partition.Partition, startAttrs bitset.Set, nonFDs *sampling.NonFDSet) bitset.Set {
 	valid := rhs.Clone()
 	v.Validations += rhs.Count()
+	v.LastSize = 0
 	v.attrs = v.attrs[:0]
 	for a := lhs.Next(0); a >= 0; a = lhs.Next(a + 1) {
 		if !startAttrs.Contains(a) {
@@ -68,6 +87,17 @@ func (v *Validator) FD(lhs, rhs bitset.Set, start *partition.Partition, startAtt
 	}
 	remaining := v.attrs
 	cols := v.r.Cols
+	approx := v.MaxViolations > 0
+	if approx {
+		if cap(v.viol) < v.r.NumCols() {
+			v.viol = make([]int, v.r.NumCols())
+		}
+		v.viol = v.viol[:v.r.NumCols()]
+		for a := rhs.Next(0); a >= 0; a = rhs.Next(a + 1) {
+			v.viol[a] = 0
+		}
+	}
+	size := 0
 
 	scratch, next := v.scratch, v.next
 	arena, spare := v.arenaA, v.arenaB
@@ -94,6 +124,13 @@ func (v *Validator) FD(lhs, rhs bitset.Set, start *partition.Partition, startAtt
 			}
 		}
 		for _, s := range scratch {
+			size += len(s)
+			if approx {
+				if v.scanApprox(s, valid) {
+					return valid
+				}
+				continue
+			}
 			t0 := s[0]
 			for _, ti := range s[1:] {
 				anyInvalid := false
@@ -115,7 +152,47 @@ func (v *Validator) FD(lhs, rhs bitset.Set, start *partition.Partition, startAtt
 			}
 		}
 	}
+	v.LastSize = size
 	return valid
+}
+
+// scanApprox charges one refined lhs-cluster against the violation budget
+// of every still-valid RHS attribute: the rows outside the largest
+// attr-agreeing group must be deleted for lhs → attr to hold on this
+// cluster. Returns true when every RHS attribute has been invalidated.
+func (v *Validator) scanApprox(s []int32, valid bitset.Set) (done bool) {
+	cols := v.r.Cols
+	for a := valid.Next(0); a >= 0; a = valid.Next(a + 1) {
+		card := v.r.Cards[a]
+		if card > len(v.g3counts) {
+			v.g3counts = append(v.g3counts, make([]int32, card-len(v.g3counts))...)
+		}
+		col := cols[a]
+		var max int32
+		for _, row := range s {
+			code := col[row]
+			v.g3counts[code]++
+			if v.g3counts[code] == 1 {
+				v.g3touched = append(v.g3touched, code)
+			}
+			if v.g3counts[code] > max {
+				max = v.g3counts[code]
+			}
+		}
+		for _, code := range v.g3touched {
+			v.g3counts[code] = 0
+		}
+		v.g3touched = v.g3touched[:0]
+		v.viol[a] += len(s) - int(max)
+		if v.viol[a] > v.MaxViolations {
+			valid.Remove(a)
+			v.Invalidated++
+			if valid.IsEmpty() {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // EmptyLHS validates ∅ → rhs by comparing every row to row 0 — the
@@ -124,6 +201,7 @@ func (v *Validator) FD(lhs, rhs bitset.Set, start *partition.Partition, startAtt
 func (v *Validator) EmptyLHS(rhs bitset.Set, nonFDs *sampling.NonFDSet) bitset.Set {
 	n := v.r.NumRows()
 	if n < 2 {
+		v.LastSize = 0
 		return rhs.Clone()
 	}
 	all := make([]int32, n)

@@ -13,12 +13,44 @@ type RedundancyCounts = ranking.Counts
 // RankedFD pairs an FD with its redundancy counts.
 type RankedFD = ranking.Ranked
 
+// RankStats reports what one ranking run did: FDs and distinct LHS groups
+// scored, partitions built versus reused from the cache, rows scanned, the
+// PLI cache's counter movement and the wall time.
+type RankStats = ranking.Stats
+
+// rankingConfig projects the shared Option set onto a ranking run's
+// tuning. Ranking honours WithWorkers and WithCache; the discovery-only
+// options are accepted and ignored, so one option slice can drive a whole
+// discover→rank pipeline.
+func rankingConfig(opts []Option) (ranking.Config, error) {
+	var c discoverConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	cfg := ranking.Config{Workers: c.workers}
+	if c.cache != nil {
+		cfg.Cache = c.cache.c
+	}
+	return cfg, c.optErr
+}
+
 // Rank computes the redundancy counts of every FD on r and returns them
 // sorted by descending relevance (Section VI of the paper). Highly ranked
 // FDs dominate the data; FDs whose redundancy is carried mostly by null
 // markers (WithNulls >> NoNulls) are likely accidental.
-func Rank(r *Relation, fds []FD) []RankedFD {
-	return ranking.Rank(r, fds)
+//
+// Rank takes the same options as Discover and honours WithWorkers and
+// WithCache — pass the cache a WithCache discovery filled and ranking
+// reuses the partitions discovery built. The context cancels the run
+// cooperatively: on cancellation (or an internal panic, surfaced as a
+// *PanicError) the partial, still-sorted result is returned alongside the
+// error. To rank during discovery instead, see WithTopK.
+func Rank(ctx context.Context, r *Relation, fds []FD, opts ...Option) ([]RankedFD, RankStats, error) {
+	cfg, err := rankingConfig(opts)
+	if err != nil {
+		return nil, RankStats{}, err
+	}
+	return ranking.RankCtx(ctx, r, fds, cfg)
 }
 
 // RedundancyOf computes the counts of a single FD.
@@ -31,8 +63,13 @@ type DatasetRedundancy = ranking.DatasetTotals
 
 // TotalRedundancy computes dataset-level redundancy: the number of data
 // value occurrences fixed in place by the given cover, counted once each.
-func TotalRedundancy(r *Relation, fds []FD) DatasetRedundancy {
-	return ranking.Totals(r, fds)
+// It takes the same options as Rank.
+func TotalRedundancy(ctx context.Context, r *Relation, fds []FD, opts ...Option) (DatasetRedundancy, RankStats, error) {
+	cfg, err := rankingConfig(opts)
+	if err != nil {
+		return DatasetRedundancy{}, RankStats{}, err
+	}
+	return ranking.TotalsCtx(ctx, r, fds, cfg)
 }
 
 // RedundancyBucket is one bar of the Figure 10 histogram.
@@ -52,18 +89,20 @@ func RedundancyHistogram(ranked []RankedFD) []RedundancyBucket {
 type ColumnLHSView = ranking.ColumnView
 
 // RankForColumn lists the minimal LHSs in the cover determining the given
-// column, each with the redundancy it causes in that column alone.
-func RankForColumn(r *Relation, fds []FD, col int) []ColumnLHSView {
-	return ranking.ForColumn(r, fds, col)
+// column, each with the redundancy it causes in that column alone. It
+// takes the same options as Rank.
+func RankForColumn(ctx context.Context, r *Relation, fds []FD, col int, opts ...Option) ([]ColumnLHSView, RankStats, error) {
+	cfg, err := rankingConfig(opts)
+	if err != nil {
+		return nil, RankStats{}, err
+	}
+	return ranking.ForColumnCtx(ctx, r, fds, col, cfg)
 }
 
-// RankStats reports what one ranking run did: FDs and distinct LHS groups
-// scored, partitions built versus reused from the cache, rows scanned, the
-// PLI cache's counter movement and the wall time.
-type RankStats = ranking.Stats
-
-// RankConfig tunes the configurable ranking entry points. The zero value
-// ranks serially with a run-private partition cache.
+// RankConfig is the struct-valued tuning of the *With ranking entry
+// points, kept as a thin compatibility layer over the Option form the
+// rest of the API uses. The zero value ranks serially with a run-private
+// partition cache.
 type RankConfig struct {
 	// Workers fans the cover's LHS groups out over a worker pool; values
 	// below 2 keep the serial path.
@@ -74,30 +113,24 @@ type RankConfig struct {
 	Cache *PLICache
 }
 
-func (rc RankConfig) internal() ranking.Config {
-	cfg := ranking.Config{Workers: rc.Workers}
-	if rc.Cache != nil {
-		cfg.Cache = rc.Cache.c
-	}
-	return cfg
+// options converts the struct tuning to the shared Option form.
+func (rc RankConfig) options() []Option {
+	return []Option{WithWorkers(rc.Workers), WithCache(rc.Cache)}
 }
 
-// RankWith is Rank with explicit tuning, cooperative cancellation and a
-// run report. On cancellation (or an internal panic, surfaced as a
-// *PanicError) the partial, still-sorted result is returned alongside the
-// error.
+// RankWith is Rank with struct-valued tuning; it delegates to Rank.
 func RankWith(ctx context.Context, r *Relation, fds []FD, cfg RankConfig) ([]RankedFD, RankStats, error) {
-	return ranking.RankCtx(ctx, r, fds, cfg.internal())
+	return Rank(ctx, r, fds, cfg.options()...)
 }
 
-// TotalRedundancyWith is TotalRedundancy with explicit tuning,
-// cooperative cancellation and a run report.
+// TotalRedundancyWith is TotalRedundancy with struct-valued tuning; it
+// delegates to TotalRedundancy.
 func TotalRedundancyWith(ctx context.Context, r *Relation, fds []FD, cfg RankConfig) (DatasetRedundancy, RankStats, error) {
-	return ranking.TotalsCtx(ctx, r, fds, cfg.internal())
+	return TotalRedundancy(ctx, r, fds, cfg.options()...)
 }
 
-// RankForColumnWith is RankForColumn with explicit tuning, cooperative
-// cancellation and a run report.
+// RankForColumnWith is RankForColumn with struct-valued tuning; it
+// delegates to RankForColumn.
 func RankForColumnWith(ctx context.Context, r *Relation, fds []FD, col int, cfg RankConfig) ([]ColumnLHSView, RankStats, error) {
-	return ranking.ForColumnCtx(ctx, r, fds, col, cfg.internal())
+	return RankForColumn(ctx, r, fds, col, cfg.options()...)
 }

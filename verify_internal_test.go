@@ -33,7 +33,7 @@ func TestVerifySoundnessDropsViolatedFDs(t *testing.T) {
 	res := &Result{FDs: []dep.FD{valid, bogus}}
 	res.Stats.Degrade("test")
 
-	verifySoundness(r, res, nil)
+	verifySoundness(r, res, nil, 0)
 
 	if len(res.FDs) != 1 || !res.FDs[0].LHS.Equal(valid.LHS) {
 		t.Fatalf("FDs after verification: %v", res.FDs)
