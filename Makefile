@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt lint test race bench bench-pr3 bench-pr4 bench-pr6 bench-smoke chaos fuzz-smoke check
+.PHONY: all build vet fmt lint test race bench bench-pr3 bench-pr4 bench-pr6 bench-pr7 bench-smoke chaos crash fuzz-smoke check
 
 all: check
 
@@ -33,7 +33,7 @@ race:
 # Full benchmark pass: the partition kernels and the discovery paths,
 # folded into BENCH_pr3.json against the pre-PR baselines recorded in
 # results/. Same flags as the baseline capture, for comparability.
-bench: bench-pr3 bench-pr4 bench-pr6
+bench: bench-pr3 bench-pr4 bench-pr6 bench-pr7
 
 bench-pr3:
 	$(GO) test -run '^$$' -bench 'Single100k|Refine100k|Intersect100k|RefineVsIntersect' -benchmem ./internal/partition/ | tee results/bench_partition.txt
@@ -65,6 +65,13 @@ bench-pr4:
 bench-pr6:
 	$(GO) run ./cmd/benchpr6 -o BENCH_pr6.json
 
+# What durability costs: plain vs default-interval vs eager-checkpoint
+# discovery on flight, gated at ≤5% default-interval overhead on the
+# 500×20 cells, plus the supervised-retry counters. Emits its JSON
+# directly (paired A/B harness, like pr6).
+bench-pr7:
+	$(GO) run ./cmd/benchpr7 -o BENCH_pr7.json
+
 # One iteration of the key benchmarks — catches bit-rot without the cost
 # of a full measurement run.
 bench-smoke:
@@ -78,6 +85,13 @@ bench-smoke:
 chaos:
 	$(GO) test -race -run 'TestChaos' ./internal/integration/
 
+# The durability acceptance gate: SIGKILL a checkpointing fddiscover
+# mid-run, resume it, and require a cover byte-identical to an
+# uninterrupted run. Exercises the real binary and a real process kill,
+# complementing the in-process resume matrix in internal/integration.
+crash:
+	$(GO) run ./cmd/crashcheck
+
 # A ~10s native-fuzzing smoke pass over the CSV reader and the discovery
 # pipeline. Longer runs: go test -fuzz=FuzzReadCSV ./internal/relation/
 fuzz-smoke:
@@ -86,5 +100,6 @@ fuzz-smoke:
 
 # The default verify path: build, vet, formatting and the invariant
 # analyzers, then the full suite under the race detector (which includes
-# the chaos matrix), then the fuzz and benchmark smoke passes.
-check: build vet fmt lint race fuzz-smoke bench-smoke
+# the chaos matrix), the kill-and-resume gate, then the fuzz and
+# benchmark smoke passes.
+check: build vet fmt lint race crash fuzz-smoke bench-smoke

@@ -21,9 +21,19 @@
 // when a budget is exhausted the run finishes early with a sound partial
 // cover and a warning on stderr. -pli-cache shares stripped partitions
 // across the run's subsystems through a size-bounded LRU cache; hit and
-// miss counts show up in the -stats report. Exit codes: 0 success
-// (including degraded-with-warning), 1 runtime failure or
-// interrupted/partial run, 2 usage error.
+// miss counts show up in the -stats report.
+//
+// -checkpoint DIR makes the run durable: the search state is snapshotted
+// into DIR every -interval (default 30s), atomically, and a final snapshot
+// is flushed when the run is interrupted or times out. Re-running the same
+// command with -resume added continues from the snapshot and prints a
+// cover byte-identical to an uninterrupted run; a SIGKILLed run loses at
+// most one interval of work. -retries N re-runs transiently failed
+// validation batches up to N times with jittered exponential backoff.
+//
+// Exit codes: 0 success (including degraded-with-warning), 1 runtime
+// failure or interrupted/partial run, 2 usage error (including -resume
+// without -checkpoint and a snapshot that does not match the run).
 package main
 
 import (
@@ -53,6 +63,10 @@ func main() {
 	pliCache := flag.Int64("pli-cache", 0, "share stripped partitions through an LRU cache of this many bytes (0 = disabled)")
 	topK := flag.Int("topk", 0, "discover only the N most relevant FDs, pre-ranked by redundancy (0 = full cover)")
 	maxError := flag.Float64("max-error", 0, "accept approximate FDs with g3 error up to this fraction of rows, in [0,1) (0 = exact)")
+	checkpoint := flag.String("checkpoint", "", "snapshot the run's search state into this directory for -resume (empty = durability off)")
+	interval := flag.Duration("interval", 0, "checkpoint write interval (0 = the 30s default)")
+	resume := flag.Bool("resume", false, "continue from the snapshot in the -checkpoint directory")
+	retries := flag.Int("retries", 0, "re-run transiently failed validation batches up to N times (dhyfd, hyfd, tane)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: fddiscover [flags] file.csv\n")
 		flag.PrintDefaults()
@@ -74,6 +88,14 @@ func main() {
 	}
 	if *maxError < 0 || *maxError >= 1 {
 		fmt.Fprintf(os.Stderr, "fddiscover: -max-error %v: must be in [0, 1)\n", *maxError)
+		os.Exit(2)
+	}
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "fddiscover: -resume requires -checkpoint DIR")
+		os.Exit(2)
+	}
+	if *retries < 0 {
+		fmt.Fprintf(os.Stderr, "fddiscover: -retries %d: must be >= 0\n", *retries)
 		os.Exit(2)
 	}
 	opts := dhyfd.Options{}
@@ -116,17 +138,38 @@ func main() {
 	if *maxError > 0 {
 		discoverOpts = append(discoverOpts, dhyfd.WithMaxError(*maxError))
 	}
+	if *checkpoint != "" {
+		discoverOpts = append(discoverOpts, dhyfd.WithCheckpoint(*checkpoint, *interval))
+	}
+	if *resume {
+		discoverOpts = append(discoverOpts, dhyfd.WithResume(*checkpoint))
+	}
+	if *retries > 0 {
+		discoverOpts = append(discoverOpts, dhyfd.WithRetries(*retries))
+	}
 
 	res, err := dhyfd.Discover(ctx, rel, discoverOpts...)
 	if err != nil {
+		// The interrupt and deadline paths below run after Discover has
+		// flushed its final checkpoint, so the re-run hint is accurate.
+		resumeHint := func() {
+			if *checkpoint != "" {
+				fmt.Fprintf(os.Stderr, "fddiscover: checkpoint flushed to %s; re-run with -resume to continue\n", *checkpoint)
+			}
+		}
 		var perr *dhyfd.PanicError
 		switch {
 		case errors.Is(err, context.Canceled):
 			fmt.Fprintln(os.Stderr, "fddiscover: interrupted; partial run report:")
+			resumeHint()
 		case errors.Is(err, context.DeadlineExceeded):
 			fmt.Fprintln(os.Stderr, "fddiscover: timed out; partial run report:")
+			resumeHint()
 		case errors.As(err, &perr):
 			fmt.Fprintf(os.Stderr, "fddiscover: internal panic at %s: %v\n%s\n", perr.Site, perr.Value, perr.Stack)
+		case errors.Is(err, dhyfd.ErrSnapshotMismatch) || errors.Is(err, dhyfd.ErrSnapshotCorrupt) || errors.Is(err, dhyfd.ErrSnapshotVersion):
+			fmt.Fprintln(os.Stderr, "fddiscover:", err)
+			os.Exit(2)
 		default:
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -18,6 +18,10 @@
 // pool. -pli-cache shares one stripped-partition cache across discovery
 // and ranking, so ranking reuses the partitions discovery built. -stats
 // prints the ranking run report to stderr.
+//
+// -checkpoint DIR / -interval / -resume / -retries make the discovery
+// stage durable exactly as in fddiscover: an interrupted run flushes a
+// final snapshot, and re-running with -resume continues it.
 package main
 
 import (
@@ -42,6 +46,10 @@ func main() {
 	pliCache := flag.Int64("pli-cache", 0, "share stripped partitions through an LRU cache of this many bytes, spanning discovery and ranking (0 = ranking-private cache only)")
 	workers := flag.Int("workers", 1, "worker-pool width for discovery validation and ranking")
 	stats := flag.Bool("stats", false, "print the ranking run report to stderr")
+	checkpoint := flag.String("checkpoint", "", "snapshot the discovery run's search state into this directory for -resume (empty = durability off)")
+	interval := flag.Duration("interval", 0, "checkpoint write interval (0 = the 30s default)")
+	resume := flag.Bool("resume", false, "continue discovery from the snapshot in the -checkpoint directory")
+	retries := flag.Int("retries", 0, "re-run transiently failed validation batches up to N times (dhyfd, hyfd, tane)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: fdrank [flags] file.csv\n")
 		flag.PrintDefaults()
@@ -53,6 +61,14 @@ func main() {
 	}
 	if *topK < 0 {
 		fmt.Fprintf(os.Stderr, "fdrank: -topk %d: must be >= 0\n", *topK)
+		os.Exit(2)
+	}
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "fdrank: -resume requires -checkpoint DIR")
+		os.Exit(2)
+	}
+	if *retries < 0 {
+		fmt.Fprintf(os.Stderr, "fdrank: -retries %d: must be >= 0\n", *retries)
 		os.Exit(2)
 	}
 
@@ -77,13 +93,31 @@ func main() {
 	if *pliCache > 0 {
 		shared = append(shared, dhyfd.WithCache(dhyfd.NewPLICache(*pliCache)))
 	}
+	// Durability applies to discovery only — the ranking stages rebuild
+	// from the cover — so these options extend the Discover calls, not
+	// shared (which the Rank* stages also consume).
+	var durable []dhyfd.Option
+	if *checkpoint != "" {
+		durable = append(durable, dhyfd.WithCheckpoint(*checkpoint, *interval))
+	}
+	if *resume {
+		durable = append(durable, dhyfd.WithResume(*checkpoint))
+	}
+	if *retries > 0 {
+		durable = append(durable, dhyfd.WithRetries(*retries))
+	}
+	discoverOpts := func(extra ...dhyfd.Option) []dhyfd.Option {
+		opts := append([]dhyfd.Option{}, shared...)
+		opts = append(opts, durable...)
+		return append(opts, extra...)
+	}
 
 	if *topK > 0 && *column == "" {
 		// Fused fast path: the run itself keeps the top-k heap and prunes
 		// branches that cannot enter it; Result.Ranked is the answer.
-		res, err := dhyfd.Discover(ctx, rel, append(shared, dhyfd.WithTopK(*topK))...)
+		res, err := dhyfd.Discover(ctx, rel, discoverOpts(dhyfd.WithTopK(*topK))...)
 		if err != nil {
-			reportDiscoverError(err, res)
+			reportDiscoverError(err, res, *checkpoint)
 			os.Exit(1)
 		}
 		if res.Stats.Degraded {
@@ -106,9 +140,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fdrank: -topk is ignored with -column (the per-column view ranks every minimal LHS)")
 	}
 
-	res, err := dhyfd.Discover(ctx, rel, shared...)
+	res, err := dhyfd.Discover(ctx, rel, discoverOpts()...)
 	if err != nil {
-		reportDiscoverError(err, res)
+		reportDiscoverError(err, res, *checkpoint)
 		os.Exit(1)
 	}
 	if res.Stats.Degraded {
@@ -175,11 +209,16 @@ func main() {
 	}
 }
 
-// reportDiscoverError explains a failed discovery run on stderr.
-func reportDiscoverError(err error, res *dhyfd.Result) {
+// reportDiscoverError explains a failed discovery run on stderr. A
+// checkpointed run's final snapshot is already flushed by the time
+// Discover returns, so the -resume hint is accurate.
+func reportDiscoverError(err error, res *dhyfd.Result, checkpoint string) {
 	var perr *dhyfd.PanicError
 	if errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "fdrank: interrupted; partial run report:")
+		if checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "fdrank: checkpoint flushed to %s; re-run with -resume to continue\n", checkpoint)
+		}
 		fmt.Fprintln(os.Stderr, res.Stats.String())
 	} else if errors.As(err, &perr) {
 		fmt.Fprintf(os.Stderr, "fdrank: internal panic at %s: %v\n%s\n", perr.Site, perr.Value, perr.Stack)

@@ -45,6 +45,7 @@ package dhyfd
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -62,6 +63,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/ranking"
 	"repro/internal/relation"
+	"repro/internal/runstate"
 	"repro/internal/tane"
 	"repro/internal/topk"
 )
@@ -220,7 +222,11 @@ type discoverConfig struct {
 	noVerify   bool
 	topK       int     // > 0 enables the fused top-k search
 	maxErr     float64 // g3 error bound in [0, 1); 0 = exact
-	optErr     error   // first invalid option, reported by Discover
+	ckptDir    string  // checkpoint directory; "" = durability off
+	ckptEvery  time.Duration
+	resumeDir  string // resume directory; "" = cold start
+	retries    int    // transient-failure retries per work item
+	optErr     error  // first invalid option, reported by Discover
 }
 
 // WithAlgorithm selects the discovery algorithm (default DHyFD).
@@ -389,6 +395,80 @@ func WithMaxError(eps float64) Option {
 	}
 }
 
+// Snapshot rejection errors, re-exported so callers of WithResume can
+// classify a refusal with errors.Is. A directory without a snapshot is not
+// an error — WithResume cold-starts there.
+var (
+	// ErrSnapshotCorrupt reports a snapshot failing its checksum or
+	// decoding inconsistently.
+	ErrSnapshotCorrupt = runstate.ErrCorrupt
+	// ErrSnapshotVersion reports a snapshot written by an incompatible
+	// format or section version.
+	ErrSnapshotVersion = runstate.ErrVersion
+	// ErrSnapshotMismatch reports a healthy snapshot belonging to a
+	// different run: another relation, algorithm, or result-shaping option.
+	ErrSnapshotMismatch = runstate.ErrMismatch
+)
+
+// WithCheckpoint makes the run durable: the driver snapshots its resumable
+// state — the FD-tree or live lattice level, the non-FD set, the top-k
+// heap, the run report and a PLI-cache manifest — into dir at every search
+// boundary, writing the file atomically (temp + fsync + rename) whenever
+// interval has elapsed since the last write (non-positive intervals select
+// runstate's 30 s default). A later Discover over the same relation and
+// result-shaping options resumes from the snapshot with WithResume and
+// emits a cover byte-identical to an uninterrupted run. Deadline and
+// cancellation exits flush a final snapshot before returning, so an
+// interrupt never loses the frontier. Supported by every algorithm except
+// the FDEP variants, whose single induction pass has no resumable
+// frontier.
+func WithCheckpoint(dir string, interval time.Duration) Option {
+	return func(c *discoverConfig) {
+		if dir == "" {
+			c.optErr = errors.New("dhyfd: WithCheckpoint: dir must be non-empty")
+			return
+		}
+		c.ckptDir = dir
+		c.ckptEvery = interval
+	}
+}
+
+// WithResume continues a run from the snapshot in dir, skipping the work
+// the checkpointed run already finished. An empty dir is an error; a dir
+// without a snapshot is a cold start (so a crash before the first
+// checkpoint re-runs cleanly under the same flags). A snapshot from a
+// different relation, algorithm, or result-shaping option is rejected
+// with runstate.ErrMismatch; damaged or version-skewed snapshots with
+// runstate.ErrCorrupt / runstate.ErrVersion. Resumed covers are
+// re-verified against the relation before they are returned. Combine with
+// WithCheckpoint on the same dir to keep checkpointing the continued run.
+func WithResume(dir string) Option {
+	return func(c *discoverConfig) {
+		if dir == "" {
+			c.optErr = errors.New("dhyfd: WithResume: dir must be non-empty")
+			return
+		}
+		c.resumeDir = dir
+	}
+}
+
+// WithRetries lets the parallel drivers (DHyFD, HyFD, TANE) re-run a
+// failed validation batch up to n times when the failure is classified
+// transient, sleeping a capped, fully-jittered exponential backoff between
+// attempts. Fatal failures (and organic panics) still surface immediately
+// as *PanicError. Attempts and retries are reported in Stats under
+// "attempts" / "retries". n of 0 disables retrying (the default);
+// negative n is an error.
+func WithRetries(n int) Option {
+	return func(c *discoverConfig) {
+		if n < 0 {
+			c.optErr = fmt.Errorf("dhyfd: WithRetries(%d): n must be >= 0", n)
+			return
+		}
+		c.retries = n
+	}
+}
+
 // Discover computes the left-reduced cover of the FDs holding on r. With
 // no options it runs DHyFD with the paper's tuning. The context cancels
 // the run cooperatively: on cancellation Discover returns ctx's error and
@@ -428,9 +508,50 @@ func Discover(ctx context.Context, r *Relation, opts ...Option) (res *Result, er
 		}
 		maxViol = int(cfg.maxErr * float64(r.NumRows()))
 	}
+	// Durability: every algorithm with a resumable search frontier supports
+	// checkpoint/resume; the FDEP variants' single induction pass does not.
+	if cfg.ckptDir != "" || cfg.resumeDir != "" {
+		switch cfg.algorithm {
+		case DHyFD, HyFD, TANE, DFD, FastFDs:
+		default:
+			return &Result{Algorithm: cfg.algorithm},
+				fmt.Errorf("dhyfd: WithCheckpoint/WithResume are not supported by %v; use DHyFD, HyFD, TANE, DFD or FastFDs", cfg.algorithm)
+		}
+	}
+	var fp runstate.Fingerprint
+	if cfg.ckptDir != "" || cfg.resumeDir != "" {
+		fp = runstate.FingerprintOf(r, cfg.algorithm.String(), cfg.topK, int64(maxViol))
+	}
+	var snap *runstate.Snapshot
+	if cfg.resumeDir != "" {
+		s, lerr := runstate.Load(cfg.resumeDir)
+		switch {
+		case errors.Is(lerr, runstate.ErrNoCheckpoint):
+			// Nothing written yet: a cold start under the same flags.
+		case lerr != nil:
+			return &Result{Algorithm: cfg.algorithm}, lerr
+		default:
+			if merr := s.Fingerprint.Match(fp); merr != nil {
+				return &Result{Algorithm: cfg.algorithm}, merr
+			}
+			snap = s
+		}
+	}
+	var cp *runstate.Checkpointer
+	if cfg.ckptDir != "" {
+		c, cerr := runstate.NewCheckpointer(cfg.ckptDir, cfg.ckptEvery, fp)
+		if cerr != nil {
+			return &Result{Algorithm: cfg.algorithm}, cerr
+		}
+		cp = c
+	}
 	var collector *topk.Collector
 	if cfg.topK > 0 && lattice {
-		collector = topk.New(cfg.topK)
+		if snap != nil && snap.TopK != nil {
+			collector = snap.TopK.Restore()
+		} else {
+			collector = topk.New(cfg.topK)
+		}
 	}
 	if !cfg.deadline.IsZero() {
 		var cancel context.CancelFunc
@@ -466,16 +587,19 @@ func Discover(ctx context.Context, r *Relation, opts ...Option) (res *Result, er
 		fds, rs, err = core.DiscoverRun(ctx, r, core.Config{
 			Ratio: cfg.ratio, Workers: cfg.workers, Budget: budget, Cache: cache,
 			TopK: collector, MaxViolations: maxViol,
+			Checkpoint: cp, Resume: snap, Retries: cfg.retries,
 		})
 	case HyFD:
 		fds, rs, err = hyfd.DiscoverRun(ctx, r, hyfd.Config{
 			Workers: cfg.workers, Budget: budget, Cache: cache,
 			TopK: collector, MaxViolations: maxViol,
+			Checkpoint: cp, Resume: snap, Retries: cfg.retries,
 		})
 	case TANE:
 		fds, rs, err = tane.Run(ctx, r, tane.Config{
 			Workers: cfg.workers, Budget: budget, Cache: cache,
 			TopK: collector, MaxViolations: maxViol,
+			Checkpoint: cp, Resume: snap, Retries: cfg.retries,
 		})
 	case FDEP:
 		fds, rs, err = fdep.DiscoverRun(ctx, r, fdep.Classic)
@@ -484,11 +608,14 @@ func Discover(ctx context.Context, r *Relation, opts ...Option) (res *Result, er
 	case FDEP2:
 		fds, rs, err = fdep.DiscoverRun(ctx, r, fdep.Sorted)
 	case FastFDs:
-		fds, rs, err = fastfds.DiscoverRun(ctx, r)
+		fds, rs, err = fastfds.Run(ctx, r, fastfds.Config{
+			Checkpoint: cp, Resume: snap,
+		})
 	case DFD:
 		fds, rs, err = dfd.Run(ctx, r, dfd.Config{
 			Budget: budget, Cache: cache,
 			TopK: collector, MaxViolations: maxViol,
+			Checkpoint: cp, Resume: snap,
 		})
 	default:
 		return nil, fmt.Errorf("dhyfd: unknown algorithm %v", cfg.algorithm)
@@ -498,7 +625,19 @@ func Discover(ctx context.Context, r *Relation, opts ...Option) (res *Result, er
 	if rs != nil {
 		res.Stats = *rs
 	}
-	if (err != nil || res.Stats.Degraded || maxViol > 0) && !cfg.noVerify {
+	if cp != nil {
+		// The final flush persists the terminal boundary so a post-run
+		// resume replays nothing. Its failure only surfaces when the run
+		// itself succeeded — a cancelled run's own error wins.
+		if ferr := cp.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+		res.Stats.Count("checkpoints", cp.Saves())
+	}
+	if snap != nil {
+		res.Stats.Count("resumed", 1)
+	}
+	if (err != nil || res.Stats.Degraded || maxViol > 0 || snap != nil) && !cfg.noVerify {
 		verifySoundness(r, res, cache, maxViol)
 	}
 	if cfg.topK > 0 {

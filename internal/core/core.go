@@ -38,10 +38,14 @@ import (
 	"repro/internal/fdtree"
 	"repro/internal/partition"
 	"repro/internal/relation"
+	"repro/internal/runstate"
 	"repro/internal/sampling"
 	"repro/internal/topk"
 	"repro/internal/validate"
 )
+
+// manifestMax caps how many PLI-cache keys a checkpoint snapshot records.
+const manifestMax = 64
 
 // Config tunes DHyFD.
 type Config struct {
@@ -83,6 +87,19 @@ type Config struct {
 	// the search tree specializes from validation outcomes instead,
 	// which monotonicity makes sound. 0 keeps exact discovery.
 	MaxViolations int
+	// Checkpoint, when non-nil, snapshots the FD-tree, non-FD set and
+	// level cursor at every validation-level boundary so a killed run can
+	// resume. Nil disables durability.
+	Checkpoint *runstate.Checkpointer
+	// Resume, when non-nil, seeds the run from a snapshot's level frontier:
+	// the tree and non-FD set are restored and validation restarts at the
+	// cursor. The DDM is rebuilt cold — restored node ids fall back to
+	// single-attribute partitions, which is slower but changes nothing
+	// about the cover. The caller has already fingerprint-matched it.
+	Resume *runstate.Snapshot
+	// Retries bounds supervised re-runs of transiently failed pool items
+	// (capped exponential backoff with full jitter). 0 disables retries.
+	Retries int
 }
 
 // DefaultConfig returns the paper's tuned configuration.
@@ -186,11 +203,12 @@ func (m *ddm) partitionFor(node *fdtree.Node, lhs bitset.Set) (*partition.Partit
 // reusable nodes at the new controlled level. Each node's partition starts
 // from its consistent dynamic partition (or its own singleton) and is
 // refined by the missing path attributes — refinements run as one
-// partition.RefineBatch on the worker pool, since the jobs are
-// independent; the node then receives the new slot id and propagates it
-// to its descendants. On cancellation the DDM is left untouched (the old
-// epoch stays consistent) and ctx's error is returned.
-func (m *ddm) update(ctx context.Context, workers int, reusables []*fdtree.Node) error {
+// partition.RefineBatchPool on the caller's worker pool, since the jobs
+// are independent (and the pool's retry policy supervises them); the node
+// then receives the new slot id and propagates it to its descendants. On
+// cancellation the DDM is left untouched (the old epoch stays consistent)
+// and ctx's error is returned.
+func (m *ddm) update(ctx context.Context, pool *engine.Pool, reusables []*fdtree.Node) error {
 	if err := faults.Hit(faults.DDMRefresh); err != nil {
 		return err
 	}
@@ -228,7 +246,7 @@ func (m *ddm) update(ctx context.Context, workers int, reusables []*fdtree.Node)
 		}
 		jobs[k] = job
 	}
-	parts, err := partition.RefineBatch(ctx, workers, jobs)
+	parts, err := partition.RefineBatchPool(ctx, pool, jobs)
 	if err != nil {
 		return err
 	}
@@ -325,7 +343,7 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 		rs.Finish(nil)
 		return nil, stats, rs, nil
 	}
-	pool := engine.NewPool(cfg.Workers)
+	pool := engine.NewPoolRetry(cfg.Workers, engine.RetryPolicy{Max: cfg.Retries})
 
 	if err := ctx.Err(); err != nil {
 		rs.Finish(err)
@@ -334,9 +352,9 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 	cache0 := cfg.Cache.Stats()
 	defer func() {
 		delta := cfg.Cache.Stats().Delta(cache0)
-		rs.CacheHits = delta.Hits
-		rs.CacheMisses = delta.Misses
-		rs.CacheEvictions = delta.Evictions
+		rs.CacheHits += delta.Hits
+		rs.CacheMisses += delta.Misses
+		rs.CacheEvictions += delta.Evictions
 	}()
 	stop := rs.Phase("sample")
 	m, built := newDDM(r, cfg.Budget, cfg.Cache)
@@ -347,51 +365,127 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 	v := validate.New(r)
 	v.MaxViolations = cfg.MaxViolations
 	approx := cfg.MaxViolations > 0
-	tree := fdtree.NewWithFullRHS(n)
-	tree.ControlledLevel = 1
 	full := bitset.Full(n)
 
-	// One-shot sampling plus root validation (Algorithm 6, lines 5–6).
-	// Approximate runs skip sampling entirely: one exact violating pair
-	// would refute an FD the g3 bound still admits, so the tree may only
-	// specialize from approximate validation outcomes.
-	nonFDs := sampling.NewNonFDSet(n)
-	rootWitness := nonFDs
-	if approx {
-		rootWitness = nil
+	var tree *fdtree.Tree
+	var nonFDs *sampling.NonFDSet
+	var numFDs int
+	startLevel := 1
+	if lf := resumeLevel(cfg.Resume); lf != nil {
+		// Continue a checkpointed run: the restored tree and non-FD set are
+		// the search state proper; sampling and root validation already
+		// happened, so the run re-enters the level loop at the cursor. The
+		// validator's exported counters and the Stats fields are assigned
+		// from the snapshot — finish() reads them, so the resumed report is
+		// cumulative.
+		tree = cfg.Resume.Tree.Restore()
+		nonFDs = cfg.Resume.NonFDs.Restore()
+		if nonFDs == nil {
+			nonFDs = sampling.NewNonFDSet(n)
+		}
+		cfg.Resume.Stats.Apply(rs)
+		v.Validations = int(lf.Validations)
+		v.Invalidated = int(lf.Invalidated)
+		v.RowsScanned = int(lf.RowsScannedV)
+		v.ClustersRefined = int(lf.ClustersRefined)
+		stats.InitialNonFDs = int(lf.InitialNonFDs)
+		stats.Comparisons = int(lf.Comparisons)
+		stats.Levels = int(lf.Level) - 1
+		stats.Refinements = int(lf.Refinements)
+		stats.PeakDynPartRows = int(lf.PeakDynRows)
+		stats.PeakDynPartCount = int(lf.PeakDynCount)
+		rs.RowsScanned = lf.RowsScanned
+		rs.PartitionsBuilt = lf.PartitionsBuilt
+		numFDs = int(lf.NumFDs)
+		startLevel = int(lf.Level)
+		runstate.WarmCache(cfg.Cache, cfg.Resume.Manifest, r.Cols, r.Cards)
+		stop()
 	} else {
-		for c := 0; c < n; c++ {
-			_, comps := sampling.ClusterNeighborSample(r, m.singles[c], 1, nonFDs)
-			stats.Comparisons += comps
+		tree = fdtree.NewWithFullRHS(n)
+		tree.ControlledLevel = 1
+
+		// One-shot sampling plus root validation (Algorithm 6, lines 5–6).
+		// Approximate runs skip sampling entirely: one exact violating pair
+		// would refute an FD the g3 bound still admits, so the tree may only
+		// specialize from approximate validation outcomes.
+		nonFDs = sampling.NewNonFDSet(n)
+		rootWitness := nonFDs
+		if approx {
+			rootWitness = nil
+		} else {
+			for c := 0; c < n; c++ {
+				_, comps := sampling.ClusterNeighborSample(r, m.singles[c], 1, nonFDs)
+				stats.Comparisons += comps
+			}
+			rs.RowsScanned += 2 * int64(stats.Comparisons)
 		}
-		rs.RowsScanned += 2 * int64(stats.Comparisons)
-	}
-	rootValid := v.EmptyLHS(full, rootWitness)
-	stats.InitialNonFDs = nonFDs.Len()
-	stop()
-	stop = rs.Phase("induct")
-	inductAll(tree, full, nonFDs.Sets())
-	if approx {
-		if invalid := full.Difference(rootValid); !invalid.IsEmpty() {
-			tree.Induct(bitset.New(n), invalid)
+		rootValid := v.EmptyLHS(full, rootWitness)
+		stats.InitialNonFDs = nonFDs.Len()
+		stop()
+		stop = rs.Phase("induct")
+		inductAll(tree, full, nonFDs.Sets())
+		if approx {
+			if invalid := full.Difference(rootValid); !invalid.IsEmpty() {
+				tree.Induct(bitset.New(n), invalid)
+			}
 		}
-	}
-	stop()
-	if cfg.TopK != nil {
-		rootScore := 0
-		if r.NumRows() >= 2 {
-			rootScore = r.NumRows()
+		stop()
+		if cfg.TopK != nil {
+			rootScore := 0
+			if r.NumRows() >= 2 {
+				rootScore = r.NumRows()
+			}
+			for a := rootValid.Next(0); a >= 0; a = rootValid.Next(a + 1) {
+				rhs := bitset.New(n)
+				rhs.Add(a)
+				cfg.TopK.Admit(dep.FD{LHS: bitset.New(n), RHS: rhs}, rootScore)
+			}
 		}
-		for a := rootValid.Next(0); a >= 0; a = rootValid.Next(a + 1) {
-			rhs := bitset.New(n)
-			rhs.Add(a)
-			cfg.TopK.Admit(dep.FD{LHS: bitset.New(n), RHS: rhs}, rootScore)
-		}
+
+		// The surviving root RHS attributes are the validated FDs ∅ → A.
+		numFDs = tree.Root().RHSCount()
 	}
 	processed := nonFDs.Len()
 
-	// The surviving root RHS attributes are the validated FDs ∅ → A.
-	numFDs := tree.Root().RHSCount()
+	// tick snapshots the boundary before validation level vl: levels below
+	// it are fully validated and inducted into the tree, so a resumed run
+	// re-enters the loop exactly at vl. Capturing clones the whole FD-tree,
+	// so off-interval boundaries are skipped unless forced (terminal,
+	// loop-top cancellation).
+	tick := func(vl int, force bool) {
+		if cfg.Checkpoint == nil || (!force && !cfg.Checkpoint.Due()) {
+			return
+		}
+		f := &runstate.LevelFrontier{
+			Version:         1,
+			Level:           int64(vl),
+			NumFDs:          int64(numFDs),
+			Validations:     int64(v.Validations),
+			Invalidated:     int64(v.Invalidated),
+			RowsScannedV:    int64(v.RowsScanned),
+			ClustersRefined: int64(v.ClustersRefined),
+			InitialNonFDs:   int64(stats.InitialNonFDs),
+			Comparisons:     int64(stats.Comparisons),
+			Refinements:     int64(stats.Refinements),
+			PeakDynRows:     int64(stats.PeakDynPartRows),
+			PeakDynCount:    int64(stats.PeakDynPartCount),
+			RowsScanned:     rs.RowsScanned,
+			PartitionsBuilt: rs.PartitionsBuilt,
+		}
+		st := runstate.StatsSnapOf(rs)
+		cd := cfg.Cache.Stats().Delta(cache0)
+		st.CacheHits = rs.CacheHits + cd.Hits
+		st.CacheMisses = rs.CacheMisses + cd.Misses
+		st.CacheEvicts = rs.CacheEvictions + cd.Evictions
+		_ = cfg.Checkpoint.Tick(&runstate.Snapshot{
+			Stats:    st,
+			Tree:     runstate.TreeSnapOf(tree),
+			NonFDs:   runstate.NonFDSnapOf(nonFDs, n),
+			TopK:     runstate.TopKSnapOf(cfg.TopK),
+			Manifest: runstate.ManifestOf(cfg.Cache, manifestMax),
+			Frontier: runstate.FrontierSnap{Version: 1, Level: f},
+		})
+	}
 
 	finish := func(err error) ([]dep.FD, Stats, *engine.RunStats, error) {
 		stats.Validations = v.Validations
@@ -409,6 +503,7 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 		rs.Count("peak_dyn_partitions", int64(stats.PeakDynPartCount))
 		rs.Count("peak_dyn_rows", int64(stats.PeakDynPartRows))
 		flushTopK()
+		pool.FoldRetryStats(rs)
 		rs.Finish(err)
 		if cfg.TopK != nil {
 			// The heap's FDs were each individually validated and minimal
@@ -422,7 +517,14 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 		return nil, stats, rs, err
 	}
 
-	for vl := 1; vl <= tree.MaxLevel(); vl++ {
+	for vl := startLevel; vl <= tree.MaxLevel(); vl++ {
+		if err := ctx.Err(); err != nil {
+			// Level vl is untouched, so this is still a boundary: park
+			// it for the final Flush and Ctrl-C loses nothing.
+			tick(vl, true)
+			return finish(err)
+		}
+		tick(vl, false)
 		candidates := tree.NodesAtLevel(vl)
 		stats.Levels++
 
@@ -477,7 +579,7 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 				}
 				tree.ControlledLevel = vl
 				stop = rs.Phase("refine")
-				err := m.update(ctx, cfg.Workers, reusables)
+				err := m.update(ctx, pool, reusables)
 				stop()
 				if err != nil {
 					return finish(err)
@@ -497,6 +599,10 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 	if err := ctx.Err(); err != nil {
 		return finish(err)
 	}
+	// Terminal boundary: the cursor is past every tree level, so resuming a
+	// post-completion snapshot replays no validation and re-emits the same
+	// cover.
+	tick(tree.MaxLevel()+1, true)
 	if cfg.TopK != nil {
 		return finish(nil) // the collector's FDs, in ranking order
 	}
@@ -506,6 +612,15 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 	_, _, _, _ = finish(nil)
 	rs.FDs = int64(stats.FDs)
 	return fds, stats, rs, nil
+}
+
+// resumeLevel extracts a snapshot's level frontier, nil when the run
+// starts cold or the snapshot belongs to another algorithm family.
+func resumeLevel(s *runstate.Snapshot) *runstate.LevelFrontier {
+	if s == nil || s.Frontier.Level == nil || s.Tree == nil {
+		return nil
+	}
+	return s.Frontier.Level
 }
 
 // EfficiencyInefficiencyRatio computes the paper's Section IV-G measure:

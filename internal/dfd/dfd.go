@@ -26,8 +26,12 @@ import (
 	"repro/internal/engine"
 	"repro/internal/partition"
 	"repro/internal/relation"
+	"repro/internal/runstate"
 	"repro/internal/topk"
 )
+
+// manifestMax caps how many PLI-cache keys a checkpoint snapshot records.
+const manifestMax = 64
 
 // Discover returns the left-reduced cover (singleton RHSs) of the FDs
 // holding on r.
@@ -69,6 +73,18 @@ type Config struct {
 	// when at most MaxViolations rows must be deleted for the FD to hold
 	// exactly. 0 keeps the exact e(X) = e(XA) test.
 	MaxViolations int
+	// Checkpoint, when non-nil, snapshots the walk cursor after each fully
+	// decided RHS attribute so a killed run can resume. A walk decides one
+	// attribute completely or not at all, which makes the attribute
+	// boundary the natural durable unit. Nil disables durability.
+	Checkpoint *runstate.Checkpointer
+	// Resume, when non-nil, seeds the run from a snapshot's DFD frontier:
+	// the decided attributes' FDs are restored and walks restart at the
+	// cursor. The rng is reseeded — walk order may differ, but each
+	// attribute's minimal FDs are data-determined and sorted, so the final
+	// cover is byte-identical. The caller has already fingerprint-matched
+	// the snapshot.
+	Resume *runstate.Snapshot
 }
 
 // DiscoverRun is DiscoverCtx emitting the algorithm-agnostic run report.
@@ -123,11 +139,55 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 	cache0 := cfg.Cache.Stats()
 	defer func() {
 		delta := cfg.Cache.Stats().Delta(cache0)
-		rs.CacheHits, rs.CacheMisses, rs.CacheEvictions = delta.Hits, delta.Misses, delta.Evictions
+		rs.CacheHits += delta.Hits
+		rs.CacheMisses += delta.Misses
+		rs.CacheEvictions += delta.Evictions
 	}()
+	// Additive bases seeded from a resumed checkpoint: DFD derives its
+	// validation/build counters from its memo sizes, which start empty in
+	// the new process.
+	var valBase, builtBase int64
+	startAttr := 0
+	if cfg.Resume != nil && cfg.Resume.Frontier.DFD != nil {
+		f := cfg.Resume.Frontier.DFD
+		cfg.Resume.Stats.Apply(rs)
+		out = append(out, f.Out...)
+		startAttr = int(f.NextAttr)
+		valBase, builtBase = f.Validations, f.PartitionsBuilt
+		runstate.WarmCache(cfg.Cache, cfg.Resume.Manifest, r.Cols, r.Cards)
+	}
+	// tick snapshots the walk cursor: attributes below next are fully
+	// decided, their minimal FDs are in out, and everything else is
+	// rebuilt. Capturing clones the emitted cover, so off-interval
+	// boundaries are skipped unless forced (terminal, cancellation).
+	tick := func(next int, force bool) {
+		if cfg.Checkpoint == nil || (!force && !cfg.Checkpoint.Due()) {
+			return
+		}
+		f := &runstate.DFDFrontier{
+			Version:         1,
+			NextAttr:        int64(next),
+			Validations:     valBase + int64(len(d.errs)),
+			PartitionsBuilt: builtBase + int64(len(d.errs)),
+		}
+		for _, fd := range out {
+			f.Out = append(f.Out, fd.Clone())
+		}
+		st := runstate.StatsSnapOf(rs)
+		cd := cfg.Cache.Stats().Delta(cache0)
+		st.CacheHits = rs.CacheHits + cd.Hits
+		st.CacheMisses = rs.CacheMisses + cd.Misses
+		st.CacheEvicts = rs.CacheEvictions + cd.Evictions
+		_ = cfg.Checkpoint.Tick(&runstate.Snapshot{
+			Stats:    st,
+			TopK:     runstate.TopKSnapOf(cfg.TopK),
+			Manifest: runstate.ManifestOf(cfg.Cache, manifestMax),
+			Frontier: runstate.FrontierSnap{Version: 1, DFD: f},
+		})
+	}
 	fail := func(err error) ([]dep.FD, *engine.RunStats, error) {
-		rs.CandidatesValidated = int64(len(d.errs))
-		rs.PartitionsBuilt = int64(len(d.errs))
+		rs.CandidatesValidated = valBase + int64(len(d.errs))
+		rs.PartitionsBuilt = builtBase + int64(len(d.errs))
 		flushTopK()
 		rs.Finish(err)
 		if cfg.TopK != nil {
@@ -148,10 +208,14 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 	}
 	stop := rs.Phase("walk")
 	defer stop()
-	for a := 0; a < n; a++ {
+	for a := startAttr; a < n; a++ {
 		if err := ctx.Err(); err != nil {
+			// Attribute a is untouched, so this is still a boundary:
+			// park it for the final Flush and Ctrl-C loses nothing.
+			tick(a, true)
 			return fail(err)
 		}
+		tick(a, false)
 		// A walk decides one RHS attribute completely or not at all, so
 		// abandoning the remaining attributes on budget exhaustion leaves
 		// a sound partial cover.
@@ -175,6 +239,9 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 		}
 		minDeps, err := d.minimalLHSs(ctx, a)
 		if err != nil {
+			// The abandoned walk emitted nothing for a; the boundary is
+			// unchanged.
+			tick(a, true)
 			return fail(err)
 		}
 		rhs := bitset.New(n)
@@ -187,14 +254,17 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 			}
 		}
 	}
+	// Terminal boundary: resuming a post-completion snapshot replays no
+	// walks and re-emits the same cover.
+	tick(n, true)
 	if cfg.TopK != nil {
 		out = cfg.TopK.FDs() // already in ranking order
 	} else {
 		dep.Sort(out)
 	}
 	rs.FDs = int64(len(out))
-	rs.CandidatesValidated = int64(len(d.errs))
-	rs.PartitionsBuilt = int64(len(d.errs))
+	rs.CandidatesValidated = valBase + int64(len(d.errs))
+	rs.PartitionsBuilt = builtBase + int64(len(d.errs))
 	flushTopK()
 	rs.Finish(nil)
 	return out, rs, nil

@@ -14,6 +14,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"runtime/debug"
 	"sort"
 	"strings"
@@ -36,7 +37,12 @@ type PanicError struct {
 	// Site attributes the panic: a faults.Site name for injected
 	// failures, or the recovery point ("engine.worker", "discover") for
 	// organic ones.
-	Site  string
+	Site string
+	// Class is the failure's retry classification. Injected failures carry
+	// the class their plan resolved (faults.ClassOf); organic panics are
+	// ClassFatal — re-running an unclassified failure risks repeating side
+	// effects, so only explicitly transient failures reach the retry path.
+	Class faults.Class
 	Value any    // the recovered panic value
 	Stack []byte // stack of the panicking goroutine
 }
@@ -65,7 +71,11 @@ func NewPanicError(site string, value any) *PanicError {
 	if s := faults.SiteOf(value); s != "" {
 		site = string(s)
 	}
-	return &PanicError{Site: site, Value: value, Stack: debug.Stack()}
+	class := faults.ClassOf(value)
+	if class == faults.ClassUnknown {
+		class = faults.ClassFatal
+	}
+	return &PanicError{Site: site, Class: class, Value: value, Stack: debug.Stack()}
 }
 
 // Recover converts an in-flight panic into a *PanicError assigned to
@@ -80,11 +90,35 @@ func Recover(site string, errp *error) {
 	}
 }
 
+// RetryPolicy bounds the supervised re-execution of transiently failed
+// work items. The zero value disables retries, which keeps Pool.Run's
+// hot path identical to the pre-retry engine.
+type RetryPolicy struct {
+	// Max is the number of re-executions allowed per item after its first
+	// failure. 0 disables the retry layer entirely.
+	Max int
+	// BaseDelay seeds the exponential backoff between attempts
+	// (default 1ms). Attempt r waits a uniformly random duration in
+	// [0, min(BaseDelay<<r, MaxDelay)] — capped exponential backoff with
+	// full jitter, so a burst of failed items does not retry in lockstep.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 250ms).
+	MaxDelay time.Duration
+}
+
 // Pool is a bounded worker pool. The zero value is not usable; use
-// NewPool. Pools are stateless between Run calls and may be reused and
-// shared.
+// NewPool. A pool carries no per-Run state and may be reused and shared;
+// its attempt/retry counters accumulate across Run calls for the run
+// report.
 type Pool struct {
 	workers int
+	retry   RetryPolicy
+
+	// attempts counts item executions supervised by the retry layer
+	// (first tries and retries); retries counts re-executions after a
+	// transient failure. Both stay zero while the retry layer is off.
+	attempts atomic.Int64
+	retries  atomic.Int64
 }
 
 // NewPool returns a pool of the given width. Widths below 1 clamp to 1,
@@ -96,6 +130,38 @@ func NewPool(workers int) *Pool {
 		workers = 1
 	}
 	return &Pool{workers: workers}
+}
+
+// NewPoolRetry returns a pool that re-runs transiently failed items per
+// the policy. Failures are retried only when their class is
+// faults.ClassTransient — injected failures fire before the item
+// publishes side effects, so a re-execution starts clean; organic panics
+// and fatal classes surface immediately.
+func NewPoolRetry(workers int, retry RetryPolicy) *Pool {
+	p := NewPool(workers)
+	if retry.Max < 0 {
+		retry.Max = 0
+	}
+	p.retry = retry
+	return p
+}
+
+// RetryStats reports the supervised execution counters: total item
+// attempts under the retry layer and how many of those were retries.
+// Both are zero when the pool was built without a retry policy.
+func (p *Pool) RetryStats() (attempts, retries int64) {
+	return p.attempts.Load(), p.retries.Load()
+}
+
+// FoldRetryStats folds the pool's supervision counters into the run
+// report as the "attempts" and "retries" counters. A pool with the retry
+// layer off contributes nothing.
+func (p *Pool) FoldRetryStats(rs *RunStats) {
+	attempts, retries := p.RetryStats()
+	if attempts > 0 {
+		rs.Count("attempts", attempts)
+		rs.Count("retries", retries)
+	}
 }
 
 // Workers returns the pool width. Callers allocating per-worker scratch
@@ -119,7 +185,7 @@ func (p *Pool) Run(ctx context.Context, n int, fn func(worker, i int)) error {
 		workers = n
 	}
 	if workers == 1 {
-		return runSerial(ctx, n, fn)
+		return p.runSerial(ctx, n, fn)
 	}
 
 	var (
@@ -150,6 +216,14 @@ func (p *Pool) Run(ctx context.Context, n int, fn func(worker, i int)) error {
 				if i >= n {
 					return
 				}
+				if p.retry.Max > 0 {
+					if pe := p.runItem(ctx, w, i, fn); pe != nil {
+						panicked.CompareAndSwap(nil, pe)
+						stop.Store(true)
+						return
+					}
+					continue
+				}
 				faults.Check(faults.EngineWorker)
 				fn(w, i)
 			}
@@ -162,7 +236,7 @@ func (p *Pool) Run(ctx context.Context, n int, fn func(worker, i int)) error {
 	return ctx.Err()
 }
 
-func runSerial(ctx context.Context, n int, fn func(worker, i int)) (err error) {
+func (p *Pool) runSerial(ctx context.Context, n int, fn func(worker, i int)) (err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			err = NewPanicError("engine.worker", rec)
@@ -174,10 +248,80 @@ func runSerial(ctx context.Context, n int, fn func(worker, i int)) (err error) {
 				return cerr
 			}
 		}
+		if p.retry.Max > 0 {
+			if pe := p.runItem(ctx, 0, i, fn); pe != nil {
+				return pe
+			}
+			continue
+		}
 		faults.Check(faults.EngineWorker)
 		fn(0, i)
 	}
 	return ctx.Err()
+}
+
+// runItem executes one work item under supervision: a failed attempt is
+// re-run while its class stays transient and the policy has budget,
+// sleeping a jittered backoff between attempts. The final failure (fatal,
+// exhausted, or interrupted by cancellation) is returned for the caller
+// to publish; a drained backoff wait returns the original failure so
+// shutdown never blocks on sleeps.
+func (p *Pool) runItem(ctx context.Context, w, i int, fn func(worker, i int)) *PanicError {
+	p.attempts.Add(1)
+	pe := p.execItem(w, i, fn)
+	for r := 0; pe != nil && pe.Class == faults.ClassTransient && r < p.retry.Max; r++ {
+		if !sleepBackoff(ctx, p.retry, r) {
+			return pe
+		}
+		p.retries.Add(1)
+		p.attempts.Add(1)
+		pe = p.execItem(w, i, fn)
+	}
+	return pe
+}
+
+// execItem runs one attempt of one item, converting a panic into the
+// typed *PanicError the retry loop classifies.
+func (p *Pool) execItem(w, i int, fn func(worker, i int)) (pe *PanicError) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			pe = NewPanicError("engine.worker", rec)
+		}
+	}()
+	faults.Check(faults.EngineWorker)
+	fn(w, i)
+	return nil
+}
+
+// sleepBackoff waits the capped, full-jitter exponential backoff for
+// retry attempt r (0-based), returning false when the context is
+// cancelled before the wait completes.
+func sleepBackoff(ctx context.Context, rp RetryPolicy, r int) bool {
+	base := rp.BaseDelay
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	max := rp.MaxDelay
+	if max <= 0 {
+		max = 250 * time.Millisecond
+	}
+	d := max
+	if r < 30 && base<<uint(r) < max {
+		d = base << uint(r)
+	}
+	// Full jitter: a uniform draw over [0, d] decorrelates retry storms.
+	d = time.Duration(rand.Int63n(int64(d) + 1))
+	if d == 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
 }
 
 // Map runs fn over items on up to workers goroutines and collects the
@@ -250,10 +394,12 @@ type RunStats struct {
 	// partial.
 	Degraded       bool
 	DegradedReason string
-	// Elapsed is the total wall time of the run.
+	// Elapsed is the total wall time of the run, including any elapsed
+	// base carried over from a resumed checkpoint (AddElapsed).
 	Elapsed time.Duration
 
-	start time.Time
+	start       time.Time
+	elapsedBase time.Duration
 }
 
 // NewRunStats returns a report for the named algorithm and starts its
@@ -324,10 +470,26 @@ func (s *RunStats) Count(name string, delta int64) {
 	s.Counters[name] += delta
 }
 
+// AddElapsed credits wall time spent before this RunStats existed — the
+// elapsed time a resumed checkpoint recorded — so Finish and SinceStart
+// report the cumulative cost of the logical run, not just this process's
+// share.
+func (s *RunStats) AddElapsed(d time.Duration) {
+	if d > 0 {
+		s.elapsedBase += d
+	}
+}
+
+// SinceStart is the cumulative wall time of the run so far (including any
+// resumed base), readable before Finish — checkpoint snapshots stamp it.
+func (s *RunStats) SinceStart() time.Duration {
+	return s.elapsedBase + time.Since(s.start)
+}
+
 // Finish stamps the total elapsed time and records whether err was a
 // cancellation. Call it exactly once, on every return path.
 func (s *RunStats) Finish(err error) {
-	s.Elapsed = time.Since(s.start)
+	s.Elapsed = s.elapsedBase + time.Since(s.start)
 	if err != nil {
 		s.Cancelled = true
 	}

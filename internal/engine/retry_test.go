@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// retryPolicy keeps test backoffs effectively instant.
+var retryPolicy = RetryPolicy{Max: 3, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond}
+
+func TestRetryAbsorbsTransientPanic(t *testing.T) {
+	defer faults.Reset()
+	for _, workers := range []int{1, 4} {
+		faults.Arm(faults.EngineWorker, faults.Plan{Kind: faults.KindPanic, N: 5})
+		p := NewPoolRetry(workers, retryPolicy)
+		var done atomic.Int64
+		if err := p.Run(context.Background(), 20, func(_, _ int) { done.Add(1) }); err != nil {
+			t.Fatalf("workers=%d: transient fault not absorbed: %v", workers, err)
+		}
+		if done.Load() != 20 {
+			t.Fatalf("workers=%d: %d items completed, want 20", workers, done.Load())
+		}
+		attempts, retries := p.RetryStats()
+		if retries != 1 {
+			t.Fatalf("workers=%d: retries = %d, want 1", workers, retries)
+		}
+		if attempts != 21 {
+			t.Fatalf("workers=%d: attempts = %d, want 21", workers, attempts)
+		}
+	}
+}
+
+func TestRetryFatalClassSurfacesImmediately(t *testing.T) {
+	defer faults.Reset()
+	faults.Arm(faults.EngineWorker, faults.Plan{
+		Kind: faults.KindPanic, N: 3, Class: faults.ClassFatal,
+	})
+	p := NewPoolRetry(2, retryPolicy)
+	err := p.Run(context.Background(), 20, func(_, _ int) {})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want *PanicError", err)
+	}
+	if pe.Class != faults.ClassFatal {
+		t.Fatalf("class = %v, want fatal", pe.Class)
+	}
+	if _, retries := p.RetryStats(); retries != 0 {
+		t.Fatalf("fatal failure was retried %d times", retries)
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	// An item that fails transiently on every attempt: the plan re-arms
+	// inside the failing item via the work function itself.
+	p := NewPoolRetry(1, RetryPolicy{Max: 2, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond})
+	calls := 0
+	err := p.Run(context.Background(), 1, func(_, _ int) {
+		calls++
+		panic(faults.Injection{Site: faults.EngineWorker, Kind: faults.KindPanic, Class: faults.ClassTransient})
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want *PanicError", err)
+	}
+	if pe.Class != faults.ClassTransient {
+		t.Fatalf("class = %v, want transient (the final failed attempt)", pe.Class)
+	}
+	if calls != 3 {
+		t.Fatalf("item ran %d times, want 3 (1 try + Max=2 retries)", calls)
+	}
+	attempts, retries := p.RetryStats()
+	if attempts != 3 || retries != 2 {
+		t.Fatalf("attempts/retries = %d/%d, want 3/2", attempts, retries)
+	}
+}
+
+func TestRetryOrganicPanicNotRetried(t *testing.T) {
+	p := NewPoolRetry(1, retryPolicy)
+	calls := 0
+	err := p.Run(context.Background(), 4, func(_, i int) {
+		calls++
+		if i == 2 {
+			panic("organic bug")
+		}
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want *PanicError", err)
+	}
+	if pe.Class != faults.ClassFatal {
+		t.Fatalf("organic panic classified %v, want fatal", pe.Class)
+	}
+	if calls != 3 {
+		t.Fatalf("item 2 was re-run: %d calls, want 3", calls)
+	}
+}
+
+func TestRetryOffKeepsCountersZero(t *testing.T) {
+	p := NewPool(2)
+	if err := p.Run(context.Background(), 10, func(_, _ int) {}); err != nil {
+		t.Fatal(err)
+	}
+	if a, r := p.RetryStats(); a != 0 || r != 0 {
+		t.Fatalf("retry-off pool counted %d/%d", a, r)
+	}
+	rs := NewRunStats("x", 1)
+	p.FoldRetryStats(rs)
+	if _, ok := rs.Counters["attempts"]; ok {
+		t.Fatal("retry-off pool folded counters into the report")
+	}
+}
+
+func TestFoldRetryStats(t *testing.T) {
+	defer faults.Reset()
+	faults.Arm(faults.EngineWorker, faults.Plan{Kind: faults.KindPanic, N: 2})
+	p := NewPoolRetry(1, retryPolicy)
+	if err := p.Run(context.Background(), 5, func(_, _ int) {}); err != nil {
+		t.Fatal(err)
+	}
+	rs := NewRunStats("x", 1)
+	p.FoldRetryStats(rs)
+	if rs.Counters["attempts"] != 6 || rs.Counters["retries"] != 1 {
+		t.Fatalf("folded %d/%d, want 6/1", rs.Counters["attempts"], rs.Counters["retries"])
+	}
+}
+
+func TestRetryBackoffHonoursCancellation(t *testing.T) {
+	// A cancelled context must abort the backoff sleep and surface the
+	// original failure promptly instead of blocking the shutdown.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p := NewPoolRetry(1, RetryPolicy{Max: 5, BaseDelay: time.Hour, MaxDelay: time.Hour})
+	start := time.Now()
+	err := p.Run(ctx, 1, func(_, _ int) {
+		cancel() // fail and cancel in the same attempt
+		panic(faults.Injection{Site: faults.EngineWorker, Kind: faults.KindPanic, Class: faults.ClassTransient})
+	})
+	if time.Since(start) > time.Second {
+		t.Fatal("cancelled retry blocked on its backoff sleep")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want the original *PanicError", err)
+	}
+}

@@ -23,8 +23,21 @@ import (
 	"repro/internal/dep"
 	"repro/internal/engine"
 	"repro/internal/relation"
+	"repro/internal/runstate"
 	"repro/internal/sampling"
 )
+
+// Config tunes FastFDs' durability; the algorithm itself has no knobs.
+type Config struct {
+	// Checkpoint, when non-nil, snapshots the difference sets and the
+	// per-RHS cover cursor after the negative cover and after each fully
+	// enumerated attribute, so a killed run resumes without redoing the
+	// O(r²) pair scan. Nil disables durability.
+	Checkpoint *runstate.Checkpointer
+	// Resume, when non-nil, seeds the run from a snapshot's FastFDs
+	// frontier. The caller has already fingerprint-matched it.
+	Resume *runstate.Snapshot
+}
 
 // Discover returns the left-reduced cover (singleton RHSs) of the FDs
 // holding on r.
@@ -43,7 +56,12 @@ func DiscoverCtx(ctx context.Context, r *relation.Relation) ([]dep.FD, error) {
 // DiscoverRun is DiscoverCtx emitting the algorithm-agnostic run report.
 // On cancellation the partial report (with Cancelled set) is returned
 // alongside ctx's error.
-func DiscoverRun(ctx context.Context, r *relation.Relation) (retFDs []dep.FD, retRS *engine.RunStats, retErr error) {
+func DiscoverRun(ctx context.Context, r *relation.Relation) ([]dep.FD, *engine.RunStats, error) {
+	return Run(ctx, r, Config{})
+}
+
+// Run is DiscoverRun with durability options.
+func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD, retRS *engine.RunStats, retErr error) {
 	rs := engine.NewRunStats("fastfds", 1)
 	defer func() {
 		if rec := recover(); rec != nil {
@@ -57,32 +75,84 @@ func DiscoverRun(ctx context.Context, r *relation.Relation) (retFDs []dep.FD, re
 		rs.Finish(nil)
 		return nil, rs, nil
 	}
-	stop := rs.Phase("negative-cover")
-	neg, err := sampling.NegativeCoverCtx(ctx, r)
-	stop()
-	if err != nil {
-		rs.Finish(err)
-		return nil, rs, err
-	}
-	nrows := int64(r.NumRows())
-	rs.RowsScanned += nrows * (nrows - 1)
-	rs.NonFDs = int64(neg.Len())
-	full := bitset.Full(n)
 
-	// Difference sets: complements of the (deduplicated) agree sets.
-	diffSets := make([]bitset.Set, 0, neg.Len())
-	for _, ag := range neg.Sets() {
-		diffSets = append(diffSets, full.Difference(ag))
-	}
-
-	stop = rs.Phase("covers")
+	var diffSets []bitset.Set
 	var out []dep.FD
-	for a := 0; a < n && err == nil; a++ {
+	var err error
+	startAttr := 0
+	if f := resumeFrontier(cfg.Resume); f != nil {
+		// Continue a checkpointed run: the persisted difference sets make
+		// redoing the O(r²) pair scan unnecessary.
+		cfg.Resume.Stats.Apply(rs)
+		diffSets = f.Diff
+		out = append(out, f.Out...)
+		startAttr = int(f.NextAttr)
+		rs.RowsScanned = f.RowsScanned
+		rs.NonFDs = f.NonFDs
+	} else {
+		stop := rs.Phase("negative-cover")
+		var neg *sampling.NonFDSet
+		neg, err = sampling.NegativeCoverCtx(ctx, r)
+		stop()
+		if err != nil {
+			rs.Finish(err)
+			return nil, rs, err
+		}
+		nrows := int64(r.NumRows())
+		rs.RowsScanned += nrows * (nrows - 1)
+		rs.NonFDs = int64(neg.Len())
+		full := bitset.Full(n)
+
+		// Difference sets: complements of the (deduplicated) agree sets.
+		diffSets = make([]bitset.Set, 0, neg.Len())
+		for _, ag := range neg.Sets() {
+			diffSets = append(diffSets, full.Difference(ag))
+		}
+	}
+
+	// tick snapshots the cover cursor: attributes below next are fully
+	// enumerated, and the difference sets stand in for the pair scan.
+	// Capturing clones the difference sets, so off-interval boundaries
+	// are skipped unless forced (terminal, cancellation).
+	tick := func(next int, force bool) {
+		if cfg.Checkpoint == nil || (!force && !cfg.Checkpoint.Due()) {
+			return
+		}
+		f := &runstate.FastFDsFrontier{
+			Version:     1,
+			NextAttr:    int64(next),
+			RowsScanned: rs.RowsScanned,
+			NonFDs:      rs.NonFDs,
+		}
+		for _, d := range diffSets {
+			f.Diff = append(f.Diff, d.Clone())
+		}
+		for _, fd := range out {
+			f.Out = append(f.Out, fd.Clone())
+		}
+		_ = cfg.Checkpoint.Tick(&runstate.Snapshot{
+			Stats: runstate.StatsSnapOf(rs),
+			// FastFDs holds no PLI cache; the manifest is empty but still
+			// versioned so the decoder accepts it.
+			Manifest: runstate.ManifestSnap{Version: 1},
+			Frontier: runstate.FrontierSnap{Version: 1, FastFDs: f},
+		})
+	}
+
+	stop := rs.Phase("covers")
+	for a := startAttr; a < n && err == nil; a++ {
 		if err = ctx.Err(); err != nil {
+			// Attribute a is untouched, so this is still a boundary:
+			// park it for the final Flush and Ctrl-C loses nothing.
+			tick(a, true)
 			break
 		}
+		tick(a, false)
 		var covers []bitset.Set
 		if covers, err = coversFor(ctx, n, diffSets, a); err != nil {
+			// A cancelled enumeration emitted no covers for a; the
+			// boundary is unchanged.
+			tick(a, true)
 			break
 		}
 		rhs := bitset.New(n)
@@ -96,10 +166,22 @@ func DiscoverRun(ctx context.Context, r *relation.Relation) (retFDs []dep.FD, re
 		rs.Finish(err)
 		return nil, rs, err
 	}
+	// Terminal boundary: resuming a post-completion snapshot enumerates no
+	// covers and re-emits the same cover.
+	tick(n, true)
 	dep.Sort(out)
 	rs.FDs = int64(len(out))
 	rs.Finish(nil)
 	return out, rs, nil
+}
+
+// resumeFrontier extracts a snapshot's FastFDs frontier, nil when the run
+// starts cold or the snapshot belongs to another algorithm.
+func resumeFrontier(s *runstate.Snapshot) *runstate.FastFDsFrontier {
+	if s == nil || s.Frontier.FastFDs == nil {
+		return nil
+	}
+	return s.Frontier.FastFDs
 }
 
 // coversFor enumerates the minimal covers of D_A.

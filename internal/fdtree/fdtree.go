@@ -541,6 +541,31 @@ func (t *Tree) FDs() []dep.FD {
 	return out
 }
 
+// ForEachFD visits every FD-node in depth-first child order with the
+// attribute set of its path. The lhs set is reused between calls — the
+// visitor must clone it to keep it. Checkpoint serialization walks the
+// tree through this: the (lhs, RHS, Pruned) triples are the tree's whole
+// logical state, since dead branches (subtree 0) hold no FDs and node
+// IDs/epochs are rebuilt as consistent defaults on resume.
+func (t *Tree) ForEachFD(fn func(lhs bitset.Set, n *Node)) {
+	path := bitset.New(t.numAttrs)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.subtree == 0 {
+			return
+		}
+		if n.IsFDNode() {
+			fn(path, n)
+		}
+		for _, c := range n.children {
+			path.Add(c.Attr)
+			walk(c)
+			path.Remove(c.Attr)
+		}
+	}
+	walk(t.root)
+}
+
 // PropagateID copies n's id and epoch to every descendant, restoring id
 // consistency after the dynamic data manager refreshed n's partition
 // (Algorithm 3, step 15).

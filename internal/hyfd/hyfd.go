@@ -27,10 +27,14 @@ import (
 	"repro/internal/fdtree"
 	"repro/internal/partition"
 	"repro/internal/relation"
+	"repro/internal/runstate"
 	"repro/internal/sampling"
 	"repro/internal/topk"
 	"repro/internal/validate"
 )
+
+// manifestMax caps how many PLI-cache keys a checkpoint snapshot records.
+const manifestMax = 64
 
 // Config tunes the phase-switching heuristics and the validation pool.
 type Config struct {
@@ -67,6 +71,18 @@ type Config struct {
 	// search tree specializes from validation outcomes instead. 0 keeps
 	// exact discovery.
 	MaxViolations int
+	// Checkpoint, when non-nil, snapshots the FD-tree, non-FD set, level
+	// cursor and per-column sampler runs at every validation-level
+	// boundary so a killed run can resume. Nil disables durability.
+	Checkpoint *runstate.Checkpointer
+	// Resume, when non-nil, seeds the run from a snapshot's level
+	// frontier: tree, non-FD set and sampler runs are restored and
+	// validation restarts at the cursor. The caller has already
+	// fingerprint-matched it.
+	Resume *runstate.Snapshot
+	// Retries bounds supervised re-runs of transiently failed pool items
+	// (capped exponential backoff with full jitter). 0 disables retries.
+	Retries int
 }
 
 // DefaultConfig returns the configuration used in the experiments.
@@ -256,7 +272,7 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 		rs.Finish(nil)
 		return nil, stats, rs, nil
 	}
-	pool := engine.NewPool(cfg.Workers)
+	pool := engine.NewPoolRetry(cfg.Workers, engine.RetryPolicy{Max: cfg.Retries})
 
 	if err := ctx.Err(); err != nil {
 		rs.Finish(err)
@@ -265,9 +281,9 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 	cache0 := cfg.Cache.Stats()
 	defer func() {
 		delta := cfg.Cache.Stats().Delta(cache0)
-		rs.CacheHits = delta.Hits
-		rs.CacheMisses = delta.Misses
-		rs.CacheEvictions = delta.Evictions
+		rs.CacheHits += delta.Hits
+		rs.CacheMisses += delta.Misses
+		rs.CacheEvictions += delta.Evictions
 	}()
 	stop := rs.Phase("sample")
 	plis := make([]*partition.Partition, n)
@@ -289,52 +305,133 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 	v := validate.New(r)
 	v.MaxViolations = cfg.MaxViolations
 	approx := cfg.MaxViolations > 0
-	nonFDs := sampling.NewNonFDSet(n)
-	tree := fdtree.NewWithFullRHS(n)
 	full := bitset.Full(n)
 	smp := newSampler(r, plis, cfg)
 
-	// Root validation finds the constant columns and seeds non-FDs.
-	// Approximate runs skip sampling entirely: one exact violating pair
-	// would refute an FD the g3 bound still admits, so the tree may only
-	// specialize from approximate validation outcomes.
-	rootWitness := nonFDs
-	if approx {
-		rootWitness = nil
-	}
-	rootValid := v.EmptyLHS(full, rootWitness)
+	var tree *fdtree.Tree
+	var nonFDs *sampling.NonFDSet
+	startLevel := 1
+	if lf := resumeLevel(cfg.Resume); lf != nil {
+		// Continue a checkpointed run: the restored tree, non-FD set and
+		// sampler runs are the search state; root validation and the
+		// initial sampling already happened, so the run re-enters the level
+		// loop at the cursor with cumulative counters.
+		tree = cfg.Resume.Tree.Restore()
+		nonFDs = cfg.Resume.NonFDs.Restore()
+		if nonFDs == nil {
+			nonFDs = sampling.NewNonFDSet(n)
+		}
+		cfg.Resume.Stats.Apply(rs)
+		v.Validations = int(lf.Validations)
+		v.Invalidated = int(lf.Invalidated)
+		v.RowsScanned = int(lf.RowsScannedV)
+		v.ClustersRefined = int(lf.ClustersRefined)
+		stats.SamplingRounds = int(lf.SamplingRounds)
+		stats.Comparisons = int(lf.Comparisons)
+		stats.Levels = int(lf.Level) - 1
+		rs.RowsScanned = lf.RowsScanned
+		rs.PartitionsBuilt = lf.PartitionsBuilt
+		startLevel = int(lf.Level)
+		for i := range smp.runs {
+			if i < len(lf.Sampler) {
+				rec := lf.Sampler[i]
+				smp.runs[i].distance = int(rec.Distance)
+				smp.runs[i].efficiency = rec.Efficiency
+				smp.runs[i].exhausted = rec.Exhausted
+			}
+		}
+		runstate.WarmCache(cfg.Cache, cfg.Resume.Manifest, r.Cols, r.Cards)
+		stop()
+	} else {
+		nonFDs = sampling.NewNonFDSet(n)
+		tree = fdtree.NewWithFullRHS(n)
 
-	if !approx {
-		// Initial sampling: one distance-1 run per column.
-		for c := 0; c < n; c++ {
-			newN, comps := sampling.ClusterNeighborSample(r, plis[c], 1, nonFDs)
-			_ = newN
-			smp.runs[c].distance = 2
-			stats.SamplingRounds++
-			stats.Comparisons += comps
+		// Root validation finds the constant columns and seeds non-FDs.
+		// Approximate runs skip sampling entirely: one exact violating pair
+		// would refute an FD the g3 bound still admits, so the tree may only
+		// specialize from approximate validation outcomes.
+		rootWitness := nonFDs
+		if approx {
+			rootWitness = nil
 		}
-	}
-	stop()
-	stop = rs.Phase("induct")
-	inductAll(tree, full, nonFDs.Sets())
-	if approx {
-		if invalid := full.Difference(rootValid); !invalid.IsEmpty() {
-			tree.Induct(bitset.New(n), invalid)
+		rootValid := v.EmptyLHS(full, rootWitness)
+
+		if !approx {
+			// Initial sampling: one distance-1 run per column.
+			for c := 0; c < n; c++ {
+				newN, comps := sampling.ClusterNeighborSample(r, plis[c], 1, nonFDs)
+				_ = newN
+				smp.runs[c].distance = 2
+				stats.SamplingRounds++
+				stats.Comparisons += comps
+			}
 		}
-	}
-	stop()
-	if cfg.TopK != nil {
-		rootScore := 0
-		if r.NumRows() >= 2 {
-			rootScore = r.NumRows()
+		stop()
+		stop = rs.Phase("induct")
+		inductAll(tree, full, nonFDs.Sets())
+		if approx {
+			if invalid := full.Difference(rootValid); !invalid.IsEmpty() {
+				tree.Induct(bitset.New(n), invalid)
+			}
 		}
-		for a := rootValid.Next(0); a >= 0; a = rootValid.Next(a + 1) {
-			rhs := bitset.New(n)
-			rhs.Add(a)
-			cfg.TopK.Admit(dep.FD{LHS: bitset.New(n), RHS: rhs}, rootScore)
+		stop()
+		if cfg.TopK != nil {
+			rootScore := 0
+			if r.NumRows() >= 2 {
+				rootScore = r.NumRows()
+			}
+			for a := rootValid.Next(0); a >= 0; a = rootValid.Next(a + 1) {
+				rhs := bitset.New(n)
+				rhs.Add(a)
+				cfg.TopK.Admit(dep.FD{LHS: bitset.New(n), RHS: rhs}, rootScore)
+			}
 		}
 	}
 	processed := nonFDs.Len()
+
+	// tick snapshots the boundary before validation level vl: levels below
+	// it are fully validated and inducted, and the sampler's per-column
+	// runs carry the phase-switching state, so a resumed run re-enters the
+	// loop exactly at vl. Capturing clones the whole FD-tree, so
+	// off-interval boundaries are skipped unless forced (terminal,
+	// loop-top cancellation).
+	tick := func(vl int, force bool) {
+		if cfg.Checkpoint == nil || (!force && !cfg.Checkpoint.Due()) {
+			return
+		}
+		f := &runstate.LevelFrontier{
+			Version:         1,
+			Level:           int64(vl),
+			Validations:     int64(v.Validations),
+			Invalidated:     int64(v.Invalidated),
+			RowsScannedV:    int64(v.RowsScanned),
+			ClustersRefined: int64(v.ClustersRefined),
+			Comparisons:     int64(stats.Comparisons),
+			SamplingRounds:  int64(stats.SamplingRounds),
+			RowsScanned:     rs.RowsScanned,
+			PartitionsBuilt: rs.PartitionsBuilt,
+		}
+		for i := range smp.runs {
+			f.Sampler = append(f.Sampler, runstate.SamplerRec{
+				Distance:   int64(smp.runs[i].distance),
+				Efficiency: smp.runs[i].efficiency,
+				Exhausted:  smp.runs[i].exhausted,
+			})
+		}
+		st := runstate.StatsSnapOf(rs)
+		cd := cfg.Cache.Stats().Delta(cache0)
+		st.CacheHits = rs.CacheHits + cd.Hits
+		st.CacheMisses = rs.CacheMisses + cd.Misses
+		st.CacheEvicts = rs.CacheEvictions + cd.Evictions
+		_ = cfg.Checkpoint.Tick(&runstate.Snapshot{
+			Stats:    st,
+			Tree:     runstate.TreeSnapOf(tree),
+			NonFDs:   runstate.NonFDSnapOf(nonFDs, n),
+			TopK:     runstate.TopKSnapOf(cfg.TopK),
+			Manifest: runstate.ManifestOf(cfg.Cache, manifestMax),
+			Frontier: runstate.FrontierSnap{Version: 1, Level: f},
+		})
+	}
 
 	finish := func(err error) ([]dep.FD, Stats, *engine.RunStats, error) {
 		stats.Validations = v.Validations
@@ -349,6 +446,7 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 		rs.Count("sampling_rounds", int64(stats.SamplingRounds))
 		rs.Count("sampling_comparisons", int64(stats.Comparisons))
 		flushTopK()
+		pool.FoldRetryStats(rs)
 		rs.Finish(err)
 		if cfg.TopK != nil {
 			// The heap's FDs were each individually validated and minimal
@@ -362,7 +460,14 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 		return nil, stats, rs, err
 	}
 
-	for vl := 1; vl <= tree.MaxLevel(); vl++ {
+	for vl := startLevel; vl <= tree.MaxLevel(); vl++ {
+		if err := ctx.Err(); err != nil {
+			// Level vl is untouched, so this is still a boundary: park
+			// it for the final Flush and Ctrl-C loses nothing.
+			tick(vl, true)
+			return finish(err)
+		}
+		tick(vl, false)
 		candidates := tree.NodesAtLevel(vl)
 		stats.Levels++
 		stop = rs.Phase("validate")
@@ -402,6 +507,10 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 	if err := ctx.Err(); err != nil {
 		return finish(err)
 	}
+	// Terminal boundary: the cursor is past every tree level, so resuming a
+	// post-completion snapshot replays no validation and re-emits the same
+	// cover.
+	tick(tree.MaxLevel()+1, true)
 	if cfg.TopK != nil {
 		return finish(nil) // the collector's FDs, in ranking order
 	}
@@ -411,6 +520,15 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 	_, _, _, _ = finish(nil)
 	rs.FDs = int64(stats.FDs)
 	return fds, stats, rs, nil
+}
+
+// resumeLevel extracts a snapshot's level frontier, nil when the run
+// starts cold or the snapshot belongs to another algorithm family.
+func resumeLevel(s *runstate.Snapshot) *runstate.LevelFrontier {
+	if s == nil || s.Frontier.Level == nil || s.Tree == nil {
+		return nil
+	}
+	return s.Frontier.Level
 }
 
 // levelInvalid records one approximate invalidation: every RHS attribute

@@ -14,13 +14,14 @@ var update = flag.Bool("update", false, "rewrite the fixture golden files")
 // exercises. The ignore fixture reuses ctxflow to drive the suppression
 // machinery.
 var fixtureAnalyzers = map[string]string{
-	"ctxflow":    "ctxflow",
-	"faultsite":  "faultsite",
-	"hotalloc":   "hotalloc",
-	"statsmerge": "statsmerge",
-	"locksafe":   "locksafe",
-	"exhaustive": "exhaustive",
-	"ignore":     "ctxflow",
+	"ctxflow":     "ctxflow",
+	"faultsite":   "faultsite",
+	"hotalloc":    "hotalloc",
+	"statsmerge":  "statsmerge",
+	"locksafe":    "locksafe",
+	"exhaustive":  "exhaustive",
+	"snapversion": "snapversion",
+	"ignore":      "ctxflow",
 }
 
 // TestGoldenFixtures loads every fixture module under testdata, runs its

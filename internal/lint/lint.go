@@ -86,6 +86,7 @@ func All() []*Analyzer {
 		StatsMerge,
 		LockSafe,
 		Exhaustive,
+		SnapVersion,
 	}
 }
 

@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SnapVersion guards the checkpoint format's forward-compatibility rule.
+// Every struct runstate serializes as a snapshot section carries a
+// `Version uint16` as its first field, so a build that changes a
+// section's layout can bump the section version and older snapshots are
+// rejected with ErrVersion instead of being misdecoded into garbage (or
+// worse, decoded cleanly into wrong frontiers that silently corrupt a
+// resumed run). A section struct added without the field compiles, and
+// the codec even roundtrips it — the hole only opens on the *next*
+// layout change, long after the author has moved on.
+//
+// The rule, applied to every module package named "runstate": a struct
+// named Snapshot or Fingerprint, or whose name ends in "Snap" or
+// "Frontier", must declare Version uint16 as its first field. Structs
+// suffixed "Rec" are sub-records versioned by their owning section and
+// are exempt, as are unexported codec internals.
+var SnapVersion = &Analyzer{
+	Name: "snapversion",
+	Doc:  "runstate snapshot sections must lead with a Version uint16 field",
+	Run:  runSnapVersion,
+}
+
+func runSnapVersion(pass *Pass) {
+	for _, pkg := range pass.Module.Pkgs {
+		if pkg.Name != "runstate" {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				if _, isStruct := ts.Type.(*ast.StructType); !isStruct {
+					return true
+				}
+				if !isSectionName(ts.Name.Name) {
+					return true
+				}
+				checkSectionStruct(pass, pkg, ts)
+				return true
+			})
+		}
+	}
+}
+
+// isSectionName reports whether a struct name falls under the section
+// rule.
+func isSectionName(name string) bool {
+	if name == "Snapshot" || name == "Fingerprint" {
+		return true
+	}
+	return strings.HasSuffix(name, "Snap") || strings.HasSuffix(name, "Frontier")
+}
+
+func checkSectionStruct(pass *Pass, pkg *Package, ts *ast.TypeSpec) {
+	obj, ok := pkg.Info.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	name := ts.Name.Name
+	versionAt := -1
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == "Version" {
+			versionAt = i
+			break
+		}
+	}
+	if versionAt < 0 {
+		pass.Reportf(ts.Name.Pos(),
+			"snapshot section %s has no Version field — the decoder cannot reject a layout change as ErrVersion", name)
+		return
+	}
+	fld := st.Field(versionAt)
+	if b, ok := fld.Type().Underlying().(*types.Basic); !ok || b.Kind() != types.Uint16 {
+		pass.Reportf(fld.Pos(),
+			"snapshot section %s declares Version as %s, want uint16 (the codec's section-version width)", name, fld.Type())
+		return
+	}
+	if versionAt != 0 {
+		pass.Reportf(fld.Pos(),
+			"snapshot section %s must declare Version as its first field, not field %d — decoders bail on the version before trusting the rest of the layout", name, versionAt+1)
+	}
+}

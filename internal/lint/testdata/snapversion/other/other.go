@@ -1,0 +1,7 @@
+// Package other proves the analyzer anchors on the package name: a
+// Snap-suffixed struct outside a runstate package is not a section.
+package other
+
+type ColdSnap struct {
+	Hits int64
+}

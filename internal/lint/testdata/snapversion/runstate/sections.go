@@ -1,0 +1,54 @@
+// Package runstate is the fixture stand-in for the real snapshot codec:
+// the snapversion analyzer anchors on the package name.
+package runstate
+
+// GoodSnap follows the rule: Version uint16 leads the struct.
+type GoodSnap struct {
+	Version uint16
+	Hits    int64
+}
+
+// Snapshot and Fingerprint are matched by name, not suffix.
+type Snapshot struct {
+	Version uint16
+	Good    GoodSnap
+}
+
+type Fingerprint struct {
+	Version uint16
+	Hash    uint64
+}
+
+// GoodFrontier exercises the Frontier suffix on a clean struct.
+type GoodFrontier struct {
+	Version uint16
+	Next    int64
+}
+
+// BadMissingSnap has no Version field at all.
+type BadMissingSnap struct {
+	Hits int64
+}
+
+// BadOrderFrontier buries Version behind another field.
+type BadOrderFrontier struct {
+	Next    int64
+	Version uint16
+}
+
+// BadTypeSnap declares Version with the wrong width.
+type BadTypeSnap struct {
+	Version int
+	Hits    int64
+}
+
+// NodeRec is a sub-record: versioned by its owning section, exempt.
+type NodeRec struct {
+	LHS uint64
+	RHS uint64
+}
+
+// helper matches no section name and is ignored.
+type helper struct {
+	scratch []byte
+}

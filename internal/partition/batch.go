@@ -24,7 +24,14 @@ type IntersectJob struct {
 // the partial results are returned with ctx's error; unprocessed entries
 // are nil.
 func IntersectBatch(ctx context.Context, workers int, jobs []IntersectJob) ([]*Partition, error) {
-	pool := engine.NewPool(workers)
+	return IntersectBatchPool(ctx, engine.NewPool(workers), jobs)
+}
+
+// IntersectBatchPool is IntersectBatch running on a caller-owned pool, so
+// a driver's retry policy (and its attempt counters) supervise the batch.
+// Re-running an item is safe: the probe refill check is idempotent and
+// out[i] is written only as the item's last step.
+func IntersectBatchPool(ctx context.Context, pool *engine.Pool, jobs []IntersectJob) ([]*Partition, error) {
 	probes := make([]ProbeTable, pool.Workers())
 	probedLeft := make([]*Partition, pool.Workers())
 	ixs := make([]*Intersector, pool.Workers())
@@ -59,6 +66,13 @@ type RefineJob struct {
 // through it. On cancellation the partial results are returned with ctx's
 // error; unprocessed entries are nil.
 func RefineBatch(ctx context.Context, workers int, jobs []RefineJob) ([]*Partition, error) {
+	return RefineBatchPool(ctx, engine.NewPool(workers), jobs)
+}
+
+// RefineBatchPool is RefineBatch running on a caller-owned pool, so a
+// driver's retry policy supervises the refreshes. Items restart cleanly:
+// each attempt re-reads jobs[i].Part and only publishes out[i] at the end.
+func RefineBatchPool(ctx context.Context, pool *engine.Pool, jobs []RefineJob) ([]*Partition, error) {
 	maxCard := 1
 	for _, j := range jobs {
 		for _, c := range j.Cards {
@@ -67,7 +81,6 @@ func RefineBatch(ctx context.Context, workers int, jobs []RefineJob) ([]*Partiti
 			}
 		}
 	}
-	pool := engine.NewPool(workers)
 	refiners := make([]*Refiner, pool.Workers())
 	for w := range refiners {
 		refiners[w] = NewRefiner(maxCard)

@@ -101,6 +101,29 @@ func (c *Cache) Stats() CacheStats {
 	}
 }
 
+// Keys returns the attribute sets of up to max resident entries in
+// most-recently-used-first order (max <= 0 means all), cloned so callers
+// own them. Checkpoint snapshots persist this as the PLI-cache manifest:
+// the partitions themselves are recomputable, so a resumed run rebuilds
+// them from the key list instead of serializing cluster data. Safe on nil
+// (empty).
+func (c *Cache) Keys(max int) []bitset.Set {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.entries)
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]bitset.Set, 0, n)
+	for e := c.mru; e != nil && len(out) < n; e = e.next {
+		out = append(out, e.attrs.Clone())
+	}
+	return out
+}
+
 // Get returns the cached π_X for the exact attribute set x, or nil on a
 // miss. A hit refreshes the entry's recency. The returned partition is
 // shared: callers must not mutate it.

@@ -1,0 +1,182 @@
+package runstate
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/dep"
+)
+
+// Section structs. Every struct that is serialized as a section carries a
+// Version field as its first field (the fdvet snapversion analyzer
+// enforces this); plain "Rec" structs are data rows versioned by their
+// containing section. All versions are currently 1; decode rejects
+// anything else with ErrVersion.
+
+// StatsSnap carries the run report's resumable portion: accumulated phase
+// times, elapsed wall time, and the PLI-cache traffic so far. Counter
+// fields the drivers recompute from their own restored state (validations,
+// partitions built, ...) live in the per-algorithm frontier instead.
+type StatsSnap struct {
+	Version      uint16
+	ElapsedNanos int64
+	Phases       []PhaseRec
+	CacheHits    int64
+	CacheMisses  int64
+	CacheEvicts  int64
+}
+
+// PhaseRec is one accumulated phase time.
+type PhaseRec struct {
+	Name  string
+	Nanos int64
+}
+
+// TreeSnap is the extended FD-tree as its FD-node triples: the path
+// attribute set, the RHS set, and the fused top-k Pruned mark. Dead
+// branches hold no FDs and node IDs/epochs are rebuilt as consistent
+// defaults (own-attribute id, epoch 0 — partitionFor's documented
+// stale-id fallback), so the triples are the tree's whole logical state.
+type TreeSnap struct {
+	Version         uint16
+	NumAttrs        int64
+	ControlledLevel int64
+	Nodes           []TreeNodeRec
+}
+
+// TreeNodeRec is one FD-node of the tree.
+type TreeNodeRec struct {
+	LHS    bitset.Set
+	RHS    bitset.Set
+	Pruned bool
+}
+
+// NonFDSnap is the hybrid drivers' agree-set collection, in insertion
+// order so the rebuilt set deduplicates identically.
+type NonFDSnap struct {
+	Version  uint16
+	NumAttrs int64
+	Sets     []bitset.Set
+}
+
+// TopKSnap is the fused ranking heap: kept entries plus offer counters,
+// so a resumed run reports cumulative traffic.
+type TopKSnap struct {
+	Version  uint16
+	K        int64
+	Entries  []EntryRec
+	Admitted int64
+	Rejected int64
+	Pruned   int64
+}
+
+// EntryRec is one kept top-k entry.
+type EntryRec struct {
+	LHS   bitset.Set
+	RHS   bitset.Set
+	Score int64
+}
+
+// ManifestSnap lists the PLI cache's resident attribute sets in
+// most-recently-used-first order. Partitions are recomputable from the
+// relation, so the manifest is keys only; resume warms the cache by
+// rebuilding them least-recent-first.
+type ManifestSnap struct {
+	Version uint16
+	Keys    []bitset.Set
+}
+
+// FrontierSnap is the per-algorithm search position; exactly one branch
+// is non-nil. The FDEP variants are row-based single passes with no
+// frontier worth persisting and do not support checkpointing.
+type FrontierSnap struct {
+	Version uint16
+	Tane    *TaneFrontier
+	Level   *LevelFrontier
+	DFD     *DFDFrontier
+	FastFDs *FastFDsFrontier
+}
+
+// TaneFrontier is TANE's position at the top of a lattice level: the FDs
+// emitted so far, the level's candidates (partitions are rebuilt), the
+// previous level's error table, and the RunStats counters TANE
+// accumulates incrementally.
+type TaneFrontier struct {
+	Version             uint16
+	Levels              int64
+	Out                 []dep.FD
+	Cands               []TaneCandRec
+	Prev                []TanePrevRec
+	RowsScanned         int64
+	PartitionsBuilt     int64
+	PartitionsRefined   int64
+	CandidatesValidated int64
+	Invalidated         int64
+}
+
+// TaneCandRec is one live lattice candidate; its stripped partition is
+// rebuilt from the relation on resume.
+type TaneCandRec struct {
+	Set   bitset.Set
+	CPlus bitset.Set
+	Err   int64
+	Dead  bool
+}
+
+// TanePrevRec is one previous-level entry of TANE's error table.
+type TanePrevRec struct {
+	Set bitset.Set
+	Err int64
+}
+
+// LevelFrontier is the hybrid drivers' (DHyFD, HyFD) position at the end
+// of a validation level. The FD-tree and non-FD set carry the search
+// state proper; this records the level cursor plus the driver-native
+// counters the run report is assigned from at finish, so a resumed run
+// reports cumulative work. Sampler holds HyFD's per-column run states;
+// empty for DHyFD.
+type LevelFrontier struct {
+	Version         uint16
+	Level           int64
+	NumFDs          int64
+	Validations     int64
+	Invalidated     int64
+	RowsScannedV    int64
+	ClustersRefined int64
+	InitialNonFDs   int64
+	Comparisons     int64
+	SamplingRounds  int64
+	Refinements     int64
+	PeakDynRows     int64
+	PeakDynCount    int64
+	RowsScanned     int64
+	PartitionsBuilt int64
+	Sampler         []SamplerRec
+}
+
+// SamplerRec is one HyFD column sampler's progress state.
+type SamplerRec struct {
+	Distance   int64
+	Efficiency float64
+	Exhausted  bool
+}
+
+// DFDFrontier is DFD's position between per-RHS random walks: the
+// attributes fully walked, their minimal FDs, and the additive bases for
+// the counters DFD's run report derives from its memo sizes.
+type DFDFrontier struct {
+	Version         uint16
+	NextAttr        int64
+	Out             []dep.FD
+	Validations     int64
+	PartitionsBuilt int64
+}
+
+// FastFDsFrontier is FastFDs' position after its O(r²) negative cover:
+// the difference sets, the per-RHS cover cursor, and the run-report bases.
+type FastFDsFrontier struct {
+	Version     uint16
+	NextAttr    int64
+	Diff        []bitset.Set
+	Out         []dep.FD
+	RowsScanned int64
+	NonFDs      int64
+}

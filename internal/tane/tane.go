@@ -26,8 +26,12 @@ import (
 	"repro/internal/engine"
 	"repro/internal/partition"
 	"repro/internal/relation"
+	"repro/internal/runstate"
 	"repro/internal/topk"
 )
+
+// manifestMax caps how many PLI-cache keys a checkpoint snapshot records.
+const manifestMax = 64
 
 type candidate struct {
 	set   bitset.Set
@@ -86,6 +90,15 @@ type Config struct {
 	// monotonicity (the R∖X removal rule relies on exact-FD transitivity
 	// and is skipped), trading extra validations for soundness.
 	MaxViolations int
+	// Checkpoint, when non-nil, snapshots the lattice frontier at every
+	// level boundary so a killed run can resume. Nil disables durability.
+	Checkpoint *runstate.Checkpointer
+	// Resume, when non-nil, seeds the run from a snapshot's TANE frontier
+	// instead of level 1. The caller has already fingerprint-matched it.
+	Resume *runstate.Snapshot
+	// Retries bounds supervised re-runs of transiently failed pool items
+	// (capped exponential backoff with full jitter). 0 disables retries.
+	Retries int
 }
 
 // DiscoverRun runs TANE with the given worker-pool width for its PLI
@@ -103,10 +116,19 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 		workers = 1
 	}
 	rs := engine.NewRunStats("tane", workers)
+	pool := engine.NewPoolRetry(workers, engine.RetryPolicy{Max: cfg.Retries})
+	if cfg.Resume != nil {
+		// Seed the report with the checkpointed run's accumulated phases,
+		// elapsed time and cache-traffic bases; the additive flushes below
+		// then report the logical run's cumulative cost.
+		cfg.Resume.Stats.Apply(rs)
+	}
 	cache0 := cfg.Cache.Stats()
 	flushCacheStats := func() {
 		d := cfg.Cache.Stats().Delta(cache0)
-		rs.CacheHits, rs.CacheMisses, rs.CacheEvictions = d.Hits, d.Misses, d.Evictions
+		rs.CacheHits += d.Hits
+		rs.CacheMisses += d.Misses
+		rs.CacheEvictions += d.Evictions
 	}
 	flushTopK := func() {
 		if cfg.TopK == nil {
@@ -122,6 +144,7 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 			perr := engine.NewPanicError("tane", rec)
 			flushTopK()
 			flushCacheStats()
+			pool.FoldRetryStats(rs)
 			rs.Finish(perr)
 			// Under top-k the heap holds individually validated FDs: a
 			// sound partial result even after a panic.
@@ -154,8 +177,7 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 
 	full := bitset.Full(n)
 
-	// Level 1. Level 0 is the empty set: one cluster of all rows.
-	stop := rs.Phase("build")
+	// Level 0 is the empty set: one cluster of all rows.
 	emptyPart := &partition.Partition{NRows: nrows}
 	if nrows >= 2 {
 		all := make([]int32, nrows)
@@ -164,32 +186,133 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 		}
 		emptyPart.Clusters = [][]int32{all}
 	}
-	prevErr := map[string]int{bitset.New(n).Key(): emptyErr}
-	prevPart := map[string]*partition.Partition{bitset.New(n).Key(): emptyPart}
-	level := make([]*candidate, 0, n)
-	cfg.Budget.Charge(emptyPart)
-	for a := 0; a < n; a++ {
-		key := bitset.FromAttrs(n, a)
-		p := cfg.Cache.Get(key)
-		if p == nil {
-			p = partition.Single(r.Cols[a], r.Cards[a])
-			cfg.Budget.Charge(p)
-			cfg.Cache.Put(key, p)
-			rs.PartitionsBuilt++
-		} else {
-			// A cached partition's bytes are owned by the cache; count
-			// them live for this run too, without a materialization.
-			cfg.Budget.ChargeBytes(partition.Cost(p))
+
+	// partitionForSet rebuilds π_X for a checkpointed attribute set through
+	// the cache, charging the budget as the cached path does.
+	partitionForSet := func(x bitset.Set) *partition.Partition {
+		if x.IsEmpty() {
+			return emptyPart
 		}
-		level = append(level, &candidate{
-			set:   key,
-			attrs: []int{a},
-			part:  p,
-			err:   p.Error(),
-			cplus: full.Clone(),
-		})
+		p := partition.ForAttrsCached(cfg.Cache, x, r.Cols, r.Cards)
+		cfg.Budget.ChargeBytes(partition.Cost(p))
+		return p
+	}
+
+	var level []*candidate
+	var prevErr map[string]int
+	var prevPart map[string]*partition.Partition
+	// prevRecs mirrors prevErr as (set, error) records — the checkpointable
+	// form of the previous level's error table (partitions are rebuilt).
+	var prevRecs []runstate.TanePrevRec
+
+	stop := rs.Phase("build")
+	cfg.Budget.Charge(emptyPart)
+	if f := resumeFrontier(cfg.Resume); f != nil {
+		// Continue a checkpointed run: restore the emitted FDs, the counter
+		// bases (TANE accumulates with +=, so assigning seeds them exactly),
+		// the previous level's error table and the live candidates;
+		// partitions are rebuilt through the warmed cache.
+		rs.Levels = f.Levels
+		rs.RowsScanned = f.RowsScanned
+		rs.PartitionsBuilt = f.PartitionsBuilt
+		rs.PartitionsRefined = f.PartitionsRefined
+		rs.CandidatesValidated = f.CandidatesValidated
+		rs.Invalidated = f.Invalidated
+		out = append(out, f.Out...)
+		runstate.WarmCache(cfg.Cache, cfg.Resume.Manifest, r.Cols, r.Cards)
+		prevErr = make(map[string]int, len(f.Prev))
+		prevPart = make(map[string]*partition.Partition, len(f.Prev))
+		prevRecs = f.Prev
+		for _, rec := range f.Prev {
+			k := rec.Set.Key()
+			prevErr[k] = int(rec.Err)
+			prevPart[k] = partitionForSet(rec.Set)
+		}
+		level = make([]*candidate, 0, len(f.Cands))
+		for _, rec := range f.Cands {
+			level = append(level, &candidate{
+				set:   rec.Set,
+				attrs: rec.Set.Attrs(),
+				part:  partitionForSet(rec.Set),
+				err:   int(rec.Err),
+				cplus: rec.CPlus,
+				dead:  rec.Dead,
+			})
+		}
+	} else {
+		// Level 1, cold.
+		prevErr = map[string]int{bitset.New(n).Key(): emptyErr}
+		prevPart = map[string]*partition.Partition{bitset.New(n).Key(): emptyPart}
+		prevRecs = []runstate.TanePrevRec{{Set: bitset.New(n), Err: int64(emptyErr)}}
+		level = make([]*candidate, 0, n)
+		for a := 0; a < n; a++ {
+			key := bitset.FromAttrs(n, a)
+			p := cfg.Cache.Get(key)
+			if p == nil {
+				p = partition.Single(r.Cols[a], r.Cards[a])
+				cfg.Budget.Charge(p)
+				cfg.Cache.Put(key, p)
+				rs.PartitionsBuilt++
+			} else {
+				// A cached partition's bytes are owned by the cache; count
+				// them live for this run too, without a materialization.
+				cfg.Budget.ChargeBytes(partition.Cost(p))
+			}
+			level = append(level, &candidate{
+				set:   key,
+				attrs: []int{a},
+				part:  p,
+				err:   p.Error(),
+				cplus: full.Clone(),
+			})
+		}
 	}
 	stop()
+
+	// tick snapshots the level boundary: FDs emitted so far, the live
+	// candidates, the previous level's error table, and the counters. A
+	// resumed run re-enters the main loop exactly here. Capturing clones
+	// the candidate sets, so off-interval boundaries are skipped unless
+	// forced (terminal, loop-top cancellation).
+	tick := func(force bool) {
+		if cfg.Checkpoint == nil || (!force && !cfg.Checkpoint.Due()) {
+			return
+		}
+		f := &runstate.TaneFrontier{
+			Version:             1,
+			Levels:              rs.Levels,
+			RowsScanned:         rs.RowsScanned,
+			PartitionsBuilt:     rs.PartitionsBuilt,
+			PartitionsRefined:   rs.PartitionsRefined,
+			CandidatesValidated: rs.CandidatesValidated,
+			Invalidated:         rs.Invalidated,
+		}
+		for _, fd := range out {
+			f.Out = append(f.Out, fd.Clone())
+		}
+		for _, c := range level {
+			f.Cands = append(f.Cands, runstate.TaneCandRec{
+				Set:   c.set.Clone(),
+				CPlus: c.cplus.Clone(),
+				Err:   int64(c.err),
+				Dead:  c.dead,
+			})
+		}
+		for _, rec := range prevRecs {
+			f.Prev = append(f.Prev, runstate.TanePrevRec{Set: rec.Set.Clone(), Err: rec.Err})
+		}
+		st := runstate.StatsSnapOf(rs)
+		d := cfg.Cache.Stats().Delta(cache0)
+		st.CacheHits = rs.CacheHits + d.Hits
+		st.CacheMisses = rs.CacheMisses + d.Misses
+		st.CacheEvicts = rs.CacheEvictions + d.Evictions
+		_ = cfg.Checkpoint.Tick(&runstate.Snapshot{
+			Stats:    st,
+			TopK:     runstate.TopKSnapOf(cfg.TopK),
+			Manifest: runstate.ManifestOf(cfg.Cache, manifestMax),
+			Frontier: runstate.FrontierSnap{Version: 1, Tane: f},
+		})
+	}
 
 	fail := func(err error) ([]dep.FD, *engine.RunStats, error) {
 		if cfg.TopK != nil {
@@ -200,6 +323,7 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 		rs.FDs = int64(len(out))
 		flushTopK()
 		flushCacheStats()
+		pool.FoldRetryStats(rs)
 		rs.Finish(err)
 		if cfg.TopK != nil {
 			return out, rs, err
@@ -209,17 +333,23 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 
 	for len(level) > 0 {
 		if err := ctx.Err(); err != nil {
+			// The level is untouched, so this is still a boundary: park
+			// it for the final Flush and Ctrl-C loses nothing.
+			tick(true)
 			return fail(err)
 		}
+		tick(false)
 		rs.Levels++
 		stop = rs.Phase("validate")
 		curCPlus := make(map[string]bitset.Set, len(level))
 		curErr := make(map[string]int, len(level))
 		curPart := make(map[string]*partition.Partition, len(level))
+		curRecs := make([]runstate.TanePrevRec, 0, len(level))
 		for _, c := range level {
 			curCPlus[c.set.Key()] = c.cplus
 			curErr[c.set.Key()] = c.err
 			curPart[c.set.Key()] = c.part
+			curRecs = append(curRecs, runstate.TanePrevRec{Set: c.set, Err: int64(c.err)})
 		}
 
 		// COMPUTE_DEPENDENCIES.
@@ -329,7 +459,7 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 		}
 
 		stop = rs.Phase("generate")
-		next, err := nextLevel(ctx, workers, level, curCPlus, n, rs, &cfg)
+		next, err := nextLevel(ctx, pool, level, curCPlus, n, rs, &cfg)
 		stop()
 		if err != nil {
 			return fail(err)
@@ -337,6 +467,7 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 		level = next
 		dropped := prevPart
 		prevErr, prevPart = curErr, curPart
+		prevRecs = curRecs
 		for _, p := range dropped {
 			cfg.Budget.Release(p)
 		}
@@ -344,6 +475,11 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 	if err := ctx.Err(); err != nil {
 		return fail(err)
 	}
+	// Terminal boundary: an empty frontier, so resuming a snapshot taken
+	// after completion (or after a budget degrade) replays no work and
+	// re-emits the same cover.
+	level = nil
+	tick(true)
 	if cfg.TopK != nil {
 		out = cfg.TopK.FDs() // already in ranking order
 	} else {
@@ -352,6 +488,7 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 	rs.FDs = int64(len(out))
 	flushTopK()
 	flushCacheStats()
+	pool.FoldRetryStats(rs)
 	rs.Finish(nil)
 	return out, rs, nil
 }
@@ -393,7 +530,7 @@ func keyFDMinimal(r *relation.Relation, c *candidate, a int, prevErr map[string]
 // partition.IntersectBatch over the worker pool. Candidates whose π_X the
 // shared cache already holds skip the product entirely; fresh products are
 // published to the cache for later levels, verification and other runs.
-func nextLevel(ctx context.Context, workers int, level []*candidate, curCPlus map[string]bitset.Set, n int, rs *engine.RunStats, cfg *Config) ([]*candidate, error) {
+func nextLevel(ctx context.Context, pool *engine.Pool, level []*candidate, curCPlus map[string]bitset.Set, n int, rs *engine.RunStats, cfg *Config) ([]*candidate, error) {
 	alive := level[:0:0]
 	for _, c := range level {
 		if !c.dead {
@@ -446,7 +583,7 @@ func nextLevel(ctx context.Context, workers int, level []*candidate, curCPlus ma
 			next = append(next, c)
 		}
 	}
-	parts, err := partition.IntersectBatch(ctx, workers, jobs)
+	parts, err := partition.IntersectBatchPool(ctx, pool, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -460,6 +597,15 @@ func nextLevel(ctx context.Context, workers int, level []*candidate, curCPlus ma
 	}
 	rs.PartitionsBuilt += int64(len(jobs))
 	return next, nil
+}
+
+// resumeFrontier extracts a snapshot's TANE frontier, nil when the run
+// starts cold or the snapshot belongs to another algorithm.
+func resumeFrontier(s *runstate.Snapshot) *runstate.TaneFrontier {
+	if s == nil || s.Frontier.Tane == nil {
+		return nil
+	}
+	return s.Frontier.Tane
 }
 
 func samePrefix(a, b []int) bool {

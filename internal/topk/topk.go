@@ -152,6 +152,34 @@ func (c *Collector) Counters() (admitted, rejected, pruned int64) {
 	return c.admitted.Load(), c.rejected.Load(), c.pruned.Load()
 }
 
+// Export copies out the collector's full state — kept entries (heap
+// order, entries cloned) and offer counters — for checkpoint snapshots.
+func (c *Collector) Export() (entries []Entry, admitted, rejected, pruned int64) {
+	c.mu.Lock()
+	entries = make([]Entry, len(c.heap))
+	for i, e := range c.heap {
+		entries[i] = Entry{FD: e.FD.Clone(), Score: e.Score}
+	}
+	c.mu.Unlock()
+	admitted, rejected, pruned = c.Counters()
+	return entries, admitted, rejected, pruned
+}
+
+// Restore rebuilds a collector from an Export. The entries re-enter
+// through Admit, so the heap invariant holds regardless of the stored
+// order; the counters are then overwritten with the checkpointed values
+// so a resumed run reports cumulative traffic.
+func Restore(k int, entries []Entry, admitted, rejected, pruned int64) *Collector {
+	c := New(k)
+	for _, e := range entries {
+		c.Admit(e.FD, e.Score)
+	}
+	c.admitted.Store(admitted)
+	c.rejected.Store(rejected)
+	c.pruned.Store(pruned)
+	return c
+}
+
 // worse orders the heap: the root is the entry outranked by all others.
 func (c *Collector) worse(i, j int) bool { return Less(c.heap[j], c.heap[i]) }
 
