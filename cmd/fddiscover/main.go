@@ -21,7 +21,10 @@
 // when a budget is exhausted the run finishes early with a sound partial
 // cover and a warning on stderr. -pli-cache shares stripped partitions
 // across the run's subsystems through a size-bounded LRU cache; hit and
-// miss counts show up in the -stats report.
+// miss counts show up in the -stats report. -shard-size overrides the row
+// block size of the parallel PLI bootstrap, and -spill-dir spills cold
+// cache entries to memory-mapped temp files instead of discarding them so
+// the resident footprint stays within the budget.
 //
 // -checkpoint DIR makes the run durable: the search state is snapshotted
 // into DIR every -interval (default 30s), atomically, and a final snapshot
@@ -61,6 +64,8 @@ func main() {
 	memBudget := flag.Int64("mem-budget", -1, "approximate partition-memory budget in bytes; on exhaustion the run degrades to a sound partial result (-1 = unlimited)")
 	maxParts := flag.Int("max-partitions", -1, "cap on partitions materialized; on exhaustion the run degrades to a sound partial result (-1 = unlimited)")
 	pliCache := flag.Int64("pli-cache", 0, "share stripped partitions through an LRU cache of this many bytes (0 = disabled)")
+	shardSize := flag.Int("shard-size", 0, "row-block size of the parallel PLI bootstrap (0 = the built-in default)")
+	spillDir := flag.String("spill-dir", "", "spill cold PLI-cache entries to temp files under this directory instead of discarding them (empty = spill disabled)")
 	topK := flag.Int("topk", 0, "discover only the N most relevant FDs, pre-ranked by redundancy (0 = full cover)")
 	maxError := flag.Float64("max-error", 0, "accept approximate FDs with g3 error up to this fraction of rows, in [0,1) (0 = exact)")
 	checkpoint := flag.String("checkpoint", "", "snapshot the run's search state into this directory for -resume (empty = durability off)")
@@ -131,6 +136,12 @@ func main() {
 	}
 	if *pliCache > 0 {
 		discoverOpts = append(discoverOpts, dhyfd.WithPartitionCache(*pliCache))
+	}
+	if *shardSize > 0 {
+		discoverOpts = append(discoverOpts, dhyfd.WithShardSize(*shardSize))
+	}
+	if *spillDir != "" {
+		discoverOpts = append(discoverOpts, dhyfd.WithSpillDir(*spillDir))
 	}
 	if *topK > 0 {
 		discoverOpts = append(discoverOpts, dhyfd.WithTopK(*topK))

@@ -6,7 +6,13 @@
 //
 //	fdgen -dataset ncvoter -o ncvoter.csv
 //	fdgen -dataset weather -rows 50000 -o weather.csv
+//	fdgen -dataset ncvoter -rows 20000000 -stream -o huge.csv
 //	fdgen -list
+//
+// With -stream the rows are generated in fixed-size blocks and written as
+// they are produced, so only one block is ever resident — relations far
+// larger than memory stream straight to disk. The emitted CSV is
+// byte-identical to the materialized path's.
 package main
 
 import (
@@ -23,6 +29,7 @@ func main() {
 	rows := flag.Int("rows", 0, "row count (0 = the shape's scaled default)")
 	cols := flag.Int("cols", 0, "column count (0 = the shape's scaled default)")
 	out := flag.String("o", "", "output file (default <dataset>.csv)")
+	stream := flag.Bool("stream", false, "write rows block-by-block as they are generated instead of materializing the relation")
 	list := flag.Bool("list", false, "list available shapes and exit")
 	flag.Parse()
 
@@ -46,7 +53,7 @@ func main() {
 	if *cols <= 0 {
 		*cols = b.DefaultCols
 	}
-	rel := b.Generate(*rows, *cols)
+	spec := b.Spec(*rows, *cols)
 
 	path := *out
 	if path == "" {
@@ -60,23 +67,28 @@ func main() {
 	defer f.Close()
 
 	w := csv.NewWriter(f)
-	if err := w.Write(rel.Names); err != nil {
+	if err := w.Write(spec.Names()); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	record := make([]string, rel.NumCols())
-	for row := 0; row < rel.NumRows(); row++ {
-		for c := 0; c < rel.NumCols(); c++ {
-			if rel.IsNull(c, row) {
-				record[c] = ""
-			} else {
-				record[c] = fmt.Sprintf("v%d", rel.Cols[c][row])
+	// Stream emits the same rows for every block size, so the two modes
+	// write byte-identical files; -stream just bounds the resident set to
+	// one block instead of the whole relation.
+	blockRows := spec.Rows
+	if *stream {
+		blockRows = 0 // the streamer's bounded default
+	}
+	err = dataset.Stream(spec, blockRows, func(block [][]string) error {
+		for _, row := range block {
+			if werr := w.Write(row); werr != nil {
+				return werr
 			}
 		}
-		if err := w.Write(record); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 	w.Flush()
 	if err := w.Error(); err != nil {
@@ -84,5 +96,5 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s: %d rows x %d columns (%s shape)\n",
-		path, rel.NumRows(), rel.NumCols(), b.Name)
+		path, spec.Rows, len(spec.Columns), b.Name)
 }

@@ -44,6 +44,8 @@ func main() {
 	column := flag.String("column", "", "fix a column and list its minimal LHSs")
 	nullSem := flag.String("null", "eq", "null semantics: eq or neq")
 	pliCache := flag.Int64("pli-cache", 0, "share stripped partitions through an LRU cache of this many bytes, spanning discovery and ranking (0 = ranking-private cache only)")
+	shardSize := flag.Int("shard-size", 0, "row-block size of discovery's parallel PLI bootstrap (0 = the built-in default)")
+	spillDir := flag.String("spill-dir", "", "spill cold PLI-cache entries to temp files under this directory instead of discarding them (empty = spill disabled)")
 	workers := flag.Int("workers", 1, "worker-pool width for discovery validation and ranking")
 	stats := flag.Bool("stats", false, "print the ranking run report to stderr")
 	checkpoint := flag.String("checkpoint", "", "snapshot the discovery run's search state into this directory for -resume (empty = durability off)")
@@ -91,7 +93,18 @@ func main() {
 	// the discovery run built.
 	shared := []dhyfd.Option{dhyfd.WithWorkers(*workers)}
 	if *pliCache > 0 {
-		shared = append(shared, dhyfd.WithCache(dhyfd.NewPLICache(*pliCache)))
+		cache := dhyfd.NewPLICache(*pliCache)
+		// Close releases the spill tier's temp files and mappings when
+		// -spill-dir attached one to the shared cache; without spill it
+		// is a cheap no-op.
+		defer cache.Close()
+		shared = append(shared, dhyfd.WithCache(cache))
+	}
+	if *shardSize > 0 {
+		shared = append(shared, dhyfd.WithShardSize(*shardSize))
+	}
+	if *spillDir != "" {
+		shared = append(shared, dhyfd.WithSpillDir(*spillDir))
 	}
 	// Durability applies to discovery only — the ranking stages rebuild
 	// from the cover — so these options extend the Discover calls, not

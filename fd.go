@@ -219,6 +219,9 @@ type discoverConfig struct {
 	maxParts   int64 // partitions; < 0 = unlimited
 	cacheBytes int64 // PLI cache capacity; <= 0 = disabled
 	cache      *PLICache
+	shardSize  int    // rows per shard in the PLI bootstrap; <= 0 = default
+	spillDir   string // spill-tier root; meaningful only when spill is set
+	spill      bool   // attach an out-of-core tier to the PLI cache
 	noVerify   bool
 	topK       int     // > 0 enables the fused top-k search
 	maxErr     float64 // g3 error bound in [0, 1); 0 = exact
@@ -299,6 +302,36 @@ func WithPartitionCache(bytes int64) Option {
 	return func(c *discoverConfig) { c.cacheBytes = bytes }
 }
 
+// WithShardSize sets the row-block size of the sharded single-attribute
+// partition bootstrap used by the PLI-based algorithms (DHyFD, HyFD,
+// TANE, DFD): columns longer than one shard are grouped shard-by-shard on
+// the worker pool and merged into partitions byte-identical to the serial
+// build, so ingest-sized relations never serialize their PLI build on one
+// core. n <= 0 keeps the default (partition.DefaultShardSize rows). The
+// row-based algorithms (FDEP variants, FastFDs) build no partitions and
+// ignore it.
+func WithShardSize(n int) Option {
+	return func(c *discoverConfig) { c.shardSize = n }
+}
+
+// WithSpillDir attaches an out-of-core tier to the run's PLI cache:
+// entries the cache bound or the memory budget's headroom would evict (or
+// reject) write their compact backing to temp files under dir instead of
+// being discarded, and fault back in — memory-mapped where the platform
+// supports it — on their next hit. dir of "" selects the system temp
+// directory; the run owns a private subdirectory under it and removes it
+// when done. Combined with WithCache the tier attaches to the caller's
+// cache, which then holds spill files until PLICache.Close. Without any
+// cache configured, a default-capacity run-private cache is created to
+// spill through. Spill traffic is reported in Stats under cache_spills /
+// cache_reloads / cache_peak_bytes / cache_spilled_bytes.
+func WithSpillDir(dir string) Option {
+	return func(c *discoverConfig) {
+		c.spill = true
+		c.spillDir = dir
+	}
+}
+
 // withoutPostVerify disables the post-run soundness verifier, for tests
 // that inspect raw degraded output.
 func withoutPostVerify() Option {
@@ -340,6 +373,19 @@ func (pc *PLICache) Bytes() int64 {
 		return 0
 	}
 	return pc.c.Bytes()
+}
+
+// Close releases the cache: entries are purged and, when a WithSpillDir
+// run attached an out-of-core tier, its spill files and mappings are
+// removed. Call it once no Discover or ranking call is using the cache —
+// memory-mapped partitions served from the spill tier are invalidated.
+// Idempotent and safe on nil; a cache without a spill tier only sheds its
+// entries.
+func (pc *PLICache) Close() error {
+	if pc == nil {
+		return nil
+	}
+	return pc.c.Close()
 }
 
 // WithCache routes the run's partition lookups through the caller-owned
@@ -566,6 +612,32 @@ func Discover(ctx context.Context, r *Relation, opts ...Option) (res *Result, er
 	if cfg.cache != nil {
 		cache = cfg.cache.c
 	}
+	spillPrivate := false
+	if cfg.spill {
+		if cache == nil {
+			// No cache configured: the spill tier needs one to route
+			// partition traffic through, so create a default-capacity
+			// run-private cache.
+			cache = partition.NewCache(ranking.DefaultCacheBytes, budget)
+		}
+		if cache.SpillDir() == "" {
+			if serr := cache.EnableSpill(cfg.spillDir); serr != nil {
+				return &Result{Algorithm: cfg.algorithm}, serr
+			}
+		}
+		// Run-private caches (not caller-owned via WithCache) own spill
+		// files and mappings that must not outlive the run.
+		spillPrivate = cfg.cache == nil
+	}
+	spill0 := cache.Stats()
+	defer func() {
+		if spillPrivate {
+			// After this point no partition from the cache is referenced
+			// (Result carries FDs and counts, never partitions), so the
+			// mappings and spill files can go.
+			_ = cache.Close()
+		}
+	}()
 
 	res = &Result{Algorithm: cfg.algorithm}
 	// Backstop: the drivers recover their own panics into typed errors
@@ -585,19 +657,22 @@ func Discover(ctx context.Context, r *Relation, opts ...Option) (res *Result, er
 	switch cfg.algorithm {
 	case DHyFD:
 		fds, rs, err = core.DiscoverRun(ctx, r, core.Config{
-			Ratio: cfg.ratio, Workers: cfg.workers, Budget: budget, Cache: cache,
+			Ratio: cfg.ratio, Workers: cfg.workers, ShardSize: cfg.shardSize,
+			Budget: budget, Cache: cache,
 			TopK: collector, MaxViolations: maxViol,
 			Checkpoint: cp, Resume: snap, Retries: cfg.retries,
 		})
 	case HyFD:
 		fds, rs, err = hyfd.DiscoverRun(ctx, r, hyfd.Config{
-			Workers: cfg.workers, Budget: budget, Cache: cache,
+			Workers: cfg.workers, ShardSize: cfg.shardSize,
+			Budget: budget, Cache: cache,
 			TopK: collector, MaxViolations: maxViol,
 			Checkpoint: cp, Resume: snap, Retries: cfg.retries,
 		})
 	case TANE:
 		fds, rs, err = tane.Run(ctx, r, tane.Config{
-			Workers: cfg.workers, Budget: budget, Cache: cache,
+			Workers: cfg.workers, ShardSize: cfg.shardSize,
+			Budget: budget, Cache: cache,
 			TopK: collector, MaxViolations: maxViol,
 			Checkpoint: cp, Resume: snap, Retries: cfg.retries,
 		})
@@ -613,7 +688,7 @@ func Discover(ctx context.Context, r *Relation, opts ...Option) (res *Result, er
 		})
 	case DFD:
 		fds, rs, err = dfd.Run(ctx, r, dfd.Config{
-			Budget: budget, Cache: cache,
+			Budget: budget, Cache: cache, ShardSize: cfg.shardSize,
 			TopK: collector, MaxViolations: maxViol,
 			Checkpoint: cp, Resume: snap,
 		})
@@ -644,6 +719,16 @@ func Discover(ctx context.Context, r *Relation, opts ...Option) (res *Result, er
 		if rerr := attachTopK(ctx, r, res, &cfg, cache); err == nil {
 			err = rerr
 		}
+	}
+	if cfg.spill {
+		// The spill tier's traffic, including the post-run verify/rank
+		// passes above: entries written out, entries faulted back in, and
+		// the resident/spilled byte gauges.
+		d := cache.Stats().Delta(spill0)
+		res.Stats.Count("cache_spills", d.Spills)
+		res.Stats.Count("cache_reloads", d.Reloads)
+		res.Stats.Count("cache_peak_bytes", d.PeakBytes)
+		res.Stats.Count("cache_spilled_bytes", d.SpilledBytes)
 	}
 	return res, err
 }

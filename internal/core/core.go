@@ -61,6 +61,11 @@ type Config struct {
 	// level), so levels parallelize cleanly; induction remains
 	// sequential. Values below 2 keep the paper's serial behaviour.
 	Workers int
+	// ShardSize is the row-block size of the sharded single-attribute
+	// partition bootstrap: columns longer than one shard group and merge
+	// on the worker pool instead of serially. <= 0 selects
+	// partition.DefaultShardSize.
+	ShardSize int
 	// Budget optionally bounds partition memory. On exhaustion DHyFD
 	// stops refreshing the DDM (falling back to single-attribute
 	// partitions, which keeps the cover complete and sound) and flags
@@ -149,29 +154,16 @@ type dynPartition struct {
 	attrs bitset.Set
 }
 
-func newDDM(r *relation.Relation, budget *partition.Budget, cache *partition.Cache) (*ddm, int) {
-	n := r.NumCols()
+func newDDM(ctx context.Context, pool *engine.Pool, r *relation.Relation, cfg *Config) (*ddm, int, error) {
 	m := &ddm{
-		r:       r,
-		singles: make([]*partition.Partition, n),
-		epoch:   1,
-		budget:  budget,
-		cache:   cache,
+		r:      r,
+		epoch:  1,
+		budget: cfg.Budget,
+		cache:  cfg.Cache,
 	}
-	built := 0
-	for c := 0; c < n; c++ {
-		key := bitset.FromAttrs(n, c)
-		if p := cache.Get(key); p != nil {
-			m.singles[c] = p
-			budget.ChargeBytes(partition.Cost(p))
-			continue
-		}
-		m.singles[c] = partition.Single(r.Cols[c], r.Cards[c])
-		budget.Charge(m.singles[c])
-		cache.Put(key, m.singles[c])
-		built++
-	}
-	return m, built
+	singles, built, err := partition.Singles(ctx, pool, r.Cols, r.Cards, cfg.ShardSize, cfg.Cache, cfg.Budget)
+	m.singles = singles
+	return m, built, err
 }
 
 // partitionFor returns a stripped partition π_X′ with X′ ⊆ lhs for the
@@ -227,9 +219,9 @@ func (m *ddm) update(ctx context.Context, pool *engine.Pool, reusables []*fdtree
 			}
 		}
 		if p == nil {
-			// No consistent slot: prefer the smallest-error cached
-			// subset of the path over restarting from a single.
-			if cp, cattrs := m.cache.BestSubset(lhs); cp != nil {
+			// No consistent slot: prefer the longest cached prefix of
+			// the path over restarting from a single.
+			if cp, cattrs := m.cache.LongestPrefix(lhs); cp != nil {
 				p, attrs = cp, cattrs
 			} else {
 				a := node.Attr
@@ -357,8 +349,14 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 		rs.CacheEvictions += delta.Evictions
 	}()
 	stop := rs.Phase("sample")
-	m, built := newDDM(r, cfg.Budget, cfg.Cache)
+	m, built, err := newDDM(ctx, pool, r, &cfg)
 	rs.PartitionsBuilt += int64(built)
+	if err != nil {
+		stop()
+		pool.FoldRetryStats(rs)
+		rs.Finish(err)
+		return nil, stats, rs, err
+	}
 	if cfg.Budget.Exhausted() {
 		rs.Degrade(cfg.Budget.Reason() + "; DDM refreshes disabled")
 	}

@@ -28,9 +28,11 @@ type Benchmark struct {
 	spec func(rows, cols int) Spec
 }
 
-// Generate materializes the benchmark at the given size. cols is capped at
-// PaperCols; rows may exceed PaperRows (the generators extrapolate).
-func (b Benchmark) Generate(rows, cols int) *relation.Relation {
+// Spec returns the spec Generate materializes at the given size, for
+// callers that stream the shape row-block by row-block instead (see
+// Stream). cols is capped at PaperCols; rows may exceed PaperRows (the
+// generators extrapolate).
+func (b Benchmark) Spec(rows, cols int) Spec {
 	if cols > b.PaperCols {
 		cols = b.PaperCols
 	}
@@ -46,7 +48,13 @@ func (b Benchmark) Generate(rows, cols int) *relation.Relation {
 	if len(spec.Columns) > cols {
 		spec.Columns = spec.Columns[:cols]
 	}
-	return Generate(spec)
+	return spec
+}
+
+// Generate materializes the benchmark at the given size; see Spec for the
+// size clamping.
+func (b Benchmark) Generate(rows, cols int) *relation.Relation {
+	return Generate(b.Spec(rows, cols))
 }
 
 // GenerateDefault materializes the benchmark at its scaled default size.
@@ -57,16 +65,8 @@ func (b Benchmark) GenerateDefault() *relation.Relation {
 // WithSemantics returns a copy of the benchmark whose generator encodes
 // under the given null semantics.
 func (b Benchmark) GenerateSemantics(rows, cols int, sem relation.NullSemantics) *relation.Relation {
-	if cols > b.PaperCols {
-		cols = b.PaperCols
-	}
-	spec := b.spec(rows, cols)
-	spec.Name = b.Name
-	spec.Rows = rows
+	spec := b.Spec(rows, cols)
 	spec.Semantics = sem
-	if len(spec.Columns) > cols {
-		spec.Columns = spec.Columns[:cols]
-	}
 	return Generate(spec)
 }
 

@@ -75,35 +75,70 @@ type Spec struct {
 	Semantics relation.NullSemantics
 }
 
-// Generate materializes the spec into an encoded relation.
-func Generate(spec Spec) *relation.Relation {
-	rng := rand.New(rand.NewSource(spec.Seed))
-	n := len(spec.Columns)
-	cols := make([][]int32, n)
-	nulls := make([][]bool, n)
-	names := make([]string, n)
-
-	radixStride := 1
-	radixProduct, radixMult := radixPlan(spec.Columns)
-	for c, col := range spec.Columns {
+// Names returns the spec's column names, substituting colN defaults.
+func (s Spec) Names() []string {
+	names := make([]string, len(s.Columns))
+	for c, col := range s.Columns {
 		names[c] = col.Name
 		if names[c] == "" {
 			names[c] = fmt.Sprintf("col%d", c)
 		}
-		data := make([]int32, spec.Rows)
+	}
+	return names
+}
+
+// DefaultBlockRows is the row-block size Stream uses when the caller
+// passes a non-positive one.
+const DefaultBlockRows = 1 << 14
+
+// colGen is one column's cross-block generator state. Each column draws
+// from its own seeded stream (a second one for null injection), so the
+// emitted rows are a pure function of the spec — the same rows come out
+// for every block size.
+type colGen struct {
+	col   Column
+	rng   *rand.Rand
+	nulls *rand.Rand
+	zipf  *rand.Zipf
+	next  int32 // Key: next fresh key value
+	prev  int32 // Key: previous emitted value, repeated on a dup draw
+	// MixedRadix digit position: stride is the product of the Cards of
+	// earlier MixedRadix columns.
+	stride int64
+}
+
+// colSeed derives the per-column, per-stream rng seed from the spec seed.
+func colSeed(seed int64, c, stream int) int64 {
+	h := uint64(seed) ^ 0x9e3779b97f4a7c15
+	h += uint64(c)*0xff51afd7ed558ccd + uint64(stream)*0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return int64(h)
+}
+
+// Stream generates the spec's rows in blocks of at most blockRows rows
+// (non-positive selects DefaultBlockRows) and hands each block to emit in
+// order, rendered the way Generate encodes them: "" for a null, "v<code>"
+// otherwise. Only one block is resident at a time, so a relation far
+// larger than memory can be written straight to disk. The block and its
+// row slices are reused between calls — copy anything emit retains. The
+// emitted rows do not depend on the block size; emit's first error aborts
+// the stream and is returned.
+func Stream(spec Spec, blockRows int, emit func(block [][]string) error) error {
+	if blockRows <= 0 {
+		blockRows = DefaultBlockRows
+	}
+	n := len(spec.Columns)
+	radixProduct, radixMult := radixPlan(spec.Columns)
+	radixStride := int64(1)
+	gens := make([]*colGen, n)
+	for c, col := range spec.Columns {
+		g := &colGen{col: col, rng: rand.New(rand.NewSource(colSeed(spec.Seed, c, 0)))}
+		if col.NullRate > 0 {
+			g.nulls = rand.New(rand.NewSource(colSeed(spec.Seed, c, 1)))
+		}
 		switch col.Kind {
-		case Constant:
-			// all zeros
-		case Key:
-			next := int32(0)
-			for i := range data {
-				if i > 0 && col.DupRate > 0 && rng.Float64() < col.DupRate {
-					data[i] = data[i-1]
-					continue
-				}
-				data[i] = next
-				next++
-			}
 		case Zipf:
 			card := col.Card
 			if card < 1 {
@@ -113,91 +148,156 @@ func Generate(spec Spec) *relation.Relation {
 			if skew <= 1 {
 				skew = 1.3
 			}
-			z := rand.NewZipf(rng, skew, 1.0, uint64(card-1))
-			for i := range data {
-				data[i] = int32(z.Uint64())
-			}
+			g.zipf = rand.NewZipf(g.rng, skew, 1.0, uint64(card-1))
 		case Derived:
 			for _, d := range col.Deps {
 				if d >= c {
 					panic(fmt.Sprintf("dataset: %s column %d derives from later column %d", spec.Name, c, d))
 				}
 			}
-			noiseCard := int32(spec.Rows + 1)
-			for i := range data {
-				if col.Noise > 0 && rng.Float64() < col.Noise {
-					// A fresh value breaks the function for this row.
-					data[i] = noiseCard + int32(i)
-					continue
-				}
-				h := uint64(0xcbf29ce484222325)
-				for _, d := range col.Deps {
-					h ^= uint64(cols[d][i]) + 0x9e3779b97f4a7c15
-					h *= 0x100000001b3
-				}
-				// Avalanche finalizer: without it the FNV prime is ≡ 1
-				// modulo small cards, which makes the hash injective on
-				// small digit differences and plants spurious inverse FDs.
-				h ^= h >> 33
-				h *= 0xff51afd7ed558ccd
-				h ^= h >> 33
-				card := col.Card
-				if card < 1 {
-					card = spec.Rows
-				}
-				data[i] = int32(h % uint64(card))
-			}
 		case MixedRadix:
 			card := col.Card
 			if card < 1 {
 				card = 2
 			}
-			for i := range data {
-				// Bijective shuffle over [0, product) keeps rows pairwise
-				// distinct while balancing every digit's coverage.
-				perm := (int64(i%int(radixProduct)) * radixMult) % radixProduct
-				data[i] = int32((perm / int64(radixStride)) % int64(card))
-			}
-			radixStride *= card
-		case Categorical:
-			card := col.Card
-			if card < 1 {
-				card = 2
-			}
-			for i := range data {
-				data[i] = int32(rng.Intn(card))
-			}
+			g.stride = radixStride
+			radixStride *= int64(card)
+		case Constant, Key, Categorical:
 		default:
 			panic(fmt.Sprintf("dataset: unknown column kind %d in %s", col.Kind, spec.Name))
 		}
-		cols[c] = data
+		gens[c] = g
+	}
 
-		if col.NullRate > 0 {
-			mask := make([]bool, spec.Rows)
-			for i := range mask {
-				if rng.Float64() < col.NullRate {
-					mask[i] = true
+	if blockRows > spec.Rows {
+		blockRows = spec.Rows
+	}
+	codes := make([][]int32, n)
+	nullm := make([][]bool, n)
+	block := make([][]string, blockRows)
+	for c := range codes {
+		codes[c] = make([]int32, blockRows)
+		nullm[c] = make([]bool, blockRows)
+	}
+	for i := range block {
+		block[i] = make([]string, n)
+	}
+
+	for base := 0; base < spec.Rows; base += blockRows {
+		m := blockRows
+		if rest := spec.Rows - base; m > rest {
+			m = rest
+		}
+		for c, g := range gens {
+			g.fill(spec, codes, nullm[c], c, base, m, radixProduct, radixMult)
+		}
+		for i := 0; i < m; i++ {
+			row := block[i]
+			for c := range gens {
+				if nullm[c][i] {
+					row[c] = ""
+				} else {
+					row[c] = fmt.Sprintf("v%d", codes[c][i])
 				}
 			}
-			nulls[c] = mask
+		}
+		if err := emit(block[:m]); err != nil {
+			return err
 		}
 	}
+	return nil
+}
 
-	// Re-encode through string rows so null semantics and dictionary codes
-	// are produced by the same path CSV data takes.
-	rows := make([][]string, spec.Rows)
-	for i := range rows {
-		row := make([]string, n)
-		for c := range spec.Columns {
-			if nulls[c] != nil && nulls[c][i] {
-				row[c] = ""
-			} else {
-				row[c] = fmt.Sprintf("v%d", cols[c][i])
-			}
+// fill generates one block of the column: m codes starting at global row
+// base, plus the null mask. codes holds every column's buffer so Derived
+// columns can read their (already filled) dependencies for the same rows.
+func (g *colGen) fill(spec Spec, codes [][]int32, nulls []bool, c, base, m int, radixProduct, radixMult int64) {
+	data := codes[c][:m]
+	col := g.col
+	switch col.Kind {
+	case Constant:
+		for i := range data {
+			data[i] = 0
 		}
-		rows[i] = row
+	case Key:
+		for i := range data {
+			if base+i > 0 && col.DupRate > 0 && g.rng.Float64() < col.DupRate {
+				data[i] = g.prev
+				continue
+			}
+			data[i] = g.next
+			g.prev = g.next
+			g.next++
+		}
+	case Zipf:
+		for i := range data {
+			data[i] = int32(g.zipf.Uint64())
+		}
+	case Derived:
+		noiseCard := int32(spec.Rows + 1)
+		for i := range data {
+			if col.Noise > 0 && g.rng.Float64() < col.Noise {
+				// A fresh value breaks the function for this row.
+				data[i] = noiseCard + int32(base+i)
+				continue
+			}
+			h := uint64(0xcbf29ce484222325)
+			for _, d := range col.Deps {
+				h ^= uint64(codes[d][i]) + 0x9e3779b97f4a7c15
+				h *= 0x100000001b3
+			}
+			// Avalanche finalizer: without it the FNV prime is ≡ 1
+			// modulo small cards, which makes the hash injective on
+			// small digit differences and plants spurious inverse FDs.
+			h ^= h >> 33
+			h *= 0xff51afd7ed558ccd
+			h ^= h >> 33
+			card := col.Card
+			if card < 1 {
+				card = spec.Rows
+			}
+			data[i] = int32(h % uint64(card))
+		}
+	case MixedRadix:
+		card := col.Card
+		if card < 1 {
+			card = 2
+		}
+		for i := range data {
+			// Bijective shuffle over [0, product) keeps rows pairwise
+			// distinct while balancing every digit's coverage.
+			perm := (int64((base+i)%int(radixProduct)) * radixMult) % radixProduct
+			data[i] = int32((perm / g.stride) % int64(card))
+		}
+	case Categorical:
+		card := col.Card
+		if card < 1 {
+			card = 2
+		}
+		for i := range data {
+			data[i] = int32(g.rng.Intn(card))
+		}
 	}
-	rel, err := relation.FromRows(names, rows, relation.Options{Semantics: spec.Semantics})
+	mask := nulls[:m]
+	for i := range mask {
+		mask[i] = col.NullRate > 0 && g.nulls.Float64() < col.NullRate
+	}
+}
+
+// Generate materializes the spec into an encoded relation. It runs the
+// same block streamer Stream exposes and re-encodes the rendered rows, so
+// null semantics and dictionary codes are produced by the same path CSV
+// data takes — and a streamed CSV of the spec re-reads into exactly this
+// relation.
+func Generate(spec Spec) *relation.Relation {
+	rows := make([][]string, 0, spec.Rows)
+	_ = Stream(spec, 0, func(block [][]string) error {
+		for _, r := range block {
+			rows = append(rows, append([]string(nil), r...))
+		}
+		return nil
+	})
+	rel, err := relation.FromRows(spec.Names(), rows, relation.Options{Semantics: spec.Semantics})
 	if err != nil {
 		panic(fmt.Sprintf("dataset: generate %s: %v", spec.Name, err))
 	}

@@ -1,7 +1,9 @@
 package dataset
 
 import (
+	"errors"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/bitset"
@@ -177,5 +179,79 @@ func TestNCVoterSnippet(t *testing.T) {
 	rn := NCVoterSnippet(relation.NullNeqNull)
 	if rn.Cards[3] != 14 {
 		t.Errorf("null≠null suffix card = %d, want 14", rn.Cards[3])
+	}
+}
+
+// streamRows collects every row Stream emits at the given block size.
+func streamRows(t *testing.T, spec Spec, blockRows int) [][]string {
+	t.Helper()
+	var rows [][]string
+	err := Stream(spec, blockRows, func(block [][]string) error {
+		for _, r := range block {
+			rows = append(rows, append([]string(nil), r...))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Stream(block=%d): %v", blockRows, err)
+	}
+	return rows
+}
+
+func TestStreamBlockSizeInvariant(t *testing.T) {
+	// The emitted rows are a pure function of the spec: every block size
+	// must produce the identical row sequence, and Generate must encode
+	// exactly those rows.
+	spec := Spec{
+		Name: "stream", Rows: 103, Seed: 11,
+		Columns: []Column{
+			{Kind: Constant},
+			{Kind: Key, DupRate: 0.1},
+			{Kind: Categorical, Card: 5},
+			{Kind: Zipf, Card: 40},
+			{Kind: MixedRadix, Card: 3},
+			{Kind: MixedRadix, Card: 4},
+			{Kind: Derived, Deps: []int{2, 3}, Card: 30, Noise: 0.1},
+			{Kind: Categorical, Card: 4, NullRate: 0.3},
+		},
+	}
+	want := streamRows(t, spec, spec.Rows)
+	if len(want) != spec.Rows {
+		t.Fatalf("streamed %d rows, want %d", len(want), spec.Rows)
+	}
+	for _, blockRows := range []int{1, 7, 64, spec.Rows - 1, spec.Rows + 9, 0} {
+		got := streamRows(t, spec, blockRows)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("block size %d changed the emitted rows", blockRows)
+		}
+	}
+
+	rel := Generate(spec)
+	enc, err := relation.FromRows(spec.Names(), want, relation.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(enc.Cols, rel.Cols) || !reflect.DeepEqual(enc.Nulls, rel.Nulls) {
+		t.Error("Generate does not encode the streamed rows")
+	}
+}
+
+func TestStreamEmitErrorAborts(t *testing.T) {
+	spec := Spec{Name: "abort", Rows: 50, Seed: 1,
+		Columns: []Column{{Kind: Categorical, Card: 3}}}
+	boom := errors.New("boom")
+	calls := 0
+	err := Stream(spec, 10, func(block [][]string) error {
+		calls++
+		if calls == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if calls != 2 {
+		t.Fatalf("emit ran %d times after the error, want 2", calls)
 	}
 }

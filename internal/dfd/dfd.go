@@ -57,9 +57,13 @@ type Config struct {
 	Budget *partition.Budget
 	// Cache optionally keeps the partitions of visited lattice nodes
 	// alive across walk steps: an error query for X first looks up π_X,
-	// then refines from the smallest-error cached subset of X instead of
+	// then refines from X's longest cached attribute prefix instead of
 	// restarting from single-attribute partitions. Nil disables caching.
 	Cache *partition.Cache
+	// ShardSize is the row-block size of the sharded single-attribute
+	// prewarm that seeds an attached Cache before the walks. <= 0 selects
+	// partition.DefaultShardSize.
+	ShardSize int
 	// TopK, when non-nil, fuses redundancy-ranked top-k selection into
 	// the walks: minimal FDs are offered to the collector scored by
 	// ‖π_LHS‖ and a whole RHS walk is skipped when no LHS over R∖{A} can
@@ -185,9 +189,10 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 			Frontier: runstate.FrontierSnap{Version: 1, DFD: f},
 		})
 	}
+	var prewarmBuilt int64
 	fail := func(err error) ([]dep.FD, *engine.RunStats, error) {
 		rs.CandidatesValidated = valBase + int64(len(d.errs))
-		rs.PartitionsBuilt = builtBase + int64(len(d.errs))
+		rs.PartitionsBuilt = builtBase + prewarmBuilt + int64(len(d.errs))
 		flushTopK()
 		rs.Finish(err)
 		if cfg.TopK != nil {
@@ -196,6 +201,17 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 			return partial, rs, err
 		}
 		return nil, rs, err
+	}
+	if cfg.Cache != nil {
+		// Prewarm the cache with every single-attribute partition through
+		// the sharded builder, so walks always find a prefix start instead
+		// of rebuilding singles mid-walk. The cache owns the bytes (and
+		// charges its own budget); no transient materialization charge.
+		_, built, err := partition.Singles(ctx, engine.NewPool(1), r.Cols, r.Cards, cfg.ShardSize, cfg.Cache, nil)
+		prewarmBuilt = int64(built)
+		if err != nil {
+			return fail(err)
+		}
 	}
 	var singleBound []int
 	if cfg.TopK != nil {
@@ -264,7 +280,7 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 	}
 	rs.FDs = int64(len(out))
 	rs.CandidatesValidated = valBase + int64(len(d.errs))
-	rs.PartitionsBuilt = builtBase + int64(len(d.errs))
+	rs.PartitionsBuilt = builtBase + prewarmBuilt + int64(len(d.errs))
 	flushTopK()
 	rs.Finish(nil)
 	return out, rs, nil

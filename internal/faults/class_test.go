@@ -18,10 +18,12 @@ func TestEverySiteIsClassified(t *testing.T) {
 }
 
 func TestTaxonomy(t *testing.T) {
-	// partition.build is the one deterministic site: a genuine failure
-	// there reproduces on every retry.
-	if DefaultClass(PartitionBuild) != ClassFatal {
-		t.Error("partition.build should be fatal")
+	// partition.build and partition.shardmerge are the deterministic
+	// sites: a genuine failure there reproduces on every retry.
+	for _, site := range []Site{PartitionBuild, PartitionShardMerge} {
+		if DefaultClass(site) != ClassFatal {
+			t.Errorf("%s should be fatal", site)
+		}
 	}
 	for _, site := range []Site{PartitionIntersect, DDMRefresh, EngineWorker, SamplingRun, RankingRun, TopKPrune} {
 		if DefaultClass(site) != ClassTransient {

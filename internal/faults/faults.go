@@ -33,6 +33,10 @@ const (
 	// PartitionBuild fires in partition.Single, the stripped-partition
 	// constructor every algorithm's setup runs per column.
 	PartitionBuild Site = "partition.build"
+	// PartitionShardMerge fires once per shard inside the scatter step of
+	// the sharded single-attribute builder (partition.BuildSingles), the
+	// merge that lays per-shard groups into the shared compact backing.
+	PartitionShardMerge Site = "partition.shardmerge"
 	// PartitionIntersect fires in partition.Intersect, TANE's per-level
 	// PLI product (usually on a pool worker).
 	PartitionIntersect Site = "partition.intersect"
@@ -56,7 +60,7 @@ const (
 // Sites lists the runtime's instrumented sites in a stable order, the set
 // the chaos suite iterates.
 func Sites() []Site {
-	return []Site{PartitionBuild, PartitionIntersect, DDMRefresh, EngineWorker, SamplingRun, RankingRun, TopKPrune}
+	return []Site{PartitionBuild, PartitionShardMerge, PartitionIntersect, DDMRefresh, EngineWorker, SamplingRun, RankingRun, TopKPrune}
 }
 
 // Kind selects what an armed plan injects.
@@ -124,15 +128,16 @@ func (c Class) String() string {
 // DefaultClass is the per-site failure taxonomy: what a failure at the
 // site means when the plan does not override it.
 //
-// partition.build is fatal — Single is a deterministic pass over an
-// immutable column, so a genuine failure there reproduces on every
-// retry. Every other site guards a re-runnable unit: intersections and
-// worker items recompute from inputs that survive the failure, DDM
-// refreshes and sampling passes are optimizations a rerun (or a skip)
-// absorbs, and top-k bound checks publish nothing before they fire.
+// partition.build and partition.shardmerge are fatal — Single and the
+// sharded scatter are deterministic passes over an immutable column, so
+// a genuine failure there reproduces on every retry. Every other site
+// guards a re-runnable unit: intersections and worker items recompute
+// from inputs that survive the failure, DDM refreshes and sampling
+// passes are optimizations a rerun (or a skip) absorbs, and top-k bound
+// checks publish nothing before they fire.
 func DefaultClass(site Site) Class {
 	switch site {
-	case PartitionBuild:
+	case PartitionBuild, PartitionShardMerge:
 		return ClassFatal
 	case PartitionIntersect, DDMRefresh, EngineWorker, SamplingRun, RankingRun, TopKPrune:
 		return ClassTransient

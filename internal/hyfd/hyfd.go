@@ -48,6 +48,11 @@ type Config struct {
 	// Values below 2 keep the published serial behaviour; sampling and
 	// induction are sequential either way.
 	Workers int
+	// ShardSize is the row-block size of the sharded single-attribute
+	// partition bootstrap: columns longer than one shard group and merge
+	// on the worker pool instead of serially. <= 0 selects
+	// partition.DefaultShardSize.
+	ShardSize int
 	// Budget optionally bounds partition memory. HyFD holds only the
 	// single-attribute partitions, so exhaustion cannot change its
 	// behaviour — the run is flagged Degraded to tell the caller the
@@ -286,18 +291,13 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 		rs.CacheEvictions += delta.Evictions
 	}()
 	stop := rs.Phase("sample")
-	plis := make([]*partition.Partition, n)
-	for c := 0; c < n; c++ {
-		key := bitset.FromAttrs(n, c)
-		if p := cfg.Cache.Get(key); p != nil {
-			plis[c] = p
-			cfg.Budget.ChargeBytes(partition.Cost(p))
-			continue
-		}
-		plis[c] = partition.Single(r.Cols[c], r.Cards[c])
-		cfg.Budget.Charge(plis[c])
-		cfg.Cache.Put(key, plis[c])
-		rs.PartitionsBuilt++
+	plis, built, err := partition.Singles(ctx, pool, r.Cols, r.Cards, cfg.ShardSize, cfg.Cache, cfg.Budget)
+	rs.PartitionsBuilt += int64(built)
+	if err != nil {
+		stop()
+		pool.FoldRetryStats(rs)
+		rs.Finish(err)
+		return nil, stats, rs, err
 	}
 	if cfg.Budget.Exhausted() {
 		rs.Degrade(cfg.Budget.Reason())

@@ -3,12 +3,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -232,8 +234,9 @@ func (m *Module) load(path string) (*Package, error) {
 }
 
 // parseDir parses the directory's non-test files and returns them with
-// the package name. Files excluded by a //go:build ignore constraint are
-// skipped.
+// the package name. Files whose //go:build constraint excludes them from
+// the host build are skipped, so platform-specific pairs (file_linux.go /
+// file_other.go) type-check as one coherent file set.
 func (m *Module) parseDir(dir string) ([]*ast.File, string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -251,7 +254,7 @@ func (m *Module) parseDir(dir string) ([]*ast.File, string, error) {
 		if err != nil {
 			return nil, "", err
 		}
-		if buildIgnored(f) {
+		if buildExcluded(f) {
 			continue
 		}
 		if name == "" {
@@ -267,21 +270,44 @@ func (m *Module) parseDir(dir string) ([]*ast.File, string, error) {
 	return files, name, nil
 }
 
-// buildIgnored reports whether the file opts out of the build with a
-// "//go:build ignore"-style constraint before the package clause.
-func buildIgnored(f *ast.File) bool {
+// buildExcluded reports whether a //go:build (or legacy // +build)
+// constraint before the package clause excludes the file from the host
+// build. fdvet type-checks the same file set `go build` compiles on this
+// machine, so constraints evaluate against the host: GOOS, GOARCH and
+// the unix alias are true, everything else ("ignore", custom tags) false.
+func buildExcluded(f *ast.File) bool {
 	for _, cg := range f.Comments {
 		if cg.Pos() >= f.Package {
 			break
 		}
 		for _, c := range cg.List {
 			text := strings.TrimSpace(c.Text)
-			if strings.HasPrefix(text, "//go:build") && strings.Contains(text, "ignore") {
+			if !constraint.IsGoBuild(text) && !constraint.IsPlusBuild(text) {
+				continue
+			}
+			expr, err := constraint.Parse(text)
+			if err != nil {
+				// An unparseable constraint would not build; skip the file
+				// rather than fail the whole package load.
 				return true
 			}
-			if strings.HasPrefix(text, "// +build") && strings.Contains(text, "ignore") {
+			if !expr.Eval(hostBuildTag) {
 				return true
 			}
+		}
+	}
+	return false
+}
+
+// hostBuildTag is the tag environment buildExcluded evaluates under.
+func hostBuildTag(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH:
+		return true
+	case "unix":
+		switch runtime.GOOS {
+		case "linux", "darwin", "freebsd", "netbsd", "openbsd", "dragonfly", "solaris", "aix", "illumos", "ios":
+			return true
 		}
 	}
 	return false

@@ -1,7 +1,6 @@
 package partition
 
 import (
-	"math"
 	"sync"
 	"sync/atomic"
 
@@ -38,33 +37,46 @@ type Cache struct {
 	entries  map[string]*cacheEntry
 	mru, lru *cacheEntry // doubly-linked recency list
 	bytes    int64
-	nrows    int // pinned by the first Put; -1 until then
+	peak     int64 // high-water mark of bytes
+	nrows    int   // pinned by the first Put; -1 until then
+	spill    *spillState
 }
 
 type cacheEntry struct {
 	key        string
 	attrs      bitset.Set
-	part       *Partition
+	part       *Partition // nil while spilled to disk
 	cost       int64
-	prev, next *cacheEntry // prev = more recent
+	spillPath  string      // spill file, "" while never spilled
+	prev, next *cacheEntry // prev = more recent; detached while spilled
 }
 
 // CacheStats is a point-in-time snapshot of a cache's counters.
 type CacheStats struct {
 	Hits, Misses, Evictions int64
-	Entries                 int
-	Bytes                   int64
+	// Spills counts entries written to the spill tier, Reloads the
+	// spilled entries faulted back in on a hit. Zero without EnableSpill.
+	Spills, Reloads int64
+	Entries         int
+	Bytes           int64
+	// PeakBytes is the high-water mark of resident partition bytes;
+	// SpilledBytes the cost of currently non-resident spilled entries.
+	PeakBytes, SpilledBytes int64
 }
 
 // Delta returns the counter movement since an earlier snapshot (gauges
-// Entries and Bytes keep their current values).
+// Entries, Bytes, PeakBytes and SpilledBytes keep their current values).
 func (s CacheStats) Delta(prev CacheStats) CacheStats {
 	return CacheStats{
-		Hits:      s.Hits - prev.Hits,
-		Misses:    s.Misses - prev.Misses,
-		Evictions: s.Evictions - prev.Evictions,
-		Entries:   s.Entries,
-		Bytes:     s.Bytes,
+		Hits:         s.Hits - prev.Hits,
+		Misses:       s.Misses - prev.Misses,
+		Evictions:    s.Evictions - prev.Evictions,
+		Spills:       s.Spills - prev.Spills,
+		Reloads:      s.Reloads - prev.Reloads,
+		Entries:      s.Entries,
+		Bytes:        s.Bytes,
+		PeakBytes:    s.PeakBytes,
+		SpilledBytes: s.SpilledBytes,
 	}
 }
 
@@ -90,15 +102,19 @@ func (c *Cache) Stats() CacheStats {
 		return CacheStats{}
 	}
 	c.mu.Lock()
-	entries, bytes := len(c.entries), c.bytes
-	c.mu.Unlock()
-	return CacheStats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
-		Entries:   entries,
-		Bytes:     bytes,
+	s := CacheStats{
+		Entries:   len(c.entries),
+		Bytes:     c.bytes,
+		PeakBytes: c.peak,
 	}
+	if c.spill != nil {
+		s.Spills, s.Reloads, s.SpilledBytes = c.spill.spills, c.spill.reloads, c.spill.cold
+	}
+	c.mu.Unlock()
+	s.Hits = c.hits.Load()
+	s.Misses = c.misses.Load()
+	s.Evictions = c.evictions.Load()
+	return s
 }
 
 // Keys returns the attribute sets of up to max resident entries in
@@ -151,8 +167,9 @@ func (c *Cache) Peek(x bitset.Set) *Partition {
 	return c.lookup(x)
 }
 
-// lookup is Get without the hit/miss accounting, for paths that fall back
-// to BestSubset and count the consultation as a whole.
+// lookup is Get without the hit/miss accounting, for probe paths that
+// count the consultation as a whole. A hit on a spilled entry faults the
+// partition back in from its spill file.
 func (c *Cache) lookup(x bitset.Set) *Partition {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -160,43 +177,55 @@ func (c *Cache) lookup(x bitset.Set) *Partition {
 	if !ok {
 		return nil
 	}
+	if e.part == nil {
+		if c.spill == nil || e.spillPath == "" {
+			return nil
+		}
+		return c.reload(e)
+	}
 	c.moveToFront(e)
 	return e.part
 }
 
-// BestSubset returns the cached partition over the largest-progress parent
-// of x — an entry whose attribute set is a strict-or-equal subset of x,
-// chosen by smallest partition error (the refinement that starts nearest
-// to done). It returns (nil, nil) when no subset is cached. The scan is
-// linear in the cache's entries; entries stay small relative to the
-// partitions they index, so the scan is cheap next to one refinement.
-// Finding a usable parent counts as a hit (the cache saved most of a
-// build), finding none as a miss.
-func (c *Cache) BestSubset(x bitset.Set) (*Partition, bitset.Set) {
+// LongestPrefix returns the cached partition over the longest
+// ascending-attribute prefix of x (x itself included), plus that prefix's
+// attribute set, which the caller owns. Every subsystem publishes
+// partitions along the same ascending chain — π_{A}, π_{AB}, π_{ABC} —
+// so a prefix walk of O(|x|) keyed probes finds the furthest-along parent
+// without scanning the whole cache. It returns (nil, nil) when not even
+// x's first attribute is cached. Finding a usable prefix counts as one
+// hit (the cache saved most of a build), finding none as one miss; the
+// probes themselves use Peek and leave the counters alone.
+func (c *Cache) LongestPrefix(x bitset.Set) (*Partition, bitset.Set) {
 	if c == nil {
 		return nil, nil
 	}
-	c.mu.Lock()
-	var best *cacheEntry
-	bestErr := math.MaxInt64
-	for e := c.mru; e != nil; e = e.next {
-		if !e.attrs.IsSubsetOf(x) {
-			continue
-		}
-		if err := e.part.Error(); err < bestErr {
-			best, bestErr = e, err
-		}
+	attrs := x.Attrs()
+	if len(attrs) == 0 {
+		c.misses.Add(1)
+		return nil, nil
 	}
-	if best != nil {
-		c.moveToFront(best)
+	prefix := x.Clone()
+	prefix.Clear()
+	var best *Partition
+	k := 0
+	for j, a := range attrs {
+		prefix.Add(a)
+		p := c.Peek(prefix)
+		if p == nil {
+			break
+		}
+		best, k = p, j+1
 	}
-	c.mu.Unlock()
 	if best == nil {
 		c.misses.Add(1)
 		return nil, nil
 	}
+	if k < len(attrs) {
+		prefix.Remove(attrs[k]) // the walk overshot by one on the miss
+	}
 	c.hits.Add(1)
-	return best.part, best.attrs
+	return best, prefix
 }
 
 // Put inserts π_X under the attribute set x, evicting LRU entries as
@@ -221,27 +250,43 @@ func (c *Cache) Put(x bitset.Set, p *Partition) {
 		c.remove(old)
 	}
 	if cost > c.max {
+		// Too large to ever be resident; with a spill tier it can still
+		// live on disk and serve future hits.
+		if c.spill != nil {
+			c.insertSpilled(key, &cacheEntry{key: key, attrs: x.Clone(), part: p, cost: cost})
+		}
 		return
 	}
 	// Evict until the entry fits the byte bound; then make sure the
 	// budget's headroom covers it, evicting further if cache bytes can
-	// still be returned, rejecting otherwise.
+	// still be returned. With a spill tier, eviction writes to disk and
+	// a rejected insert goes cold instead of being dropped.
 	for c.bytes+cost > c.max && c.lru != nil {
-		c.remove(c.lru)
-		c.evictions.Add(1)
+		c.evict(c.lru)
 	}
 	for cost > c.budget.Headroom() && c.lru != nil {
-		c.remove(c.lru)
-		c.evictions.Add(1)
+		c.evict(c.lru)
 	}
 	if cost > c.budget.Headroom() {
+		if c.spill != nil {
+			c.insertSpilled(key, &cacheEntry{key: key, attrs: x.Clone(), part: p, cost: cost})
+		}
 		return
 	}
 	e := &cacheEntry{key: key, attrs: x.Clone(), part: p, cost: cost}
 	c.entries[key] = e
-	c.bytes += cost
+	c.addBytes(cost)
 	c.budget.ChargeBytes(cost)
 	c.pushFront(e)
+}
+
+// addBytes grows the resident accounting, tracking the high-water mark.
+// Callers hold mu.
+func (c *Cache) addBytes(n int64) {
+	c.bytes += n
+	if c.bytes > c.peak {
+		c.peak = c.bytes
+	}
 }
 
 // Len returns the number of cached partitions.
@@ -264,19 +309,31 @@ func (c *Cache) Bytes() int64 {
 	return c.bytes
 }
 
-// remove unlinks e and returns its bytes (to the budget too). Callers hold mu.
+// remove drops e entirely — resident bytes back to the bound and the
+// budget, cold bytes out of the spill accounting (its spill file, if
+// any, lives until Close). Callers hold mu.
 func (c *Cache) remove(e *cacheEntry) {
 	delete(c.entries, e.key)
-	c.bytes -= e.cost
-	c.budget.ReleaseBytes(e.cost)
+	if e.part != nil {
+		c.bytes -= e.cost
+		c.budget.ReleaseBytes(e.cost)
+	} else if c.spill != nil {
+		c.spill.cold -= e.cost
+	}
+	c.unlink(e)
+}
+
+// unlink detaches e from the recency list; a no-op for entries already
+// detached (spilled). Callers hold mu.
+func (c *Cache) unlink(e *cacheEntry) {
 	if e.prev != nil {
 		e.prev.next = e.next
-	} else {
+	} else if c.mru == e {
 		c.mru = e.next
 	}
 	if e.next != nil {
 		e.next.prev = e.prev
-	} else {
+	} else if c.lru == e {
 		c.lru = e.prev
 	}
 	e.prev, e.next = nil, nil
@@ -315,11 +372,13 @@ func (c *Cache) moveToFront(e *cacheEntry) {
 }
 
 // ForAttrsCached computes π_X through the cache: an exact hit returns the
-// cached partition; otherwise refinement starts from the smallest-error
-// cached subset of X (BestSubset) — or, with none cached, from the
-// smallest-error single-attribute partition as ForAttrs does — and the
-// result is cached before returning. With a nil cache it is exactly
-// ForAttrs. The returned partition may be shared: treat it as read-only.
+// cached partition; otherwise refinement walks down the ascending-attribute
+// prefix chain from the longest cached prefix (LongestPrefix) — or, with
+// none cached, from the first attribute's single partition — publishing
+// every intermediate prefix so later supersets (and the ranking provider,
+// which walks the same chain) start further along. With a nil cache it is
+// exactly ForAttrs. The returned partition may be shared: treat it as
+// read-only.
 func ForAttrsCached(c *Cache, x bitset.Set, cols [][]int32, cards []int) *Partition {
 	p, _ := ForAttrsCachedStats(c, x, cols, cards)
 	return p
@@ -346,32 +405,29 @@ func ForAttrsCachedStats(c *Cache, x bitset.Set, cols [][]int32, cards []int) (*
 	if len(attrs) == 0 {
 		return fullPartition(nrows), false
 	}
-	parent, pattrs := c.BestSubset(x)
-	var p *Partition
-	var remaining []int
-	if parent != nil {
-		p = parent
-		remaining = make([]int, 0, len(attrs))
-		for _, a := range attrs {
-			if !pattrs.Contains(a) {
-				remaining = append(remaining, a)
-			}
-		}
-		orderForRefine(remaining, cards, nrows)
+	p, prefix := c.LongestPrefix(x)
+	k := 0
+	if p != nil {
+		k = prefix.Count()
 	} else {
-		orderForRefine(attrs, cards, nrows)
-		p = Single(cols[attrs[0]], cards[attrs[0]])
-		remaining = attrs[1:]
+		prefix = x.Clone()
+		prefix.Clear()
+		a := attrs[0]
+		p = Single(cols[a], cards[a])
+		prefix.Add(a)
+		c.Put(prefix, p)
+		k = 1
 	}
-	if len(remaining) > 0 {
-		rf := NewRefiner(maxCard(cards))
-		for _, a := range remaining {
-			if len(p.Clusters) == 0 {
-				break
-			}
+	if k == len(attrs) {
+		return p, false
+	}
+	rf := NewRefiner(maxCard(cards))
+	for _, a := range attrs[k:] {
+		prefix.Add(a)
+		if len(p.Clusters) > 0 {
 			p = rf.Refine(p, cols[a], cards[a])
 		}
+		c.Put(prefix, p)
 	}
-	c.Put(x, p)
 	return p, false
 }

@@ -24,8 +24,8 @@ func TestCacheNilSafety(t *testing.T) {
 		t.Error("nil cache Get should miss")
 	}
 	c.Put(x, testPart(4, []int32{0, 1}))
-	if p, a := c.BestSubset(x); p != nil || a != nil {
-		t.Error("nil cache BestSubset should return nothing")
+	if p, a := c.LongestPrefix(x); p != nil || a != nil {
+		t.Error("nil cache LongestPrefix should return nothing")
 	}
 	if s := c.Stats(); s != (CacheStats{}) {
 		t.Errorf("nil cache stats = %+v", s)
@@ -158,9 +158,8 @@ func TestCacheEvictionReturnsBudgetBytes(t *testing.T) {
 	}
 }
 
-func TestCacheBestSubset(t *testing.T) {
+func TestCacheLongestPrefix(t *testing.T) {
 	c := NewCache(1<<10, nil)
-	// π_{0}: error 4; π_{0,1}: error 1; π_{2}: error 2.
 	p0 := testPart(10, []int32{0, 1, 2, 3, 4})
 	p01 := testPart(10, []int32{0, 1})
 	p2 := testPart(10, []int32{5, 6, 7})
@@ -168,21 +167,30 @@ func TestCacheBestSubset(t *testing.T) {
 	c.Put(bitset.FromAttrs(4, 0, 1), p01)
 	c.Put(bitset.FromAttrs(4, 2), p2)
 
-	got, attrs := c.BestSubset(bitset.FromAttrs(4, 0, 1, 3))
+	got, attrs := c.LongestPrefix(bitset.FromAttrs(4, 0, 1, 3))
 	if got != p01 || !attrs.Equal(bitset.FromAttrs(4, 0, 1)) {
-		t.Errorf("BestSubset picked %v (err %d), want the {0,1} entry", attrs, got.Error())
+		t.Errorf("LongestPrefix picked %v, want the {0,1} entry", attrs)
 	}
-	// An exact subset key also qualifies.
-	got, attrs = c.BestSubset(bitset.FromAttrs(4, 0))
+	// An exact key qualifies as its own longest prefix.
+	got, attrs = c.LongestPrefix(bitset.FromAttrs(4, 0))
 	if got != p0 || !attrs.Equal(bitset.FromAttrs(4, 0)) {
-		t.Errorf("BestSubset(0) = %v, want the {0} entry", attrs)
+		t.Errorf("LongestPrefix(0) = %v, want the {0} entry", attrs)
 	}
-	if got, _ := c.BestSubset(bitset.FromAttrs(4, 3)); got != nil {
-		t.Errorf("BestSubset with no cached subset = %v, want nil", got)
+	got, attrs = c.LongestPrefix(bitset.FromAttrs(4, 2, 3))
+	if got != p2 || !attrs.Equal(bitset.FromAttrs(4, 2)) {
+		t.Errorf("LongestPrefix(2,3) = %v, want the {2} entry", attrs)
 	}
-	// Partial reuse is a hit; a fruitless subset scan is a miss.
-	if s := c.Stats(); s.Hits != 2 || s.Misses != 1 {
-		t.Errorf("BestSubset counters = %+v, want 2 hits / 1 miss", s)
+	// The walk is an ascending prefix chain: a cached {2} does not help
+	// {1,2} when {1} itself is missing.
+	if got, _ := c.LongestPrefix(bitset.FromAttrs(4, 1, 2)); got != nil {
+		t.Errorf("LongestPrefix(1,2) = %v, want nil", got)
+	}
+	if got, _ := c.LongestPrefix(bitset.FromAttrs(4, 3)); got != nil {
+		t.Errorf("LongestPrefix with no cached prefix = %v, want nil", got)
+	}
+	// Partial reuse is a hit; a fruitless walk is a miss.
+	if s := c.Stats(); s.Hits != 3 || s.Misses != 2 {
+		t.Errorf("LongestPrefix counters = %+v, want 3 hits / 2 misses", s)
 	}
 }
 

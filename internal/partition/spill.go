@@ -1,0 +1,296 @@
+package partition
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"unsafe"
+)
+
+// The spill tier turns the cache into two levels: resident compact
+// partitions under the byte bound (and the budget's headroom), plus cold
+// entries whose flat backing lives in temp files under the spill
+// directory. Eviction pressure spills before it discards — a cold entry
+// costs a file instead of a rebuild — and a lookup hit on a spilled
+// entry faults the partition back in transparently (memory-mapped on
+// platforms that support it, so clean pages stay reclaimable by the OS
+// and resident set stays bounded even when callers retain the
+// partition).
+//
+// Spill files are private to one cache and one process: they are written
+// and read in native byte order and removed by Close. Only compact
+// partitions spill — their whole cluster set is two flat arrays — and
+// re-spilling a reloaded entry reuses its file, since partition content
+// is immutable.
+
+// spillMagic identifies a spill file; the version byte guards decode
+// against stale files from a different layout.
+var spillMagic = [8]byte{'P', 'L', 'I', 'S', 'P', 'L', '1', 0}
+
+// maxSpillMappings bounds the live memory-mapped reloads a cache holds
+// at once. Mappings stay alive until Close because reloaded partitions
+// alias them, so a thrashing run (a tiny budget and a reload per
+// lookup) would otherwise accumulate one VMA per reload until the
+// kernel's per-process map limit (vm.max_map_count, ~65k by default)
+// starves the runtime's own allocator. Past the cap, reloads read into
+// the heap instead: same bytes, GC-managed lifetime, no new mapping.
+const maxSpillMappings = 1024
+
+const spillHeaderBytes = 8 + 3*8 // magic + nrows, noffsets, nbacking
+
+// spillState is the cache's spill-tier state, attached by EnableSpill.
+type spillState struct {
+	dir     string   // private temp dir under the user's spill dir
+	seq     int      // file-name sequence
+	maps    [][]byte // live mappings, released by Close
+	spills  int64    // entries written out (cumulative)
+	reloads int64    // entries faulted back in (cumulative)
+	cold    int64    // bytes of currently non-resident spilled entries
+}
+
+// EnableSpill attaches an out-of-core tier to the cache: entries the
+// byte bound or the budget's headroom would evict (or reject) write
+// their compact backing to temp files under dir ("" selects the system
+// temp directory) and fault back in on their next hit. The cache owns a
+// private subdirectory; Close removes it. Enabling twice is an error,
+// as is enabling on a nil cache (there is nothing to spill through).
+func (c *Cache) EnableSpill(dir string) error {
+	if c == nil {
+		return fmt.Errorf("partition: EnableSpill on a nil cache")
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("partition: spill dir: %w", err)
+		}
+	}
+	private, err := os.MkdirTemp(dir, "plispill-")
+	if err != nil {
+		return fmt.Errorf("partition: spill dir: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.spill != nil {
+		os.RemoveAll(private)
+		return fmt.Errorf("partition: spill tier already enabled")
+	}
+	c.spill = &spillState{dir: private}
+	return nil
+}
+
+// SpillDir returns the cache's private spill directory, or "" when the
+// spill tier is not enabled. Safe on nil.
+func (c *Cache) SpillDir() string {
+	if c == nil {
+		return ""
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.spill == nil {
+		return ""
+	}
+	return c.spill.dir
+}
+
+// Close releases the spill tier — unmapping every reloaded partition and
+// removing the spill directory — and purges the cache. Call it only
+// once no partition served by the cache is referenced anymore: mapped
+// partitions alias the mappings Close tears down. Safe on nil and
+// without a spill tier (purge only); idempotent.
+func (c *Cache) Close() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.entries {
+		c.remove(e)
+	}
+	var err error
+	if c.spill != nil {
+		for _, m := range c.spill.maps {
+			unmapSpill(m)
+		}
+		c.spill.maps = nil
+		err = os.RemoveAll(c.spill.dir)
+		c.spill = nil
+	}
+	return err
+}
+
+// evict relieves pressure from the LRU end: with a spill tier the victim
+// goes to disk and stays retrievable, without one (or when the victim
+// cannot spill) it is discarded and counted as an eviction. Callers
+// hold mu.
+func (c *Cache) evict(e *cacheEntry) {
+	if c.spill != nil && c.spillEntry(e) {
+		return
+	}
+	c.remove(e)
+	c.evictions.Add(1)
+}
+
+// spillEntry writes e's partition out (reusing its file when it already
+// has one) and drops its residency: off the recency list, bytes back to
+// the bound and the budget. Callers hold mu. Returns false when the
+// partition cannot spill (non-compact, or the write failed), leaving e
+// untouched.
+func (c *Cache) spillEntry(e *cacheEntry) bool {
+	if !e.part.IsCompact() {
+		return false
+	}
+	if e.spillPath == "" {
+		path, err := c.writeSpill(e.part)
+		if err != nil {
+			return false
+		}
+		e.spillPath = path
+	}
+	e.part = nil
+	c.unlink(e)
+	c.bytes -= e.cost
+	c.budget.ReleaseBytes(e.cost)
+	c.spill.spills++
+	c.spill.cold += e.cost
+	return true
+}
+
+// insertSpilled admits a partition the resident tier has no room for
+// directly into the cold tier: evict-to-disk instead of rejecting the
+// insert. Callers hold mu.
+func (c *Cache) insertSpilled(key string, e *cacheEntry) bool {
+	if !e.part.IsCompact() {
+		return false
+	}
+	path, err := c.writeSpill(e.part)
+	if err != nil {
+		return false
+	}
+	e.spillPath = path
+	e.part = nil
+	c.entries[key] = e
+	c.spill.spills++
+	c.spill.cold += e.cost
+	return true
+}
+
+// reload faults a spilled entry back in and tries to re-admit it to the
+// resident tier under the usual eviction discipline. When even spilling
+// every other entry leaves no room, the partition is still returned —
+// backed by its mapping, invisible to the byte accounting — and the
+// entry stays cold. Callers hold mu.
+func (c *Cache) reload(e *cacheEntry) *Partition {
+	p, m, err := c.readSpill(e.spillPath)
+	if err != nil {
+		// The file is gone or damaged: drop the entry, the partition is
+		// recomputable.
+		delete(c.entries, e.key)
+		c.spill.cold -= e.cost
+		return nil
+	}
+	if m != nil {
+		c.spill.maps = append(c.spill.maps, m)
+	}
+	c.spill.reloads++
+	for c.bytes+e.cost > c.max && c.lru != nil {
+		c.evict(c.lru)
+	}
+	for e.cost > c.budget.Headroom() && c.lru != nil {
+		c.evict(c.lru)
+	}
+	if e.cost > c.max || e.cost > c.budget.Headroom() {
+		return p // served cold: stays spilled, nothing charged
+	}
+	e.part = p
+	c.addBytes(e.cost)
+	c.budget.ChargeBytes(e.cost)
+	c.pushFront(e)
+	c.spill.cold -= e.cost
+	return p
+}
+
+// writeSpill encodes p's compact form into a fresh spill file. Callers
+// hold mu.
+func (c *Cache) writeSpill(p *Partition) (string, error) {
+	c.spill.seq++
+	path := filepath.Join(c.spill.dir, fmt.Sprintf("p%06d.pli", c.spill.seq))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return "", err
+	}
+	var hdr [spillHeaderBytes]byte
+	copy(hdr[:8], spillMagic[:])
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(p.NRows))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(len(p.offsets)))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(len(p.backing)))
+	_, err = f.Write(hdr[:])
+	if err == nil {
+		_, err = f.Write(int32Bytes(p.offsets))
+	}
+	if err == nil {
+		_, err = f.Write(int32Bytes(p.backing))
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+		return "", err
+	}
+	return path, nil
+}
+
+// readSpill decodes a spill file back into a compact partition. On
+// platforms with mmap the returned partition aliases the returned
+// mapping (nil otherwise), which stays valid until Close unmaps it.
+// Once maxSpillMappings mappings are live the read lands on the heap
+// instead, so reload-heavy runs stay within the kernel's map limit.
+func (c *Cache) readSpill(path string) (*Partition, []byte, error) {
+	var buf, m []byte
+	var err error
+	if len(c.spill.maps) < maxSpillMappings {
+		buf, m, err = mapSpill(path)
+	} else {
+		buf, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	fail := func(msg string) (*Partition, []byte, error) {
+		unmapSpill(m)
+		return nil, nil, fmt.Errorf("partition: spill file %s: %s", path, msg)
+	}
+	if len(buf) < spillHeaderBytes || [8]byte(buf[:8]) != spillMagic {
+		return fail("bad header")
+	}
+	nrows := int(binary.LittleEndian.Uint64(buf[8:]))
+	noffs := int(binary.LittleEndian.Uint64(buf[16:]))
+	nback := int(binary.LittleEndian.Uint64(buf[24:]))
+	if len(buf) != spillHeaderBytes+4*(noffs+nback) || noffs < 1 {
+		return fail("truncated")
+	}
+	offsets := bytesInt32(buf[spillHeaderBytes : spillHeaderBytes+4*noffs])
+	backing := bytesInt32(buf[spillHeaderBytes+4*noffs:])
+	p := &Partition{NRows: nrows}
+	p.setCompact(backing, offsets)
+	return p, m, nil
+}
+
+// int32Bytes views an int32 slice as raw native-order bytes, so spill
+// writes stream the flat arrays without a copy.
+func int32Bytes(s []int32) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), 4*len(s))
+}
+
+// bytesInt32 is the inverse view. b must be 4-aligned (spill buffers
+// are: mappings are page-aligned, heap buffers are allocated aligned,
+// and the header is a multiple of 8 bytes).
+func bytesInt32(b []byte) []int32 {
+	if len(b) == 0 {
+		return []int32{}
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+}

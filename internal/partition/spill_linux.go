@@ -1,0 +1,41 @@
+//go:build linux
+
+package partition
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapSpill memory-maps a spill file read-only. The whole point of the
+// spill tier: reloaded partitions are backed by clean file pages the OS
+// can reclaim under pressure, so resident set stays bounded no matter
+// how many cold partitions callers touch. Returns the data view and the
+// mapping to hand to unmapSpill. Empty files map to a nil mapping.
+func mapSpill(path string) (data, mapping []byte, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := int(st.Size())
+	if size == 0 {
+		return nil, nil, nil
+	}
+	m, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, m, nil
+}
+
+// unmapSpill releases a mapping returned by mapSpill. Safe on nil.
+func unmapSpill(m []byte) {
+	if m != nil {
+		_ = syscall.Munmap(m)
+	}
+}

@@ -1,0 +1,20 @@
+//go:build !linux
+
+package partition
+
+import "os"
+
+// mapSpill reads a spill file into the heap on platforms without the
+// mmap fast path. The returned buffer is 8-aligned (allocator
+// guarantee for byte slices of this size class), so the int32 views
+// over it are valid. There is no mapping to release.
+func mapSpill(path string) (data, mapping []byte, err error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return buf, nil, nil
+}
+
+// unmapSpill is a no-op without mmap. Safe on nil.
+func unmapSpill(m []byte) {}

@@ -114,7 +114,7 @@ type Stats struct {
 	// marking plus the per-row null-LHS recluster fallback.
 	RowsScanned int64
 	// CacheHits / CacheMisses / CacheEvictions are the PLI cache's counter
-	// movement during the run (a BestSubset parent reuse counts as a hit).
+	// movement during the run (a LongestPrefix parent reuse counts as a hit).
 	CacheHits, CacheMisses, CacheEvictions int64
 	// Elapsed is the run's wall time.
 	Elapsed time.Duration
@@ -193,8 +193,8 @@ type scratch struct {
 // longest cached attribute prefix, and every intermediate prefix partition
 // is published: the LHSs of a canonical cover share long prefixes, so
 // ranking builds each distinct prefix once — O(1) lookups per step —
-// instead of each LHS from its single columns (or from a linear BestSubset
-// scan of the whole cache, which is quadratic over thousands of groups).
+// instead of each LHS from its single columns (or from a linear whole-cache
+// subset scan, which is quadratic over thousands of groups).
 func (sc *scratch) partitionFor(c *partition.Cache, x bitset.Set, r *relation.Relation) (*partition.Partition, bool) {
 	if p := c.Get(x); p != nil {
 		return p, true

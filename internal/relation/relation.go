@@ -204,14 +204,42 @@ type encoder struct {
 	cols  []colEncoder
 }
 
+// ingestBlockRows is the row capacity of one ingest block. Columns
+// accumulate codes in fixed-size blocks rather than one append-grown
+// array, so ingest never holds a doubling-sized copy of a whole column:
+// the transient over-allocation is bounded by one block per column
+// regardless of relation size. A var so tests can shrink it to cover
+// block boundaries cheaply.
+var ingestBlockRows = 1 << 16
+
 // colEncoder holds the per-column dictionary state.
 type colEncoder struct {
-	codes    []int32
+	full     [][]int32 // sealed ingest blocks, ingestBlockRows codes each
+	cur      []int32   // currently filling block
 	dict     map[string]int32
 	values   []string // decoded dictionary, only under KeepDicts
 	mask     []bool   // nil until the first null
 	next     int32    // next free code
 	nullCode int32    // shared null code under NullEqNull, -1 until used
+}
+
+// pushCode appends one row's code. The first block append-grows so tiny
+// relations stay tiny; once a block seals, successors are allocated at
+// exact block capacity.
+func (ce *colEncoder) pushCode(code int32) {
+	if ce.cur == nil && len(ce.full) > 0 {
+		ce.cur = make([]int32, 0, ingestBlockRows)
+	}
+	ce.cur = append(ce.cur, code)
+	if len(ce.cur) >= ingestBlockRows {
+		ce.full = append(ce.full, ce.cur)
+		ce.cur = nil
+	}
+}
+
+// rowsIn returns the number of codes pushed so far.
+func (ce *colEncoder) rowsIn() int {
+	return ingestBlockRows*len(ce.full) + len(ce.cur)
 }
 
 func newEncoder(ncols int, opts Options) *encoder {
@@ -246,7 +274,7 @@ func (e *encoder) addRow(row []string) error {
 			code = ce.alloc(v, e.opts)
 			ce.dict[v] = code
 		}
-		ce.codes = append(ce.codes, code)
+		ce.pushCode(code)
 		if ce.mask != nil {
 			ce.mask = append(ce.mask, false)
 		}
@@ -266,17 +294,17 @@ func (ce *colEncoder) alloc(v string, opts Options) int32 {
 
 func (ce *colEncoder) addNull(v string, opts Options) {
 	if ce.mask == nil {
-		ce.mask = make([]bool, len(ce.codes))
+		ce.mask = make([]bool, ce.rowsIn())
 	}
 	ce.mask = append(ce.mask, true)
 	if opts.Semantics == NullNeqNull {
-		ce.codes = append(ce.codes, ce.alloc(v, opts)) // fresh code per occurrence
+		ce.pushCode(ce.alloc(v, opts)) // fresh code per occurrence
 		return
 	}
 	if ce.nullCode < 0 {
 		ce.nullCode = ce.alloc(v, opts)
 	}
-	ce.codes = append(ce.codes, ce.nullCode)
+	ce.pushCode(ce.nullCode)
 }
 
 // finish assembles the relation. names may be nil (columns are named
@@ -301,10 +329,17 @@ func (e *encoder) finish(names []string) *Relation {
 	}
 	for c := range e.cols {
 		ce := &e.cols[c]
-		if ce.codes == nil {
-			ce.codes = []int32{}
+		// Assemble the exact-size contiguous column from the ingest
+		// blocks, releasing each column's blocks as it completes so the
+		// transient footprint is one column, not the whole relation twice.
+		col := make([]int32, e.rows)
+		off := 0
+		for _, b := range ce.full {
+			off += copy(col[off:], b)
 		}
-		rel.Cols[c] = ce.codes
+		copy(col[off:], ce.cur)
+		ce.full, ce.cur = nil, nil
+		rel.Cols[c] = col
 		rel.Cards[c] = int(ce.next)
 		rel.Nulls[c] = ce.mask
 		if e.opts.KeepDicts {

@@ -1,6 +1,7 @@
 package relation
 
 import (
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -263,4 +264,72 @@ func countTrue(mask []bool) int {
 		}
 	}
 	return n
+}
+
+// TestBlockedIngestEquivalence pins the blocked ingest path: shrinking
+// the block size so encoding crosses many block boundaries must yield a
+// relation identical to one encoded in a single block, including exact
+// block-capacity row counts and null masks straddling a boundary.
+func TestBlockedIngestEquivalence(t *testing.T) {
+	defer func(n int) { ingestBlockRows = n }(ingestBlockRows)
+
+	const nrows = 23
+	rows := make([][]string, nrows)
+	for i := range rows {
+		a := string(rune('a' + i%5))
+		b := ""
+		if i%4 != 3 { // every 4th row has a null in column b
+			b = string(rune('p' + i%3))
+		}
+		rows[i] = []string{a, b}
+	}
+	for _, sem := range []NullSemantics{NullEqNull, NullNeqNull} {
+		ingestBlockRows = 1 << 16
+		want, err := FromRows([]string{"a", "b"}, rows, Options{Semantics: sem, KeepDicts: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bs := range []int{1, 2, 3, 7, nrows, nrows + 1} {
+			ingestBlockRows = bs
+			got, err := FromRows([]string{"a", "b"}, rows, Options{Semantics: sem, KeepDicts: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Cols, want.Cols) {
+				t.Fatalf("sem %v block %d: cols %v, want %v", sem, bs, got.Cols, want.Cols)
+			}
+			if !reflect.DeepEqual(got.Cards, want.Cards) || !reflect.DeepEqual(got.Nulls, want.Nulls) {
+				t.Fatalf("sem %v block %d: cards/nulls differ", sem, bs)
+			}
+			if !reflect.DeepEqual(got.Dicts, want.Dicts) {
+				t.Fatalf("sem %v block %d: dicts differ", sem, bs)
+			}
+		}
+	}
+}
+
+// TestBlockedIngestExactCapacity covers row counts landing exactly on a
+// block seal, where an off-by-one would drop or duplicate the last block.
+func TestBlockedIngestExactCapacity(t *testing.T) {
+	defer func(n int) { ingestBlockRows = n }(ingestBlockRows)
+	ingestBlockRows = 4
+	for _, nrows := range []int{3, 4, 5, 8, 12} {
+		var sb strings.Builder
+		sb.WriteString("a\n")
+		for i := 0; i < nrows; i++ {
+			fmt.Fprintf(&sb, "v%d\n", i%6)
+		}
+		r, err := ReadCSVString(sb.String(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.NumRows() != nrows || len(r.Cols[0]) != nrows {
+			t.Fatalf("nrows %d: got %d rows, col len %d", nrows, r.NumRows(), len(r.Cols[0]))
+		}
+		for i := 0; i < nrows; i++ {
+			if r.Cols[0][i] != int32(i%6) {
+				t.Fatalf("nrows %d: code[%d] = %d, want %d", nrows, i, r.Cols[0][i], i%6)
+			}
+		}
+	}
 }

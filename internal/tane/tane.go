@@ -63,6 +63,11 @@ func DiscoverCtx(ctx context.Context, r *relation.Relation) ([]dep.FD, error) {
 type Config struct {
 	// Workers is the pool width for the per-level PLI intersections.
 	Workers int
+	// ShardSize is the row-block size of the sharded single-attribute
+	// partition bootstrap: columns longer than one shard group and merge
+	// on the worker pool instead of serially. <= 0 selects
+	// partition.DefaultShardSize.
+	ShardSize int
 	// Budget optionally bounds partition memory — TANE's characteristic
 	// cost is whole lattice levels of partitions resident at once. On
 	// exhaustion the current level finishes validating and deeper levels
@@ -244,22 +249,23 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 		prevErr = map[string]int{bitset.New(n).Key(): emptyErr}
 		prevPart = map[string]*partition.Partition{bitset.New(n).Key(): emptyPart}
 		prevRecs = []runstate.TanePrevRec{{Set: bitset.New(n), Err: int64(emptyErr)}}
+		// The sharded bootstrap charges the budget exactly as the old
+		// per-column loop did: cache hits as resident bytes, fresh builds
+		// as materialized partitions.
+		parts, built, err := partition.Singles(ctx, pool, r.Cols, r.Cards, cfg.ShardSize, cfg.Cache, cfg.Budget)
+		rs.PartitionsBuilt += int64(built)
+		if err != nil {
+			stop()
+			flushCacheStats()
+			pool.FoldRetryStats(rs)
+			rs.Finish(err)
+			return nil, rs, err
+		}
 		level = make([]*candidate, 0, n)
 		for a := 0; a < n; a++ {
-			key := bitset.FromAttrs(n, a)
-			p := cfg.Cache.Get(key)
-			if p == nil {
-				p = partition.Single(r.Cols[a], r.Cards[a])
-				cfg.Budget.Charge(p)
-				cfg.Cache.Put(key, p)
-				rs.PartitionsBuilt++
-			} else {
-				// A cached partition's bytes are owned by the cache; count
-				// them live for this run too, without a materialization.
-				cfg.Budget.ChargeBytes(partition.Cost(p))
-			}
+			p := parts[a]
 			level = append(level, &candidate{
-				set:   key,
+				set:   bitset.FromAttrs(n, a),
 				attrs: []int{a},
 				part:  p,
 				err:   p.Error(),
