@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt lint test race bench bench-pr3 bench-pr4 bench-pr6 bench-pr7 bench-pr8 bench-smoke chaos crash fuzz-smoke check
+.PHONY: all build vet fmt lint test race bench bench-pr3 bench-pr4 bench-pr6 bench-pr7 bench-pr8 bench-pr9 bench-smoke chaos crash fuzz-smoke check
 
 all: check
 
@@ -33,7 +33,7 @@ race:
 # Full benchmark pass: the partition kernels and the discovery paths,
 # folded into BENCH_pr3.json against the pre-PR baselines recorded in
 # results/. Same flags as the baseline capture, for comparability.
-bench: bench-pr3 bench-pr4 bench-pr6 bench-pr7 bench-pr8
+bench: bench-pr3 bench-pr4 bench-pr6 bench-pr7 bench-pr8 bench-pr9
 
 bench-pr3:
 	$(GO) test -run '^$$' -bench 'Single100k|Refine100k|Intersect100k|RefineVsIntersect' -benchmem ./internal/partition/ | tee results/bench_partition.txt
@@ -79,6 +79,13 @@ bench-pr7:
 bench-pr8:
 	$(GO) run ./cmd/benchpr8 -o BENCH_pr8.json
 
+# The sharded multi-attribute kernels (Refine/Intersect shard-count
+# curves, byte-identity checked per cell) and the off-heap column pager
+# (a 600k-row DFD run, covers compared across resident and paged legs,
+# peak RSS measured in child processes). Emits its JSON directly.
+bench-pr9:
+	$(GO) run ./cmd/benchpr9 -o BENCH_pr9.json
+
 # One iteration of the key benchmarks — catches bit-rot without the cost
 # of a full measurement run.
 bench-smoke:
@@ -87,6 +94,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'RankCover/hepatitis' -benchtime 1x ./internal/ranking/
 	$(GO) run ./cmd/benchpr6 -smoke -o /dev/null
 	$(GO) run ./cmd/benchpr8 -smoke -o /dev/null
+	$(GO) run ./cmd/benchpr9 -smoke -o /dev/null
 
 # The fault-injection matrix — every site × every plan × every algorithm —
 # under the race detector.

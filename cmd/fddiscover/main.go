@@ -24,7 +24,9 @@
 // miss counts show up in the -stats report. -shard-size overrides the row
 // block size of the parallel PLI bootstrap, and -spill-dir spills cold
 // cache entries to memory-mapped temp files instead of discarding them so
-// the resident footprint stays within the budget.
+// the resident footprint stays within the budget. -page-columns pages the
+// encoded columns themselves to memory-mapped temp files during ingest, so
+// the relation's code storage stays off-heap.
 //
 // -checkpoint DIR makes the run durable: the search state is snapshotted
 // into DIR every -interval (default 30s), atomically, and a final snapshot
@@ -66,6 +68,7 @@ func main() {
 	pliCache := flag.Int64("pli-cache", 0, "share stripped partitions through an LRU cache of this many bytes (0 = disabled)")
 	shardSize := flag.Int("shard-size", 0, "row-block size of the parallel PLI bootstrap (0 = the built-in default)")
 	spillDir := flag.String("spill-dir", "", "spill cold PLI-cache entries to temp files under this directory instead of discarding them (empty = spill disabled)")
+	pageColumns := flag.Bool("page-columns", false, "page the encoded columns to memory-mapped temp files during ingest instead of holding them on the heap")
 	topK := flag.Int("topk", 0, "discover only the N most relevant FDs, pre-ranked by redundancy (0 = full cover)")
 	maxError := flag.Float64("max-error", 0, "accept approximate FDs with g3 error up to this fraction of rows, in [0,1) (0 = exact)")
 	checkpoint := flag.String("checkpoint", "", "snapshot the run's search state into this directory for -resume (empty = durability off)")
@@ -111,10 +114,19 @@ func main() {
 		opts.NullTokens = []string{"", "?", *nullToken}
 	}
 
+	opts.PageColumns = *pageColumns
+
 	rel, err := dhyfd.ReadCSVFile(flag.Arg(0), opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	defer rel.Close()
+	// exit releases the relation (and its paged-column temp files, under
+	// -page-columns) before terminating: os.Exit skips the defer above.
+	exit := func(code int) {
+		rel.Close()
+		os.Exit(code)
 	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -180,13 +192,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "fddiscover: internal panic at %s: %v\n%s\n", perr.Site, perr.Value, perr.Stack)
 		case errors.Is(err, dhyfd.ErrSnapshotMismatch) || errors.Is(err, dhyfd.ErrSnapshotCorrupt) || errors.Is(err, dhyfd.ErrSnapshotVersion):
 			fmt.Fprintln(os.Stderr, "fddiscover:", err)
-			os.Exit(2)
+			exit(2)
 		default:
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Fprintln(os.Stderr, res.Stats.String())
-		os.Exit(1)
+		exit(1)
 	}
 	if res.Stats.Degraded {
 		fmt.Fprintf(os.Stderr, "fddiscover: warning: degraded run (%s); the cover below is sound but may be incomplete\n", res.Stats.DegradedReason)

@@ -46,6 +46,7 @@ func main() {
 	pliCache := flag.Int64("pli-cache", 0, "share stripped partitions through an LRU cache of this many bytes, spanning discovery and ranking (0 = ranking-private cache only)")
 	shardSize := flag.Int("shard-size", 0, "row-block size of discovery's parallel PLI bootstrap (0 = the built-in default)")
 	spillDir := flag.String("spill-dir", "", "spill cold PLI-cache entries to temp files under this directory instead of discarding them (empty = spill disabled)")
+	pageColumns := flag.Bool("page-columns", false, "page the encoded columns to memory-mapped temp files during ingest instead of holding them on the heap")
 	workers := flag.Int("workers", 1, "worker-pool width for discovery validation and ranking")
 	stats := flag.Bool("stats", false, "print the ranking run report to stderr")
 	checkpoint := flag.String("checkpoint", "", "snapshot the discovery run's search state into this directory for -resume (empty = durability off)")
@@ -78,10 +79,18 @@ func main() {
 	if *nullSem == "neq" {
 		opts.Semantics = dhyfd.NullNeqNull
 	}
+	opts.PageColumns = *pageColumns
 	rel, err := dhyfd.ReadCSVFile(flag.Arg(0), opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	defer rel.Close()
+	// exit releases the relation (and its paged-column temp files, under
+	// -page-columns) before terminating: os.Exit skips the defer above.
+	exit := func(code int) {
+		rel.Close()
+		os.Exit(code)
 	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -131,7 +140,7 @@ func main() {
 		res, err := dhyfd.Discover(ctx, rel, discoverOpts(dhyfd.WithTopK(*topK))...)
 		if err != nil {
 			reportDiscoverError(err, res, *checkpoint)
-			os.Exit(1)
+			exit(1)
 		}
 		if res.Stats.Degraded {
 			fmt.Fprintf(os.Stderr, "fdrank: warning: degraded run (%s); the top-k below is sound but may be incomplete\n", res.Stats.DegradedReason)
@@ -156,7 +165,7 @@ func main() {
 	res, err := dhyfd.Discover(ctx, rel, discoverOpts()...)
 	if err != nil {
 		reportDiscoverError(err, res, *checkpoint)
-		os.Exit(1)
+		exit(1)
 	}
 	if res.Stats.Degraded {
 		fmt.Fprintf(os.Stderr, "fdrank: warning: degraded run (%s); ranking a sound but possibly incomplete cover\n", res.Stats.DegradedReason)
@@ -177,12 +186,12 @@ func main() {
 		}
 		if col < 0 {
 			fmt.Fprintf(os.Stderr, "unknown column %q (have %v)\n", *column, rel.Names)
-			os.Exit(2)
+			exit(2)
 		}
 		views, rstats, rerr := dhyfd.RankForColumn(ctx, rel, can, col, shared...)
 		if rerr != nil {
 			fmt.Fprintln(os.Stderr, "fdrank:", rerr)
-			os.Exit(1)
+			exit(1)
 		}
 		if *stats {
 			fmt.Fprint(os.Stderr, rstats.String())
@@ -197,12 +206,12 @@ func main() {
 	ranked, rstats, rerr := dhyfd.Rank(ctx, rel, can, shared...)
 	if rerr != nil {
 		fmt.Fprintln(os.Stderr, "fdrank:", rerr)
-		os.Exit(1)
+		exit(1)
 	}
 	tot, tstats, terr := dhyfd.TotalRedundancy(ctx, rel, can, shared...)
 	if terr != nil {
 		fmt.Fprintln(os.Stderr, "fdrank:", terr)
-		os.Exit(1)
+		exit(1)
 	}
 	if *stats {
 		fmt.Fprint(os.Stderr, rstats.String())

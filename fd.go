@@ -677,18 +677,20 @@ func Discover(ctx context.Context, r *Relation, opts ...Option) (res *Result, er
 			Checkpoint: cp, Resume: snap, Retries: cfg.retries,
 		})
 	case FDEP:
-		fds, rs, err = fdep.DiscoverRun(ctx, r, fdep.Classic)
+		fds, rs, err = fdep.Run(ctx, r, fdep.Classic, fdep.Config{Workers: cfg.workers, ShardSize: cfg.shardSize})
 	case FDEP1:
-		fds, rs, err = fdep.DiscoverRun(ctx, r, fdep.NonRedundant)
+		fds, rs, err = fdep.Run(ctx, r, fdep.NonRedundant, fdep.Config{Workers: cfg.workers, ShardSize: cfg.shardSize})
 	case FDEP2:
-		fds, rs, err = fdep.DiscoverRun(ctx, r, fdep.Sorted)
+		fds, rs, err = fdep.Run(ctx, r, fdep.Sorted, fdep.Config{Workers: cfg.workers, ShardSize: cfg.shardSize})
 	case FastFDs:
 		fds, rs, err = fastfds.Run(ctx, r, fastfds.Config{
+			Workers: cfg.workers, ShardSize: cfg.shardSize,
 			Checkpoint: cp, Resume: snap,
 		})
 	case DFD:
 		fds, rs, err = dfd.Run(ctx, r, dfd.Config{
-			Budget: budget, Cache: cache, ShardSize: cfg.shardSize,
+			Budget: budget, Cache: cache,
+			Workers: cfg.workers, ShardSize: cfg.shardSize,
 			TopK: collector, MaxViolations: maxViol,
 			Checkpoint: cp, Resume: snap,
 		})
@@ -699,6 +701,11 @@ func Discover(ctx context.Context, r *Relation, opts ...Option) (res *Result, er
 	res.FDs = fds
 	if rs != nil {
 		res.Stats = *rs
+	}
+	if r.Paged() {
+		paged, faults := r.PagerStats()
+		res.Stats.ColumnsPaged = paged
+		res.Stats.ColumnPageFaults = faults
 	}
 	if cp != nil {
 		// The final flush persists the terminal boundary so a post-run
@@ -713,7 +720,12 @@ func Discover(ctx context.Context, r *Relation, opts ...Option) (res *Result, er
 		res.Stats.Count("resumed", 1)
 	}
 	if (err != nil || res.Stats.Degraded || maxViol > 0 || snap != nil) && !cfg.noVerify {
-		verifySoundness(r, res, cache, maxViol)
+		// The gate must complete even when the run was cancelled — it is
+		// exactly the cancelled run's partial cover that needs vetting —
+		// so it runs on a non-cancellable derivation of the caller's ctx.
+		if verr := verifySoundness(context.WithoutCancel(ctx), r, res, cache, maxViol, cfg.workers, cfg.shardSize); verr != nil && err == nil {
+			err = verr
+		}
 	}
 	if cfg.topK > 0 {
 		if rerr := attachTopK(ctx, r, res, &cfg, cache); err == nil {
@@ -763,15 +775,21 @@ func attachTopK(ctx context.Context, r *Relation, res *Result, cfg *discoverConf
 // postverify_sampled). With maxViol > 0 it verifies the g3 bound of
 // approximate covers instead of exact validity. The run's PLI cache, when
 // enabled, supplies the LHS partitions the run already built; the extra
-// cache traffic is folded into the run report. Clean complete exact runs
-// skip it: their cover is exact by construction and continuously
-// cross-checked in the test suite.
-func verifySoundness(r *Relation, res *Result, cache *partition.Cache, maxViol int) {
+// cache traffic is folded into the run report, and with workers > 1 the
+// per-FD scans shard across a pool of that width. Clean complete exact
+// runs skip it: their cover is exact by construction and continuously
+// cross-checked in the test suite. A verification failure (an injected
+// fault, a worker panic) returns after keeping only the FDs already
+// proven sound — the cover stays conservative, never unsound.
+func verifySoundness(ctx context.Context, r *Relation, res *Result, cache *partition.Cache, maxViol, workers, shardSize int) error {
 	if r == nil || len(res.FDs) == 0 {
-		return
+		return nil
 	}
 	cache0 := cache.Stats()
-	rep := check.VerifyCover(r, res.FDs, check.VerifyOptions{Cache: cache, MaxViolations: maxViol})
+	rep, err := check.VerifyCover(ctx, r, res.FDs, check.VerifyOptions{
+		Cache: cache, MaxViolations: maxViol,
+		Workers: workers, ShardSize: shardSize,
+	})
 	delta := cache.Stats().Delta(cache0)
 	res.Stats.CacheHits += delta.Hits
 	res.Stats.CacheMisses += delta.Misses
@@ -783,4 +801,5 @@ func verifySoundness(r *Relation, res *Result, cache *partition.Cache, maxViol i
 	if rep.Sampled {
 		res.Stats.Count("postverify_sampled", 1)
 	}
+	return err
 }

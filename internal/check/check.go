@@ -5,8 +5,11 @@
 package check
 
 import (
+	"context"
+
 	"repro/internal/bitset"
 	"repro/internal/dep"
+	"repro/internal/engine"
 	"repro/internal/partition"
 	"repro/internal/relation"
 )
@@ -89,6 +92,17 @@ type VerifyOptions struct {
 	// wrongly confirm one beyond what full verification would. 0 keeps
 	// exact verification.
 	MaxViolations int
+	// Workers shards each FD's violation scan across a worker pool: the
+	// LHS partition materializes through the sharded kernels and its
+	// clusters split into ~ShardSize-row ranges scanned concurrently,
+	// with the per-shard verdicts (or capped g3 counts) reconciled into
+	// the pass/fail decision. Clusters violate independently, so the
+	// decision matches the serial scan at every shard size. <= 1 keeps
+	// the serial scan.
+	Workers int
+	// ShardSize is the rows per verification shard; 0 selects
+	// partition.DefaultShardSize.
+	ShardSize int
 }
 
 // DefaultSampleRows is the row-sample bound the post-run verifier uses
@@ -115,10 +129,16 @@ type VerifyReport struct {
 // partitions there are immutable, so a buggy run cannot have corrupted
 // them — at worst the cache holds a partition for a set the run never
 // built, which is still a correct partition of the data).
-func VerifyCover(r *relation.Relation, fds []dep.FD, opts VerifyOptions) VerifyReport {
+//
+// On cancellation — or a worker failure in the sharded scan — the error
+// returns alongside the partial report: Sound then holds only the FDs
+// already verified, which remains a sound (if conservative) cover.
+// Callers verifying after a cancelled run pass a non-cancellable
+// context (context.WithoutCancel) so the gate still completes.
+func VerifyCover(ctx context.Context, r *relation.Relation, fds []dep.FD, opts VerifyOptions) (VerifyReport, error) {
 	rep := VerifyReport{Checked: len(fds)}
 	if len(fds) == 0 {
-		return rep
+		return rep, nil
 	}
 	limit := opts.SampleRows
 	if limit == 0 {
@@ -135,13 +155,33 @@ func VerifyCover(r *relation.Relation, fds []dep.FD, opts VerifyOptions) VerifyR
 		// must neither serve nor enter the cache here.
 		cache = nil
 	}
+	var pool *engine.Pool
+	if opts.Workers > 1 {
+		pool = engine.NewPool(opts.Workers)
+	}
 	rep.Sound = make([]dep.FD, 0, len(fds))
 	for _, f := range fds {
-		sound := false
-		if opts.MaxViolations > 0 {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		var sound bool
+		var err error
+		switch {
+		case opts.MaxViolations > 0 && pool != nil:
+			var total int
+			total, err = fdG3ViolationsSharded(ctx, target, f, opts.MaxViolations, cache, pool, opts.ShardSize)
+			sound = total <= opts.MaxViolations
+		case opts.MaxViolations > 0:
 			sound = fdG3Violations(target, f, opts.MaxViolations, cache) <= opts.MaxViolations
-		} else {
+		case pool != nil:
+			var violated bool
+			violated, err = fdViolatedSharded(ctx, target, f, cache, pool, opts.ShardSize)
+			sound = !violated
+		default:
 			sound = len(fdViolations(target, f, 1, cache)) == 0
+		}
+		if err != nil {
+			return rep, err
 		}
 		if sound {
 			rep.Sound = append(rep.Sound, f)
@@ -149,7 +189,84 @@ func VerifyCover(r *relation.Relation, fds []dep.FD, opts VerifyOptions) VerifyR
 			rep.Violated++
 		}
 	}
-	return rep
+	return rep, nil
+}
+
+// fdViolatedSharded decides exact violation existence per-shard: the LHS
+// partition materializes through the sharded kernels, its clusters
+// split into ranges scanned concurrently, and any shard's witness
+// refutes the FD — the same decision the serial one-witness scan makes.
+func fdViolatedSharded(ctx context.Context, r *relation.Relation, f dep.FD, cache *partition.Cache, pool *engine.Pool, shardSize int) (bool, error) {
+	p, _, err := partition.ForAttrsCachedSharded(ctx, pool, cache, f.LHS, r.Cols, r.Cards, shardSize)
+	if err != nil {
+		return false, err
+	}
+	cuts := partition.ShardClusters(p.Clusters, shardSize)
+	nshards := len(cuts) - 1
+	violated := make([]bool, nshards)
+	err = pool.Run(ctx, nshards, func(_, s int) {
+		violated[s] = clustersViolate(r, f, p.Clusters[cuts[s]:cuts[s+1]])
+	})
+	if err != nil {
+		return false, err
+	}
+	for _, v := range violated {
+		if v {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// clustersViolate reports whether any cluster of the range holds a
+// witness pair against f.
+func clustersViolate(r *relation.Relation, f dep.FD, clusters [][]int32) bool {
+	for _, cluster := range clusters {
+		for a := f.RHS.Next(0); a >= 0; a = f.RHS.Next(a + 1) {
+			first := cluster[0]
+			for _, row := range cluster[1:] {
+				if r.Cols[a][row] != r.Cols[a][first] {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// fdG3ViolationsSharded counts g3 violations per-shard with per-shard
+// limit caps. Clusters violate independently, so the reconciled sum
+// decides "total > limit" exactly like the serial count: when a shard
+// early-exits it alone exceeds the limit (the true total can only be
+// larger), and when none does every per-shard count is exact.
+func fdG3ViolationsSharded(ctx context.Context, r *relation.Relation, f dep.FD, limit int, cache *partition.Cache, pool *engine.Pool, shardSize int) (int, error) {
+	p, _, err := partition.ForAttrsCachedSharded(ctx, pool, cache, f.LHS, r.Cols, r.Cards, shardSize)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for a := f.RHS.Next(0); a >= 0; a = f.RHS.Next(a + 1) {
+		cuts := partition.ShardClusters(p.Clusters, shardSize)
+		nshards := len(cuts) - 1
+		if nshards <= 0 {
+			continue
+		}
+		counts := make([]int, nshards)
+		col, card := r.Cols[a], r.Cards[a]
+		err := pool.Run(ctx, nshards, func(_, s int) {
+			counts[s] = partition.NewG3Counter(card).ViolationsClusters(p.Clusters[cuts[s]:cuts[s+1]], col, card, limit)
+		})
+		if err != nil {
+			return 0, err
+		}
+		for _, c := range counts {
+			total += c
+		}
+		if total > limit {
+			return total, nil
+		}
+	}
+	return total, nil
 }
 
 // fdG3Violations counts the g3 violations of f on r — the rows to delete

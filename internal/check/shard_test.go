@@ -1,0 +1,134 @@
+package check
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/dataset"
+	"repro/internal/dep"
+	"repro/internal/partition"
+)
+
+// randomCover builds a mix of holding and violated FDs on r.
+func randomCover(rng *rand.Rand, r interface {
+	NumCols() int
+}) []dep.FD {
+	n := r.NumCols()
+	fds := make([]dep.FD, 0, 12)
+	for i := 0; i < 12; i++ {
+		lhs := bitset.New(n)
+		for a := 0; a < n; a++ {
+			if rng.Intn(2) == 0 {
+				lhs.Add(a)
+			}
+		}
+		a := rng.Intn(n)
+		lhs.Remove(a)
+		if lhs.Count() == 0 {
+			continue
+		}
+		fds = append(fds, dep.FD{LHS: lhs, RHS: bitset.FromAttrs(n, a)})
+	}
+	return fds
+}
+
+func assertSameReport(t *testing.T, name string, want, got VerifyReport) {
+	t.Helper()
+	if want.Checked != got.Checked || want.Violated != got.Violated || want.Sampled != got.Sampled {
+		t.Fatalf("%s: report = %d/%d/%v, want %d/%d/%v",
+			name, got.Checked, got.Violated, got.Sampled, want.Checked, want.Violated, want.Sampled)
+	}
+	if len(want.Sound) != len(got.Sound) {
+		t.Fatalf("%s: |Sound| = %d, want %d", name, len(got.Sound), len(want.Sound))
+	}
+	for i := range want.Sound {
+		if !want.Sound[i].LHS.Equal(got.Sound[i].LHS) || !want.Sound[i].RHS.Equal(got.Sound[i].RHS) {
+			t.Fatalf("%s: Sound[%d] = %v, want %v", name, i, got.Sound[i], want.Sound[i])
+		}
+	}
+}
+
+// TestVerifyCoverShardedMatches pins the sharded verifier contract: at
+// every shard size and worker count, exact and g3-bounded verification
+// reach the identical pass/fail decision per FD — so the report, its
+// Sound list and its order equal the serial scan's.
+func TestVerifyCoverShardedMatches(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 8; trial++ {
+		r := dataset.Random(rng, 200+rng.Intn(300), 3+rng.Intn(3), 1+rng.Intn(5))
+		fds := randomCover(rng, r)
+		for _, maxViol := range []int{0, 3, 25} {
+			want, err := VerifyCover(ctx, r, fds, VerifyOptions{MaxViolations: maxViol})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shardSize := range []int{1, 7, 64, 1 << 16} {
+				for _, workers := range []int{2, 4} {
+					got, err := VerifyCover(ctx, r, fds, VerifyOptions{
+						MaxViolations: maxViol, Workers: workers, ShardSize: shardSize,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					name := "exact"
+					if maxViol > 0 {
+						name = "g3"
+					}
+					assertSameReport(t, name, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestVerifyCoverShardedCache: the sharded verifier must fill a cache
+// interchangeably with the serial one — the same partitions land in it,
+// byte-identical, so a second serial pass over a shard-filled cache hits
+// every entry.
+func TestVerifyCoverShardedCache(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(43))
+	r := dataset.Random(rng, 400, 4, 3)
+	fds := randomCover(rng, r)
+
+	serialCache := partition.NewCache(1<<24, nil)
+	shardCache := partition.NewCache(1<<24, nil)
+	want, err := VerifyCover(ctx, r, fds, VerifyOptions{Cache: serialCache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := VerifyCover(ctx, r, fds, VerifyOptions{Cache: shardCache, Workers: 3, ShardSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameReport(t, "cached", want, got)
+
+	s0 := shardCache.Stats()
+	if _, err := VerifyCover(ctx, r, fds, VerifyOptions{Cache: shardCache}); err != nil {
+		t.Fatal(err)
+	}
+	d := shardCache.Stats().Delta(s0)
+	if d.Misses != 0 {
+		t.Fatalf("serial rerun over shard-filled cache missed %d times", d.Misses)
+	}
+}
+
+// TestVerifyCoverCancelled: a cancelled context stops the sharded scan
+// with the context error and a conservative partial report.
+func TestVerifyCoverCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	r := dataset.Random(rng, 300, 4, 3)
+	fds := randomCover(rng, r)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := VerifyCover(ctx, r, fds, VerifyOptions{Workers: 2})
+	if err == nil {
+		t.Fatal("cancelled verify returned nil error")
+	}
+	if len(rep.Sound) != 0 {
+		t.Fatalf("cancelled-before-start verify proved %d FDs sound", len(rep.Sound))
+	}
+}

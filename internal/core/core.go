@@ -354,6 +354,7 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 	if err != nil {
 		stop()
 		pool.FoldRetryStats(rs)
+		pool.FoldShardStats(rs)
 		rs.Finish(err)
 		return nil, stats, rs, err
 	}
@@ -412,7 +413,14 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 			rootWitness = nil
 		} else {
 			for c := 0; c < n; c++ {
-				_, comps := sampling.ClusterNeighborSample(r, m.singles[c], 1, nonFDs)
+				_, comps, err := sampling.ClusterNeighborSampleSharded(ctx, pool, r, m.singles[c], 1, nonFDs, cfg.ShardSize)
+				if err != nil {
+					stop()
+					pool.FoldRetryStats(rs)
+					pool.FoldShardStats(rs)
+					rs.Finish(err)
+					return nil, stats, rs, err
+				}
 				stats.Comparisons += comps
 			}
 			rs.RowsScanned += 2 * int64(stats.Comparisons)
@@ -502,6 +510,7 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 		rs.Count("peak_dyn_rows", int64(stats.PeakDynPartRows))
 		flushTopK()
 		pool.FoldRetryStats(rs)
+		pool.FoldShardStats(rs)
 		rs.Finish(err)
 		if cfg.TopK != nil {
 			// The heap's FDs were each individually validated and minimal

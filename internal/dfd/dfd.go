@@ -60,8 +60,15 @@ type Config struct {
 	// then refines from X's longest cached attribute prefix instead of
 	// restarting from single-attribute partitions. Nil disables caching.
 	Cache *partition.Cache
+	// Workers is the pool width for DFD's partition materializations:
+	// above one, the walk's refinement/intersection kernels shard each
+	// parent partition row-wise across the pool (byte-identical results,
+	// so the walk's decisions match the serial run exactly). Values
+	// below 2 keep the published serial behaviour.
+	Workers int
 	// ShardSize is the row-block size of the sharded single-attribute
-	// prewarm that seeds an attached Cache before the walks. <= 0 selects
+	// prewarm that seeds an attached Cache before the walks, and of the
+	// sharded materializations under Workers > 1. <= 0 selects
 	// partition.DefaultShardSize.
 	ShardSize int
 	// TopK, when non-nil, fuses redundancy-ranked top-k selection into
@@ -140,6 +147,12 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 	if cfg.MaxViolations > 0 {
 		d.g3c = partition.NewG3Counter(0)
 	}
+	if cfg.Workers > 1 {
+		d.pool = engine.NewPool(cfg.Workers)
+		d.pctx = context.WithoutCancel(ctx)
+		d.shardSize = cfg.ShardSize
+		rs.Workers = cfg.Workers
+	}
 	cache0 := cfg.Cache.Stats()
 	defer func() {
 		delta := cfg.Cache.Stats().Delta(cache0)
@@ -193,6 +206,9 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 	fail := func(err error) ([]dep.FD, *engine.RunStats, error) {
 		rs.CandidatesValidated = valBase + int64(len(d.errs))
 		rs.PartitionsBuilt = builtBase + prewarmBuilt + int64(len(d.errs))
+		if d.pool != nil {
+			d.pool.FoldShardStats(rs)
+		}
 		flushTopK()
 		rs.Finish(err)
 		if cfg.TopK != nil {
@@ -204,10 +220,15 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 	}
 	if cfg.Cache != nil {
 		// Prewarm the cache with every single-attribute partition through
-		// the sharded builder, so walks always find a prefix start instead
-		// of rebuilding singles mid-walk. The cache owns the bytes (and
-		// charges its own budget); no transient materialization charge.
-		_, built, err := partition.Singles(ctx, engine.NewPool(1), r.Cols, r.Cards, cfg.ShardSize, cfg.Cache, nil)
+		// the sharded builder — on the run's pool when one is attached —
+		// so walks always find a prefix start instead of rebuilding
+		// singles mid-walk. The cache owns the bytes (and charges its own
+		// budget); no transient materialization charge.
+		prewarmPool := d.pool
+		if prewarmPool == nil {
+			prewarmPool = engine.NewPool(1)
+		}
+		_, built, err := partition.Singles(ctx, prewarmPool, r.Cols, r.Cards, cfg.ShardSize, cfg.Cache, nil)
 		prewarmBuilt = int64(built)
 		if err != nil {
 			return fail(err)
@@ -232,6 +253,11 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 			return fail(err)
 		}
 		tick(a, false)
+		// A walk boundary is the one point where no materialization is in
+		// flight, so a paged relation can drop the column pages it pulled
+		// in during the previous walk and bound peak RSS to one walk's
+		// working set. No-op for resident relations.
+		d.r.PageOut()
 		// A walk decides one RHS attribute completely or not at all, so
 		// abandoning the remaining attributes on budget exhaustion leaves
 		// a sound partial cover.
@@ -281,6 +307,9 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 	rs.FDs = int64(len(out))
 	rs.CandidatesValidated = valBase + int64(len(d.errs))
 	rs.PartitionsBuilt = builtBase + prewarmBuilt + int64(len(d.errs))
+	if d.pool != nil {
+		d.pool.FoldShardStats(rs)
+	}
 	flushTopK()
 	rs.Finish(nil)
 	return out, rs, nil
@@ -296,6 +325,13 @@ type dfd struct {
 	cache   *partition.Cache
 	maxViol int
 	g3c     *partition.G3Counter
+	// pool, when non-nil, shards materializations across its workers. It
+	// runs under a non-cancellable context — cancellation is observed at
+	// the walk boundaries exactly as in the serial run — so pool failures
+	// are genuine panics, re-raised into Run's recovery.
+	pool      *engine.Pool
+	pctx      context.Context
+	shardSize int
 }
 
 // errorOf returns e(X) = ‖π_X‖ − |π_X|, cached. Each miss materializes a
@@ -326,9 +362,21 @@ func (d *dfd) sizeOf(x bitset.Set) int {
 
 // materialize builds π_X, charges it against the budget (returning the
 // bytes immediately — only the measures are kept here) and records both
-// measures under k.
+// measures under k. With a pool attached the build shards across it,
+// byte-identical to the serial kernels; a pool failure re-raises into
+// Run's recovery (the pool context cannot be cancelled, so the failure
+// is a genuine worker panic).
 func (d *dfd) materialize(k string, x bitset.Set) *partition.Partition {
-	p := partition.ForAttrsCached(d.cache, x, d.r.Cols, d.r.Cards)
+	var p *partition.Partition
+	if d.pool != nil {
+		var err error
+		p, _, err = partition.ForAttrsCachedSharded(d.pctx, d.pool, d.cache, x, d.r.Cols, d.r.Cards, d.shardSize)
+		if err != nil {
+			panic(err)
+		}
+	} else {
+		p = partition.ForAttrsCached(d.cache, x, d.r.Cols, d.r.Cards)
+	}
 	d.budget.Charge(p)
 	d.budget.Release(p)
 	d.errs[k] = p.Error()

@@ -119,6 +119,13 @@ type Pool struct {
 	// transient failure. Both stay zero while the retry layer is off.
 	attempts atomic.Int64
 	retries  atomic.Int64
+
+	// shards counts shard tasks the sharded partition and sampling
+	// kernels dispatched on this pool; shardRows counts the rows those
+	// shards scattered into merged backings. Both stay zero while no
+	// sharded kernel runs on the pool.
+	shards    atomic.Int64
+	shardRows atomic.Int64
 }
 
 // NewPool returns a pool of the given width. Widths below 1 clamp to 1,
@@ -162,6 +169,29 @@ func (p *Pool) FoldRetryStats(rs *RunStats) {
 		rs.Count("attempts", attempts)
 		rs.Count("retries", retries)
 	}
+}
+
+// CountShards records one sharded-kernel invocation on the pool: shards
+// shard tasks dispatched, scattering rows rows into a merged backing.
+// The sharded partition and sampling kernels call it once per build.
+func (p *Pool) CountShards(shards, rows int64) {
+	p.shards.Add(shards)
+	p.shardRows.Add(rows)
+}
+
+// ShardStats reports the accumulated sharded-kernel counters: shard
+// tasks dispatched and rows scattered through shard merges.
+func (p *Pool) ShardStats() (shards, rows int64) {
+	return p.shards.Load(), p.shardRows.Load()
+}
+
+// FoldShardStats folds the pool's sharded-kernel counters into the run
+// report's ShardsBuilt / RowsScattered fields. A pool that ran no
+// sharded kernel contributes nothing.
+func (p *Pool) FoldShardStats(rs *RunStats) {
+	shards, rows := p.ShardStats()
+	rs.ShardsBuilt += shards
+	rs.RowsScattered += rows
 }
 
 // Workers returns the pool width. Callers allocating per-worker scratch
@@ -377,6 +407,19 @@ type RunStats struct {
 	// Counters holds algorithm-specific extras ("ddm_refreshes",
 	// "sampling_rounds", ...). Nil until the first Count call.
 	Counters map[string]int64
+	// ShardsBuilt counts shard tasks the sharded partition and sampling
+	// kernels dispatched; RowsScattered counts the rows those shards
+	// scattered through prefix-offset merges into shared backings. Both
+	// stay zero on fully serial runs.
+	ShardsBuilt   int64
+	RowsScattered int64
+	// ColumnsPaged counts encoded columns served from the relation's
+	// mmap-backed column pager rather than the heap; ColumnPageFaults
+	// counts pager residency transitions (columns faulted in at bind
+	// time or read back after a page-out). Both stay zero for resident
+	// relations.
+	ColumnsPaged     int64
+	ColumnPageFaults int64
 	// CacheHits / CacheMisses / CacheEvictions report the shared PLI
 	// cache's traffic during the run (all zero when no cache is
 	// attached): a hit reused a cached partition — exactly, or as the
@@ -511,6 +554,14 @@ func (s *RunStats) String() string {
 		s.CandidatesValidated, s.Invalidated, s.NonFDs, s.Levels)
 	fmt.Fprintf(&b, "  partitions: %d built, %d cluster refinements; %d rows scanned\n",
 		s.PartitionsBuilt, s.PartitionsRefined, s.RowsScanned)
+	if s.ShardsBuilt+s.RowsScattered > 0 {
+		fmt.Fprintf(&b, "  shards: %d built, %d rows scattered\n",
+			s.ShardsBuilt, s.RowsScattered)
+	}
+	if s.ColumnsPaged+s.ColumnPageFaults > 0 {
+		fmt.Fprintf(&b, "  column-pager: %d columns paged, %d page faults\n",
+			s.ColumnsPaged, s.ColumnPageFaults)
+	}
 	if s.CacheHits+s.CacheMisses+s.CacheEvictions > 0 {
 		fmt.Fprintf(&b, "  pli-cache: %d hits, %d misses, %d evictions\n",
 			s.CacheHits, s.CacheMisses, s.CacheEvictions)

@@ -27,8 +27,16 @@ import (
 	"repro/internal/sampling"
 )
 
-// Config tunes FastFDs' durability; the algorithm itself has no knobs.
+// Config tunes FastFDs' durability and its negative-cover pass; the
+// cover enumeration itself has no knobs.
 type Config struct {
+	// Workers > 1 builds the negative cover through the sharded pair
+	// scan on a worker pool. The merged agree-set order matches the
+	// serial scan, so the derived difference sets are identical.
+	Workers int
+	// ShardSize is the row-block size of the sharded scan; <= 0 keeps
+	// the default.
+	ShardSize int
 	// Checkpoint, when non-nil, snapshots the difference sets and the
 	// per-RHS cover cursor after the negative cover and after each fully
 	// enumerated attribute, so a killed run resumes without redoing the
@@ -62,7 +70,11 @@ func DiscoverRun(ctx context.Context, r *relation.Relation) ([]dep.FD, *engine.R
 
 // Run is DiscoverRun with durability options.
 func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD, retRS *engine.RunStats, retErr error) {
-	rs := engine.NewRunStats("fastfds", 1)
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	rs := engine.NewRunStats("fastfds", workers)
 	defer func() {
 		if rec := recover(); rec != nil {
 			perr := engine.NewPanicError("fastfds", rec)
@@ -92,7 +104,14 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 	} else {
 		stop := rs.Phase("negative-cover")
 		var neg *sampling.NonFDSet
-		neg, err = sampling.NegativeCoverCtx(ctx, r)
+		if workers > 1 {
+			pool := engine.NewPool(workers)
+			neg, err = sampling.NegativeCoverSharded(ctx, pool, r, cfg.ShardSize)
+			pool.FoldRetryStats(rs)
+			pool.FoldShardStats(rs)
+		} else {
+			neg, err = sampling.NegativeCoverCtx(ctx, r)
+		}
 		stop()
 		if err != nil {
 			rs.Finish(err)

@@ -40,6 +40,11 @@ const (
 	// PartitionIntersect fires in partition.Intersect, TANE's per-level
 	// PLI product (usually on a pool worker).
 	PartitionIntersect Site = "partition.intersect"
+	// PartitionRefineShard fires once per shard inside the stitch step of
+	// the sharded multi-attribute kernels (partition.RefineSharded and
+	// partition.IntersectSharded), the scatter that lays per-shard
+	// sub-clusters into the shared compact backing.
+	PartitionRefineShard Site = "partition.refineshard"
 	// DDMRefresh fires at the start of a DHyFD dynamic-data-manager
 	// refresh (Algorithm 3).
 	DDMRefresh Site = "ddm.refresh"
@@ -48,6 +53,12 @@ const (
 	// SamplingRun fires in sampling.ClusterNeighborSample, the
 	// sorted-neighborhood pass of the hybrid algorithms.
 	SamplingRun Site = "sampling.run"
+	// SamplingShardMerge fires once per shard during the cross-shard
+	// reconciliation of the sharded sampling passes
+	// (sampling.ClusterNeighborSampleSharded, sampling.NegativeCoverSharded),
+	// the sequential merge that folds per-shard agree sets into the shared
+	// non-FD set.
+	SamplingShardMerge Site = "sampling.shardmerge"
 	// RankingRun fires once per LHS group inside the redundancy-ranking
 	// kernels (ranking.RankCtx / TotalsCtx), usually on a pool worker.
 	RankingRun Site = "ranking.run"
@@ -60,7 +71,7 @@ const (
 // Sites lists the runtime's instrumented sites in a stable order, the set
 // the chaos suite iterates.
 func Sites() []Site {
-	return []Site{PartitionBuild, PartitionShardMerge, PartitionIntersect, DDMRefresh, EngineWorker, SamplingRun, RankingRun, TopKPrune}
+	return []Site{PartitionBuild, PartitionShardMerge, PartitionIntersect, PartitionRefineShard, DDMRefresh, EngineWorker, SamplingRun, SamplingShardMerge, RankingRun, TopKPrune}
 }
 
 // Kind selects what an armed plan injects.
@@ -128,18 +139,21 @@ func (c Class) String() string {
 // DefaultClass is the per-site failure taxonomy: what a failure at the
 // site means when the plan does not override it.
 //
-// partition.build and partition.shardmerge are fatal — Single and the
-// sharded scatter are deterministic passes over an immutable column, so
-// a genuine failure there reproduces on every retry. Every other site
-// guards a re-runnable unit: intersections and worker items recompute
-// from inputs that survive the failure, DDM refreshes and sampling
-// passes are optimizations a rerun (or a skip) absorbs, and top-k bound
-// checks publish nothing before they fire.
+// partition.build, partition.shardmerge and partition.refineshard are
+// fatal — Single and the sharded scatter/stitch steps are deterministic
+// passes over an immutable column or parent partition, so a genuine
+// failure there reproduces on every retry. Every other site guards a
+// re-runnable unit: intersections and worker items recompute from
+// inputs that survive the failure, DDM refreshes and sampling passes
+// are optimizations a rerun (or a skip) absorbs — the sampling
+// shard-merge in particular folds into an idempotent dedup set, so
+// re-entering it is safe — and top-k bound checks publish nothing
+// before they fire.
 func DefaultClass(site Site) Class {
 	switch site {
-	case PartitionBuild, PartitionShardMerge:
+	case PartitionBuild, PartitionShardMerge, PartitionRefineShard:
 		return ClassFatal
-	case PartitionIntersect, DDMRefresh, EngineWorker, SamplingRun, RankingRun, TopKPrune:
+	case PartitionIntersect, DDMRefresh, EngineWorker, SamplingRun, SamplingShardMerge, RankingRun, TopKPrune:
 		return ClassTransient
 	default:
 		return ClassUnknown

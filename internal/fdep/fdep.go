@@ -70,11 +70,32 @@ func DiscoverCtx(ctx context.Context, r *relation.Relation, variant Variant) ([]
 	return fds, err
 }
 
+// Config tunes FDEP's negative-cover pass; induction itself is
+// inherently sequential and has no knobs.
+type Config struct {
+	// Workers > 1 builds the negative cover through the sharded pair
+	// scan on a worker pool. The merged agree-set order is identical to
+	// the serial scan, so every variant's induction sees the same input.
+	Workers int
+	// ShardSize is the row-block size of the sharded scan; <= 0 keeps
+	// the default.
+	ShardSize int
+}
+
 // DiscoverRun is DiscoverCtx emitting the algorithm-agnostic run report.
 // On cancellation the partial report (with Cancelled set) is returned
 // alongside ctx's error.
-func DiscoverRun(ctx context.Context, r *relation.Relation, variant Variant) (retFDs []dep.FD, retRS *engine.RunStats, retErr error) {
-	rs := engine.NewRunStats(strings.ToLower(variant.String()), 1)
+func DiscoverRun(ctx context.Context, r *relation.Relation, variant Variant) ([]dep.FD, *engine.RunStats, error) {
+	return Run(ctx, r, variant, Config{})
+}
+
+// Run is DiscoverRun with the negative-cover pass tuned by cfg.
+func Run(ctx context.Context, r *relation.Relation, variant Variant, cfg Config) (retFDs []dep.FD, retRS *engine.RunStats, retErr error) {
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	rs := engine.NewRunStats(strings.ToLower(variant.String()), workers)
 	defer func() {
 		if rec := recover(); rec != nil {
 			perr := engine.NewPanicError(rs.Algorithm, rec)
@@ -85,7 +106,18 @@ func DiscoverRun(ctx context.Context, r *relation.Relation, variant Variant) (re
 	n := r.NumCols()
 	nrows := int64(r.NumRows())
 	stop := rs.Phase("negative-cover")
-	neg, err := sampling.NegativeCoverCtx(ctx, r)
+	var (
+		neg *sampling.NonFDSet
+		err error
+	)
+	if workers > 1 {
+		pool := engine.NewPool(workers)
+		neg, err = sampling.NegativeCoverSharded(ctx, pool, r, cfg.ShardSize)
+		pool.FoldRetryStats(rs)
+		pool.FoldShardStats(rs)
+	} else {
+		neg, err = sampling.NegativeCoverCtx(ctx, r)
+	}
 	stop()
 	if err != nil {
 		rs.Finish(err)

@@ -127,14 +127,16 @@ type run struct {
 }
 
 type sampler struct {
+	ctx  context.Context
+	pool *engine.Pool
 	r    *relation.Relation
 	plis []*partition.Partition
 	runs []run
 	cfg  Config
 }
 
-func newSampler(r *relation.Relation, plis []*partition.Partition, cfg Config) *sampler {
-	s := &sampler{r: r, plis: plis, cfg: cfg}
+func newSampler(ctx context.Context, pool *engine.Pool, r *relation.Relation, plis []*partition.Partition, cfg Config) *sampler {
+	s := &sampler{ctx: ctx, pool: pool, r: r, plis: plis, cfg: cfg}
 	for c := range plis {
 		maxCluster := 0
 		for _, cl := range plis[c].Clusters {
@@ -153,8 +155,10 @@ func newSampler(r *relation.Relation, plis []*partition.Partition, cfg Config) *
 }
 
 // step executes the most promising run. It reports new non-FDs,
-// comparisons, and whether any run was executed at all.
-func (s *sampler) step(dst *sampling.NonFDSet) (newNonFDs, comparisons int, ran bool) {
+// comparisons, and whether any run was executed at all. The sampling
+// pass shards across the run's pool (byte-identical merge, so the
+// efficiency trajectory matches the serial pass at every shard size).
+func (s *sampler) step(dst *sampling.NonFDSet) (newNonFDs, comparisons int, ran bool, err error) {
 	best := -1
 	for i := range s.runs {
 		if s.runs[i].exhausted {
@@ -165,10 +169,13 @@ func (s *sampler) step(dst *sampling.NonFDSet) (newNonFDs, comparisons int, ran 
 		}
 	}
 	if best < 0 {
-		return 0, 0, false
+		return 0, 0, false, nil
 	}
 	ru := &s.runs[best]
-	newN, comps := sampling.ClusterNeighborSample(s.r, s.plis[ru.col], ru.distance, dst)
+	newN, comps, err := sampling.ClusterNeighborSampleSharded(s.ctx, s.pool, s.r, s.plis[ru.col], ru.distance, dst, s.cfg.ShardSize)
+	if err != nil {
+		return 0, 0, false, err
+	}
 	ru.distance++
 	if comps == 0 {
 		ru.exhausted = true
@@ -176,12 +183,12 @@ func (s *sampler) step(dst *sampling.NonFDSet) (newNonFDs, comparisons int, ran 
 	} else {
 		ru.efficiency = float64(newN) / float64(comps)
 	}
-	return newN, comps, true
+	return newN, comps, true, nil
 }
 
 // phase runs sampling until the best run drops below the efficiency
 // threshold (always executing at least one run).
-func (s *sampler) phase(dst *sampling.NonFDSet, stats *Stats) {
+func (s *sampler) phase(dst *sampling.NonFDSet, stats *Stats) error {
 	first := true
 	for {
 		bestEff := 0.0
@@ -191,11 +198,14 @@ func (s *sampler) phase(dst *sampling.NonFDSet, stats *Stats) {
 			}
 		}
 		if !first && bestEff < s.cfg.SamplingEfficiency {
-			return
+			return nil
 		}
-		newN, comps, ran := s.step(dst)
+		newN, comps, ran, err := s.step(dst)
+		if err != nil {
+			return err
+		}
 		if !ran {
-			return
+			return nil
 		}
 		_ = newN
 		stats.SamplingRounds++
@@ -296,6 +306,7 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 	if err != nil {
 		stop()
 		pool.FoldRetryStats(rs)
+		pool.FoldShardStats(rs)
 		rs.Finish(err)
 		return nil, stats, rs, err
 	}
@@ -306,7 +317,7 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 	v.MaxViolations = cfg.MaxViolations
 	approx := cfg.MaxViolations > 0
 	full := bitset.Full(n)
-	smp := newSampler(r, plis, cfg)
+	smp := newSampler(ctx, pool, r, plis, cfg)
 
 	var tree *fdtree.Tree
 	var nonFDs *sampling.NonFDSet
@@ -357,9 +368,17 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 		rootValid := v.EmptyLHS(full, rootWitness)
 
 		if !approx {
-			// Initial sampling: one distance-1 run per column.
+			// Initial sampling: one distance-1 run per column, sharded
+			// across the run's pool.
 			for c := 0; c < n; c++ {
-				newN, comps := sampling.ClusterNeighborSample(r, plis[c], 1, nonFDs)
+				newN, comps, err := sampling.ClusterNeighborSampleSharded(ctx, pool, r, plis[c], 1, nonFDs, cfg.ShardSize)
+				if err != nil {
+					stop()
+					pool.FoldRetryStats(rs)
+					pool.FoldShardStats(rs)
+					rs.Finish(err)
+					return nil, stats, rs, err
+				}
 				_ = newN
 				smp.runs[c].distance = 2
 				stats.SamplingRounds++
@@ -447,6 +466,7 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 		rs.Count("sampling_comparisons", int64(stats.Comparisons))
 		flushTopK()
 		pool.FoldRetryStats(rs)
+		pool.FoldShardStats(rs)
 		rs.Finish(err)
 		if cfg.TopK != nil {
 			// The heap's FDs were each individually validated and minimal
@@ -495,7 +515,10 @@ func discover(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []d
 			float64(invalidated) > cfg.InvalidSwitchRatio*float64(validations) &&
 			smp.alive() {
 			stop = rs.Phase("sample")
-			smp.phase(nonFDs, &stats)
+			if err := smp.phase(nonFDs, &stats); err != nil {
+				stop()
+				return finish(err)
+			}
 			stop()
 			stop = rs.Phase("induct")
 			inductAll(tree, full, nonFDs.Sets()[processed:])

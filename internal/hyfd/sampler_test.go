@@ -1,6 +1,7 @@
 package hyfd
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/partition"
@@ -15,7 +16,7 @@ func samplerFor(t *testing.T, cols [][]int32) (*sampler, *relation.Relation) {
 	for c := range plis {
 		plis[c] = partition.Single(r.Cols[c], r.Cards[c])
 	}
-	return newSampler(r, plis, DefaultConfig()), r
+	return newSampler(context.Background(), nil, r, plis, DefaultConfig()), r
 }
 
 func TestSamplerMarksUniqueColumnsExhausted(t *testing.T) {
@@ -42,7 +43,10 @@ func TestSamplerStepPicksBestEfficiency(t *testing.T) {
 	s.runs[0].efficiency = 0.9
 	s.runs[1].efficiency = 0.1
 	dst := sampling.NewNonFDSet(2)
-	_, _, ran := s.step(dst)
+	_, _, ran, err := s.step(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ran {
 		t.Fatal("step did not run")
 	}
@@ -60,7 +64,10 @@ func TestSamplerExhaustsEventually(t *testing.T) {
 	dst := sampling.NewNonFDSet(2)
 	steps := 0
 	for {
-		_, _, ran := s.step(dst)
+		_, _, ran, err := s.step(dst)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !ran {
 			break
 		}
@@ -87,7 +94,9 @@ func TestSamplerPhaseRespectsThreshold(t *testing.T) {
 	var stats Stats
 	dst := sampling.NewNonFDSet(2)
 	s.cfg.SamplingEfficiency = 1e9 // nothing is efficient enough
-	s.phase(dst, &stats)
+	if err := s.phase(dst, &stats); err != nil {
+		t.Fatal(err)
+	}
 	if stats.SamplingRounds != 1 {
 		t.Errorf("phase must execute exactly one run under an impossible threshold, got %d", stats.SamplingRounds)
 	}

@@ -232,7 +232,23 @@ func (rf *Refiner) Refine(p *Partition, col []int32, card int) *Partition {
 	out := &Partition{NRows: p.NRows}
 	backing := make([]int32, 0, p.Size())
 	offsets := make([]int32, 1, len(p.Clusters)*2+1)
-	for _, cluster := range p.Clusters {
+	backing, offsets = rf.refineRange(p.Clusters, col, backing, offsets)
+	out.setCompact(backing, offsets)
+	return out
+}
+
+// refineRange is Refine's cluster-range kernel: it splits each cluster
+// by the codes of col, appending surviving sub-cluster rows to backing
+// and each sub-cluster's end position to ends, and returns the grown
+// slices. Serial Refine runs it over all clusters with a leading 0
+// already in ends; the sharded kernel runs it per contiguous cluster
+// range with empty local slices, so concatenating the per-range outputs
+// in range order reproduces the serial layout bit for bit. The caller
+// owns the card-sized scratch (rf.grow).
+//
+//fd:hotpath
+func (rf *Refiner) refineRange(clusters [][]int32, col []int32, backing, ends []int32) ([]int32, []int32) {
+	for _, cluster := range clusters {
 		for _, row := range cluster {
 			v := col[row]
 			if len(rf.buckets[v]) == 0 {
@@ -243,14 +259,13 @@ func (rf *Refiner) Refine(p *Partition, col []int32, card int) *Partition {
 		for _, v := range rf.touched {
 			if len(rf.buckets[v]) >= 2 {
 				backing = append(backing, rf.buckets[v]...)
-				offsets = append(offsets, int32(len(backing)))
+				ends = append(ends, int32(len(backing)))
 			}
 			rf.buckets[v] = rf.buckets[v][:0]
 		}
 		rf.touched = rf.touched[:0]
 	}
-	out.setCompact(backing, offsets)
-	return out
+	return backing, ends
 }
 
 // Refine is a convenience one-shot wrapper that allocates its own Refiner.
@@ -331,10 +346,40 @@ func (ix *Intersector) growID(id int32) {
 //fd:hotpath
 func (ix *Intersector) Intersect(p *Partition, probe ProbeTable) *Partition {
 	faults.Check(faults.PartitionIntersect)
+	return ix.intersect(p, probe)
+}
+
+// intersect is Intersect without the fault-site hit, so the sharded
+// kernel (which fires partition.intersect once per product itself) can
+// delegate its degenerate single-shard path here without doubling the
+// site's hit count.
+//
+//fd:hotpath
+func (ix *Intersector) intersect(p *Partition, probe ProbeTable) *Partition {
 	out := &Partition{NRows: p.NRows}
 	backing := make([]int32, 0, p.Size())
 	ix.offsets = append(ix.offsets[:0], 0)
-	for _, cluster := range p.Clusters {
+	backing, ix.offsets = ix.intersectRange(p.Clusters, probe, backing, ix.offsets)
+	// The offsets scratch is reused next call; the partition keeps an
+	// exact-size copy, so per-call growth amortizes away entirely.
+	out.setCompact(backing, append([]int32(nil), ix.offsets...))
+	return out
+}
+
+// intersectRange is Intersect's cluster-range kernel: rows of each
+// cluster are grouped by their probe-side cluster id in two passes —
+// count per id, then place rows at the reserved group offsets —
+// appending surviving groups to backing and each group's end position
+// to ends, and returning the grown slices. Serial intersect runs it
+// over all clusters with a leading 0 already in ends; the sharded
+// kernel runs it per contiguous cluster range with empty local slices,
+// so concatenating per-range outputs in range order reproduces the
+// serial layout bit for bit. backing must have capacity for every row
+// of the ranged clusters.
+//
+//fd:hotpath
+func (ix *Intersector) intersectRange(clusters [][]int32, probe ProbeTable, backing, ends []int32) ([]int32, []int32) {
+	for _, cluster := range clusters {
 		for _, row := range cluster {
 			id := probe[row]
 			if id < 0 {
@@ -353,7 +398,7 @@ func (ix *Intersector) Intersect(p *Partition, probe ProbeTable) *Partition {
 			if ix.counts[id] >= 2 {
 				ix.starts[id] = base + total
 				total += ix.counts[id]
-				ix.offsets = append(ix.offsets, base+total)
+				ends = append(ends, base+total)
 			} else {
 				ix.starts[id] = -1
 			}
@@ -374,10 +419,7 @@ func (ix *Intersector) Intersect(p *Partition, probe ProbeTable) *Partition {
 		}
 		ix.touched = ix.touched[:0]
 	}
-	// The offsets scratch is reused next call; the partition keeps an
-	// exact-size copy, so per-call growth amortizes away entirely.
-	out.setCompact(backing, append([]int32(nil), ix.offsets...))
-	return out
+	return backing, ends
 }
 
 // Intersect is the one-shot form of Intersector.Intersect; batch callers

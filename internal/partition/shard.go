@@ -219,6 +219,7 @@ func (sb *shardBuilder) build(ctx context.Context, pool *engine.Pool, col []int3
 	if err != nil {
 		return nil, err
 	}
+	pool.CountShards(int64(sb.shards), int64(len(backing)))
 
 	offsets := make([]int32, 1, nclusters+1)
 	for v := 0; v < card; v++ {

@@ -1,11 +1,11 @@
 package partition
 
 import (
-	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
-	"unsafe"
+
+	"repro/internal/spillfile"
 )
 
 // The spill tier turns the cache into two levels: resident compact
@@ -24,20 +24,14 @@ import (
 // re-spilling a reloaded entry reuses its file, since partition content
 // is immutable.
 
-// spillMagic identifies a spill file; the version byte guards decode
-// against stale files from a different layout.
-var spillMagic = [8]byte{'P', 'L', 'I', 'S', 'P', 'L', '1', 0}
-
-// maxSpillMappings bounds the live memory-mapped reloads a cache holds
-// at once. Mappings stay alive until Close because reloaded partitions
-// alias them, so a thrashing run (a tiny budget and a reload per
-// lookup) would otherwise accumulate one VMA per reload until the
-// kernel's per-process map limit (vm.max_map_count, ~65k by default)
-// starves the runtime's own allocator. Past the cap, reloads read into
-// the heap instead: same bytes, GC-managed lifetime, no new mapping.
-const maxSpillMappings = 1024
-
-const spillHeaderBytes = 8 + 3*8 // magic + nrows, noffsets, nbacking
+// The container format (magic, header layout, int32 views, the mmap
+// helpers and the mapping cap) lives in internal/spillfile, shared with
+// the relation's column pager. The aliases below keep this package's
+// vocabulary.
+const (
+	maxSpillMappings = spillfile.MaxMappings
+	spillHeaderBytes = spillfile.HeaderBytes // magic + nrows, noffsets, nbacking
+)
 
 // spillState is the cache's spill-tier state, attached by EnableSpill.
 type spillState struct {
@@ -109,7 +103,7 @@ func (c *Cache) Close() error {
 	var err error
 	if c.spill != nil {
 		for _, m := range c.spill.maps {
-			unmapSpill(m)
+			spillfile.Unmap(m)
 		}
 		c.spill.maps = nil
 		err = os.RemoveAll(c.spill.dir)
@@ -218,17 +212,13 @@ func (c *Cache) writeSpill(p *Partition) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	var hdr [spillHeaderBytes]byte
-	copy(hdr[:8], spillMagic[:])
-	binary.LittleEndian.PutUint64(hdr[8:], uint64(p.NRows))
-	binary.LittleEndian.PutUint64(hdr[16:], uint64(len(p.offsets)))
-	binary.LittleEndian.PutUint64(hdr[24:], uint64(len(p.backing)))
+	hdr := spillfile.EncodeHeader(p.NRows, len(p.offsets), len(p.backing))
 	_, err = f.Write(hdr[:])
 	if err == nil {
-		_, err = f.Write(int32Bytes(p.offsets))
+		_, err = f.Write(spillfile.Int32Bytes(p.offsets))
 	}
 	if err == nil {
-		_, err = f.Write(int32Bytes(p.backing))
+		_, err = f.Write(spillfile.Int32Bytes(p.backing))
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
@@ -249,7 +239,7 @@ func (c *Cache) readSpill(path string) (*Partition, []byte, error) {
 	var buf, m []byte
 	var err error
 	if len(c.spill.maps) < maxSpillMappings {
-		buf, m, err = mapSpill(path)
+		buf, m, err = spillfile.Map(path)
 	} else {
 		buf, err = os.ReadFile(path)
 	}
@@ -257,40 +247,19 @@ func (c *Cache) readSpill(path string) (*Partition, []byte, error) {
 		return nil, nil, err
 	}
 	fail := func(msg string) (*Partition, []byte, error) {
-		unmapSpill(m)
+		spillfile.Unmap(m)
 		return nil, nil, fmt.Errorf("partition: spill file %s: %s", path, msg)
 	}
-	if len(buf) < spillHeaderBytes || [8]byte(buf[:8]) != spillMagic {
+	if !spillfile.HasMagic(buf) {
 		return fail("bad header")
 	}
-	nrows := int(binary.LittleEndian.Uint64(buf[8:]))
-	noffs := int(binary.LittleEndian.Uint64(buf[16:]))
-	nback := int(binary.LittleEndian.Uint64(buf[24:]))
+	nrows, noffs, nback := spillfile.DecodeHeader(buf)
 	if len(buf) != spillHeaderBytes+4*(noffs+nback) || noffs < 1 {
 		return fail("truncated")
 	}
-	offsets := bytesInt32(buf[spillHeaderBytes : spillHeaderBytes+4*noffs])
-	backing := bytesInt32(buf[spillHeaderBytes+4*noffs:])
+	offsets := spillfile.BytesInt32(buf[spillHeaderBytes : spillHeaderBytes+4*noffs])
+	backing := spillfile.BytesInt32(buf[spillHeaderBytes+4*noffs:])
 	p := &Partition{NRows: nrows}
 	p.setCompact(backing, offsets)
 	return p, m, nil
-}
-
-// int32Bytes views an int32 slice as raw native-order bytes, so spill
-// writes stream the flat arrays without a copy.
-func int32Bytes(s []int32) []byte {
-	if len(s) == 0 {
-		return nil
-	}
-	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), 4*len(s))
-}
-
-// bytesInt32 is the inverse view. b must be 4-aligned (spill buffers
-// are: mappings are page-aligned, heap buffers are allocated aligned,
-// and the header is a multiple of 8 bytes).
-func bytesInt32(b []byte) []int32 {
-	if len(b) == 0 {
-		return []int32{}
-	}
-	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
 }

@@ -1,0 +1,145 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// pagerCSV builds a CSV with enough rows to cross ingest-block
+// boundaries (callers shrink ingestBlockRows) and a mix of repeats and
+// nulls.
+func pagerCSV(rows int) string {
+	var sb strings.Builder
+	sb.WriteString("a,b,c\n")
+	for i := 0; i < rows; i++ {
+		v := "?"
+		if i%5 != 0 {
+			v = fmt.Sprintf("v%d", i%7)
+		}
+		fmt.Fprintf(&sb, "%d,%s,%d\n", i%13, v, i)
+	}
+	return sb.String()
+}
+
+// TestPagedMatchesResident: a paged read must produce codes, cards,
+// null masks and dictionaries identical to the resident read — the
+// pager only changes where the codes live.
+func TestPagedMatchesResident(t *testing.T) {
+	defer func(n int) { ingestBlockRows = n }(ingestBlockRows)
+	ingestBlockRows = 8 // force many sealed blocks plus a partial tail
+
+	for _, rows := range []int{0, 3, 8, 16, 100} {
+		data := pagerCSV(rows)
+		opts := Options{KeepDicts: true}
+		want, err := ReadCSVString(data, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.PageColumns = true
+		opts.PageDir = t.TempDir()
+		got, err := ReadCSVString(data, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Paged() {
+			t.Fatalf("rows=%d: relation not paged", rows)
+		}
+		assertSameRelation(t, rows, want, got)
+		if rows > 0 {
+			paged, faults := got.PagerStats()
+			if paged != int64(got.NumCols()) || faults != 0 {
+				t.Fatalf("rows=%d: pager stats = %d/%d, want %d/0", rows, paged, faults, got.NumCols())
+			}
+		}
+		// PageOut must not change what the columns read back.
+		got.PageOut()
+		assertSameRelation(t, rows, want, got)
+		if err := got.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := got.Close(); err != nil {
+			t.Fatalf("second Close: %v", err)
+		}
+	}
+}
+
+func assertSameRelation(t *testing.T, rows int, want, got *Relation) {
+	t.Helper()
+	if got.NumRows() != want.NumRows() || got.NumCols() != want.NumCols() {
+		t.Fatalf("rows=%d: shape %dx%d, want %dx%d", rows, got.NumRows(), got.NumCols(), want.NumRows(), want.NumCols())
+	}
+	for c := range want.Cols {
+		if want.Cards[c] != got.Cards[c] {
+			t.Fatalf("rows=%d col %d: card %d, want %d", rows, c, got.Cards[c], want.Cards[c])
+		}
+		for r := range want.Cols[c] {
+			if want.Cols[c][r] != got.Cols[c][r] {
+				t.Fatalf("rows=%d: code (%d,%d) = %d, want %d", rows, c, r, got.Cols[c][r], want.Cols[c][r])
+			}
+			if want.IsNull(c, r) != got.IsNull(c, r) {
+				t.Fatalf("rows=%d: null mask (%d,%d) differs", rows, c, r)
+			}
+		}
+		if want.Dicts != nil {
+			for code, v := range want.Dicts[c] {
+				if got.Dicts[c][code] != v {
+					t.Fatalf("rows=%d: dict (%d,%d) = %q, want %q", rows, c, code, got.Dicts[c][code], v)
+				}
+			}
+		}
+	}
+}
+
+// TestPagedFromRows: the pager works through the FromRows constructor
+// too, and non-paged relations answer the pager API inertly.
+func TestPagedFromRows(t *testing.T) {
+	rows := [][]string{{"1", "a"}, {"2", "a"}, {"1", "b"}}
+	plain, err := FromRows(nil, rows, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Paged() {
+		t.Fatal("resident relation claims paged")
+	}
+	plain.PageOut() // no-op
+	if err := plain.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cols == nil {
+		t.Fatal("Close of a resident relation dropped its columns")
+	}
+
+	paged, err := FromRows(nil, rows, Options{PageColumns: true, PageDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer paged.Close()
+	for c := range plain.Cols {
+		for r := range plain.Cols[c] {
+			if plain.Cols[c][r] != paged.Cols[c][r] {
+				t.Fatalf("code (%d,%d) differs", c, r)
+			}
+		}
+	}
+}
+
+// TestPagedProjectHead: views built from a paged relation share the
+// mappings and read the same codes.
+func TestPagedProjectHead(t *testing.T) {
+	defer func(n int) { ingestBlockRows = n }(ingestBlockRows)
+	ingestBlockRows = 16
+	r, err := ReadCSVString(pagerCSV(50), Options{PageColumns: true, PageDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	p := r.Project([]int{2, 0})
+	if p.Cols[0][49] != r.Cols[2][49] || p.Cols[1][0] != r.Cols[0][0] {
+		t.Fatal("projected view disagrees with the paged columns")
+	}
+	h := r.Head(10)
+	if h.NumRows() != 10 || h.Cols[1][9] != r.Cols[1][9] {
+		t.Fatal("head view disagrees with the paged columns")
+	}
+}

@@ -43,7 +43,10 @@ func (s NullSemantics) String() string {
 	return "null=null"
 }
 
-// Relation is a dictionary-encoded table.
+// Relation is a dictionary-encoded table. Built with
+// Options.PageColumns its Cols are read-only views into memory-mapped
+// page files (see pager.go) and the caller owns Close; otherwise Close
+// is a no-op.
 type Relation struct {
 	// Names holds the column names, len(Names) == NumCols().
 	Names []string
@@ -69,7 +72,8 @@ type Relation struct {
 	// to the null token.
 	Dicts [][]string
 
-	rows int
+	rows  int
+	pager *pagerState // non-nil when Cols are disk-backed; see pager.go
 }
 
 // NumRows returns the number of tuples.
@@ -156,6 +160,16 @@ type Options struct {
 	// MaxCols caps the number of columns ReadCSV accepts. 0 means
 	// unlimited.
 	MaxCols int
+	// PageColumns seals the encoded columns through the column pager:
+	// ingest blocks stream to per-column temp files as they fill and the
+	// finished Cols[c] are read-only memory mappings of those files
+	// (heap loads past the mapping cap). The caller owns the returned
+	// relation's Close. Default false: columns live on the heap.
+	PageColumns bool
+	// PageDir is the directory the column pager puts its private page
+	// directory under. "" selects the system temp directory. Ignored
+	// without PageColumns.
+	PageDir string
 }
 
 func (o *Options) nullSet() map[string]bool {
@@ -184,13 +198,17 @@ func FromRows(names []string, rows [][]string, opts Options) (*Relation, error) 
 	if names != nil && len(names) != ncols && len(rows) > 0 {
 		return nil, fmt.Errorf("relation: %d column names for %d columns", len(names), ncols)
 	}
-	e := newEncoder(ncols, opts)
+	e, err := newEncoder(ncols, opts)
+	if err != nil {
+		return nil, err
+	}
 	for _, row := range rows {
 		if err := e.addRow(row); err != nil {
+			e.abort()
 			return nil, err
 		}
 	}
-	return e.finish(names), nil
+	return e.finish(names)
 }
 
 // encoder dictionary-encodes rows one at a time, so large inputs stream
@@ -202,6 +220,7 @@ type encoder struct {
 	ncols int
 	rows  int
 	cols  []colEncoder
+	pager *pagerState // non-nil under Options.PageColumns
 }
 
 // ingestBlockRows is the row capacity of one ingest block. Columns
@@ -216,6 +235,7 @@ var ingestBlockRows = 1 << 16
 type colEncoder struct {
 	full     [][]int32 // sealed ingest blocks, ingestBlockRows codes each
 	cur      []int32   // currently filling block
+	page     *colPage  // non-nil when sealed blocks stream to a page file
 	dict     map[string]int32
 	values   []string // decoded dictionary, only under KeepDicts
 	mask     []bool   // nil until the first null
@@ -225,30 +245,59 @@ type colEncoder struct {
 
 // pushCode appends one row's code. The first block append-grows so tiny
 // relations stay tiny; once a block seals, successors are allocated at
-// exact block capacity.
+// exact block capacity — or, when the column pages, the sealed block
+// streams to the page file and the buffer is reused in place.
 func (ce *colEncoder) pushCode(code int32) {
 	if ce.cur == nil && len(ce.full) > 0 {
 		ce.cur = make([]int32, 0, ingestBlockRows)
 	}
 	ce.cur = append(ce.cur, code)
 	if len(ce.cur) >= ingestBlockRows {
-		ce.full = append(ce.full, ce.cur)
-		ce.cur = nil
+		if ce.page != nil {
+			ce.page.write(ce.cur)
+			ce.cur = ce.cur[:0]
+		} else {
+			ce.full = append(ce.full, ce.cur)
+			ce.cur = nil
+		}
 	}
 }
 
 // rowsIn returns the number of codes pushed so far.
 func (ce *colEncoder) rowsIn() int {
-	return ingestBlockRows*len(ce.full) + len(ce.cur)
+	n := ingestBlockRows*len(ce.full) + len(ce.cur)
+	if ce.page != nil {
+		n += ce.page.rows
+	}
+	return n
 }
 
-func newEncoder(ncols int, opts Options) *encoder {
+func newEncoder(ncols int, opts Options) (*encoder, error) {
 	e := &encoder{opts: opts, nulls: opts.nullSet(), ncols: ncols, cols: make([]colEncoder, ncols)}
+	if opts.PageColumns {
+		pg, err := newPager(opts.PageDir)
+		if err != nil {
+			return nil, err
+		}
+		e.pager = pg
+	}
 	for c := range e.cols {
 		e.cols[c].dict = map[string]int32{}
 		e.cols[c].nullCode = -1
+		if e.pager != nil {
+			e.cols[c].page = newColPage(e.pager, c)
+		}
 	}
-	return e
+	return e, nil
+}
+
+// abort releases the pager's files after a failed ingest. A no-op
+// without paging (and after a page error already released them).
+func (e *encoder) abort() {
+	if e.pager != nil {
+		e.pager.close()
+		e.pager = nil
+	}
 }
 
 // addRow encodes one row. Rows wider than the relation are rejected; rows
@@ -280,6 +329,17 @@ func (e *encoder) addRow(row []string) error {
 		}
 	}
 	e.rows++
+	if e.pager != nil {
+		// Page-file writes happen inside pushCode, which has no error
+		// path; their sticky errors surface here, before more rows pile
+		// onto a failed file.
+		for c := range e.cols {
+			if cp := e.cols[c].page; cp.err != nil {
+				e.pager.close()
+				return fmt.Errorf("relation: paging column %d: %w", c, cp.err)
+			}
+		}
+	}
 	return nil
 }
 
@@ -309,7 +369,7 @@ func (ce *colEncoder) addNull(v string, opts Options) {
 
 // finish assembles the relation. names may be nil (columns are named
 // col0, col1, …).
-func (e *encoder) finish(names []string) *Relation {
+func (e *encoder) finish(names []string) (*Relation, error) {
 	if names == nil {
 		names = make([]string, e.ncols)
 		for c := range names {
@@ -329,16 +389,28 @@ func (e *encoder) finish(names []string) *Relation {
 	}
 	for c := range e.cols {
 		ce := &e.cols[c]
-		// Assemble the exact-size contiguous column from the ingest
-		// blocks, releasing each column's blocks as it completes so the
-		// transient footprint is one column, not the whole relation twice.
-		col := make([]int32, e.rows)
-		off := 0
-		for _, b := range ce.full {
-			off += copy(col[off:], b)
+		var col []int32
+		if ce.page != nil {
+			// Seal the page: flush the tail block, patch the header and
+			// bind the column to its mapping (or heap load past the cap).
+			var err error
+			if col, err = ce.page.seal(e.pager, c, ce.cur); err != nil {
+				e.pager.close()
+				return nil, err
+			}
+			ce.cur = nil
+		} else {
+			// Assemble the exact-size contiguous column from the ingest
+			// blocks, releasing each column's blocks as it completes so the
+			// transient footprint is one column, not the whole relation twice.
+			col = make([]int32, e.rows)
+			off := 0
+			for _, b := range ce.full {
+				off += copy(col[off:], b)
+			}
+			copy(col[off:], ce.cur)
+			ce.full, ce.cur = nil, nil
 		}
-		copy(col[off:], ce.cur)
-		ce.full, ce.cur = nil, nil
 		rel.Cols[c] = col
 		rel.Cards[c] = int(ce.next)
 		rel.Nulls[c] = ce.mask
@@ -346,8 +418,9 @@ func (e *encoder) finish(names []string) *Relation {
 			rel.Dicts[c] = ce.values
 		}
 	}
+	rel.pager = e.pager
 	rel.packNulls()
-	return rel
+	return rel, nil
 }
 
 // FromCodes builds a relation directly from dictionary codes. The caller
@@ -423,23 +496,29 @@ func ReadCSV(r io.Reader, opts Options) (*Relation, error) {
 		seen[name] = i
 		names[i] = name
 	}
-	e := newEncoder(len(names), opts)
+	e, err := newEncoder(len(names), opts)
+	if err != nil {
+		return nil, err
+	}
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
+			e.abort()
 			return nil, fmt.Errorf("relation: reading csv: %w", err)
 		}
 		if opts.MaxRows > 0 && e.rows >= opts.MaxRows {
+			e.abort()
 			return nil, fmt.Errorf("relation: input exceeds the MaxRows cap of %d data rows", opts.MaxRows)
 		}
 		if err := e.addRow(rec); err != nil {
+			e.abort()
 			return nil, err
 		}
 	}
-	return e.finish(names), nil
+	return e.finish(names)
 }
 
 // ReadCSVString is ReadCSV over a string, convenient for fixtures.

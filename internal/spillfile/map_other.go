@@ -1,14 +1,14 @@
 //go:build !linux
 
-package partition
+package spillfile
 
 import "os"
 
-// mapSpill reads a spill file into the heap on platforms without the
+// Map reads a spill-format file into the heap on platforms without the
 // mmap fast path. The returned buffer is 8-aligned (allocator
 // guarantee for byte slices of this size class), so the int32 views
 // over it are valid. There is no mapping to release.
-func mapSpill(path string) (data, mapping []byte, err error) {
+func Map(path string) (data, mapping []byte, err error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		return nil, nil, err
@@ -16,5 +16,8 @@ func mapSpill(path string) (data, mapping []byte, err error) {
 	return buf, nil, nil
 }
 
-// unmapSpill is a no-op without mmap. Safe on nil.
-func unmapSpill(m []byte) {}
+// Unmap is a no-op without mmap. Safe on nil.
+func Unmap(m []byte) {}
+
+// PageOut is a no-op without mmap: heap-backed reads are GC-managed.
+func PageOut(m []byte) {}

@@ -150,6 +150,7 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 			flushTopK()
 			flushCacheStats()
 			pool.FoldRetryStats(rs)
+			pool.FoldShardStats(rs)
 			rs.Finish(perr)
 			// Under top-k the heap holds individually validated FDs: a
 			// sound partial result even after a panic.
@@ -193,14 +194,18 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 	}
 
 	// partitionForSet rebuilds π_X for a checkpointed attribute set through
-	// the cache, charging the budget as the cached path does.
-	partitionForSet := func(x bitset.Set) *partition.Partition {
+	// the cache — sharded across the run's pool, byte-identical to the
+	// serial walk — charging the budget as the cached path does.
+	partitionForSet := func(x bitset.Set) (*partition.Partition, error) {
 		if x.IsEmpty() {
-			return emptyPart
+			return emptyPart, nil
 		}
-		p := partition.ForAttrsCached(cfg.Cache, x, r.Cols, r.Cards)
+		p, _, err := partition.ForAttrsCachedSharded(ctx, pool, cfg.Cache, x, r.Cols, r.Cards, cfg.ShardSize)
+		if err != nil {
+			return nil, err
+		}
 		cfg.Budget.ChargeBytes(partition.Cost(p))
-		return p
+		return p, nil
 	}
 
 	var level []*candidate
@@ -228,17 +233,33 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 		prevErr = make(map[string]int, len(f.Prev))
 		prevPart = make(map[string]*partition.Partition, len(f.Prev))
 		prevRecs = f.Prev
+		failRestore := func(err error) ([]dep.FD, *engine.RunStats, error) {
+			stop()
+			flushCacheStats()
+			pool.FoldRetryStats(rs)
+			pool.FoldShardStats(rs)
+			rs.Finish(err)
+			return nil, rs, err
+		}
 		for _, rec := range f.Prev {
 			k := rec.Set.Key()
 			prevErr[k] = int(rec.Err)
-			prevPart[k] = partitionForSet(rec.Set)
+			p, err := partitionForSet(rec.Set)
+			if err != nil {
+				return failRestore(err)
+			}
+			prevPart[k] = p
 		}
 		level = make([]*candidate, 0, len(f.Cands))
 		for _, rec := range f.Cands {
+			p, err := partitionForSet(rec.Set)
+			if err != nil {
+				return failRestore(err)
+			}
 			level = append(level, &candidate{
 				set:   rec.Set,
 				attrs: rec.Set.Attrs(),
-				part:  partitionForSet(rec.Set),
+				part:  p,
 				err:   int(rec.Err),
 				cplus: rec.CPlus,
 				dead:  rec.Dead,
@@ -258,6 +279,7 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 			stop()
 			flushCacheStats()
 			pool.FoldRetryStats(rs)
+			pool.FoldShardStats(rs)
 			rs.Finish(err)
 			return nil, rs, err
 		}
@@ -330,6 +352,7 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 		flushTopK()
 		flushCacheStats()
 		pool.FoldRetryStats(rs)
+		pool.FoldShardStats(rs)
 		rs.Finish(err)
 		if cfg.TopK != nil {
 			return out, rs, err
@@ -495,6 +518,7 @@ func Run(ctx context.Context, r *relation.Relation, cfg Config) (retFDs []dep.FD
 	flushTopK()
 	flushCacheStats()
 	pool.FoldRetryStats(rs)
+	pool.FoldShardStats(rs)
 	rs.Finish(nil)
 	return out, rs, nil
 }

@@ -33,7 +33,9 @@ func TestVerifySoundnessDropsViolatedFDs(t *testing.T) {
 	res := &Result{FDs: []dep.FD{valid, bogus}}
 	res.Stats.Degrade("test")
 
-	verifySoundness(r, res, nil, 0)
+	if err := verifySoundness(context.Background(), r, res, nil, 0, 2, 2); err != nil {
+		t.Fatal(err)
+	}
 
 	if len(res.FDs) != 1 || !res.FDs[0].LHS.Equal(valid.LHS) {
 		t.Fatalf("FDs after verification: %v", res.FDs)
