@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt lint test race bench bench-pr3 bench-pr4 bench-pr6 bench-pr7 bench-pr8 bench-pr9 bench-smoke chaos crash fuzz-smoke check
+.PHONY: all build vet fmt lint lint-fast test race bench bench-pr3 bench-pr4 bench-pr6 bench-pr7 bench-pr8 bench-pr9 bench-smoke chaos crash fuzz-smoke check
 
 all: check
 
@@ -19,10 +19,17 @@ fmt:
 
 # The repo's own invariant analyzers (internal/lint): context threading,
 # fault-site registration, hot-path allocation discipline, counter merge
-# paths, lock safety, exhaustive enum switches. JSON output lands on
-# stdout for CI consumption; exit 1 means findings.
+# paths, lock safety, exhaustive enum switches, resource lifecycles,
+# shard-kernel purity, atomic-field discipline and error-flow hygiene.
+# JSON output lands on stdout for CI consumption; exit 1 means findings.
 lint:
 	$(GO) run ./cmd/fdvet -json .
+
+# A subset pass for tight edit loops: make lint-fast RUN=lifecycle,errflow
+# runs just those analyzers (default: all, same as lint but text output).
+RUN ?=
+lint-fast:
+	$(GO) run ./cmd/fdvet -run '$(RUN)' .
 
 test:
 	$(GO) test ./...

@@ -368,19 +368,7 @@ func writeCSV(spec dataset.Spec) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	w := csv.NewWriter(f)
-	if err := w.Write(spec.Names()); err != nil {
-		f.Close()
-		return "", err
-	}
-	if err := dataset.Stream(spec, 0, func(block [][]string) error {
-		return w.WriteAll(block)
-	}); err != nil {
-		f.Close()
-		return "", err
-	}
-	w.Flush()
-	if err := w.Error(); err != nil {
+	if err := streamCSV(f, spec); err != nil {
 		f.Close()
 		return "", err
 	}
@@ -388,6 +376,23 @@ func writeCSV(spec dataset.Spec) (string, error) {
 		return "", err
 	}
 	return f.Name(), nil
+}
+
+// streamCSV writes the spec through a csv.Writer, flushing before every
+// return so no buffered rows are abandoned when a write fails mid-stream.
+func streamCSV(f *os.File, spec dataset.Spec) error {
+	w := csv.NewWriter(f)
+	defer w.Flush()
+	if err := w.Write(spec.Names()); err != nil {
+		return err
+	}
+	if err := dataset.Stream(spec, 0, func(block [][]string) error {
+		return w.WriteAll(block)
+	}); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
 }
 
 // pagerSection runs the two legs as child processes and applies the

@@ -68,7 +68,7 @@ func run(algo string, rows, cols int, keep bool) error {
 
 	bin := filepath.Join(scratch, "fddiscover")
 	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/fddiscover").CombinedOutput(); err != nil {
-		return fmt.Errorf("building fddiscover: %v\n%s", err, out)
+		return fmt.Errorf("building fddiscover: %w\n%s", err, out)
 	}
 
 	common := []string{"-algo", algo, "-workers", "4"}
@@ -100,7 +100,7 @@ func run(algo string, rows, cols int, keep bool) error {
 		}
 		select {
 		case werr := <-finished:
-			return fmt.Errorf("run finished (err=%v) before writing a snapshot; the generated relation is too easy — raise -rows/-cols", werr)
+			return fmt.Errorf("run finished (err=%w) before writing a snapshot; the generated relation is too easy — raise -rows/-cols", werr)
 		case <-time.After(2 * time.Millisecond):
 		}
 		if time.Now().After(deadline) {
@@ -114,7 +114,7 @@ func run(algo string, rows, cols int, keep bool) error {
 	// kills well before the finish.
 	select {
 	case werr := <-finished:
-		return fmt.Errorf("run finished (err=%v) before the kill; raise -rows/-cols", werr)
+		return fmt.Errorf("run finished (err=%w) before the kill; raise -rows/-cols", werr)
 	case <-time.After(time.Second):
 	}
 	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
@@ -123,7 +123,7 @@ func run(algo string, rows, cols int, keep bool) error {
 	werr := <-finished
 	var exit *exec.ExitError
 	if !errors.As(werr, &exit) || exit.ProcessState.ExitCode() != -1 {
-		return fmt.Errorf("crash leg did not die by signal: %v", werr)
+		return fmt.Errorf("crash leg did not die by signal: %w", werr)
 	}
 
 	// Resume leg: must finish cleanly and reproduce the baseline bytes.
@@ -132,7 +132,7 @@ func run(algo string, rows, cols int, keep bool) error {
 	if err != nil {
 		var ee *exec.ExitError
 		if errors.As(err, &ee) {
-			return fmt.Errorf("resume run failed: %v\n%s", err, ee.Stderr)
+			return fmt.Errorf("resume run failed: %w\n%s", err, ee.Stderr)
 		}
 		return fmt.Errorf("resume run failed: %w", err)
 	}

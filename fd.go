@@ -612,32 +612,31 @@ func Discover(ctx context.Context, r *Relation, opts ...Option) (res *Result, er
 	if cfg.cache != nil {
 		cache = cfg.cache.c
 	}
-	spillPrivate := false
-	if cfg.spill {
-		if cache == nil {
-			// No cache configured: the spill tier needs one to route
-			// partition traffic through, so create a default-capacity
-			// run-private cache.
-			cache = partition.NewCache(ranking.DefaultCacheBytes, budget)
-		}
-		if cache.SpillDir() == "" {
-			if serr := cache.EnableSpill(cfg.spillDir); serr != nil {
-				return &Result{Algorithm: cfg.algorithm}, serr
-			}
-		}
-		// Run-private caches (not caller-owned via WithCache) own spill
-		// files and mappings that must not outlive the run.
-		spillPrivate = cfg.cache == nil
+	if cfg.spill && cache == nil {
+		// No cache configured: the spill tier needs one to route
+		// partition traffic through, so create a default-capacity
+		// run-private cache.
+		cache = partition.NewCache(ranking.DefaultCacheBytes, budget)
 	}
-	spill0 := cache.Stats()
+	// Run-private caches (not caller-owned via WithCache) own spill files
+	// and mappings that must not outlive the run. The close is registered
+	// before EnableSpill so an enable failure below still tears the cache
+	// down instead of leaking it through the early return.
+	spillPrivate := cfg.spill && cfg.cache == nil
 	defer func() {
 		if spillPrivate {
-			// After this point no partition from the cache is referenced
+			// After the run no partition from the cache is referenced
 			// (Result carries FDs and counts, never partitions), so the
 			// mappings and spill files can go.
 			_ = cache.Close()
 		}
 	}()
+	if cfg.spill && cache.SpillDir() == "" {
+		if serr := cache.EnableSpill(cfg.spillDir); serr != nil {
+			return &Result{Algorithm: cfg.algorithm}, serr
+		}
+	}
+	spill0 := cache.Stats()
 
 	res = &Result{Algorithm: cfg.algorithm}
 	// Backstop: the drivers recover their own panics into typed errors

@@ -280,7 +280,7 @@ func Discover(r *relation.Relation) []dep.FD {
 // DiscoverWithConfig runs DHyFD with explicit tuning and returns run
 // statistics alongside the cover.
 func DiscoverWithConfig(r *relation.Relation, cfg Config) ([]dep.FD, Stats) {
-	//fdvet:ignore ctxflow ctx-less convenience wrapper; DiscoverCtx is the primary API
+	//fdvet:ignore ctxflow ctx-less convenience wrapper; DiscoverCtx is the primary API until=PR20
 	fds, stats, _ := DiscoverCtx(context.Background(), r, cfg)
 	return fds, stats
 }

@@ -36,7 +36,7 @@ const manifestMax = 64
 // Discover returns the left-reduced cover (singleton RHSs) of the FDs
 // holding on r.
 func Discover(r *relation.Relation) []dep.FD {
-	//fdvet:ignore ctxflow ctx-less convenience wrapper; DiscoverCtx is the primary API
+	//fdvet:ignore ctxflow ctx-less convenience wrapper; DiscoverCtx is the primary API until=PR20
 	fds, _ := DiscoverCtx(context.Background(), r)
 	return fds
 }

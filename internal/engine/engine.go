@@ -230,7 +230,7 @@ func (p *Pool) Run(ctx context.Context, n int, fn func(worker, i int)) error {
 			defer wg.Done()
 			defer func() {
 				if rec := recover(); rec != nil {
-					panicked.CompareAndSwap(nil, NewPanicError("engine.worker", rec))
+					panicked.CompareAndSwap(nil, NewPanicError(string(faults.EngineWorker), rec))
 					stop.Store(true)
 				}
 			}()
@@ -269,7 +269,7 @@ func (p *Pool) Run(ctx context.Context, n int, fn func(worker, i int)) error {
 func (p *Pool) runSerial(ctx context.Context, n int, fn func(worker, i int)) (err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			err = NewPanicError("engine.worker", rec)
+			err = NewPanicError(string(faults.EngineWorker), rec)
 		}
 	}()
 	for i := 0; i < n; i++ {
@@ -315,7 +315,7 @@ func (p *Pool) runItem(ctx context.Context, w, i int, fn func(worker, i int)) *P
 func (p *Pool) execItem(w, i int, fn func(worker, i int)) (pe *PanicError) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			pe = NewPanicError("engine.worker", rec)
+			pe = NewPanicError(string(faults.EngineWorker), rec)
 		}
 	}()
 	faults.Check(faults.EngineWorker)

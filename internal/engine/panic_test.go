@@ -11,8 +11,8 @@ import (
 )
 
 func TestPanicErrorFields(t *testing.T) {
-	perr := NewPanicError("engine.worker", "boom")
-	if perr.Site != "engine.worker" {
+	perr := NewPanicError(string(faults.EngineWorker), "boom")
+	if perr.Site != string(faults.EngineWorker) {
 		t.Errorf("site = %q", perr.Site)
 	}
 	if perr.Value != "boom" {
@@ -21,7 +21,7 @@ func TestPanicErrorFields(t *testing.T) {
 	if len(perr.Stack) == 0 {
 		t.Error("stack not captured")
 	}
-	if !strings.Contains(perr.Error(), "engine.worker") || !strings.Contains(perr.Error(), "boom") {
+	if !strings.Contains(perr.Error(), string(faults.EngineWorker)) || !strings.Contains(perr.Error(), "boom") {
 		t.Errorf("message = %q", perr.Error())
 	}
 }
@@ -40,7 +40,7 @@ func TestPanicErrorUnwrapsErrorValues(t *testing.T) {
 
 func TestNewPanicErrorPrefersInjectionSite(t *testing.T) {
 	inj := faults.Injection{Site: faults.DDMRefresh, Kind: faults.KindPanic}
-	perr := NewPanicError("engine.worker", inj)
+	perr := NewPanicError(string(faults.EngineWorker), inj)
 	if perr.Site != string(faults.DDMRefresh) {
 		t.Errorf("site = %q, want the injection's %q", perr.Site, faults.DDMRefresh)
 	}
@@ -59,7 +59,7 @@ func TestPoolPanicBecomesTypedError(t *testing.T) {
 	if !errors.As(err, &perr) {
 		t.Fatalf("err = %v (%T), want *PanicError", err, err)
 	}
-	if perr.Site != "engine.worker" {
+	if perr.Site != string(faults.EngineWorker) {
 		t.Errorf("site = %q", perr.Site)
 	}
 }

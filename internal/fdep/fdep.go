@@ -58,7 +58,7 @@ func (v Variant) String() string {
 // Discover returns the left-reduced cover (singleton RHSs) of the FDs that
 // hold on r, using the given variant.
 func Discover(r *relation.Relation, variant Variant) []dep.FD {
-	//fdvet:ignore ctxflow ctx-less convenience wrapper; DiscoverCtx is the primary API
+	//fdvet:ignore ctxflow ctx-less convenience wrapper; DiscoverCtx is the primary API until=PR20
 	fds, _ := DiscoverCtx(context.Background(), r, variant)
 	return fds
 }

@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrFlow enforces error-flow hygiene across the typed error surfaces —
+// the runstate sentinels (ErrCorrupt/ErrVersion/ErrMismatch/
+// ErrNoCheckpoint) and engine.PanicError — and everywhere else an error
+// travels through a wrapping layer:
+//
+//   - comparing an error to a named sentinel with == or != misses
+//     wrapped errors; use errors.Is. (Comparisons with nil stay exact
+//     and are allowed.)
+//   - type-asserting an error (err.(*PanicError), or a type switch over
+//     an error) misses wrapped errors; use errors.As.
+//   - fmt.Errorf with an error argument but no %w verb flattens the
+//     chain: the sentinel behind it becomes unreachable to errors.Is at
+//     every caller.
+var ErrFlow = &Analyzer{
+	Name: "errflow",
+	Doc:  "errors compare with errors.Is/errors.As, and fmt.Errorf keeps the chain with %w",
+	Run:  runErrFlow,
+}
+
+func runErrFlow(pass *Pass) {
+	for _, pkg := range pass.Module.Pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.BinaryExpr:
+					checkErrCompare(pass, info, x)
+				case *ast.TypeAssertExpr:
+					checkErrAssert(pass, info, x)
+				case *ast.TypeSwitchStmt:
+					checkErrTypeSwitch(pass, info, x)
+				case *ast.CallExpr:
+					checkErrorfWrap(pass, info, x)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkErrCompare flags `err == sentinel` / `err != sentinel` where
+// sentinel is a named package-level error variable (io.EOF,
+// runstate.ErrCorrupt, ...): wrapping breaks the identity, errors.Is
+// does not.
+func checkErrCompare(pass *Pass, info *types.Info, bin *ast.BinaryExpr) {
+	if bin.Op != token.EQL && bin.Op != token.NEQ {
+		return
+	}
+	if !isErrorExpr(info, bin.X) || !isErrorExpr(info, bin.Y) {
+		return
+	}
+	sentinel := errorSentinel(info, bin.X)
+	if sentinel == nil {
+		sentinel = errorSentinel(info, bin.Y)
+	}
+	if sentinel == nil {
+		return
+	}
+	pass.Reportf(bin.Pos(), "error compared to sentinel %s with %s; use errors.Is so wrapped errors match",
+		sentinel.Name(), bin.Op)
+}
+
+// isErrorExpr reports whether e's static type is the error interface.
+func isErrorExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Type != nil && isErrorType(tv.Type)
+}
+
+// errorSentinel resolves e to a package-level error variable, or nil.
+func errorSentinel(info *types.Info, e ast.Expr) *types.Var {
+	var obj types.Object
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = info.Uses[x]
+	case *ast.SelectorExpr:
+		obj = info.Uses[x.Sel]
+	default:
+		return nil
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !isErrorType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+// checkErrAssert flags err.(T) where err is an error and T implements
+// error: the assertion misses wrapped errors that errors.As unwraps.
+// Assertions inside a type switch are handled by checkErrTypeSwitch.
+func checkErrAssert(pass *Pass, info *types.Info, ta *ast.TypeAssertExpr) {
+	if ta.Type == nil {
+		return // err.(type) inside a type switch
+	}
+	if !isErrorExpr(info, ta.X) {
+		return
+	}
+	tv, ok := info.Types[ta.Type]
+	if !ok || tv.Type == nil || !implementsError(tv.Type) {
+		return
+	}
+	if types.IsInterface(tv.Type) && isErrorType(tv.Type) {
+		return // err.(error) is a no-op, not a chain miss
+	}
+	pass.Reportf(ta.Pos(), "error type-asserted to %s; use errors.As so wrapped errors match", types.TypeString(tv.Type, types.RelativeTo(nil)))
+}
+
+// checkErrTypeSwitch flags `switch err.(type)` over an error operand
+// when a case names an error-implementing type.
+func checkErrTypeSwitch(pass *Pass, info *types.Info, ts *ast.TypeSwitchStmt) {
+	var operand ast.Expr
+	switch a := ts.Assign.(type) {
+	case *ast.ExprStmt:
+		if ta, ok := ast.Unparen(a.X).(*ast.TypeAssertExpr); ok {
+			operand = ta.X
+		}
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			if ta, ok := ast.Unparen(a.Rhs[0]).(*ast.TypeAssertExpr); ok {
+				operand = ta.X
+			}
+		}
+	}
+	if operand == nil || !isErrorExpr(info, operand) {
+		return
+	}
+	for _, cl := range ts.Body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, te := range cc.List {
+			tv, ok := info.Types[te]
+			if !ok || tv.Type == nil {
+				continue
+			}
+			if isNilType(tv.Type) {
+				continue
+			}
+			if !implementsError(tv.Type) {
+				continue
+			}
+			if types.IsInterface(tv.Type) && isErrorType(tv.Type) {
+				continue
+			}
+			pass.Reportf(te.Pos(), "type switch over an error matches %s by concrete type; use errors.As so wrapped errors match",
+				types.TypeString(tv.Type, types.RelativeTo(nil)))
+		}
+	}
+}
+
+func isNilType(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+func implementsError(t types.Type) bool {
+	iface, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface)
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format an error argument
+// without a %w verb: the chain is flattened and every sentinel behind
+// it becomes invisible to errors.Is/errors.As.
+func checkErrorfWrap(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	obj := calleeFuncObj(info, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" || obj.Name() != "Errorf" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil || strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if av, ok := info.Types[arg]; ok && av.Type != nil && isErrorType(av.Type) {
+			pass.Reportf(arg.Pos(), "fmt.Errorf formats an error without %%w; the wrapped chain is lost to errors.Is/errors.As")
+			return
+		}
+	}
+}

@@ -1,0 +1,424 @@
+// Package flow builds intra-procedural control-flow graphs over go/ast
+// function bodies for fdvet's dataflow analyzers (lifecycle, and any
+// later must/may-reach property). It is deliberately small and
+// stdlib-only: basic blocks hold statements in source order, edges carry
+// the branch condition they were taken under, and traversal helpers
+// answer "does every path from here reach a kill before an exit"-style
+// questions without the analyzers re-implementing loop and switch
+// plumbing.
+//
+// The graph is conservative rather than exact where Go's control flow
+// gets exotic: goto targets an over-approximate edge to the labeled
+// statement's block, select cases are treated like switch cases, and
+// fallthrough chains into the next case body. A call to a terminating
+// function (panic, os.Exit, log.Fatal*, runtime.Goexit) ends its block
+// with no successors and is marked Terminal rather than Exit, so
+// analyzers can treat crash paths differently from returns.
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Branch labels the condition under which an edge is taken.
+type Branch int
+
+const (
+	// Always is an unconditional edge.
+	Always Branch = iota
+	// True is the then-edge of an if or the taken edge of a loop
+	// condition.
+	True
+	// False is the else-edge of an if or the exit edge of a loop
+	// condition.
+	False
+)
+
+// Edge is one directed control-flow edge. Cond is the controlling
+// condition expression for True/False branches (nil for Always), so a
+// dataflow pass can recognize idioms like the `if err != nil` companion
+// branch of an acquisition.
+type Edge struct {
+	To     *Block
+	Branch Branch
+	Cond   ast.Expr
+}
+
+// Block is a basic block: statements that execute in sequence with no
+// branching between them. Exit marks blocks ending in a return (or the
+// function's fall-off tail); Terminal marks blocks ending in a call
+// that never returns (panic, os.Exit). Return holds the return
+// statement of an Exit block, nil for the implicit fall-off exit.
+type Block struct {
+	Index    int
+	Stmts    []ast.Stmt
+	Succs    []Edge
+	Exit     bool
+	Terminal bool
+	Return   *ast.ReturnStmt
+}
+
+// Graph is the CFG of one function body.
+type Graph struct {
+	Entry  *Block
+	Blocks []*Block
+}
+
+// builder threads the loop/label context needed for break, continue,
+// goto and fallthrough while the graph grows.
+type builder struct {
+	g      *Graph
+	info   *types.Info
+	breaks []*Block             // innermost-last break targets
+	conts  []*Block             // innermost-last continue targets
+	labels map[string][2]*Block // label -> {break target, continue target}
+	gotos  map[string]*Block    // label -> block starting at the labeled stmt
+	// pendingGotos are goto statements seen before their label.
+	pendingGotos map[string][]*Block
+}
+
+// Build constructs the CFG of body. info may be nil; it is used only to
+// recognize calls to terminating functions more precisely.
+func Build(body *ast.BlockStmt, info *types.Info) *Graph {
+	g := &Graph{}
+	b := &builder{
+		g:            g,
+		info:         info,
+		labels:       make(map[string][2]*Block),
+		gotos:        make(map[string]*Block),
+		pendingGotos: make(map[string][]*Block),
+	}
+	entry := b.newBlock()
+	g.Entry = entry
+	last := b.stmts(body.List, entry)
+	if last != nil {
+		// Fall-off-the-end exit.
+		last.Exit = true
+	}
+	// Resolve gotos whose labels appeared later in the source.
+	for name, srcs := range b.pendingGotos {
+		if dst, ok := b.gotos[name]; ok {
+			for _, src := range srcs {
+				b.edge(src, dst, Always, nil)
+			}
+		}
+	}
+	return g
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block, br Branch, cond ast.Expr) {
+	from.Succs = append(from.Succs, Edge{To: to, Branch: br, Cond: cond})
+}
+
+// stmts appends the statement list to cur, returning the block control
+// falls out of (nil when the list always transfers control away).
+func (b *builder) stmts(list []ast.Stmt, cur *Block) *Block {
+	for _, s := range list {
+		if cur == nil {
+			// Dead code after a terminating statement still gets a block
+			// so its statements are visible to whole-graph scans.
+			cur = b.newBlock()
+		}
+		cur = b.stmt(s, cur)
+	}
+	return cur
+}
+
+// stmt appends one statement, returning the successor block (nil when
+// control never falls through).
+func (b *builder) stmt(s ast.Stmt, cur *Block) *Block {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(st.List, cur)
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			cur = b.stmt(st.Init, cur)
+		}
+		cur.Stmts = append(cur.Stmts, &ast.ExprStmt{X: st.Cond})
+		thenB := b.newBlock()
+		b.edge(cur, thenB, True, st.Cond)
+		after := b.newBlock()
+		if out := b.stmts(st.Body.List, thenB); out != nil {
+			b.edge(out, after, Always, nil)
+		}
+		if st.Else != nil {
+			elseB := b.newBlock()
+			b.edge(cur, elseB, False, st.Cond)
+			if out := b.stmt(st.Else, elseB); out != nil {
+				b.edge(out, after, Always, nil)
+			}
+		} else {
+			b.edge(cur, after, False, st.Cond)
+		}
+		return after
+
+	case *ast.ForStmt:
+		if st.Init != nil {
+			cur = b.stmt(st.Init, cur)
+		}
+		head := b.newBlock()
+		b.edge(cur, head, Always, nil)
+		after := b.newBlock()
+		body := b.newBlock()
+		post := head
+		if st.Post != nil {
+			post = b.newBlock()
+		}
+		if st.Cond != nil {
+			head.Stmts = append(head.Stmts, &ast.ExprStmt{X: st.Cond})
+			b.edge(head, body, True, st.Cond)
+			b.edge(head, after, False, st.Cond)
+		} else {
+			b.edge(head, body, Always, nil)
+			// Infinite loop: after is reachable only via break.
+		}
+		b.pushLoop(after, post)
+		out := b.stmts(st.Body.List, body)
+		b.popLoop()
+		if out != nil {
+			b.edge(out, post, Always, nil)
+		}
+		if st.Post != nil {
+			post = b.stmt(st.Post, post)
+			if post != nil {
+				b.edge(post, head, Always, nil)
+			}
+		}
+		return after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.edge(cur, head, Always, nil)
+		// Only the ranged operand joins the head block: embedding the
+		// whole RangeStmt would make the body statements visible twice
+		// (here and in their own blocks).
+		head.Stmts = append(head.Stmts, &ast.ExprStmt{X: st.X})
+		after := b.newBlock()
+		body := b.newBlock()
+		b.edge(head, body, True, nil)
+		b.edge(head, after, False, nil)
+		b.pushLoop(after, head)
+		out := b.stmts(st.Body.List, body)
+		b.popLoop()
+		if out != nil {
+			b.edge(out, head, Always, nil)
+		}
+		return after
+
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			cur = b.stmt(st.Init, cur)
+		}
+		if st.Tag != nil {
+			cur.Stmts = append(cur.Stmts, &ast.ExprStmt{X: st.Tag})
+		}
+		return b.cases(st.Body.List, cur, true)
+
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			cur = b.stmt(st.Init, cur)
+		}
+		cur.Stmts = append(cur.Stmts, st.Assign)
+		return b.cases(st.Body.List, cur, true)
+
+	case *ast.SelectStmt:
+		return b.cases(st.Body.List, cur, false)
+
+	case *ast.ReturnStmt:
+		cur.Stmts = append(cur.Stmts, s)
+		cur.Exit = true
+		cur.Return = st
+		return nil
+
+	case *ast.BranchStmt:
+		cur.Stmts = append(cur.Stmts, s)
+		switch st.Tok.String() {
+		case "break":
+			if dst := b.branchTarget(st, 0); dst != nil {
+				b.edge(cur, dst, Always, nil)
+			}
+			return nil
+		case "continue":
+			if dst := b.branchTarget(st, 1); dst != nil {
+				b.edge(cur, dst, Always, nil)
+			}
+			return nil
+		case "goto":
+			if st.Label != nil {
+				if dst, ok := b.gotos[st.Label.Name]; ok {
+					b.edge(cur, dst, Always, nil)
+				} else {
+					b.pendingGotos[st.Label.Name] = append(b.pendingGotos[st.Label.Name], cur)
+				}
+			}
+			return nil
+		case "fallthrough":
+			// Handled by cases(); treat as fall-through here.
+			return cur
+		}
+		return cur
+
+	case *ast.LabeledStmt:
+		dst := b.newBlock()
+		b.edge(cur, dst, Always, nil)
+		b.gotos[st.Label.Name] = dst
+		// For labeled loops/switches, break/continue with this label
+		// resolve inside b.stmt via labels; record them around the stmt.
+		after := b.newBlock()
+		b.labels[st.Label.Name] = [2]*Block{after, dst}
+		out := b.stmt(st.Stmt, dst)
+		if out != nil {
+			b.edge(out, after, Always, nil)
+		}
+		delete(b.labels, st.Label.Name)
+		return after
+
+	case *ast.ExprStmt:
+		cur.Stmts = append(cur.Stmts, s)
+		if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok && b.terminates(call) {
+			cur.Terminal = true
+			return nil
+		}
+		return cur
+
+	default:
+		// Assign, Decl, IncDec, Send, Defer, Go, Empty: straight-line.
+		cur.Stmts = append(cur.Stmts, s)
+		return cur
+	}
+}
+
+// cases builds the shared case-clause shape of switch, type switch and
+// select. withFallthrough enables the switch fallthrough chain.
+func (b *builder) cases(clauses []ast.Stmt, cur *Block, withFallthrough bool) *Block {
+	after := b.newBlock()
+	b.pushLoop(after, nil) // break inside a switch/select targets after
+	bodies := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cl := range clauses {
+		body := b.newBlock()
+		bodies[i] = body
+		switch c := cl.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				cur.Stmts = append(cur.Stmts, &ast.ExprStmt{X: e})
+			}
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				body.Stmts = append(body.Stmts, c.Comm)
+			}
+		}
+		b.edge(cur, body, Always, nil)
+	}
+	if !hasDefault {
+		// No default: the whole statement may be skipped (select with no
+		// ready case blocks, but conservatively fall through).
+		b.edge(cur, after, Always, nil)
+	}
+	for i, cl := range clauses {
+		var list []ast.Stmt
+		switch c := cl.(type) {
+		case *ast.CaseClause:
+			list = c.Body
+		case *ast.CommClause:
+			list = c.Body
+		}
+		out := b.stmts(list, bodies[i])
+		if out == nil {
+			continue
+		}
+		if withFallthrough && endsInFallthrough(list) && i+1 < len(clauses) {
+			b.edge(out, bodies[i+1], Always, nil)
+		} else {
+			b.edge(out, after, Always, nil)
+		}
+	}
+	b.popLoop()
+	return after
+}
+
+func endsInFallthrough(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	br, ok := list[len(list)-1].(*ast.BranchStmt)
+	return ok && br.Tok.String() == "fallthrough"
+}
+
+func (b *builder) pushLoop(brk, cont *Block) {
+	b.breaks = append(b.breaks, brk)
+	b.conts = append(b.conts, cont)
+}
+
+func (b *builder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.conts = b.conts[:len(b.conts)-1]
+}
+
+// branchTarget resolves a break (kind 0) or continue (kind 1) to its
+// destination block, honoring labels.
+func (b *builder) branchTarget(st *ast.BranchStmt, kind int) *Block {
+	if st.Label != nil {
+		if t, ok := b.labels[st.Label.Name]; ok {
+			return t[kind]
+		}
+		return nil
+	}
+	if kind == 0 {
+		for i := len(b.breaks) - 1; i >= 0; i-- {
+			if b.breaks[i] != nil {
+				return b.breaks[i]
+			}
+		}
+		return nil
+	}
+	for i := len(b.conts) - 1; i >= 0; i-- {
+		if b.conts[i] != nil {
+			return b.conts[i]
+		}
+	}
+	return nil
+}
+
+// terminates reports whether a call never returns: the builtin panic,
+// os.Exit, log.Fatal*, runtime.Goexit, or a testing Fatal/FailNow-style
+// method.
+func (b *builder) terminates(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" {
+			if b.info == nil {
+				return true
+			}
+			_, isBuiltin := b.info.Uses[fun].(*types.Builtin)
+			return isBuiltin
+		}
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		pkg := ""
+		if id, ok := fun.X.(*ast.Ident); ok {
+			pkg = id.Name
+		}
+		switch {
+		case pkg == "os" && name == "Exit",
+			pkg == "runtime" && name == "Goexit",
+			pkg == "log" && (name == "Fatal" || name == "Fatalf" || name == "Fatalln"),
+			pkg == "log" && (name == "Panic" || name == "Panicf" || name == "Panicln"):
+			return true
+		}
+	}
+	return false
+}

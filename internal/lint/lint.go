@@ -14,11 +14,14 @@
 // A finding is suppressed by a directive comment on the offending line or
 // on the line directly above it:
 //
-//	//fdvet:ignore <analyzer> <reason>
+//	//fdvet:ignore <analyzer> <reason> [until=PRnn]
 //
-// The reason is mandatory; a bare ignore is itself reported. Analyzers
-// examine only non-test files, so _test.go code may use private fault
-// sites, background contexts and maps freely.
+// The reason is mandatory; a bare ignore is itself reported. The optional
+// until=PRnn token puts an expiry on the suppression: once CurrentPR
+// reaches nn the directive stops suppressing and is itself reported, so
+// debt cannot outlive its review horizon silently. Analyzers examine only
+// non-test files, so _test.go code may use private fault sites,
+// background contexts and maps freely.
 package lint
 
 import (
@@ -30,10 +33,17 @@ import (
 	"strings"
 )
 
+// CurrentPR is the repo's PR sequence position, the clock that
+// `until=PRnn` ignore-directive expiries are measured against. Bump it
+// once per PR; any directive whose horizon it reaches turns back into a
+// finding.
+const CurrentPR = 10
+
 // Diagnostic is one finding: an analyzer name, a position and a message.
 type Diagnostic struct {
 	Analyzer string         `json:"analyzer"`
 	Pos      token.Position `json:"-"`
+	Package  string         `json:"package"`
 	File     string         `json:"file"`
 	Line     int            `json:"line"`
 	Col      int            `json:"col"`
@@ -62,6 +72,7 @@ type Pass struct {
 	Module *Module
 	name   string
 	diags  *[]Diagnostic
+	pkgOf  map[string]string // filename -> import path
 }
 
 // Reportf records a finding at pos.
@@ -70,11 +81,25 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Analyzer: p.name,
 		Pos:      position,
+		Package:  p.pkgOf[position.Filename],
 		File:     position.Filename,
 		Line:     position.Line,
 		Col:      position.Column,
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// filePackages maps every loaded file to the import path of its package,
+// so diagnostics carry a package even when an analyzer reports through a
+// position rather than a *Package.
+func (m *Module) filePackages() map[string]string {
+	out := make(map[string]string)
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			out[m.Fset.Position(f.Package).Filename] = pkg.Path
+		}
+	}
+	return out
 }
 
 // All returns the analyzer suite in stable order.
@@ -87,6 +112,10 @@ func All() []*Analyzer {
 		LockSafe,
 		Exhaustive,
 		SnapVersion,
+		Lifecycle,
+		ShardPure,
+		AtomicField,
+		ErrFlow,
 	}
 }
 
@@ -125,9 +154,18 @@ func Run(dir string, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 // RunModule applies the analyzers to an already-loaded module.
 func RunModule(m *Module, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunDetail(m, analyzers)
+	return diags
+}
+
+// RunDetail applies the analyzers and additionally returns every
+// in-force suppression with its usage count — the raw material for
+// `fdvet -fixable`, which lists the debt the ignore directives hide.
+func RunDetail(m *Module, analyzers []*Analyzer) ([]Diagnostic, []Suppression) {
+	pkgOf := m.filePackages()
 	var diags []Diagnostic
 	for _, a := range analyzers {
-		a.Run(&Pass{Module: m, name: a.Name, diags: &diags})
+		a.Run(&Pass{Module: m, name: a.Name, diags: &diags, pkgOf: pkgOf})
 	}
 	ignores, bad := m.ignoreDirectives()
 	diags = append(diags, bad...)
@@ -138,25 +176,72 @@ func RunModule(m *Module, analyzers []*Analyzer) []Diagnostic {
 		}
 		kept = append(kept, d)
 	}
-	sort.Slice(kept, func(i, j int) bool {
-		if kept[i].File != kept[j].File {
-			return kept[i].File < kept[j].File
+	sortDiagnostics(kept)
+	var sups []Suppression
+	for _, lines := range ignores {
+		for _, ss := range lines {
+			for _, s := range ss {
+				sups = append(sups, *s)
+			}
 		}
-		if kept[i].Line != kept[j].Line {
-			return kept[i].Line < kept[j].Line
+	}
+	sort.Slice(sups, func(i, j int) bool {
+		a, b := sups[i], sups[j]
+		if a.Package != b.Package {
+			return a.Package < b.Package
 		}
-		if kept[i].Col != kept[j].Col {
-			return kept[i].Col < kept[j].Col
+		if a.File != b.File {
+			return a.File < b.File
 		}
-		return kept[i].Analyzer < kept[j].Analyzer
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Analyzer < b.Analyzer
 	})
-	return kept
+	return kept, sups
 }
 
-// ignoreSet maps file → line → analyzer names suppressed there. A
+// sortDiagnostics orders findings by (package, file, line, col,
+// analyzer) — the stable order -json output is pinned to.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].Package != ds[j].Package {
+			return ds[i].Package < ds[j].Package
+		}
+		if ds[i].File != ds[j].File {
+			return ds[i].File < ds[j].File
+		}
+		if ds[i].Line != ds[j].Line {
+			return ds[i].Line < ds[j].Line
+		}
+		if ds[i].Col != ds[j].Col {
+			return ds[i].Col < ds[j].Col
+		}
+		return ds[i].Analyzer < ds[j].Analyzer
+	})
+}
+
+// Suppression is one in-force //fdvet:ignore directive: where it sits,
+// what it silences, why, until when, and how many findings it absorbed
+// in this run.
+type Suppression struct {
+	Analyzer string `json:"analyzer"`
+	Package  string `json:"package"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Reason   string `json:"reason"`
+	// Until is the PR number the suppression expires at (the nn of
+	// until=PRnn), or 0 for no expiry.
+	Until int `json:"until,omitempty"`
+	// Used counts the findings this directive suppressed in the run. A
+	// zero count marks a directive with nothing left to hide.
+	Used int `json:"used"`
+}
+
+// ignoreSet maps file → line → the suppressions declared there. A
 // directive on line L suppresses findings on L and L+1, so it works both
 // trailing the offending line and standing alone above it.
-type ignoreSet map[string]map[int]map[string]bool
+type ignoreSet map[string]map[int][]*Suppression
 
 func (s ignoreSet) covers(d Diagnostic) bool {
 	lines := s[d.File]
@@ -164,8 +249,11 @@ func (s ignoreSet) covers(d Diagnostic) bool {
 		return false
 	}
 	for _, l := range [2]int{d.Line, d.Line - 1} {
-		if as := lines[l]; as[d.Analyzer] || as["all"] {
-			return true
+		for _, sup := range lines[l] {
+			if sup.Analyzer == d.Analyzer || sup.Analyzer == "all" {
+				sup.Used++
+				return true
+			}
 		}
 	}
 	return false
@@ -174,9 +262,11 @@ func (s ignoreSet) covers(d Diagnostic) bool {
 const ignorePrefix = "//fdvet:ignore"
 
 // ignoreDirectives scans every file's comments for //fdvet:ignore
-// directives. Malformed directives (no analyzer, or no reason) come back
-// as diagnostics of the pseudo-analyzer "fdvet" so they cannot silently
-// fail to suppress.
+// directives. Malformed directives (no analyzer, no reason, or a
+// mangled until= token) and expired ones (until=PRnn with nn <=
+// CurrentPR) come back as diagnostics of the pseudo-analyzer "fdvet" so
+// they cannot silently fail to suppress — an expired directive stops
+// suppressing at the same moment it is reported.
 func (m *Module) ignoreDirectives() (ignoreSet, []Diagnostic) {
 	set := make(ignoreSet)
 	var bad []Diagnostic
@@ -188,31 +278,77 @@ func (m *Module) ignoreDirectives() (ignoreSet, []Diagnostic) {
 						continue
 					}
 					pos := m.Fset.Position(c.Pos())
-					fields := strings.Fields(strings.TrimPrefix(c.Text, ignorePrefix))
-					if len(fields) < 2 {
+					report := func(format string, args ...any) {
 						bad = append(bad, Diagnostic{
 							Analyzer: "fdvet",
-							Pos:      pos, File: pos.Filename, Line: pos.Line, Col: pos.Column,
-							Message: "malformed ignore directive: want //fdvet:ignore <analyzer> <reason>",
+							Pos:      pos, Package: pkg.Path,
+							File: pos.Filename, Line: pos.Line, Col: pos.Column,
+							Message: fmt.Sprintf(format, args...),
 						})
+					}
+					fields := strings.Fields(strings.TrimPrefix(c.Text, ignorePrefix))
+					sup, err := parseIgnore(fields)
+					if err != "" {
+						report("%s", err)
 						continue
 					}
-					lines := set[pos.Filename]
+					sup.Package = pkg.Path
+					sup.File = pos.Filename
+					sup.Line = pos.Line
+					if sup.Until != 0 && CurrentPR >= sup.Until {
+						report("ignore directive for %s expired at PR%d (now PR%d): fix the finding or renew the horizon",
+							sup.Analyzer, sup.Until, CurrentPR)
+						continue // expired: stops suppressing
+					}
+					lines := set[sup.File]
 					if lines == nil {
-						lines = make(map[int]map[string]bool)
-						set[pos.Filename] = lines
+						lines = make(map[int][]*Suppression)
+						set[sup.File] = lines
 					}
-					as := lines[pos.Line]
-					if as == nil {
-						as = make(map[string]bool)
-						lines[pos.Line] = as
-					}
-					as[fields[0]] = true
+					lines[sup.Line] = append(lines[sup.Line], sup)
 				}
 			}
 		}
 	}
 	return set, bad
+}
+
+// parseIgnore decodes the fields after //fdvet:ignore into a
+// Suppression, or a non-empty error message. The until=PRnn token may
+// sit anywhere after the analyzer name; everything else is the reason.
+func parseIgnore(fields []string) (*Suppression, string) {
+	if len(fields) == 0 {
+		return nil, "malformed ignore directive: want //fdvet:ignore <analyzer> <reason> [until=PRnn]"
+	}
+	sup := &Suppression{Analyzer: fields[0]}
+	var reason []string
+	for _, f := range fields[1:] {
+		val, isUntil := strings.CutPrefix(f, "until=")
+		if !isUntil {
+			reason = append(reason, f)
+			continue
+		}
+		numStr, hasPR := strings.CutPrefix(val, "PR")
+		n := 0
+		if hasPR {
+			for _, r := range numStr {
+				if r < '0' || r > '9' {
+					n = -1
+					break
+				}
+				n = n*10 + int(r-'0')
+			}
+		}
+		if !hasPR || numStr == "" || n <= 0 {
+			return nil, fmt.Sprintf("malformed ignore expiry %q: want until=PRnn", f)
+		}
+		sup.Until = n
+	}
+	if len(reason) == 0 {
+		return nil, "malformed ignore directive: want //fdvet:ignore <analyzer> <reason> [until=PRnn]"
+	}
+	sup.Reason = strings.Join(reason, " ")
+	return sup, ""
 }
 
 // --- shared type helpers used by several analyzers ---

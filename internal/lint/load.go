@@ -276,6 +276,14 @@ func (m *Module) parseDir(dir string) ([]*ast.File, string, error) {
 // machine, so constraints evaluate against the host: GOOS, GOARCH and
 // the unix alias are true, everything else ("ignore", custom tags) false.
 func buildExcluded(f *ast.File) bool {
+	return buildExcludedFor(f, hostBuildTag)
+}
+
+// buildExcludedFor evaluates the file's constraints against an explicit
+// tag environment — the testable core of buildExcluded, so the
+// _linux/_other selection logic can be pinned for every GOOS, not just
+// the host's.
+func buildExcludedFor(f *ast.File, tagOK func(string) bool) bool {
 	for _, cg := range f.Comments {
 		if cg.Pos() >= f.Package {
 			break
@@ -291,7 +299,7 @@ func buildExcluded(f *ast.File) bool {
 				// rather than fail the whole package load.
 				return true
 			}
-			if !expr.Eval(hostBuildTag) {
+			if !expr.Eval(tagOK) {
 				return true
 			}
 		}

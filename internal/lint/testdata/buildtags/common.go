@@ -1,0 +1,7 @@
+// Package lib pairs platform files: exactly one of impl_linux.go /
+// impl_other.go builds per GOOS — both define impl, so loading both
+// would be a duplicate declaration and loading neither an undefined one.
+package lib
+
+// Which reports which platform file was selected.
+func Which() string { return impl() }

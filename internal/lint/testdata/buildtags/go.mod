@@ -1,0 +1,3 @@
+module tagfix
+
+go 1.22

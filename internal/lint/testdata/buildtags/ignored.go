@@ -1,0 +1,5 @@
+//go:build ignore
+
+package lib
+
+func impl() string { return "ignored" }

@@ -1,0 +1,5 @@
+// +build linux darwin
+
+package lib
+
+const legacyTag = "unixish"

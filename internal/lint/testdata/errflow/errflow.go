@@ -1,0 +1,86 @@
+// Package lib exercises the errflow analyzer: sentinel comparisons,
+// error type assertions and chain-dropping fmt.Errorf calls fire; nil
+// checks, local comparisons, errors.Is/errors.As and %w stay quiet.
+package lib
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrStale is the package's sentinel error.
+var ErrStale = errors.New("stale")
+
+// decodeError is a typed error callers match on.
+type decodeError struct{ line int }
+
+func (e *decodeError) Error() string { return "decode" }
+
+// BadCompare matches a sentinel by identity.
+func BadCompare(err error) bool {
+	return err == ErrStale
+}
+
+// BadCompareStdlib matches a stdlib sentinel by identity.
+func BadCompareStdlib(err error) bool {
+	return err != io.EOF
+}
+
+// GoodNil: nil comparisons are exact by design.
+func GoodNil(err error) bool {
+	return err == nil
+}
+
+// GoodLocalCompare compares two locals: no sentinel involved.
+func GoodLocalCompare(a, b error) bool { return a == b }
+
+// GoodIs goes through the chain.
+func GoodIs(err error) bool {
+	return errors.Is(err, ErrStale)
+}
+
+// BadAssert matches a concrete error type by assertion.
+func BadAssert(err error) int {
+	if de, ok := err.(*decodeError); ok {
+		return de.line
+	}
+	return 0
+}
+
+// BadTypeSwitch matches concrete error types in a switch; the nil and
+// default cases stay quiet.
+func BadTypeSwitch(err error) int {
+	switch e := err.(type) {
+	case nil:
+		return -1
+	case *decodeError:
+		return e.line
+	default:
+		return 0
+	}
+}
+
+// GoodAs goes through the chain.
+func GoodAs(err error) int {
+	var de *decodeError
+	if errors.As(err, &de) {
+		return de.line
+	}
+	return 0
+}
+
+// BadWrap flattens the chain with %v.
+func BadWrap(err error) error {
+	return fmt.Errorf("loading: %v", err)
+}
+
+// GoodWrap keeps the chain.
+func GoodWrap(err error) error {
+	return fmt.Errorf("loading: %w", err)
+}
+
+// GoodNonError formats a non-error with %v.
+func GoodNonError(n int) error {
+	return fmt.Errorf("bad count: %v", n)
+}

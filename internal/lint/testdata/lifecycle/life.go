@@ -1,0 +1,89 @@
+// Package lib exercises the lifecycle analyzer: acquisitions that leak
+// on early returns or fall-off exits fire; defers, transfers, the
+// error-companion branch and crash paths stay quiet.
+package lib
+
+import "errors"
+
+// handle is a resource: it has a release method.
+type handle struct{ open bool }
+
+func (h *handle) Close() { h.open = false }
+
+func newHandle() (*handle, error) { return &handle{open: true}, nil }
+
+var errBoom = errors.New("boom")
+
+func work() error { return errBoom }
+
+// BadEarlyReturn leaks h on the mid-function error return.
+func BadEarlyReturn() error {
+	h, err := newHandle()
+	if err != nil {
+		return err
+	}
+	if err := work(); err != nil {
+		return err
+	}
+	h.Close()
+	return nil
+}
+
+// BadFallOff leaks h off the end of the function.
+func BadFallOff() {
+	h, _ := newHandle()
+	_ = h.open
+}
+
+// GoodDefer releases on every path through a defer.
+func GoodDefer() error {
+	h, err := newHandle()
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	return work()
+}
+
+// GoodTransfer hands the handle to the caller: ownership moved.
+func GoodTransfer() (*handle, error) {
+	h, err := newHandle()
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// GoodErrCompanion returns only through the acquisition's own error
+// branch, where the handle is invalid by convention.
+func GoodErrCompanion() error {
+	h, err := newHandle()
+	if err != nil {
+		return err
+	}
+	h.Close()
+	return nil
+}
+
+// GoodCrashPath panics instead of returning: crash paths owe no release.
+func GoodCrashPath() {
+	h, err := newHandle()
+	if err != nil {
+		panic(err)
+	}
+	h.Close()
+}
+
+// GoodEscape passes the handle away: the callee owns it now.
+func GoodEscape() error {
+	h, err := newHandle()
+	if err != nil {
+		return err
+	}
+	register(h)
+	return work()
+}
+
+var registry []*handle
+
+func register(h *handle) { registry = append(registry, h) }

@@ -1,0 +1,3 @@
+module shardfix
+
+go 1.22

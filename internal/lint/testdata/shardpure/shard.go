@@ -1,0 +1,82 @@
+// Package lib exercises the shardpure analyzer: annotated kernels that
+// touch shared state fire; kernels confined to parameters, locals and
+// receiver scratch stay quiet, as does unannotated code.
+package lib
+
+// scratch is per-worker state a kernel may freely write.
+type scratch struct {
+	buckets [][]int32
+	touched []int32
+}
+
+var global []int32
+
+var tallies = map[int]int{}
+
+// GoodKernel writes only its output range, locals and receiver scratch.
+//
+//fd:shardkernel
+func (sc *scratch) GoodKernel(out []int32, lo, hi int, col []int32) {
+	sc.touched = sc.touched[:0]
+	for i := lo; i < hi; i++ {
+		sc.touched = append(sc.touched, col[i])
+		out[i] = col[i]
+	}
+}
+
+// BadKernelGlobal writes package-level state.
+//
+//fd:shardkernel
+func BadKernelGlobal(out []int32, s int) {
+	global[0] = int32(s)
+	out[s] = 1
+}
+
+// BadKernelMap writes a map, even one passed as a parameter.
+//
+//fd:shardkernel
+func BadKernelMap(m map[int]int, s int) {
+	m[s] = 1
+}
+
+// BadKernelDelete deletes from a map.
+//
+//fd:shardkernel
+func BadKernelDelete(m map[int]int, s int) {
+	delete(m, s)
+}
+
+// BadKernelSend communicates through a channel.
+//
+//fd:shardkernel
+func BadKernelSend(ch chan int, s int) {
+	ch <- s
+}
+
+// BadKernelRecv drains a channel.
+//
+//fd:shardkernel
+func BadKernelRecv(ch chan int) int {
+	return <-ch
+}
+
+// BadKernelCopy copies into a package-level destination.
+//
+//fd:shardkernel
+func BadKernelCopy(src []int32) {
+	copy(global, src)
+}
+
+// BadKernelIncDec bumps a package-level counter.
+var hits int
+
+//fd:shardkernel
+func BadKernelIncDec() {
+	hits++
+}
+
+// GoodUnannotated is not a kernel: shared-state writes are out of scope.
+func GoodUnannotated(s int) {
+	global = append(global, int32(s))
+	tallies[s]++
+}

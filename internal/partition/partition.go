@@ -247,6 +247,7 @@ func (rf *Refiner) Refine(p *Partition, col []int32, card int) *Partition {
 // owns the card-sized scratch (rf.grow).
 //
 //fd:hotpath
+//fd:shardkernel
 func (rf *Refiner) refineRange(clusters [][]int32, col []int32, backing, ends []int32) ([]int32, []int32) {
 	for _, cluster := range clusters {
 		for _, row := range cluster {
@@ -378,6 +379,7 @@ func (ix *Intersector) intersect(p *Partition, probe ProbeTable) *Partition {
 // of the ranged clusters.
 //
 //fd:hotpath
+//fd:shardkernel
 func (ix *Intersector) intersectRange(clusters [][]int32, probe ProbeTable, backing, ends []int32) ([]int32, []int32) {
 	for _, cluster := range clusters {
 		for _, row := range cluster {

@@ -240,6 +240,7 @@ func (sb *shardBuilder) build(ctx context.Context, pool *engine.Pool, col []int3
 // row ids, and the (possibly grown) touched scratch.
 //
 //fd:hotpath
+//fd:shardkernel
 func shardGroup(col []int32, lo, hi int, counts, touched []int32) (codes, cnts, rows, touchedOut []int32) {
 	for _, v := range col[lo:hi] {
 		if counts[v] == 0 {
@@ -277,6 +278,7 @@ func shardGroup(col []int32, lo, hi int, counts, touched []int32) (codes, cnts, 
 // whose code is globally stripped (starts -1) are skipped.
 //
 //fd:hotpath
+//fd:shardkernel
 func shardScatter(codes, cnts, offs, rows []int32, starts, backing []int32) {
 	cursor := int32(0)
 	for i, v := range codes {

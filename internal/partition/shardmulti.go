@@ -67,6 +67,7 @@ func rangeRows(clusters [][]int32, lo, hi int) int {
 // values, so a retried shard rewrites identical bytes.
 //
 //fd:hotpath
+//fd:shardkernel
 func stitchShard(back, ends []int32, base int32, backing, offsets []int32) {
 	copy(backing[base:int(base)+len(back)], back)
 	for i, e := range ends {

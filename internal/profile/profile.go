@@ -93,7 +93,7 @@ func (o *Options) fillDefaults() {
 
 // Profile computes the full report for a relation.
 func Profile(r *relation.Relation, opts Options) *Report {
-	//fdvet:ignore ctxflow ctx-less convenience wrapper; ProfileCtx is the primary API
+	//fdvet:ignore ctxflow ctx-less convenience wrapper; ProfileCtx is the primary API until=PR20
 	rep, _ := ProfileCtx(context.Background(), r, opts)
 	return rep
 }

@@ -455,7 +455,7 @@ func RankCtx(ctx context.Context, r *relation.Relation, fds []dep.FD, cfg Config
 // WithNulls count, serially with a private partition cache. A panic
 // inside the kernels is re-raised, matching direct-call semantics.
 func Rank(r *relation.Relation, fds []dep.FD) []Ranked {
-	//fdvet:ignore ctxflow ctx-less convenience wrapper; RankCtx is the primary API
+	//fdvet:ignore ctxflow ctx-less convenience wrapper; RankCtx is the primary API until=PR20
 	out, _, err := RankCtx(context.Background(), r, fds, Config{})
 	if err != nil {
 		panic(err)
@@ -562,7 +562,7 @@ func TotalsCtx(ctx context.Context, r *relation.Relation, fds []dep.FD, cfg Conf
 
 // Totals is TotalsCtx serially with a private partition cache.
 func Totals(r *relation.Relation, fds []dep.FD) DatasetTotals {
-	//fdvet:ignore ctxflow ctx-less convenience wrapper; TotalsCtx is the primary API
+	//fdvet:ignore ctxflow ctx-less convenience wrapper; TotalsCtx is the primary API until=PR20
 	t, _, err := TotalsCtx(context.Background(), r, fds, Config{})
 	if err != nil {
 		panic(err)
@@ -648,7 +648,7 @@ func ForColumnCtx(ctx context.Context, r *relation.Relation, fds []dep.FD, col i
 
 // ForColumn is ForColumnCtx serially with a private partition cache.
 func ForColumn(r *relation.Relation, fds []dep.FD, col int) []ColumnView {
-	//fdvet:ignore ctxflow ctx-less convenience wrapper; ForColumnCtx is the primary API
+	//fdvet:ignore ctxflow ctx-less convenience wrapper; ForColumnCtx is the primary API until=PR20
 	out, _, err := ForColumnCtx(context.Background(), r, fds, col, Config{})
 	if err != nil {
 		panic(err)

@@ -19,6 +19,7 @@ package relation
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -475,7 +476,7 @@ func ReadCSV(r io.Reader, opts Options) (*Relation, error) {
 	cr.FieldsPerRecord = -1
 	cr.ReuseRecord = true // addRow copies nothing row-shaped; field strings are fresh
 	header, err := cr.Read()
-	if err == io.EOF {
+	if errors.Is(err, io.EOF) {
 		return nil, fmt.Errorf("relation: empty csv")
 	}
 	if err != nil {
@@ -502,7 +503,7 @@ func ReadCSV(r io.Reader, opts Options) (*Relation, error) {
 	}
 	for {
 		rec, err := cr.Read()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

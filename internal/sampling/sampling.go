@@ -134,7 +134,7 @@ func (s *NonFDSet) NonRedundant() {
 // negative cover FDEP inducts from. Quadratic in rows; row-based
 // algorithms accept that by design.
 func NegativeCover(r *relation.Relation) *NonFDSet {
-	//fdvet:ignore ctxflow ctx-less convenience wrapper; NegativeCoverCtx is the primary API
+	//fdvet:ignore ctxflow ctx-less convenience wrapper; NegativeCoverCtx is the primary API until=PR20
 	s, _ := NegativeCoverCtx(context.Background(), r)
 	return s
 }

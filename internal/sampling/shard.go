@@ -48,21 +48,7 @@ func ClusterNeighborSampleSharded(ctx context.Context, pool *engine.Pool, r *rel
 	locals := make([]*NonFDSet, nshards)
 	comps := make([]int, nshards)
 	err = pool.Run(ctx, nshards, func(_, s int) {
-		local := NewNonFDSet(r.NumCols())
-		buf := bitset.New(r.NumCols())
-		n := 0
-		for _, cluster := range p.Clusters[cuts[s]:cuts[s+1]] {
-			if len(cluster) <= distance {
-				continue
-			}
-			sorted := sortedCluster(r, cluster)
-			for i := 0; i+distance < len(sorted); i++ {
-				n++
-				a, b := int(sorted[i]), int(sorted[i+distance])
-				local.Add(AgreeSet(r, a, b, buf))
-			}
-		}
-		locals[s], comps[s] = local, n
+		sampleShard(r, p, cuts, distance, s, locals, comps)
 	})
 	if err != nil {
 		return 0, 0, err
@@ -111,16 +97,7 @@ func NegativeCoverSharded(ctx context.Context, pool *engine.Pool, r *relation.Re
 
 	locals := make([]*NonFDSet, nshards)
 	err := pool.Run(ctx, nshards, func(_, s int) {
-		local := NewNonFDSet(r.NumCols())
-		buf := bitset.New(r.NumCols())
-		lo := s * shardSize
-		hi := min(lo+shardSize, n)
-		for i := lo; i < hi; i++ {
-			for j := i + 1; j < n; j++ {
-				local.Add(AgreeSet(r, i, j, buf))
-			}
-		}
-		locals[s] = local
+		coverShard(r, shardSize, s, locals)
 	})
 	if err != nil {
 		return nil, err
@@ -142,4 +119,48 @@ func NegativeCoverSharded(ctx context.Context, pool *engine.Pool, r *relation.Re
 	}
 	pool.CountShards(int64(nshards), rows)
 	return out, nil
+}
+
+// sampleShard is the phase-1 kernel of ClusterNeighborSampleSharded:
+// shard s's cluster range samples into a fresh shard-local set, and the
+// only writes that leave the kernel land in its disjoint locals[s] /
+// comps[s] slots — which is what makes re-running the item after a
+// transient failure safe.
+//
+//fd:shardkernel
+func sampleShard(r *relation.Relation, p *partition.Partition, cuts []int, distance, s int, locals []*NonFDSet, comps []int) {
+	local := NewNonFDSet(r.NumCols())
+	buf := bitset.New(r.NumCols())
+	n := 0
+	for _, cluster := range p.Clusters[cuts[s]:cuts[s+1]] {
+		if len(cluster) <= distance {
+			continue
+		}
+		sorted := sortedCluster(r, cluster)
+		for i := 0; i+distance < len(sorted); i++ {
+			n++
+			a, b := int(sorted[i]), int(sorted[i+distance])
+			local.Add(AgreeSet(r, a, b, buf))
+		}
+	}
+	locals[s], comps[s] = local, n
+}
+
+// coverShard is the phase-1 kernel of NegativeCoverSharded: outer rows
+// [s*shardSize, hi) scan against all later rows into a fresh local set,
+// written only to the shard's disjoint locals[s] slot.
+//
+//fd:shardkernel
+func coverShard(r *relation.Relation, shardSize, s int, locals []*NonFDSet) {
+	local := NewNonFDSet(r.NumCols())
+	buf := bitset.New(r.NumCols())
+	n := r.NumRows()
+	lo := s * shardSize
+	hi := min(lo+shardSize, n)
+	for i := lo; i < hi; i++ {
+		for j := i + 1; j < n; j++ {
+			local.Add(AgreeSet(r, i, j, buf))
+		}
+	}
+	locals[s] = local
 }

@@ -45,7 +45,7 @@ type candidate struct {
 // Discover returns the left-reduced cover (singleton RHSs, minimal LHSs)
 // of the FDs that hold on r.
 func Discover(r *relation.Relation) []dep.FD {
-	//fdvet:ignore ctxflow ctx-less convenience wrapper; DiscoverCtx is the primary API
+	//fdvet:ignore ctxflow ctx-less convenience wrapper; DiscoverCtx is the primary API until=PR20
 	fds, _ := DiscoverCtx(context.Background(), r)
 	return fds
 }
